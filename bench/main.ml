@@ -1,0 +1,181 @@
+(* Benchmark and reproduction harness.
+
+   Usage:
+     main.exe                 run every table/figure, then the Bechamel suite
+     main.exe <id> [<id>...]  run selected experiments (table1..fig13)
+     main.exe bechamel        run only the Bechamel microbenchmark suite
+     main.exe list            list experiment ids *)
+
+open Bechamel
+open Toolkit
+
+(* --- Bechamel microbenchmarks: one per table/figure kernel --- *)
+
+let dijkstra_tests () =
+  let zoo = Rr_topology.Zoo.shared () in
+  let level3 = Option.get (Rr_topology.Zoo.find zoo "Level3") in
+  let env = Riskroute.Env.of_net level3 in
+  let n = Riskroute.Env.node_count env in
+  [
+    Test.make ~name:"table2/riskroute-pair-level3"
+      (Staged.stage (fun () ->
+           ignore (Riskroute.Router.riskroute env ~src:0 ~dst:(n - 1))));
+    Test.make ~name:"table2/shortest-pair-level3"
+      (Staged.stage (fun () ->
+           ignore (Riskroute.Router.shortest env ~src:0 ~dst:(n - 1))));
+  ]
+
+let kde_tests () =
+  let catalog = Rr_disaster.Catalog.generate ~scale:0.02 () in
+  let events = Rr_disaster.Catalog.coords catalog Rr_disaster.Event.Fema_storm in
+  let density = Rr_kde.Density.fit ~bandwidth:24.38 events in
+  let point = Rr_geo.Coord.make ~lat:39.0 ~lon:(-95.0) in
+  [
+    Test.make ~name:"table1/kde-exact-eval"
+      (Staged.stage (fun () -> ignore (Rr_kde.Density.eval density point)));
+    Test.make ~name:"fig4/kde-grid-fit"
+      (Staged.stage (fun () ->
+           ignore (Rr_kde.Grid_density.fit ~rows:60 ~cols:140 ~bandwidth:24.38 events)));
+    Test.make ~name:"table1/cv-bandwidth-select"
+      (Staged.stage (fun () ->
+           ignore
+             (Rr_kde.Bandwidth.select ~max_events:150
+                ~candidates:[| 10.0; 30.0; 90.0 |] events)));
+  ]
+
+let forecast_tests () =
+  let text = List.nth (Rr_forecast.Track.advisory_texts Rr_forecast.Track.sandy) 40 in
+  [
+    Test.make ~name:"fig5/advisory-parse"
+      (Staged.stage (fun () -> ignore (Rr_forecast.Parse.advisory text)));
+  ]
+
+let census_tests () =
+  let blocks = Rr_census.Synthetic.generate ~blocks:5_000 () in
+  let zoo = Rr_topology.Zoo.shared () in
+  let att = Option.get (Rr_topology.Zoo.find zoo "AT&T") in
+  let sites =
+    Array.map (fun (p : Rr_topology.Pop.t) -> p.Rr_topology.Pop.coord)
+      att.Rr_topology.Net.pops
+  in
+  [
+    Test.make ~name:"fig3/nn-assignment-5k-blocks"
+      (Staged.stage (fun () ->
+           ignore (Rr_census.Assignment.fractions ~sites blocks)));
+  ]
+
+let augment_tests () =
+  let zoo = Rr_topology.Zoo.shared () in
+  let att = Option.get (Rr_topology.Zoo.find zoo "AT&T") in
+  let env = Riskroute.Env.of_net att in
+  [
+    Test.make ~name:"fig9/greedy-one-link-att"
+      (Staged.stage (fun () -> ignore (Riskroute.Augment.greedy ~k:1 env)));
+    Test.make ~name:"fig10/total-bit-risk-att"
+      (Staged.stage (fun () -> ignore (Riskroute.Augment.total_bit_risk env)));
+  ]
+
+let ratio_tests () =
+  let zoo = Rr_topology.Zoo.shared () in
+  let att = Option.get (Rr_topology.Zoo.find zoo "AT&T") in
+  let env = Riskroute.Env.of_net att in
+  let advisory = List.nth (Rr_forecast.Track.advisories Rr_forecast.Track.sandy) 50 in
+  [
+    Test.make ~name:"table2/intradomain-ratios-att"
+      (Staged.stage (fun () ->
+           ignore (Riskroute.Ratios.intradomain ~pair_cap:200 env)));
+    Test.make ~name:"fig12/advisory-env-refresh"
+      (Staged.stage (fun () ->
+           ignore (Riskroute.Env.with_advisory env (Some advisory))));
+  ]
+
+let gml_tests () =
+  let zoo = Rr_topology.Zoo.shared () in
+  let att = Option.get (Rr_topology.Zoo.find zoo "AT&T") in
+  let text = Rr_gml.Printer.to_string (Rr_topology.Gml_io.to_gml att) in
+  [
+    Test.make ~name:"fig1/gml-parse-att"
+      (Staged.stage (fun () -> ignore (Rr_gml.Parser.parse text)));
+  ]
+
+let extension_tests () =
+  let zoo = Rr_topology.Zoo.shared () in
+  let att = Option.get (Rr_topology.Zoo.find zoo "AT&T") in
+  let env = Riskroute.Env.of_net att in
+  let n = Riskroute.Env.node_count env in
+  [
+    Test.make ~name:"abl-pareto/frontier-att"
+      (Staged.stage (fun () ->
+           ignore (Riskroute.Pareto.frontier ~k:8 env ~src:0 ~dst:(n - 1))));
+    Test.make ~name:"abl-backup/plan-att"
+      (Staged.stage (fun () ->
+           ignore (Riskroute.Backup.plan env ~src:0 ~dst:(n - 1))));
+    Test.make ~name:"abl-ospf/weights-att"
+      (Staged.stage (fun () -> ignore (Riskroute.Ospf.link_weights env)));
+    Test.make ~name:"abl-outage/50-scenarios-att"
+      (Staged.stage (fun () ->
+           ignore (Riskroute.Outagesim.run ~scenario_count:50 ~pair_cap:50 env)));
+    Test.make ~name:"fig1/geojson-export-att"
+      (Staged.stage (fun () ->
+           ignore
+             (Rr_geo.Geojson.feature_collection
+                (Rr_topology.Geo_export.net_features att))));
+  ]
+
+let bechamel_suite () =
+  dijkstra_tests () @ kde_tests () @ forecast_tests () @ census_tests ()
+  @ augment_tests () @ ratio_tests () @ gml_tests () @ extension_tests ()
+
+let run_bechamel () =
+  print_endline "\n=== Bechamel microbenchmark suite ===";
+  let tests = Test.make_grouped ~name:"riskroute" ~fmt:"%s/%s" (bechamel_suite ()) in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name v acc ->
+        match Analyze.OLS.estimates v with
+        | Some [ est ] -> (name, est) :: acc
+        | Some _ | None -> acc)
+      results []
+  in
+  List.iter
+    (fun (name, est) ->
+      if est >= 1e9 then Printf.printf "%-48s %10.2f s/run\n" name (est /. 1e9)
+      else if est >= 1e6 then Printf.printf "%-48s %10.2f ms/run\n" name (est /. 1e6)
+      else if est >= 1e3 then Printf.printf "%-48s %10.2f us/run\n" name (est /. 1e3)
+      else Printf.printf "%-48s %10.0f ns/run\n" name est)
+    (List.sort compare rows)
+
+let ppf = Format.std_formatter
+
+let () =
+  match Array.to_list Sys.argv with
+  | [] | _ :: [] ->
+    Rr_experiments.Report.run_all ppf;
+    Format.pp_print_flush ppf ();
+    run_bechamel ()
+  | _ :: [ "bechamel" ] -> run_bechamel ()
+  | _ :: [ "list" ] ->
+    List.iter print_endline (Rr_experiments.Report.ids ())
+  | _ :: "csv" :: rest ->
+    let dir = match rest with [ d ] -> d | _ -> "plots" in
+    let files = Rr_experiments.Csv_export.write_all dir in
+    List.iter (fun f -> Printf.printf "wrote %s\n" f) files
+  | _ :: ids ->
+    List.iter
+      (fun id ->
+        match Rr_experiments.Report.find id with
+        | Some e ->
+          Format.fprintf ppf "@.=== %s: %s ===@." (String.uppercase_ascii e.Rr_experiments.Report.id)
+            e.Rr_experiments.Report.title;
+          e.Rr_experiments.Report.run ppf
+        | None ->
+          Format.fprintf ppf "unknown experiment %S (try: %s)@." id
+            (String.concat " " (Rr_experiments.Report.ids ())))
+      ids;
+    Format.pp_print_flush ppf ()

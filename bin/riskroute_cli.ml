@@ -1,0 +1,473 @@
+(* riskroute — command-line front end.
+
+   Subcommands:
+     networks               list the 23-network corpus
+     route                  RiskRoute vs shortest path between two cities
+     ratios                 intradomain risk/distance ratios for a network
+     provision              best additional links for a network
+     peers                  best new peering per regional network
+     forecast               parse / summarise a storm's advisory sequence
+     simulate               Monte Carlo outage simulation
+     backup                 fast-reroute repair paths for a flow
+     pareto                 distance/risk trade-off curve
+     shared-risk            joint disaster exposure of two networks
+     availability           achieved availability (nines) per posture
+     export-gml             write a network map as Topology Zoo GML
+     export-geojson         write a network map as GeoJSON
+     report                 reproduce a paper table/figure (or all) *)
+
+open Cmdliner
+
+let setup_logs verbose =
+  Fmt_tty.setup_std_outputs ();
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Warning)
+
+let verbose_arg =
+  let doc = "Enable verbose logging." in
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+
+let net_arg =
+  let doc = "Network name (e.g. Level3, AT&T, Telepak)." in
+  Arg.(required & opt (some string) None & info [ "n"; "network" ] ~doc)
+
+let lambda_h_arg =
+  let doc = "Historical risk-averseness tuning parameter lambda_h." in
+  Arg.(value & opt float 1e5 & info [ "lambda-h" ] ~doc)
+
+let storm_arg =
+  let doc = "Storm name: irene, katrina or sandy." in
+  Arg.(value & opt string "sandy" & info [ "storm" ] ~doc)
+
+let find_net name =
+  match Rr_topology.Zoo.find (Rr_topology.Zoo.shared ()) name with
+  | Some net -> Ok net
+  | None ->
+    Error
+      (Printf.sprintf "unknown network %S; try `riskroute networks`" name)
+
+let find_storm name =
+  match Rr_forecast.Track.find name with
+  | Some storm -> Ok storm
+  | None -> Error (Printf.sprintf "unknown storm %S (irene|katrina|sandy)" name)
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+    prerr_endline ("riskroute: " ^ msg);
+    exit 1
+
+(* --- networks --- *)
+
+let networks_cmd =
+  let run verbose =
+    setup_logs verbose;
+    let zoo = Rr_topology.Zoo.shared () in
+    Format.printf "Tier-1 networks:@.";
+    List.iter
+      (fun net -> Format.printf "  %a@." Rr_topology.Net.pp_summary net)
+      zoo.Rr_topology.Zoo.tier1s;
+    Format.printf "Regional networks:@.";
+    List.iter
+      (fun net -> Format.printf "  %a@." Rr_topology.Net.pp_summary net)
+      zoo.Rr_topology.Zoo.regionals
+  in
+  Cmd.v
+    (Cmd.info "networks" ~doc:"List the 23-network corpus.")
+    Term.(const run $ verbose_arg)
+
+(* --- route --- *)
+
+let route_cmd =
+  let src_arg =
+    Arg.(required & opt (some string) None & info [ "from" ] ~doc:"Source city.")
+  in
+  let dst_arg =
+    Arg.(required & opt (some string) None & info [ "to" ] ~doc:"Destination city.")
+  in
+  let storm_opt =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "storm" ] ~doc:"Overlay a storm advisory (irene|katrina|sandy).")
+  in
+  let tick_arg =
+    Arg.(value & opt int 40 & info [ "tick" ] ~doc:"Advisory index for --storm.")
+  in
+  let run verbose name src dst lambda_h storm tick =
+    setup_logs verbose;
+    let net = or_die (find_net name) in
+    let params = Riskroute.Params.with_lambda_h lambda_h Riskroute.Params.default in
+    let advisory =
+      Option.map
+        (fun s ->
+          let storm = or_die (find_storm s) in
+          let advisories = Array.of_list (Rr_forecast.Track.advisories storm) in
+          if tick < 0 || tick >= Array.length advisories then
+            or_die (Error "advisory tick out of range")
+          else advisories.(tick))
+        storm
+    in
+    let env = Riskroute.Env.of_net ~params ?advisory net in
+    let src_id = or_die (match Rr_topology.Net.find_pop net ~city:src with
+      | Some i -> Ok i
+      | None -> Error (Printf.sprintf "no %s PoP in %s" src name)) in
+    let dst_id = or_die (match Rr_topology.Net.find_pop net ~city:dst with
+      | Some i -> Ok i
+      | None -> Error (Printf.sprintf "no %s PoP in %s" dst name)) in
+    let describe label = function
+      | None -> Format.printf "%s: (disconnected)@." label
+      | Some (route : Riskroute.Router.route) ->
+        let names =
+          List.map
+            (fun i -> (Rr_topology.Net.pop net i).Rr_topology.Pop.name)
+            route.Riskroute.Router.path
+        in
+        Format.printf "%s (%.0f bit-miles, %.0f bit-risk-miles):@.  %s@." label
+          route.Riskroute.Router.bit_miles route.Riskroute.Router.bit_risk_miles
+          (String.concat " -> " names)
+    in
+    describe "shortest " (Riskroute.Router.shortest env ~src:src_id ~dst:dst_id);
+    describe "riskroute" (Riskroute.Router.riskroute env ~src:src_id ~dst:dst_id)
+  in
+  Cmd.v
+    (Cmd.info "route"
+       ~doc:"Compare RiskRoute and shortest-path routes between two PoPs.")
+    Term.(
+      const run $ verbose_arg $ net_arg $ src_arg $ dst_arg $ lambda_h_arg
+      $ storm_opt $ tick_arg)
+
+(* --- ratios --- *)
+
+let ratios_cmd =
+  let pair_cap_arg =
+    Arg.(value & opt int 6000 & info [ "pair-cap" ] ~doc:"Max sampled pairs.")
+  in
+  let run verbose name lambda_h pair_cap =
+    setup_logs verbose;
+    let net = or_die (find_net name) in
+    let params = Riskroute.Params.with_lambda_h lambda_h Riskroute.Params.default in
+    let env = Riskroute.Env.of_net ~params net in
+    let r = Riskroute.Ratios.intradomain ~pair_cap env in
+    Format.printf
+      "%s (lambda_h = %.0e): risk reduction %.3f, distance increase %.3f (%d pairs)@."
+      name lambda_h r.Riskroute.Ratios.risk_reduction
+      r.Riskroute.Ratios.distance_increase r.Riskroute.Ratios.pairs
+  in
+  Cmd.v
+    (Cmd.info "ratios" ~doc:"Intradomain risk/distance ratios (Eqs. 5-6).")
+    Term.(const run $ verbose_arg $ net_arg $ lambda_h_arg $ pair_cap_arg)
+
+(* --- provision --- *)
+
+let provision_cmd =
+  let k_arg =
+    Arg.(value & opt int 5 & info [ "k" ] ~doc:"Number of links to suggest.")
+  in
+  let run verbose name k =
+    setup_logs verbose;
+    let net = or_die (find_net name) in
+    let env = Riskroute.Env.of_net net in
+    let picks = Riskroute.Augment.greedy ~k env in
+    Format.printf "Best %d additional links for %s:@." (List.length picks) name;
+    List.iteri
+      (fun i (p : Riskroute.Augment.pick) ->
+        Format.printf "  %d. %s -- %s (bit-risk at %.3f of original)@." (i + 1)
+          (Rr_topology.Net.pop net p.Riskroute.Augment.u).Rr_topology.Pop.name
+          (Rr_topology.Net.pop net p.Riskroute.Augment.v).Rr_topology.Pop.name
+          p.Riskroute.Augment.fraction)
+      picks
+  in
+  Cmd.v
+    (Cmd.info "provision" ~doc:"Suggest risk-reducing additional links (Eq. 4).")
+    Term.(const run $ verbose_arg $ net_arg $ k_arg)
+
+(* --- peers --- *)
+
+let peers_cmd =
+  let run verbose =
+    setup_logs verbose;
+    let merged, env = Riskroute.Interdomain.shared () in
+    List.iter
+      (fun (r : Riskroute.Peer_advisor.recommendation) ->
+        Format.printf "%-18s -> peer with %-18s (%.1f%% lower bit-risk)@."
+          r.Riskroute.Peer_advisor.regional r.Riskroute.Peer_advisor.peer
+          (100.0 *. r.Riskroute.Peer_advisor.improvement))
+      (Riskroute.Peer_advisor.recommend_all merged env)
+  in
+  Cmd.v
+    (Cmd.info "peers" ~doc:"Recommend new peerings for regional networks.")
+    Term.(const run $ verbose_arg)
+
+(* --- forecast --- *)
+
+let forecast_cmd =
+  let run verbose storm_name =
+    setup_logs verbose;
+    let storm = or_die (find_storm storm_name) in
+    let advisories = Rr_forecast.Track.advisories storm in
+    Format.printf "Hurricane %s: %d advisories@." storm.Rr_forecast.Track.name
+      (List.length advisories);
+    List.iter
+      (fun (a : Rr_forecast.Advisory.t) ->
+        Format.printf "  %a@." Rr_forecast.Advisory.pp a)
+      advisories
+  in
+  Cmd.v
+    (Cmd.info "forecast" ~doc:"Parse and list a storm's advisory sequence.")
+    Term.(const run $ verbose_arg $ storm_arg)
+
+(* --- export-gml --- *)
+
+let export_gml_cmd =
+  let out_arg =
+    Arg.(required & opt (some string) None & info [ "o"; "output" ] ~doc:"Output file.")
+  in
+  let run verbose name path =
+    setup_logs verbose;
+    let net = or_die (find_net name) in
+    Rr_topology.Gml_io.to_file path net;
+    Format.printf "wrote %s (%d PoPs, %d links) to %s@." name
+      (Rr_topology.Net.pop_count net)
+      (Rr_topology.Net.link_count net)
+      path
+  in
+  Cmd.v
+    (Cmd.info "export-gml" ~doc:"Export a network as Topology Zoo GML.")
+    Term.(const run $ verbose_arg $ net_arg $ out_arg)
+
+(* --- simulate --- *)
+
+let simulate_cmd =
+  let scenarios_arg =
+    Arg.(value & opt int 200 & info [ "scenarios" ] ~doc:"Number of disaster strikes.")
+  in
+  let radius_arg =
+    Arg.(value & opt float 80.0 & info [ "radius" ] ~doc:"Damage radius in miles.")
+  in
+  let kind_arg =
+    Arg.(value & opt string "hurricane"
+         & info [ "kind" ] ~doc:"Strike kind: hurricane, tornado or storm.")
+  in
+  let run verbose name scenarios radius kind =
+    setup_logs verbose;
+    let net = or_die (find_net name) in
+    let kind =
+      match String.lowercase_ascii kind with
+      | "hurricane" -> Rr_disaster.Event.Fema_hurricane
+      | "tornado" -> Rr_disaster.Event.Fema_tornado
+      | "storm" -> Rr_disaster.Event.Fema_storm
+      | other -> or_die (Error (Printf.sprintf "unknown strike kind %S" other))
+    in
+    let env = Riskroute.Env.of_net net in
+    let r =
+      Riskroute.Outagesim.run ~scenario_count:scenarios ~radius_miles:radius ~kind env
+    in
+    Format.printf
+      "%s under %d %s strikes (radius %.0f mi):@.  static shortest survival  %.3f@.  static riskroute survival %.3f@.  reactive rerouting        %.3f@.  endpoint loss             %.3f@."
+      name r.Riskroute.Outagesim.scenarios
+      (Rr_disaster.Event.kind_name kind)
+      radius r.Riskroute.Outagesim.shortest_survival
+      r.Riskroute.Outagesim.riskroute_survival
+      r.Riskroute.Outagesim.reactive_survival r.Riskroute.Outagesim.endpoint_loss
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Monte Carlo outage simulation of static routes.")
+    Term.(const run $ verbose_arg $ net_arg $ scenarios_arg $ radius_arg $ kind_arg)
+
+(* --- backup --- *)
+
+let backup_cmd =
+  let src_arg =
+    Arg.(required & opt (some string) None & info [ "from" ] ~doc:"Source city.")
+  in
+  let dst_arg =
+    Arg.(required & opt (some string) None & info [ "to" ] ~doc:"Destination city.")
+  in
+  let run verbose name src dst =
+    setup_logs verbose;
+    let net = or_die (find_net name) in
+    let env = Riskroute.Env.of_net net in
+    let pop_id city =
+      or_die
+        (match Rr_topology.Net.find_pop net ~city with
+        | Some i -> Ok i
+        | None -> Error (Printf.sprintf "no %s PoP in %s" city name))
+    in
+    let src = pop_id src and dst = pop_id dst in
+    match Riskroute.Backup.plan env ~src ~dst with
+    | None -> or_die (Error "source and destination are disconnected")
+    | Some plan ->
+      let name_of i = (Rr_topology.Net.pop net i).Rr_topology.Pop.name in
+      Format.printf "primary (%.0f bit-miles): %s@."
+        plan.Riskroute.Backup.primary.Riskroute.Router.bit_miles
+        (String.concat " -> "
+           (List.map name_of plan.Riskroute.Backup.primary.Riskroute.Router.path));
+      List.iter
+        (fun (r : Riskroute.Backup.repair) ->
+          let what =
+            match (r.Riskroute.Backup.failed_link, r.Riskroute.Backup.failed_node) with
+            | Some (u, v), _ -> Printf.sprintf "link %s--%s" (name_of u) (name_of v)
+            | None, Some v -> Printf.sprintf "node %s" (name_of v)
+            | None, None -> "?"
+          in
+          match r.Riskroute.Backup.route with
+          | Some route ->
+            Format.printf "  on %-40s repair via %d hops (%.0f bit-miles)@." what
+              (List.length route.Riskroute.Router.path - 1)
+              route.Riskroute.Router.bit_miles
+          | None -> Format.printf "  on %-40s NO REPAIR (partition)@." what)
+        plan.Riskroute.Backup.repairs;
+      Format.printf "coverage %.0f%%, worst stretch %.2fx@."
+        (100.0 *. Riskroute.Backup.coverage plan)
+        (Riskroute.Backup.worst_stretch plan)
+  in
+  Cmd.v
+    (Cmd.info "backup" ~doc:"Pre-compute fast-reroute repair paths for a flow.")
+    Term.(const run $ verbose_arg $ net_arg $ src_arg $ dst_arg)
+
+(* --- pareto --- *)
+
+let pareto_cmd =
+  let src_arg =
+    Arg.(required & opt (some string) None & info [ "from" ] ~doc:"Source city.")
+  in
+  let dst_arg =
+    Arg.(required & opt (some string) None & info [ "to" ] ~doc:"Destination city.")
+  in
+  let run verbose name src dst =
+    setup_logs verbose;
+    let net = or_die (find_net name) in
+    let env = Riskroute.Env.of_net net in
+    let pop_id city =
+      or_die
+        (match Rr_topology.Net.find_pop net ~city with
+        | Some i -> Ok i
+        | None -> Error (Printf.sprintf "no %s PoP in %s" city name))
+    in
+    let frontier =
+      Riskroute.Pareto.frontier env ~src:(pop_id src) ~dst:(pop_id dst)
+    in
+    Format.printf "%d non-dominated routes %s -> %s on %s:@."
+      (List.length frontier) src dst name;
+    List.iter
+      (fun (p : Riskroute.Pareto.point) ->
+        Format.printf "  %7.0f bit-miles  risk %9.0f  (%d hops)@."
+          p.Riskroute.Pareto.bit_miles p.Riskroute.Pareto.risk
+          (List.length p.Riskroute.Pareto.path - 1))
+      frontier;
+    match Riskroute.Pareto.knee frontier with
+    | Some k ->
+      Format.printf "suggested knee: %.0f bit-miles at risk %.0f@."
+        k.Riskroute.Pareto.bit_miles k.Riskroute.Pareto.risk
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "pareto" ~doc:"Distance/risk trade-off curve between two PoPs.")
+    Term.(const run $ verbose_arg $ net_arg $ src_arg $ dst_arg)
+
+(* --- export-geojson --- *)
+
+let export_geojson_cmd =
+  let out_arg =
+    Arg.(required & opt (some string) None & info [ "o"; "output" ] ~doc:"Output file.")
+  in
+  let run verbose name path =
+    setup_logs verbose;
+    let net = or_die (find_net name) in
+    Rr_topology.Geo_export.to_file path net;
+    Format.printf "wrote %s as GeoJSON to %s@." name path
+  in
+  Cmd.v
+    (Cmd.info "export-geojson" ~doc:"Export a network map as GeoJSON.")
+    Term.(const run $ verbose_arg $ net_arg $ out_arg)
+
+(* --- shared-risk --- *)
+
+let shared_risk_cmd =
+  let other_arg =
+    Arg.(required & opt (some string) None & info [ "with" ] ~doc:"Second network.")
+  in
+  let run verbose name other =
+    setup_logs verbose;
+    let a = or_die (find_net name) and b = or_die (find_net other) in
+    let riskmap = Rr_disaster.Riskmap.shared () in
+    let corr = Riskroute.Shared_risk.exposure_correlation ~riskmap a b in
+    let j =
+      Riskroute.Shared_risk.joint_outage ~kind:Rr_disaster.Event.Fema_hurricane a b
+    in
+    Format.printf "exposure correlation %s / %s: %.3f@." name other corr;
+    Format.printf
+      "hurricane strikes: P(%s hit)=%.3f P(%s hit)=%.3f P(both)=%.3f gap=%.3f@."
+      name j.Riskroute.Shared_risk.a_hit other j.Riskroute.Shared_risk.b_hit
+      j.Riskroute.Shared_risk.both_hit j.Riskroute.Shared_risk.independence_gap
+  in
+  Cmd.v
+    (Cmd.info "shared-risk" ~doc:"Shared disaster exposure of two networks.")
+    Term.(const run $ verbose_arg $ net_arg $ other_arg)
+
+(* --- availability --- *)
+
+let availability_cmd =
+  let mttr_arg =
+    Arg.(value & opt float 12.0 & info [ "mttr" ] ~doc:"Mean time to repair, hours.")
+  in
+  let run verbose name mttr =
+    setup_logs verbose;
+    let net = or_die (find_net name) in
+    let env = Riskroute.Env.of_net net in
+    let a = Riskroute.Availability.run ~mttr_hours:mttr env in
+    Format.printf
+      "%s (%.1f strikes/year, %.0f h MTTR):@." name
+      a.Riskroute.Availability.events_per_year a.Riskroute.Availability.mttr_hours;
+    List.iter
+      (fun (label, v) ->
+        Format.printf "  %-18s %.6f  (%.2f nines, %.0f min downtime/yr)@." label v
+          (Riskroute.Availability.nines v)
+          (Riskroute.Availability.downtime_minutes_per_year v))
+      [
+        ("static shortest", a.Riskroute.Availability.shortest);
+        ("static riskroute", a.Riskroute.Availability.riskroute);
+        ("reactive", a.Riskroute.Availability.reactive);
+      ]
+  in
+  Cmd.v
+    (Cmd.info "availability" ~doc:"Achieved availability (nines) per routing posture.")
+    Term.(const run $ verbose_arg $ net_arg $ mttr_arg)
+
+(* --- report --- *)
+
+let report_cmd =
+  let exp_arg =
+    Arg.(value & pos 0 string "all" & info [] ~docv:"EXPERIMENT"
+           ~doc:"Experiment id (table1..fig13) or 'all'.")
+  in
+  let run verbose exp =
+    setup_logs verbose;
+    let ppf = Format.std_formatter in
+    (if String.equal exp "all" then Rr_experiments.Report.run_all ppf
+     else
+       match Rr_experiments.Report.find exp with
+       | Some e -> e.Rr_experiments.Report.run ppf
+       | None ->
+         or_die
+           (Error
+              (Printf.sprintf "unknown experiment %S (try: %s)" exp
+                 (String.concat " " (Rr_experiments.Report.ids ())))));
+    Format.pp_print_flush ppf ()
+  in
+  Cmd.v
+    (Cmd.info "report" ~doc:"Reproduce a paper table or figure.")
+    Term.(const run $ verbose_arg $ exp_arg)
+
+let main_cmd =
+  let doc = "RiskRoute: mitigate network outage threats (CoNEXT'13 reproduction)." in
+  Cmd.group
+    (Cmd.info "riskroute" ~version:"1.0.0" ~doc)
+    [
+      networks_cmd; route_cmd; ratios_cmd; provision_cmd; peers_cmd;
+      forecast_cmd; export_gml_cmd; report_cmd; simulate_cmd; backup_cmd;
+      pareto_cmd; export_geojson_cmd; shared_risk_cmd; availability_cmd;
+    ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,87 @@
+# The Abilene (Internet2) backbone, the classic 11-node research network
+# (public topology, as distributed by the Internet Topology Zoo).
+graph [
+  label "Abilene (Internet2)"
+  directed 0
+  tier "tier1"
+  node [
+    id 0
+    label "Seattle, WA"
+    Latitude 47.61
+    Longitude -122.33
+  ]
+  node [
+    id 1
+    label "Sunnyvale, CA"
+    Latitude 37.37
+    Longitude -122.04
+  ]
+  node [
+    id 2
+    label "Los Angeles, CA"
+    Latitude 34.05
+    Longitude -118.24
+  ]
+  node [
+    id 3
+    label "Denver, CO"
+    Latitude 39.74
+    Longitude -104.99
+  ]
+  node [
+    id 4
+    label "Kansas City, MO"
+    Latitude 39.10
+    Longitude -94.58
+  ]
+  node [
+    id 5
+    label "Houston, TX"
+    Latitude 29.76
+    Longitude -95.37
+  ]
+  node [
+    id 6
+    label "Chicago, IL"
+    Latitude 41.88
+    Longitude -87.63
+  ]
+  node [
+    id 7
+    label "Indianapolis, IN"
+    Latitude 39.77
+    Longitude -86.16
+  ]
+  node [
+    id 8
+    label "Atlanta, GA"
+    Latitude 33.75
+    Longitude -84.39
+  ]
+  node [
+    id 9
+    label "Washington, DC"
+    Latitude 38.91
+    Longitude -77.04
+  ]
+  node [
+    id 10
+    label "New York, NY"
+    Latitude 40.71
+    Longitude -74.01
+  ]
+  edge [ source 0 target 1 ]
+  edge [ source 0 target 3 ]
+  edge [ source 1 target 2 ]
+  edge [ source 1 target 3 ]
+  edge [ source 2 target 5 ]
+  edge [ source 3 target 4 ]
+  edge [ source 4 target 5 ]
+  edge [ source 4 target 7 ]
+  edge [ source 5 target 8 ]
+  edge [ source 6 target 7 ]
+  edge [ source 6 target 10 ]
+  edge [ source 7 target 8 ]
+  edge [ source 8 target 9 ]
+  edge [ source 9 target 10 ]
+]

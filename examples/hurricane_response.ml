@@ -1,0 +1,63 @@
+(* Hurricane response: step tick-by-tick through the synthetic Hurricane
+   Sandy advisory feed and watch RiskRoute preemptively move a Washington
+   -> Boston flow off the coastal corridor as the storm approaches.
+
+   This is the operational loop of Sec. 7.3: every three hours a new NHC
+   advisory arrives as text, is parsed, becomes a forecast risk field
+   o_f, and backup routes are recomputed.
+
+   Run with:  dune exec examples/hurricane_response.exe *)
+
+let () =
+  let storm = Rr_forecast.Track.sandy in
+  let zoo = Rr_topology.Zoo.shared () in
+  let net =
+    match Rr_topology.Zoo.find zoo "Level3" with
+    | Some net -> net
+    | None -> failwith "Level3 missing"
+  in
+  let src =
+    match Rr_topology.Net.find_pop net ~city:"Washington" with
+    | Some i -> i
+    | None -> failwith "no Washington PoP"
+  in
+  let dst =
+    match Rr_topology.Net.find_pop net ~city:"Boston" with
+    | Some i -> i
+    | None -> failwith "no Boston PoP"
+  in
+  let base = Riskroute.Env.of_net net in
+  Printf.printf
+    "Hurricane %s: Washington -> Boston on Level3, every 12 hours\n\n"
+    storm.Rr_forecast.Track.name;
+  Printf.printf "%-28s %6s %8s %10s  %s\n" "advisory" "inNet" "miles" "risk-miles" "route changed?";
+  let previous_path = ref [] in
+  List.iteri
+    (fun tick advisory ->
+      if tick mod 4 = 0 then begin
+        let env = Riskroute.Env.with_advisory base (Some advisory) in
+        match Riskroute.Router.riskroute env ~src ~dst with
+        | None -> Printf.printf "%-28s (disconnected)\n" advisory.Rr_forecast.Advisory.issued
+        | Some route ->
+          let in_scope = Rr_forecast.Riskfield.pops_in_scope advisory net in
+          let changed =
+            !previous_path <> [] && !previous_path <> route.Riskroute.Router.path
+          in
+          Printf.printf "%-28s %6d %8.0f %10.0f  %s\n"
+            advisory.Rr_forecast.Advisory.issued in_scope
+            route.Riskroute.Router.bit_miles route.Riskroute.Router.bit_risk_miles
+            (if changed then "RE-ROUTED" else "-");
+          previous_path := route.Riskroute.Router.path
+      end)
+    (Rr_forecast.Track.advisories storm);
+  print_endline "\nFinal preemptive route:";
+  let advisories = Array.of_list (Rr_forecast.Track.advisories storm) in
+  let landfall = advisories.(Array.length advisories - 1) in
+  let env = Riskroute.Env.with_advisory base (Some landfall) in
+  (match Riskroute.Router.riskroute env ~src ~dst with
+  | Some route ->
+    List.iter
+      (fun i ->
+        Printf.printf "  %s\n" (Rr_topology.Net.pop net i).Rr_topology.Pop.name)
+      route.Riskroute.Router.path
+  | None -> print_endline "  disconnected")

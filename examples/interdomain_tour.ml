@@ -1,0 +1,78 @@
+(* Interdomain tour: a regional ISP's view of the multi-provider world.
+
+   For a regional network this walks the paper's Sec. 6.2 bounds plus
+   the policy-routing reality in between:
+
+   1. merged-graph routing to another regional, three ways: geographic
+      shortest path (upper bound), valley-free BGP-policy RiskRoute
+      (deployable), full-control RiskRoute (lower bound);
+   2. interdomain ratios for the network (its Fig. 8 point);
+   3. which new peering would help most (Fig. 11) and which candidate
+      has the least-shared disaster exposure.
+
+   Run with:  dune exec examples/interdomain_tour.exe [regional] *)
+
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "Digex" in
+  let merged, env = Riskroute.Interdomain.shared () in
+  let peering = Riskroute.Interdomain.peering merged in
+  let nets = peering.Rr_topology.Peering.nets in
+  let index =
+    match Rr_topology.Peering.index_of peering name with
+    | Some i -> i
+    | None -> failwith ("unknown network " ^ name)
+  in
+  Printf.printf "Interdomain tour for %s\n\n" name;
+
+  (* 1. three routings to another regional network *)
+  let other =
+    let rec find i =
+      if i = index || nets.(i).Rr_topology.Net.tier = Rr_topology.Net.Tier1 then
+        find (i + 1)
+      else i
+    in
+    find 7
+  in
+  let src = (Riskroute.Interdomain.net_nodes merged index).(0) in
+  let dst = (Riskroute.Interdomain.net_nodes merged other).(0) in
+  Printf.printf "Flow to %s:\n" nets.(other).Rr_topology.Net.name;
+  let describe label = function
+    | None -> Printf.printf "  %-28s unroutable\n" label
+    | Some (r : Riskroute.Router.route) ->
+      Printf.printf "  %-28s %6.0f bit-miles  %8.0f bit-risk-miles (%d hops)\n"
+        label r.Riskroute.Router.bit_miles r.Riskroute.Router.bit_risk_miles
+        (List.length r.Riskroute.Router.path - 1)
+  in
+  describe "shortest (upper bound)" (Riskroute.Router.shortest env ~src ~dst);
+  describe "valley-free riskroute" (Riskroute.Bgp.route merged env ~src ~dst);
+  describe "full-control riskroute" (Riskroute.Router.riskroute env ~src ~dst);
+
+  (* 2. the network's Fig. 8 point *)
+  let sources = Riskroute.Interdomain.net_nodes merged index in
+  let dests = Riskroute.Interdomain.regional_nodes merged in
+  let r = Riskroute.Ratios.between ~pair_cap:800 env ~sources ~dests in
+  Printf.printf
+    "\nInterdomain ratios (vs shortest path): risk reduction %.3f, distance increase %.3f\n"
+    r.Riskroute.Ratios.risk_reduction r.Riskroute.Ratios.distance_increase;
+
+  (* 3. peering advice, two ways *)
+  (match Riskroute.Peer_advisor.recommend_for ~pair_cap:400 merged env ~regional:index with
+  | Some rec_ ->
+    Printf.printf "\nRiskRoute peer recommendation: %s (%.1f%% lower bit-risk)\n"
+      rec_.Riskroute.Peer_advisor.peer
+      (100.0 *. rec_.Riskroute.Peer_advisor.improvement)
+  | None -> print_endline "\nno co-located non-peers to recommend");
+  let riskmap = Rr_disaster.Riskmap.shared () in
+  let candidates =
+    List.map
+      (fun i -> nets.(i))
+      (Riskroute.Peer_advisor.candidates_for merged index)
+  in
+  match
+    Riskroute.Shared_risk.least_shared_peer ~riskmap ~candidates nets.(index)
+  with
+  | Some pick ->
+    Printf.printf "least shared disaster exposure among candidates: %s (corr %.3f)\n"
+      pick.Rr_topology.Net.name
+      (Riskroute.Shared_risk.exposure_correlation ~riskmap nets.(index) pick)
+  | None -> print_endline "no candidates for shared-risk comparison"

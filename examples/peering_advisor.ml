@@ -1,0 +1,40 @@
+(* Peering advisor: interdomain what-if for a regional ISP.
+
+   For a chosen regional network, evaluate every candidate peer (networks
+   co-located with it but not yet peered) and report how much each would
+   lower the regional's mean lower-bound bit-risk miles across the merged
+   multi-ISP graph (Sec. 6.3, Fig. 11).
+
+   Run with:  dune exec examples/peering_advisor.exe [regional] *)
+
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "Telepak" in
+  let merged, env = Riskroute.Interdomain.shared () in
+  let peering = Riskroute.Interdomain.peering merged in
+  let nets = peering.Rr_topology.Peering.nets in
+  let index =
+    match Rr_topology.Peering.index_of peering name with
+    | Some i -> i
+    | None -> failwith ("unknown network " ^ name)
+  in
+  (match nets.(index).Rr_topology.Net.tier with
+  | Rr_topology.Net.Regional -> ()
+  | Rr_topology.Net.Tier1 -> failwith (name ^ " is a Tier-1, pick a regional"));
+  Printf.printf "Peering advisor for %s\n" name;
+  Printf.printf "current peers:";
+  List.iter
+    (fun p -> Printf.printf " %s" nets.(p).Rr_topology.Net.name)
+    (Rr_topology.Peering.peers peering index);
+  print_newline ();
+  let candidates = Riskroute.Peer_advisor.candidates_for merged index in
+  Printf.printf "co-located non-peers:";
+  List.iter (fun c -> Printf.printf " %s" nets.(c).Rr_topology.Net.name) candidates;
+  print_newline ();
+  match Riskroute.Peer_advisor.recommend_for merged env ~regional:index with
+  | None -> print_endline "no candidate peers are co-located with this network"
+  | Some r ->
+    Printf.printf
+      "\nrecommendation: peer with %s\n  mean lower-bound bit-risk %.0f -> %.0f (%.1f%% better)\n"
+      r.Riskroute.Peer_advisor.peer r.Riskroute.Peer_advisor.baseline
+      r.Riskroute.Peer_advisor.with_peer
+      (100.0 *. r.Riskroute.Peer_advisor.improvement)

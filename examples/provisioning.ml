@@ -1,0 +1,51 @@
+(* Provisioning study: where should an operator build its next links?
+
+   Reproduces the Sec. 6.3 / Fig. 9-10 workflow for one network: find the
+   greedy sequence of new PoP-to-PoP links minimising total aggregated
+   bit-risk miles, and show the resulting decay curve plus how the
+   intradomain ratios improve once the links are installed.
+
+   Run with:  dune exec examples/provisioning.exe [network] *)
+
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "Sprint" in
+  let zoo = Rr_topology.Zoo.shared () in
+  let net =
+    match Rr_topology.Zoo.find zoo name with
+    | Some net -> net
+    | None -> failwith ("unknown network " ^ name)
+  in
+  let env = Riskroute.Env.of_net net in
+  Printf.printf "Provisioning study for %s (%d PoPs, %d links)\n\n" name
+    (Rr_topology.Net.pop_count net)
+    (Rr_topology.Net.link_count net);
+  let picks = Riskroute.Augment.greedy ~k:6 env in
+  Printf.printf "Greedy link additions (Eq. 4, mean-impact objective):\n";
+  List.iteri
+    (fun i (p : Riskroute.Augment.pick) ->
+      Printf.printf "  %d. %-22s -- %-22s -> bit-risk at %.3f of original\n"
+        (i + 1)
+        (Rr_topology.Net.pop net p.Riskroute.Augment.u).Rr_topology.Pop.name
+        (Rr_topology.Net.pop net p.Riskroute.Augment.v).Rr_topology.Pop.name
+        p.Riskroute.Augment.fraction)
+    picks;
+  (* Install the links and re-measure the Eq. 5-6 ratios. *)
+  let links =
+    List.map
+      (fun (p : Riskroute.Augment.pick) ->
+        (p.Riskroute.Augment.u, p.Riskroute.Augment.v))
+      picks
+  in
+  let upgraded = Rr_topology.Net.with_extra_links net links in
+  let env' = Riskroute.Env.of_net upgraded in
+  let before = Riskroute.Ratios.intradomain env in
+  let after = Riskroute.Ratios.intradomain env' in
+  Printf.printf
+    "\nIntradomain ratios before: risk reduction %.3f, distance increase %.3f\n"
+    before.Riskroute.Ratios.risk_reduction before.Riskroute.Ratios.distance_increase;
+  Printf.printf
+    "Intradomain ratios after : risk reduction %.3f, distance increase %.3f\n"
+    after.Riskroute.Ratios.risk_reduction after.Riskroute.Ratios.distance_increase;
+  Printf.printf
+    "\n(The residual risk-reduction ratio shrinks once the topology already\n\
+     routes around the hot spots: the links bought the improvement.)\n"

@@ -1,0 +1,40 @@
+(* Equirectangular squared distance: monotone in true distance at the
+   scales involved, and an order of magnitude cheaper than haversine for
+   the 216k-block x 233-PoP assignment loop. *)
+let approx_dist2 ~cos_lat a_lat a_lon b_lat b_lon =
+  let dlat = a_lat -. b_lat in
+  let dlon = (a_lon -. b_lon) *. cos_lat in
+  (dlat *. dlat) +. (dlon *. dlon)
+
+let nearest_index sites point =
+  let n = Array.length sites in
+  if n = 0 then invalid_arg "Assignment.nearest_index: no sites";
+  let plat = Rr_geo.Coord.lat point and plon = Rr_geo.Coord.lon point in
+  let cos_lat = cos (plat *. Float.pi /. 180.0) in
+  let best = ref 0 and best_d = ref infinity in
+  for i = 0 to n - 1 do
+    let d =
+      approx_dist2 ~cos_lat plat plon
+        (Rr_geo.Coord.lat sites.(i))
+        (Rr_geo.Coord.lon sites.(i))
+    in
+    if d < !best_d then begin
+      best_d := d;
+      best := i
+    end
+  done;
+  !best
+
+let populations ~sites blocks =
+  let totals = Array.make (Array.length sites) 0.0 in
+  Array.iter
+    (fun (b : Block.t) ->
+      let i = nearest_index sites b.coord in
+      totals.(i) <- totals.(i) +. b.population)
+    blocks;
+  totals
+
+let fractions ~sites blocks =
+  let totals = populations ~sites blocks in
+  let grand = Rr_util.Arrayx.fsum totals in
+  if grand <= 0.0 then totals else Array.map (fun v -> v /. grand) totals

@@ -1,0 +1,19 @@
+(** Nearest-neighbour population assignment (Sec. 5.1).
+
+    Each census block's population is assigned to the geographically
+    closest PoP; the per-PoP totals, normalised, are the service
+    fractions [c_i] that enter the outage-impact factor
+    [kappa_ij = c_i + c_j]. *)
+
+val nearest_index : Rr_geo.Coord.t array -> Rr_geo.Coord.t -> int
+(** Index of the closest site to a point (non-empty site array).
+    Distances use a fast equirectangular approximation; on distant
+    near-ties it can pick a site a fraction of a percent farther than the
+    true nearest, which is immaterial for population assignment. *)
+
+val populations : sites:Rr_geo.Coord.t array -> Block.t array -> float array
+(** Total population assigned to each site. *)
+
+val fractions : sites:Rr_geo.Coord.t array -> Block.t array -> float array
+(** Per-site share of total population (sums to 1 when any block has
+    positive population). *)

@@ -1,0 +1,8 @@
+type t = {
+  coord : Rr_geo.Coord.t;
+  state : string;
+  population : float;
+}
+
+let total_population blocks =
+  Rr_util.Arrayx.fsum (Array.map (fun b -> b.population) blocks)

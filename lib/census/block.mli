@@ -1,0 +1,9 @@
+(** A census block: the unit of population in the impact model. *)
+
+type t = {
+  coord : Rr_geo.Coord.t;
+  state : string;      (** USPS code of the anchoring city's state *)
+  population : float;
+}
+
+val total_population : t array -> float

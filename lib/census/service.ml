@@ -1,0 +1,26 @@
+let fractions (net : Rr_topology.Net.t) blocks =
+  let relevant =
+    match net.Rr_topology.Net.states with
+    | [] -> blocks
+    | states ->
+      Array.of_list
+        (List.filter
+           (fun (b : Block.t) -> List.mem b.state states)
+           (Array.to_list blocks))
+  in
+  let sites =
+    Array.map (fun (p : Rr_topology.Pop.t) -> p.Rr_topology.Pop.coord)
+      net.Rr_topology.Net.pops
+  in
+  Assignment.fractions ~sites relevant
+
+let cache : (string, float array) Hashtbl.t = Hashtbl.create 32
+
+let shared_fractions net =
+  let key = net.Rr_topology.Net.name in
+  match Hashtbl.find_opt cache key with
+  | Some f -> f
+  | None ->
+    let f = fractions net (Synthetic.shared ()) in
+    Hashtbl.add cache key f;
+    f

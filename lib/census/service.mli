@@ -1,0 +1,14 @@
+(** Per-network service fractions [c_i] (Sec. 5.1).
+
+    For a Tier-1 network the whole CONUS population is assigned across
+    its PoPs; for a geographically constrained regional network only the
+    population of the states where it has infrastructure is considered
+    (per the paper). *)
+
+val fractions : Rr_topology.Net.t -> Block.t array -> float array
+(** [fractions net blocks] is [c_i] per PoP id, summing to 1. *)
+
+val shared_fractions : Rr_topology.Net.t -> float array
+(** {!fractions} against the memoised {!Synthetic.shared} dataset, with
+    per-network memoisation (keyed by network name) — the form used by
+    the experiments. *)

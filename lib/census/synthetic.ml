@@ -1,0 +1,108 @@
+open Rr_util
+
+let paper_block_count = 215_932
+
+let rural_fraction = 0.08 (* share of blocks scattered uniformly *)
+
+let rural_population_share = 0.03
+
+(* Blocks per city proportional to population, summing exactly to the
+   requested total (largest-remainder apportionment, >= 1 per city). *)
+let city_block_counts total_city_blocks =
+  let cities = Rr_cities.Data.all in
+  let n = Array.length cities in
+  let total_pop = float_of_int Rr_cities.Data.total_population in
+  let ideal =
+    Array.map
+      (fun (c : Rr_cities.Data.city) ->
+        float_of_int c.population /. total_pop *. float_of_int total_city_blocks)
+      cities
+  in
+  let counts = Array.map (fun x -> max 1 (int_of_float (Float.floor x))) ideal in
+  let assigned = Array.fold_left ( + ) 0 counts in
+  let remainder = total_city_blocks - assigned in
+  if remainder > 0 then begin
+    (* hand the leftover blocks to the largest fractional remainders *)
+    let order =
+      List.sort
+        (fun i j ->
+          Float.compare
+            (ideal.(j) -. Float.floor ideal.(j))
+            (ideal.(i) -. Float.floor ideal.(i)))
+        (Rr_util.Listx.range 0 n)
+    in
+    List.iteri
+      (fun rank i -> if rank < remainder then counts.(i) <- counts.(i) + 1)
+      (List.concat (List.init ((remainder / n) + 1) (fun _ -> order)))
+  end
+  else
+    (* the >= 1 floor can overshoot on tiny totals: trim the biggest *)
+    for _ = 1 to -remainder do
+      let biggest = Rr_util.Arrayx.argmax (Array.map float_of_int counts) in
+      if counts.(biggest) > 1 then counts.(biggest) <- counts.(biggest) - 1
+    done;
+  counts
+
+let place_city_block rng (city : Rr_cities.Data.city) =
+  (* Core sigma grows with the metro's size: ~4 miles for a small town,
+     ~15 miles for the largest metros. A fifth of blocks sit in a
+     heavy-tailed suburban ring. *)
+  let size_factor = sqrt (float_of_int city.population /. 100_000.0) in
+  let sigma_miles = Float.min 15.0 (Float.max 3.0 (3.0 *. size_factor)) in
+  let radial_miles =
+    if Prng.float rng 1.0 < 0.2 then
+      Float.min 120.0 (Prng.pareto rng ~alpha:1.6 ~xmin:sigma_miles)
+    else Float.abs (Prng.gaussian rng) *. sigma_miles
+  in
+  let theta = Prng.float rng (2.0 *. Float.pi) in
+  let dlat = radial_miles *. cos theta /. 69.0 in
+  let lat0 = Rr_geo.Coord.lat city.coord in
+  let miles_per_lon_degree = 69.0 *. Float.max 0.2 (cos (lat0 *. Float.pi /. 180.0)) in
+  let dlon = radial_miles *. sin theta /. miles_per_lon_degree in
+  let lat = Float.max (-89.0) (Float.min 89.0 (lat0 +. dlat)) in
+  let lon = Float.max (-179.0) (Float.min 179.0 (Rr_geo.Coord.lon city.coord +. dlon)) in
+  Rr_geo.Bbox.clamp Rr_geo.Bbox.conus (Rr_geo.Coord.make ~lat ~lon)
+
+let generate ?(seed = 0xCE_05_05L) ?(blocks = paper_block_count) () =
+  if blocks < Rr_cities.Data.count then
+    invalid_arg "Synthetic.generate: need at least one block per city";
+  let rng = Prng.create seed in
+  let rural_blocks = int_of_float (rural_fraction *. float_of_int blocks) in
+  let city_blocks = blocks - rural_blocks in
+  let counts = city_block_counts city_blocks in
+  let out = ref [] in
+  let total_pop = float_of_int Rr_cities.Data.total_population in
+  let city_pop_share = 1.0 -. rural_population_share in
+  Array.iteri
+    (fun i (city : Rr_cities.Data.city) ->
+      let k = counts.(i) in
+      let block_pop =
+        float_of_int city.population *. city_pop_share /. float_of_int k
+      in
+      for _ = 1 to k do
+        let coord = place_city_block rng city in
+        out :=
+          { Block.coord; state = city.state; population = block_pop } :: !out
+      done)
+    Rr_cities.Data.all;
+  (* Rural background: uniform over the CONUS box, tagged with the nearest
+     city's state so regional population restriction still works. *)
+  let rural_pop = total_pop *. rural_population_share /. float_of_int (max 1 rural_blocks) in
+  for _ = 1 to rural_blocks do
+    let lat = Prng.uniform rng 25.0 49.0 in
+    let lon = Prng.uniform rng (-124.5) (-67.0) in
+    let coord = Rr_geo.Coord.make ~lat ~lon in
+    let state = (Rr_cities.Query.nearest coord).Rr_cities.Data.state in
+    out := { Block.coord; state; population = rural_pop } :: !out
+  done;
+  Array.of_list !out
+
+let shared =
+  let cache = lazy (generate ()) in
+  fun () -> Lazy.force cache
+
+let heat_grid blocks ~rows ~cols =
+  let grid = Rr_geo.Grid.create Rr_geo.Bbox.conus ~rows ~cols in
+  Array.iter (fun (b : Block.t) -> Rr_geo.Grid.deposit grid b.coord b.population) blocks;
+  Rr_geo.Grid.normalize grid;
+  grid

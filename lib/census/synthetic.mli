@@ -1,0 +1,23 @@
+(** Synthetic census-block dataset.
+
+    The paper uses the US Census at block resolution (215,932 blocks in
+    the CONUS). We reproduce that surface by scattering blocks around the
+    real city gazetteer: each city receives blocks in proportion to its
+    true population, placed with a Gaussian core (the city proper) plus a
+    heavy-tailed Pareto ring (suburbs/exurbs), and a small uniform rural
+    background covers the rest of the country. *)
+
+val paper_block_count : int
+(** 215,932 — the count reported in Sec. 4.2. *)
+
+val generate : ?seed:int64 -> ?blocks:int -> unit -> Block.t array
+(** [generate ()] builds [blocks] (default {!paper_block_count}) blocks
+    whose populations sum to the gazetteer total. Deterministic in
+    [seed]. *)
+
+val shared : unit -> Block.t array
+(** Default-parameter dataset, built once and memoised. *)
+
+val heat_grid : Block.t array -> rows:int -> cols:int -> Rr_geo.Grid.t
+(** Population mass rasterised over the CONUS (Fig. 3 left). The grid is
+    normalised to total mass 1. *)

@@ -1,0 +1,23 @@
+(** Embedded gazetteer of continental-US cities.
+
+    Roughly 230 cities with real coordinates and approximate 2010-census
+    populations. This is the only "real" dataset shipped in the
+    repository; topologies, census blocks and every other synthetic input
+    are anchored to it so that the geography of the reproduction matches
+    the geography of the paper (dense Northeast corridor, Gulf-coast
+    hurricane exposure, sparse Mountain West, ...). *)
+
+type city = {
+  name : string;
+  state : string;  (** two-letter USPS code *)
+  coord : Rr_geo.Coord.t;
+  population : int;
+}
+
+val all : city array
+(** Every city, unspecified order. All coordinates lie inside
+    {!Rr_geo.Bbox.conus}. *)
+
+val count : int
+
+val total_population : int

@@ -1,0 +1,34 @@
+let by_name ?state name =
+  Array.find_opt
+    (fun (c : Data.city) ->
+      String.equal c.name name
+      && match state with None -> true | Some s -> String.equal c.state s)
+    Data.all
+
+let in_states states =
+  Array.to_list Data.all
+  |> List.filter (fun (c : Data.city) -> List.mem c.state states)
+
+let in_bbox box =
+  Array.to_list Data.all
+  |> List.filter (fun (c : Data.city) -> Rr_geo.Bbox.contains box c.coord)
+
+let nearest coord =
+  match
+    Rr_util.Listx.min_by
+      (fun (c : Data.city) -> Rr_geo.Distance.miles coord c.coord)
+      (Array.to_list Data.all)
+  with
+  | Some c -> c
+  | None -> assert false (* gazetteer is never empty *)
+
+let top_by_population n =
+  Array.to_list Data.all
+  |> List.sort (fun (a : Data.city) (b : Data.city) ->
+         compare b.population a.population)
+  |> Rr_util.Listx.take n
+
+let states () =
+  Array.to_list Data.all
+  |> List.map (fun (c : Data.city) -> c.state)
+  |> List.sort_uniq String.compare

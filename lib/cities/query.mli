@@ -1,0 +1,19 @@
+(** Lookups over the gazetteer. *)
+
+val by_name : ?state:string -> string -> Data.city option
+(** Exact name match; [state] disambiguates duplicates (e.g. the two
+    Wilmingtons). *)
+
+val in_states : string list -> Data.city list
+(** Cities in any of the given states, in gazetteer order. *)
+
+val in_bbox : Rr_geo.Bbox.t -> Data.city list
+
+val nearest : Rr_geo.Coord.t -> Data.city
+(** City closest to a coordinate. *)
+
+val top_by_population : int -> Data.city list
+(** The [n] most populous cities, descending. *)
+
+val states : unit -> string list
+(** Distinct state codes present in the gazetteer, sorted. *)

@@ -1,0 +1,129 @@
+type pick = {
+  u : int;
+  v : int;
+  total_after : float;
+  fraction : float;
+}
+
+(* All-pairs matrix of minimum path cost under a directed weight:
+   [m.(i).(j)] is the best cost i -> j, infinity when disconnected. *)
+let all_pairs graph ~weight =
+  let n = Rr_graph.Graph.node_count graph in
+  Array.init n (fun src ->
+      (Rr_graph.Dijkstra.single_source graph ~weight ~src).Rr_graph.Dijkstra.dist)
+
+let matrix_total m =
+  let n = Array.length m in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j && m.(i).(j) < infinity then acc := !acc +. m.(i).(j)
+    done
+  done;
+  !acc
+
+let risk_weight env =
+  let kappa = Env.mean_kappa env in
+  fun u v -> Env.edge_weight env ~kappa u v
+
+let total_bit_risk env =
+  matrix_total (all_pairs (Env.graph env) ~weight:(risk_weight env))
+
+(* Relax the whole matrix through one new undirected edge (u, v): the only
+   new paths pass through the edge in one of its two directions. *)
+let relax_through m ~u ~v ~wuv ~wvu =
+  let n = Array.length m in
+  let out = Array.map Array.copy m in
+  for i = 0 to n - 1 do
+    let diu = m.(i).(u) and div_ = m.(i).(v) in
+    if diu < infinity || div_ < infinity then
+      for j = 0 to n - 1 do
+        let best = ref out.(i).(j) in
+        if diu < infinity && m.(v).(j) < infinity then begin
+          let c = diu +. wuv +. m.(v).(j) in
+          if c < !best then best := c
+        end;
+        if div_ < infinity && m.(u).(j) < infinity then begin
+          let c = div_ +. wvu +. m.(u).(j) in
+          if c < !best then best := c
+        end;
+        out.(i).(j) <- !best
+      done
+  done;
+  out
+
+let candidates ?(max_candidates = 400) ?(reduction_threshold = 0.5) env =
+  let graph = Env.graph env in
+  let n = Rr_graph.Graph.node_count graph in
+  let dist_matrix = all_pairs graph ~weight:(fun u v -> Env.link_miles env u v) in
+  let scored = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if not (Rr_graph.Graph.has_edge graph u v) then begin
+        let direct = Env.link_miles env u v in
+        let current = dist_matrix.(u).(v) in
+        (* The paper keeps links yielding > 50% bit-miles reduction. *)
+        if current < infinity && direct < reduction_threshold *. current then
+          scored := (current -. direct, (u, v)) :: !scored
+      end
+    done
+  done;
+  List.sort (fun (a, _) (b, _) -> Float.compare b a) !scored
+  |> Rr_util.Listx.take max_candidates
+  |> List.map snd
+
+let greedy ?(k = 1) ?max_candidates ?reduction_threshold env =
+  let weight = risk_weight env in
+  let graph = Rr_graph.Graph.copy (Env.graph env) in
+  let m = ref (all_pairs graph ~weight) in
+  let original = matrix_total !m in
+  let pool = ref (candidates ?max_candidates ?reduction_threshold env) in
+  let picks = ref [] in
+  (try
+     for _ = 1 to k do
+       match !pool with
+       | [] -> raise Exit
+       | pool_now ->
+         let best = ref None in
+         List.iter
+           (fun (u, v) ->
+             let wuv = weight u v and wvu = weight v u in
+             (* Total after adding (u, v), via the insertion identity —
+                computed without materialising the relaxed matrix. *)
+             let n = Array.length !m in
+             let total = ref 0.0 in
+             for i = 0 to n - 1 do
+               let diu = !m.(i).(u) and div_ = !m.(i).(v) in
+               for j = 0 to n - 1 do
+                 if i <> j then begin
+                   let cur = !m.(i).(j) in
+                   let c1 =
+                     if diu < infinity && !m.(v).(j) < infinity then
+                       diu +. wuv +. !m.(v).(j)
+                     else infinity
+                   in
+                   let c2 =
+                     if div_ < infinity && !m.(u).(j) < infinity then
+                       div_ +. wvu +. !m.(u).(j)
+                     else infinity
+                   in
+                   let best_ij = Float.min cur (Float.min c1 c2) in
+                   if best_ij < infinity then total := !total +. best_ij
+                 end
+               done
+             done;
+             match !best with
+             | Some (_, _, t) when t <= !total -> ()
+             | _ -> best := Some (u, v, !total))
+           pool_now;
+         (match !best with
+         | None -> raise Exit
+         | Some (u, v, total_after) ->
+           Rr_graph.Graph.add_edge graph u v;
+           m := relax_through !m ~u ~v ~wuv:(weight u v) ~wvu:(weight v u);
+           pool := List.filter (fun e -> e <> (u, v)) !pool;
+           picks :=
+             { u; v; total_after; fraction = total_after /. original } :: !picks)
+     done
+   with Exit -> ());
+  List.rev !picks

@@ -1,0 +1,39 @@
+(** Robustness analysis: which links to add (Sec. 6.3, Eq. 4).
+
+    Finds the candidate link minimising the total aggregated bit-risk
+    miles over all network pairs, then greedily repeats for the k-th
+    link. Candidate links are non-edges whose direct distance shortens
+    the current bit-miles between their endpoints by more than 50%
+    (the paper's rule for pruning impractical cross-country links).
+
+    To keep each greedy round O(candidates * n^2) the objective is
+    evaluated with the network-mean impact [kappa = 2/n] rather than the
+    per-pair [kappa_ij] (the single-edge-insertion identity needs a
+    pair-independent edge weight); tests validate the approximation
+    against brute force on small graphs. *)
+
+type pick = {
+  u : int;
+  v : int;
+  total_after : float;   (** total aggregated bit-risk miles once added *)
+  fraction : float;      (** [total_after / original total], <= 1 *)
+}
+
+val total_bit_risk : Env.t -> float
+(** Sum over ordered connected pairs of the minimum (mean-kappa) bit-risk
+    miles — Eq. 4's objective for the current topology. *)
+
+val candidates :
+  ?max_candidates:int -> ?reduction_threshold:float -> Env.t -> (int * int) list
+(** The pruned candidate set [E_C], ranked by the bit-miles reduction of
+    the endpoints (largest first) and truncated to [max_candidates]
+    (default 400). [reduction_threshold] (default 0.5, the paper's value)
+    keeps a non-edge only when the direct link is shorter than
+    [threshold x] the current bit-miles between its endpoints. *)
+
+val greedy :
+  ?k:int -> ?max_candidates:int -> ?reduction_threshold:float -> Env.t ->
+  pick list
+(** The best [k] (default 1) additional links, greedily: the i-th pick is
+    evaluated on the topology including picks 1..i-1. Returns fewer than
+    [k] picks when candidates run out. *)

@@ -1,0 +1,97 @@
+open Rr_util
+
+type result = {
+  pairs : int;
+  events_per_year : float;
+  mttr_hours : float;
+  shortest : float;
+  riskroute : float;
+  reactive : float;
+}
+
+let nines a =
+  if a >= 1.0 then infinity
+  else if a <= 0.0 then 0.0
+  else -.Float.log10 (1.0 -. a)
+
+let downtime_minutes_per_year a = (1.0 -. a) *. 365.25 *. 24.0 *. 60.0
+
+let catalogue_years = 41.0 (* 1970-2010 inclusive *)
+
+let hours_per_year = 365.25 *. 24.0
+
+let run ?rng ?(samples = 400) ?(pair_cap = 150) ?(mttr_hours = 12.0)
+    ?(radius_miles = 80.0) ?(kind = Rr_disaster.Event.Fema_hurricane) env =
+  if mttr_hours <= 0.0 then invalid_arg "Availability.run: non-positive MTTR";
+  let rng = match rng with Some r -> r | None -> Prng.create 0xA7A1_AB1EL in
+  let n = Env.node_count env in
+  let pairs = Sampling.pair_indices (Prng.split rng) ~n ~cap:pair_cap in
+  let static =
+    Array.map
+      (fun (src, dst) ->
+        (src, dst, Router.shortest env ~src ~dst, Router.riskroute env ~src ~dst))
+      pairs
+  in
+  let scenarios =
+    Outagesim.sample_scenarios ~rng:(Prng.split rng) ~radius_miles ~kind
+      ~count:samples env
+  in
+  (* Per pair, count strikes that take each posture down. *)
+  let np = Array.length static in
+  let down_shortest = Array.make np 0
+  and down_riskroute = Array.make np 0
+  and down_reactive = Array.make np 0 in
+  List.iter
+    (fun (s : Outagesim.scenario) ->
+      if s.Outagesim.failed_pops <> [] then begin
+        let failed = Hashtbl.create 8 in
+        List.iter (fun v -> Hashtbl.replace failed v ()) s.Outagesim.failed_pops;
+        let path_alive path = List.for_all (fun v -> not (Hashtbl.mem failed v)) path in
+        Array.iteri
+          (fun i (src, dst, shortest, riskroute) ->
+            let endpoint_dead = Hashtbl.mem failed src || Hashtbl.mem failed dst in
+            let static_down route =
+              endpoint_dead
+              ||
+              match route with
+              | Some (r : Router.route) -> not (path_alive r.Router.path)
+              | None -> true
+            in
+            if static_down shortest then down_shortest.(i) <- down_shortest.(i) + 1;
+            if static_down riskroute then down_riskroute.(i) <- down_riskroute.(i) + 1;
+            let reactive_down =
+              endpoint_dead
+              || not
+                   (let weight u v =
+                      if Hashtbl.mem failed u || Hashtbl.mem failed v then 1e15
+                      else Env.distance_weight env u v
+                    in
+                    match
+                      Rr_graph.Dijkstra.single_pair (Env.graph env) ~weight ~src ~dst
+                    with
+                    | Some (cost, _) -> cost < 1e15
+                    | None -> false)
+            in
+            if reactive_down then down_reactive.(i) <- down_reactive.(i) + 1)
+          static
+      end)
+    scenarios;
+  let events_per_year =
+    float_of_int (Rr_disaster.Event.paper_count kind) /. catalogue_years
+  in
+  let availability down =
+    (* Expected downtime per pair-year: strike rate x P(down | strike) x MTTR. *)
+    let mean_p =
+      Arrayx.fmean (Array.map (fun d -> float_of_int d /. float_of_int samples) down)
+    in
+    let downtime_hours = events_per_year *. mean_p *. mttr_hours in
+    Float.max 0.0 (1.0 -. (downtime_hours /. hours_per_year))
+  in
+  {
+    pairs = np;
+    events_per_year;
+    mttr_hours;
+    shortest = availability down_shortest;
+    riskroute = availability down_riskroute;
+    reactive = availability down_reactive;
+  }

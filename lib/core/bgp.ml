@@ -1,0 +1,122 @@
+(* Valley-free Dijkstra over a 3-phase lifted graph.
+
+   Phase 0 (climbing): may traverse customer->provider interconnects and
+   stay climbing, cross one peering (-> phase 1), or start descending via
+   provider->customer (-> phase 2).
+   Phase 1 (peered):   may only descend (-> phase 2).
+   Phase 2 (descend):  may only keep descending.
+   Intra-network links never change phase. *)
+
+let phases = 3
+
+let transitions relationship phase =
+  match (relationship, phase) with
+  | Rr_topology.Peering.Customer_to_provider, 0 -> Some 0
+  | Rr_topology.Peering.Peer_to_peer, 0 -> Some 1
+  | Rr_topology.Peering.Provider_to_customer, (0 | 1 | 2) -> Some 2
+  | Rr_topology.Peering.Customer_to_provider, _
+  | Rr_topology.Peering.Peer_to_peer, _ ->
+    None
+  | _, _ -> None
+
+let lifted_dijkstra merged env ~weight ~src ~dst =
+  let peering = Interdomain.peering merged in
+  let graph = Env.graph env in
+  let n = Env.node_count env in
+  let size = n * phases in
+  let dist = Array.make size infinity in
+  let parent = Array.make size (-1) in
+  let settled = Array.make size false in
+  let heap = Rr_util.Heap.create ~capacity:(4 * n) () in
+  let state node phase = (node * phases) + phase in
+  dist.(state src 0) <- 0.0;
+  Rr_util.Heap.push heap 0.0 (state src 0);
+  let best_dst = ref None in
+  let continue = ref true in
+  while !continue do
+    match Rr_util.Heap.pop_min heap with
+    | None -> continue := false
+    | Some (d, s) ->
+      if not settled.(s) then begin
+        settled.(s) <- true;
+        let node = s / phases and phase = s mod phases in
+        if node = dst then begin
+          best_dst := Some s;
+          continue := false
+        end
+        else
+          Rr_graph.Graph.iter_neighbors graph node (fun next ->
+              let next_phase =
+                let owner_here = Interdomain.owner merged node in
+                let owner_next = Interdomain.owner merged next in
+                if owner_here = owner_next then Some phase
+                else
+                  match
+                    Rr_topology.Peering.relationship peering owner_here owner_next
+                  with
+                  | Some relationship -> transitions relationship phase
+                  | None -> None
+              in
+              match next_phase with
+              | None -> ()
+              | Some next_phase ->
+                let s' = state next next_phase in
+                if not settled.(s') then begin
+                  let nd = d +. weight node next in
+                  if nd < dist.(s') then begin
+                    dist.(s') <- nd;
+                    parent.(s') <- s;
+                    Rr_util.Heap.push heap nd s'
+                  end
+                end)
+      end
+  done;
+  match !best_dst with
+  | None -> None
+  | Some s ->
+    let rec build acc s =
+      let node = s / phases in
+      if parent.(s) = -1 then node :: acc else build (node :: acc) parent.(s)
+    in
+    Some (dist.(s), build [] s)
+
+let route merged env ~src ~dst =
+  if src = dst then Some (Router.route_of_path env [ src ])
+  else begin
+    let kappa = Env.kappa env src dst in
+    let weight u v = Env.edge_weight env ~kappa u v in
+    match lifted_dijkstra merged env ~weight ~src ~dst with
+    | Some (_, path) -> Some (Router.route_of_path env path)
+    | None -> None
+  end
+
+let shortest merged env ~src ~dst =
+  if src = dst then Some (Router.route_of_path env [ src ])
+  else
+    match
+      lifted_dijkstra merged env ~weight:(fun u v -> Env.distance_weight env u v)
+        ~src ~dst
+    with
+    | Some (_, path) -> Some (Router.route_of_path env path)
+    | None -> None
+
+type bounds = {
+  upper : float;
+  policy : float;
+  lower : float;
+}
+
+let bounds merged env ~src ~dst =
+  match
+    ( Router.shortest env ~src ~dst,
+      route merged env ~src ~dst,
+      Router.riskroute env ~src ~dst )
+  with
+  | Some upper, Some policy, Some lower ->
+    Some
+      {
+        upper = upper.Router.bit_risk_miles;
+        policy = policy.Router.bit_risk_miles;
+        lower = lower.Router.bit_risk_miles;
+      }
+  | _ -> None

@@ -1,0 +1,87 @@
+type point = {
+  tick : int;
+  label : string;
+  risk_reduction : float;
+  distance_increase : float;
+  pops_in_scope : int;
+}
+
+type series = {
+  network : string;
+  storm : string;
+  scope_fraction : float;
+  points : point list;
+}
+
+let net_of_merged merged regional =
+  (Interdomain.peering merged).Rr_topology.Peering.nets.(regional)
+
+let strided stride items =
+  List.filteri (fun i _ -> i mod stride = 0) items
+
+let series_of_ticks ~network ~storm_name ~scope_fraction points =
+  { network; storm = storm_name; scope_fraction; points }
+
+let tier1 ?params ?(pair_cap = 1500) ?(tick_stride = 1)
+    ~(storm : Rr_forecast.Track.storm) net =
+  let advisories = Rr_forecast.Track.advisories storm in
+  let base = Env.of_net ?params net in
+  let points =
+    List.mapi
+      (fun tick advisory ->
+        let env = Env.with_advisory base (Some advisory) in
+        let r = Ratios.intradomain ~pair_cap env in
+        {
+          tick;
+          label = advisory.Rr_forecast.Advisory.issued;
+          risk_reduction = r.Ratios.risk_reduction;
+          distance_increase = r.Ratios.distance_increase;
+          pops_in_scope = Rr_forecast.Riskfield.pops_in_scope advisory net;
+        })
+      (strided tick_stride advisories)
+  in
+  (* Re-number ticks to advisory indices when striding. *)
+  let points = List.mapi (fun i p -> { p with tick = i * tick_stride }) points in
+  series_of_ticks ~network:net.Rr_topology.Net.name
+    ~storm_name:storm.Rr_forecast.Track.name
+    ~scope_fraction:(Rr_forecast.Riskfield.scope_fraction advisories net)
+    points
+
+let regional ?params ?(pair_cap = 800) ?(tick_stride = 1)
+    ~(storm : Rr_forecast.Track.storm) ~merged ~base_env regional =
+  let advisories = Rr_forecast.Track.advisories storm in
+  let net = net_of_merged merged regional in
+  let base_env =
+    match params with
+    | None -> base_env
+    | Some p -> Env.with_params base_env p
+  in
+  let sources = Interdomain.net_nodes merged regional in
+  let dests = Interdomain.regional_nodes merged in
+  let points =
+    List.mapi
+      (fun tick advisory ->
+        let env = Env.with_advisory base_env (Some advisory) in
+        let r = Ratios.between ~pair_cap env ~sources ~dests in
+        {
+          tick;
+          label = advisory.Rr_forecast.Advisory.issued;
+          risk_reduction = r.Ratios.risk_reduction;
+          distance_increase = r.Ratios.distance_increase;
+          pops_in_scope = Rr_forecast.Riskfield.pops_in_scope advisory net;
+        })
+      (strided tick_stride advisories)
+  in
+  let points = List.mapi (fun i p -> { p with tick = i * tick_stride }) points in
+  series_of_ticks ~network:net.Rr_topology.Net.name
+    ~storm_name:storm.Rr_forecast.Track.name
+    ~scope_fraction:(Rr_forecast.Riskfield.scope_fraction advisories net)
+    points
+
+let in_scope_filter ~(storm : Rr_forecast.Track.storm) nets =
+  let advisories = Rr_forecast.Track.advisories storm in
+  List.filter_map
+    (fun net ->
+      let fraction = Rr_forecast.Riskfield.scope_fraction advisories net in
+      if fraction > 0.2 then Some (net, fraction) else None)
+    nets

@@ -1,0 +1,54 @@
+(** Disaster case studies (Sec. 7.3 / Figs. 12-13): RiskRoute versus
+    shortest path tick-by-tick through a hurricane's advisory sequence.
+
+    At each advisory, the environment's forecast risk [o_f] is refreshed
+    from the parsed advisory and the risk-reduction ratio (Eq. 5) is
+    recomputed; the resulting series shows how much a preemptive reroute
+    would have helped as the storm evolved. *)
+
+type point = {
+  tick : int;          (** advisory index, 0-based *)
+  label : string;      (** advisory issuance time *)
+  risk_reduction : float;
+  distance_increase : float;
+  pops_in_scope : int; (** PoPs inside tropical-storm-force winds *)
+}
+
+type series = {
+  network : string;
+  storm : string;
+  scope_fraction : float;
+      (** fraction of PoPs ever inside the event's tropical scope *)
+  points : point list;
+}
+
+val tier1 :
+  ?params:Params.t ->
+  ?pair_cap:int ->
+  ?tick_stride:int ->
+  storm:Rr_forecast.Track.storm ->
+  Rr_topology.Net.t ->
+  series
+(** Intradomain series for one Tier-1 network (Fig. 12). [pair_cap]
+    (default 1500) bounds sampled pairs per tick; [tick_stride] (default
+    1) evaluates every n-th advisory. *)
+
+val regional :
+  ?params:Params.t ->
+  ?pair_cap:int ->
+  ?tick_stride:int ->
+  storm:Rr_forecast.Track.storm ->
+  merged:Interdomain.t ->
+  base_env:Env.t ->
+  int ->
+  series
+(** [regional ~storm ~merged ~base_env i] — interdomain series for the
+    regional network with member index [i] over the merged graph
+    (Fig. 13): sources are the regional's PoPs, destinations all regional
+    PoPs. *)
+
+val in_scope_filter :
+  storm:Rr_forecast.Track.storm -> Rr_topology.Net.t list ->
+  (Rr_topology.Net.t * float) list
+(** Networks with more than 20% of PoPs in the event's final scope (the
+    Sec. 7.3.1 inclusion rule), with their scope fractions. *)

@@ -1,0 +1,63 @@
+type characteristic =
+  | Geographic_footprint
+  | Average_pop_risk
+  | Average_outdegree
+  | Number_of_pops
+  | Number_of_links
+  | Number_of_peers
+
+let all =
+  [
+    Geographic_footprint;
+    Average_pop_risk;
+    Average_outdegree;
+    Number_of_pops;
+    Number_of_links;
+    Number_of_peers;
+  ]
+
+let name = function
+  | Geographic_footprint -> "Geographic Footprint"
+  | Average_pop_risk -> "Average PoP Risk"
+  | Average_outdegree -> "Average Outdegree"
+  | Number_of_pops -> "Number of PoPs"
+  | Number_of_links -> "Number of Links"
+  | Number_of_peers -> "Number of Peers"
+
+let value characteristic ~net ~peering ~riskmap =
+  match characteristic with
+  | Geographic_footprint -> Rr_topology.Net.footprint_miles net
+  | Average_pop_risk -> Rr_disaster.Riskmap.average_pop_risk riskmap net
+  | Average_outdegree -> Rr_topology.Net.average_outdegree net
+  | Number_of_pops -> float_of_int (Rr_topology.Net.pop_count net)
+  | Number_of_links -> float_of_int (Rr_topology.Net.link_count net)
+  | Number_of_peers -> (
+    match Rr_topology.Peering.index_of peering net.Rr_topology.Net.name with
+    | Some i -> float_of_int (Rr_topology.Peering.degree peering i)
+    | None -> 0.0)
+
+type row = {
+  characteristic : characteristic;
+  r2_risk : float;
+  r2_distance : float;
+}
+
+let table ~results ~peering ~riskmap =
+  if List.length results < 2 then
+    invalid_arg "Characteristics.table: need at least two networks";
+  let risk = Array.of_list (List.map (fun (_, r) -> r.Ratios.risk_reduction) results) in
+  let dist =
+    Array.of_list (List.map (fun (_, r) -> r.Ratios.distance_increase) results)
+  in
+  List.map
+    (fun characteristic ->
+      let x =
+        Array.of_list
+          (List.map (fun (net, _) -> value characteristic ~net ~peering ~riskmap) results)
+      in
+      {
+        characteristic;
+        r2_risk = Rr_stats.Regression.r_squared ~x ~y:risk;
+        r2_distance = Rr_stats.Regression.r_squared ~x ~y:dist;
+      })
+    all

@@ -1,0 +1,40 @@
+(** Network-characteristic study (Sec. 7.1.1 / Table 3).
+
+    Regresses six characteristics of the regional networks against the
+    observed risk-reduction and distance-increase ratios and reports
+    the coefficient of determination of each linear fit. *)
+
+type characteristic =
+  | Geographic_footprint
+  | Average_pop_risk
+  | Average_outdegree
+  | Number_of_pops
+  | Number_of_links
+  | Number_of_peers
+
+val all : characteristic list
+(** Table 3 order. *)
+
+val name : characteristic -> string
+
+val value :
+  characteristic ->
+  net:Rr_topology.Net.t ->
+  peering:Rr_topology.Peering.t ->
+  riskmap:Rr_disaster.Riskmap.t ->
+  float
+(** Evaluate one characteristic for one network. *)
+
+type row = {
+  characteristic : characteristic;
+  r2_risk : float;      (** R^2 against risk-reduction ratios *)
+  r2_distance : float;  (** R^2 against distance-increase ratios *)
+}
+
+val table :
+  results:(Rr_topology.Net.t * Ratios.result) list ->
+  peering:Rr_topology.Peering.t ->
+  riskmap:Rr_disaster.Riskmap.t ->
+  row list
+(** Full Table 3 from per-network ratio results (at least two
+    networks). *)

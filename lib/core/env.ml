@@ -1,0 +1,119 @@
+type t = {
+  graph : Rr_graph.Graph.t;
+  coords : Rr_geo.Coord.t array;
+  params : Params.t;
+  impact : float array;
+  historical : float array;
+  forecast : float array;
+  node_risk : float array;
+  dist_cache : (int, float) Hashtbl.t;
+}
+
+let compute_node_risk params historical forecast =
+  Array.init (Array.length historical) (fun i ->
+      (params.Params.lambda_h *. params.Params.risk_scale *. historical.(i))
+      +. (params.Params.lambda_f *. forecast.(i)))
+
+let make ?(params = Params.default) ~graph ~coords ~impact ~historical
+    ?forecast () =
+  Params.validate params;
+  let n = Rr_graph.Graph.node_count graph in
+  let forecast = match forecast with Some f -> f | None -> Array.make n 0.0 in
+  if
+    Array.length coords <> n || Array.length impact <> n
+    || Array.length historical <> n
+    || Array.length forecast <> n
+  then invalid_arg "Env.make: array lengths must match the node count";
+  {
+    graph;
+    coords;
+    params;
+    impact;
+    historical;
+    forecast;
+    node_risk = compute_node_risk params historical forecast;
+    dist_cache = Hashtbl.create (4 * max 16 (Rr_graph.Graph.edge_count graph));
+  }
+
+let forecast_of_advisory params coords advisory =
+  Array.map
+    (fun coord ->
+      Rr_forecast.Riskfield.risk_at
+        ~rho_tropical:params.Params.rho_tropical
+        ~rho_hurricane:params.Params.rho_hurricane advisory coord)
+    coords
+
+let of_net ?(params = Params.default) ?riskmap ?advisory (net : Rr_topology.Net.t) =
+  let riskmap =
+    match riskmap with Some r -> r | None -> Rr_disaster.Riskmap.shared ()
+  in
+  let coords =
+    Array.map (fun (p : Rr_topology.Pop.t) -> p.Rr_topology.Pop.coord)
+      net.Rr_topology.Net.pops
+  in
+  let impact = Rr_census.Service.shared_fractions net in
+  let historical = Rr_disaster.Riskmap.pop_risks riskmap net in
+  let forecast =
+    Option.map (forecast_of_advisory params coords) advisory
+  in
+  make ~params ~graph:net.Rr_topology.Net.graph ~coords ~impact ~historical
+    ?forecast ()
+
+let with_forecast t forecast =
+  if Array.length forecast <> Array.length t.forecast then
+    invalid_arg "Env.with_forecast: length mismatch";
+  {
+    t with
+    forecast;
+    node_risk = compute_node_risk t.params t.historical forecast;
+  }
+
+let with_advisory t advisory =
+  match advisory with
+  | None -> with_forecast t (Array.make (Array.length t.forecast) 0.0)
+  | Some adv -> with_forecast t (forecast_of_advisory t.params t.coords adv)
+
+let with_params t params =
+  Params.validate params;
+  { t with params; node_risk = compute_node_risk params t.historical t.forecast }
+
+let with_graph t graph =
+  if Rr_graph.Graph.node_count graph <> Array.length t.coords then
+    invalid_arg "Env.with_graph: node-count mismatch";
+  { t with graph }
+
+let graph t = t.graph
+
+let coords t = t.coords
+
+let params t = t.params
+
+let impact t = t.impact
+
+let historical t = t.historical
+
+let forecast t = t.forecast
+
+let node_risk t v = t.node_risk.(v)
+
+let node_count t = Array.length t.coords
+
+let link_miles t u v =
+  let n = Array.length t.coords in
+  let key = if u < v then (u * n) + v else (v * n) + u in
+  match Hashtbl.find_opt t.dist_cache key with
+  | Some d -> d
+  | None ->
+    let d = Rr_geo.Distance.miles t.coords.(u) t.coords.(v) in
+    Hashtbl.add t.dist_cache key d;
+    d
+
+let kappa t i j = t.impact.(i) +. t.impact.(j)
+
+let mean_kappa t =
+  let n = float_of_int (Array.length t.impact) in
+  2.0 *. Rr_util.Arrayx.fsum t.impact /. n
+
+let edge_weight t ~kappa u v = link_miles t u v +. (kappa *. t.node_risk.(v))
+
+let distance_weight t u v = link_miles t u v

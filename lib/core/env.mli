@@ -1,0 +1,77 @@
+(** A routing environment: a physical graph annotated with everything the
+    bit-risk-miles metric needs — PoP coordinates, impact fractions
+    [c_i], historical risk [o_h] and forecast risk [o_f] per node.
+
+    Environments are cheap to re-derive for a new advisory tick
+    ({!with_forecast}), which is how the disaster case studies step
+    through a storm. *)
+
+type t
+
+val make :
+  ?params:Params.t ->
+  graph:Rr_graph.Graph.t ->
+  coords:Rr_geo.Coord.t array ->
+  impact:float array ->
+  historical:float array ->
+  ?forecast:float array ->
+  unit ->
+  t
+(** Fully explicit constructor (tests, custom data). Array lengths must
+    match the graph's node count; [forecast] defaults to all zeros. *)
+
+val of_net :
+  ?params:Params.t ->
+  ?riskmap:Rr_disaster.Riskmap.t ->
+  ?advisory:Rr_forecast.Advisory.t ->
+  Rr_topology.Net.t ->
+  t
+(** Environment for one ISP: impact from the shared census
+    (nearest-neighbour, restricted to the network's states for
+    regionals), historical risk from [riskmap] (default
+    {!Rr_disaster.Riskmap.shared}), forecast risk from the advisory when
+    given. *)
+
+val with_forecast : t -> float array -> t
+(** Same environment with a new [o_f] vector (node risks recomputed). *)
+
+val with_advisory : t -> Rr_forecast.Advisory.t option -> t
+(** Convenience: derive [o_f] from an advisory (or clear it with
+    [None]) using the environment's coordinates and rho parameters. *)
+
+val with_params : t -> Params.t -> t
+
+val with_graph : t -> Rr_graph.Graph.t -> t
+(** Same annotations on a modified topology (provisioning what-ifs). The
+    new graph must have the same node count. *)
+
+(** {1 Accessors} *)
+
+val graph : t -> Rr_graph.Graph.t
+val coords : t -> Rr_geo.Coord.t array
+val params : t -> Params.t
+val impact : t -> float array
+val historical : t -> float array
+val forecast : t -> float array
+
+val node_risk : t -> int -> float
+(** Cached [lambda_h * scale * o_h(v) + lambda_f * o_f(v)]. *)
+
+val node_count : t -> int
+
+val link_miles : t -> int -> int -> float
+(** Great-circle miles between two nodes (memoised per node pair). *)
+
+val kappa : t -> int -> int -> float
+(** Outage impact [kappa_ij = c_i + c_j]. *)
+
+val mean_kappa : t -> float
+(** Network-average impact [2/n], used by pair-independent analyses (see
+    {!Augment}). *)
+
+val edge_weight : t -> kappa:float -> int -> int -> float
+(** [w(u, v) = d(u, v) + kappa * node_risk(v)] — the directed edge weight
+    whose path sums realise Eq. 1. *)
+
+val distance_weight : t -> int -> int -> float
+(** Pure bit-miles weight [d(u, v)] (shortest-path baseline). *)

@@ -1,0 +1,29 @@
+let fold_hops env path ~init ~f =
+  let rec loop acc = function
+    | a :: (b :: _ as rest) -> loop (f acc a b) rest
+    | [ _ ] | [] -> acc
+  in
+  ignore env;
+  loop init path
+
+let bit_miles env path =
+  fold_hops env path ~init:0.0 ~f:(fun acc a b -> acc +. Env.link_miles env a b)
+
+let path_risk env path =
+  fold_hops env path ~init:0.0 ~f:(fun acc _ b -> acc +. Env.node_risk env b)
+
+let bit_risk_miles_kappa env ~kappa path =
+  fold_hops env path ~init:0.0 ~f:(fun acc a b ->
+      acc +. Env.edge_weight env ~kappa a b)
+
+let bit_risk_miles env path =
+  match path with
+  | [] | [ _ ] -> 0.0
+  | first :: _ ->
+    let rec last = function
+      | [ x ] -> x
+      | _ :: rest -> last rest
+      | [] -> assert false
+    in
+    let kappa = Env.kappa env first (last path) in
+    bit_risk_miles_kappa env ~kappa path

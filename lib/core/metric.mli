@@ -1,0 +1,19 @@
+(** Bit-risk miles (Definition 1 / Eq. 1).
+
+    For a path [p = p1 ... pK] between nodes [i = p1] and [j = pK]:
+    [r_ij(p) = sum_{x=2..K} (d(p_x, p_{x-1})
+               + kappa_ij * (lambda_h * o_h(p_x) + lambda_f * o_f(p_x)))]. *)
+
+val bit_miles : Env.t -> int list -> float
+(** Geographic length of a node path (the Level-3 "bit-miles"). *)
+
+val bit_risk_miles : Env.t -> int list -> float
+(** Eq. 1 on a node path; [kappa_ij] is taken from the path's endpoints.
+    Returns 0 for paths shorter than two nodes. *)
+
+val bit_risk_miles_kappa : Env.t -> kappa:float -> int list -> float
+(** Eq. 1 with an explicit impact factor (pair-independent analyses). *)
+
+val path_risk : Env.t -> int list -> float
+(** The pure risk term [sum_{x=2..K} node_risk(p_x)] (unscaled by
+    kappa). *)

@@ -1,0 +1,39 @@
+(** Multiple Routing Configurations with RiskRoute link weights.
+
+    Sec. 3.1 of the paper: "backup configurations that use a composite
+    link metric that includes RiskRoute can be computed off line
+    following the method described in [Kvalbein et al., Fast IP Network
+    Recovery using Multiple Routing Configurations]".
+
+    This is a simplified MRC: nodes are partitioned into [k] groups, and
+    configuration [c] {e isolates} group [c] — no transit traffic may
+    pass through an isolated node (it can still source or sink). When a
+    node fails, traffic switches to the configuration isolating it, whose
+    routes provably avoid the failure. Each configuration's non-isolated
+    subgraph is kept connected during construction, so intra-survivor
+    routing always succeeds. *)
+
+type t
+
+val build : ?k:int -> Env.t -> t
+(** Partition into [k] (default 4) configurations. Nodes whose isolation
+    would disconnect the survivors in every group are left uncovered
+    (articulation points of sparse graphs — see {!coverage}). *)
+
+val config_count : t -> int
+
+val config_of_node : t -> int -> int option
+(** The configuration isolating a node, [None] when uncovered. *)
+
+val coverage : t -> float
+(** Fraction of nodes isolated by some configuration. *)
+
+val route : t -> config:int -> src:int -> dst:int -> Router.route option
+(** Minimum bit-risk route in one configuration: isolated nodes of that
+    configuration cannot be transited (endpoints exempt). *)
+
+val recovery_route : t -> failed:int -> src:int -> dst:int -> Router.route option
+(** Pre-computed recovery: route in the configuration that isolates
+    [failed]. [None] when [failed] is uncovered, an endpoint, or the
+    survivors are partitioned. Guaranteed (and tested) not to transit
+    [failed]. *)

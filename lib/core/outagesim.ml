@@ -1,0 +1,124 @@
+open Rr_util
+
+type scenario = {
+  center : Rr_geo.Coord.t;
+  radius_miles : float;
+  failed_pops : int list;
+}
+
+type result = {
+  scenarios : int;
+  pairs : int;
+  shortest_survival : float;
+  riskroute_survival : float;
+  reactive_survival : float;
+  endpoint_loss : float;
+}
+
+let sample_scenarios ?rng ?(radius_miles = 80.0) ?(probabilistic = false) ~kind
+    ~count env =
+  let rng = match rng with Some r -> r | None -> Prng.create 0x007A6EL in
+  if count <= 0 then invalid_arg "Outagesim.sample_scenarios: count <= 0";
+  let model = Rr_disaster.Model.for_kind kind in
+  let sample = Rr_disaster.Model.sampler model ~seed:(Prng.int64 rng) in
+  let coords = Env.coords env in
+  let fails center v =
+    let d = Rr_geo.Distance.miles center coords.(v) in
+    if probabilistic then begin
+      let z = d /. radius_miles in
+      d <= 3.0 *. radius_miles && Prng.float rng 1.0 < exp (-.(z *. z))
+    end
+    else d <= radius_miles
+  in
+  List.init count (fun _ ->
+      let center = sample rng in
+      let failed_pops =
+        List.filter (fun v -> fails center v) (Listx.range 0 (Array.length coords))
+      in
+      { center; radius_miles; failed_pops })
+
+let banned_cost = 1e15
+
+let reactive_survives env ~failed ~src ~dst =
+  let weight u v =
+    if Hashtbl.mem failed u || Hashtbl.mem failed v then banned_cost
+    else Env.distance_weight env u v
+  in
+  match Rr_graph.Dijkstra.single_pair (Env.graph env) ~weight ~src ~dst with
+  | Some (cost, _) -> cost < banned_cost
+  | None -> false
+
+let run ?rng ?(scenario_count = 200) ?(pair_cap = 200) ?(radius_miles = 80.0)
+    ?(kind = Rr_disaster.Event.Fema_hurricane) env =
+  let rng = match rng with Some r -> r | None -> Prng.create 0x0D15A57EL in
+  let n = Env.node_count env in
+  let pairs = Sampling.pair_indices (Prng.split rng) ~n ~cap:pair_cap in
+  (* Static paths installed before any disaster. *)
+  let static =
+    Array.map
+      (fun (src, dst) ->
+        let shortest = Router.shortest env ~src ~dst in
+        let riskroute = Router.riskroute env ~src ~dst in
+        (src, dst, shortest, riskroute))
+      pairs
+  in
+  let scenarios =
+    sample_scenarios ~rng:(Prng.split rng) ~radius_miles ~kind
+      ~count:scenario_count env
+  in
+  let sum_shortest = ref 0.0
+  and sum_riskroute = ref 0.0
+  and sum_reactive = ref 0.0
+  and sum_endpoint = ref 0.0 in
+  List.iter
+    (fun scenario ->
+      let failed = Hashtbl.create 8 in
+      List.iter (fun v -> Hashtbl.replace failed v ()) scenario.failed_pops;
+      let path_alive path =
+        List.for_all (fun v -> not (Hashtbl.mem failed v)) path
+      in
+      let live_pairs = ref 0
+      and s_ok = ref 0
+      and r_ok = ref 0
+      and re_ok = ref 0
+      and endpoint_dead = ref 0 in
+      Array.iter
+        (fun (src, dst, shortest, riskroute) ->
+          if Hashtbl.mem failed src || Hashtbl.mem failed dst then
+            incr endpoint_dead
+          else begin
+            incr live_pairs;
+            (match shortest with
+            | Some (route : Router.route) ->
+              if path_alive route.Router.path then incr s_ok
+            | None -> ());
+            (match riskroute with
+            | Some (route : Router.route) ->
+              if path_alive route.Router.path then incr r_ok
+            | None -> ());
+            if
+              Hashtbl.length failed = 0
+              || reactive_survives env ~failed ~src ~dst
+            then incr re_ok
+          end)
+        static;
+      let total = Array.length static in
+      if total > 0 then begin
+        sum_endpoint := !sum_endpoint +. (float_of_int !endpoint_dead /. float_of_int total);
+        if !live_pairs > 0 then begin
+          let live = float_of_int !live_pairs in
+          sum_shortest := !sum_shortest +. (float_of_int !s_ok /. live);
+          sum_riskroute := !sum_riskroute +. (float_of_int !r_ok /. live);
+          sum_reactive := !sum_reactive +. (float_of_int !re_ok /. live)
+        end
+      end)
+    scenarios;
+  let count = float_of_int (List.length scenarios) in
+  {
+    scenarios = List.length scenarios;
+    pairs = Array.length pairs;
+    shortest_survival = !sum_shortest /. count;
+    riskroute_survival = !sum_riskroute /. count;
+    reactive_survival = !sum_reactive /. count;
+    endpoint_loss = !sum_endpoint /. count;
+  }

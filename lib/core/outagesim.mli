@@ -1,0 +1,49 @@
+(** Monte Carlo outage simulation: does preemptive risk-averse routing
+    actually keep traffic up when disasters strike?
+
+    Strikes are sampled from the synthetic disaster models; every PoP
+    within the damage radius fails. For a fixed sample of
+    source/destination pairs we compare three routing postures:
+
+    - {e static shortest}: the geographic shortest path was installed and
+      cannot change — the pair survives only if no PoP on it failed;
+    - {e static riskroute}: the RiskRoute path was installed instead;
+    - {e reactive}: routing reconverges after the failure (upper bound) —
+      the pair survives if any path remains.
+
+    The gap between the first two is the operational value of RiskRoute's
+    preemptive avoidance; the third shows how much headroom reactive
+    recovery has on top. *)
+
+type scenario = {
+  center : Rr_geo.Coord.t;
+  radius_miles : float;
+  failed_pops : int list;
+}
+
+type result = {
+  scenarios : int;
+  pairs : int;              (** traffic pairs evaluated per scenario *)
+  shortest_survival : float;   (** mean fraction of pairs whose static shortest path survived *)
+  riskroute_survival : float;  (** same for static RiskRoute paths *)
+  reactive_survival : float;   (** same with post-failure reconvergence *)
+  endpoint_loss : float;
+      (** mean fraction of pairs whose source or destination PoP itself
+          failed (no routing can save those) *)
+}
+
+val sample_scenarios :
+  ?rng:Rr_util.Prng.t -> ?radius_miles:float -> ?probabilistic:bool ->
+  kind:Rr_disaster.Event.kind -> count:int -> Env.t -> scenario list
+(** Draw disaster strikes and resolve the failed PoPs of the
+    environment. Scenarios that fail no PoP are kept (they measure the
+    quiet baseline). With [probabilistic] (default false) each PoP fails
+    with probability [exp (-(d/r)^2)] instead of deterministically inside
+    the radius — the probabilistic geographic failure model of Agarwal et
+    al. (the paper's reference [20]). *)
+
+val run :
+  ?rng:Rr_util.Prng.t -> ?scenario_count:int -> ?pair_cap:int ->
+  ?radius_miles:float -> ?kind:Rr_disaster.Event.kind -> Env.t -> result
+(** Full simulation (defaults: 200 hurricane-kind scenarios, 200 pairs,
+    80-mile damage radius). *)

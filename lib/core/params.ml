@@ -1,0 +1,27 @@
+type t = {
+  lambda_h : float;
+  lambda_f : float;
+  risk_scale : float;
+  rho_tropical : float;
+  rho_hurricane : float;
+}
+
+let default =
+  {
+    lambda_h = 1e5;
+    lambda_f = 1e3;
+    risk_scale = 3000.0;
+    rho_tropical = 50.0;
+    rho_hurricane = 100.0;
+  }
+
+let with_lambda_h lambda_h t = { t with lambda_h }
+
+let with_lambda_f lambda_f t = { t with lambda_f }
+
+let validate t =
+  if t.lambda_h <= 0.0 then invalid_arg "Params: lambda_h must be positive";
+  if t.lambda_f <= 0.0 then invalid_arg "Params: lambda_f must be positive";
+  if t.risk_scale <= 0.0 then invalid_arg "Params: risk_scale must be positive";
+  if t.rho_tropical < 0.0 || t.rho_hurricane < t.rho_tropical then
+    invalid_arg "Params: need 0 <= rho_tropical <= rho_hurricane"

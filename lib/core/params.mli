@@ -1,0 +1,26 @@
+(** Tuning parameters of the bit-risk-miles metric (Eq. 1).
+
+    [lambda_h] and [lambda_f] are the paper's risk-averseness knobs
+    (Sec. 7 uses 1e5 and 1e3). [risk_scale] converts our kernel densities
+    (per square mile) into the dimensionless outage-likelihood scale the
+    paper's lambda values were tuned against; it multiplies [o_h] only
+    (forecast risk [o_f] is already dimensionless: 0 / rho_t / rho_h). *)
+
+type t = {
+  lambda_h : float;      (** historical-risk weight, > 0 *)
+  lambda_f : float;      (** forecast-risk weight, > 0 *)
+  risk_scale : float;    (** per-mi^2 density -> likelihood conversion *)
+  rho_tropical : float;  (** forecast risk under tropical-storm winds *)
+  rho_hurricane : float; (** forecast risk under hurricane-force winds *)
+}
+
+val default : t
+(** lambda_h = 1e5, lambda_f = 1e3, rho_t = 50, rho_h = 100 (the paper's
+    Section 7 values); risk_scale = 3000 (calibrated so Tier-1 ratios land
+    in the paper's Table 2 regime — see EXPERIMENTS.md). *)
+
+val with_lambda_h : float -> t -> t
+val with_lambda_f : float -> t -> t
+
+val validate : t -> unit
+(** Raises [Invalid_argument] on non-positive weights. *)

@@ -1,0 +1,32 @@
+(** Multi-objective routing: the distance / risk trade-off between two
+    PoPs (the paper's Sec. 6.4 / Sec. 8 SLA extension).
+
+    RiskRoute collapses distance and risk into one scalar via lambda; an
+    operator negotiating SLAs wants the whole trade-off curve instead:
+    every route that cannot be improved in bit-miles without taking more
+    risk, and vice versa. *)
+
+type point = {
+  path : int list;
+  bit_miles : float;
+  risk : float;  (** impact-scaled path risk [kappa_ij * sum node_risk] *)
+}
+
+val frontier : ?k:int -> Env.t -> src:int -> dst:int -> point list
+(** Non-dominated routes, sorted by increasing bit-miles (hence
+    decreasing risk). Candidates are drawn from the [k] (default 24)
+    shortest paths under each of the distance-only, risk-only and
+    combined weights; the true Pareto set is approximated from below.
+    Empty when disconnected. *)
+
+val sweep : Env.t -> src:int -> dst:int -> lambdas:float array ->
+  (float * Router.route) list
+(** The RiskRoute optimum at each historical-risk weight — how the chosen
+    route migrates as the operator turns the risk-averseness knob
+    (Fig. 7 generalised). Each entry is [(lambda_h, route)]. *)
+
+val knee : point list -> point option
+(** The frontier point with the best normalised trade-off (maximum
+    distance to the segment joining the frontier's endpoints) — a
+    reasonable default pick for an SLA. [None] for frontiers with fewer
+    than three points. *)

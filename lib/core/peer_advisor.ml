@@ -1,0 +1,90 @@
+open Rr_util
+
+type recommendation = {
+  regional : string;
+  peer : string;
+  baseline : float;
+  with_peer : float;
+  improvement : float;
+}
+
+let candidates_for merged i =
+  let peering = Interdomain.peering merged in
+  let nets = peering.Rr_topology.Peering.nets in
+  List.filter
+    (fun j ->
+      j <> i
+      && (not (Rr_topology.Peering.are_peers peering i j))
+      && Rr_topology.Colocation.co_located nets.(i) nets.(j))
+    (Listx.range 0 (Array.length nets))
+
+let sample_pairs ~seed ~sources ~dests ~cap =
+  let rng = Prng.create seed in
+  let ns = Array.length sources and nd = Array.length dests in
+  let total = ns * nd in
+  if total <= cap then begin
+    let out = ref [] in
+    Array.iter
+      (fun s -> Array.iter (fun d -> if s <> d then out := (s, d) :: !out) dests)
+      sources;
+    Array.of_list !out
+  end
+  else
+    Array.init cap (fun _ ->
+        (sources.(Prng.int rng ns), dests.(Prng.int rng nd)))
+
+(* Mean lower-bound bit-risk miles over the sampled pairs; unreachable or
+   degenerate pairs are skipped. *)
+let mean_lower_bound env pairs =
+  let acc = ref 0.0 and count = ref 0 in
+  Array.iter
+    (fun (src, dst) ->
+      if src <> dst then
+        match Router.riskroute env ~src ~dst with
+        | Some route ->
+          acc := !acc +. route.Router.bit_risk_miles;
+          incr count
+        | None -> ())
+    pairs;
+  if !count = 0 then infinity else !acc /. float_of_int !count
+
+let recommend_for ?(pair_cap = 600) merged base_env ~regional =
+  match candidates_for merged regional with
+  | [] -> None
+  | candidates ->
+    let peering = Interdomain.peering merged in
+    let nets = peering.Rr_topology.Peering.nets in
+    let sources = Interdomain.net_nodes merged regional in
+    let dests = Interdomain.regional_nodes merged in
+    let pairs = sample_pairs ~seed:0xBEE4L ~sources ~dests ~cap:pair_cap in
+    let baseline = mean_lower_bound base_env pairs in
+    let evaluate j =
+      let merged' = Interdomain.with_extra_peering merged ~net_a:regional ~net_b:j in
+      let env' = Env.with_graph base_env (Interdomain.graph merged') in
+      (j, mean_lower_bound env' pairs)
+    in
+    let scored = List.map evaluate candidates in
+    (match Listx.min_by snd scored with
+    | None -> None
+    | Some (j, with_peer) ->
+      Some
+        {
+          regional = nets.(regional).Rr_topology.Net.name;
+          peer = nets.(j).Rr_topology.Net.name;
+          baseline;
+          with_peer;
+          improvement =
+            (if baseline > 0.0 && baseline < infinity then
+               1.0 -. (with_peer /. baseline)
+             else 0.0);
+        })
+
+let recommend_all ?pair_cap merged base_env =
+  let peering = Interdomain.peering merged in
+  let nets = peering.Rr_topology.Peering.nets in
+  List.filter_map
+    (fun i ->
+      match nets.(i).Rr_topology.Net.tier with
+      | Rr_topology.Net.Regional -> recommend_for ?pair_cap merged base_env ~regional:i
+      | Rr_topology.Net.Tier1 -> None)
+    (Listx.range 0 (Array.length nets))

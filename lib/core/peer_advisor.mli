@@ -1,0 +1,30 @@
+(** Best new peering for a regional network (Sec. 6.3, interdomain case).
+
+    In the multi-domain setting the operator cannot add internal links to
+    other ISPs; instead RiskRoute evaluates candidate peers — networks
+    co-located with the regional's PoPs but not currently peered — and
+    recommends the one minimising the lower-bound bit-risk miles of the
+    regional's interdomain traffic. *)
+
+type recommendation = {
+  regional : string;
+  peer : string;              (** recommended new peer *)
+  baseline : float;           (** mean lower-bound bit-risk miles today *)
+  with_peer : float;          (** same after adding the peering *)
+  improvement : float;        (** [1 - with_peer / baseline] *)
+}
+
+val candidates_for : Interdomain.t -> int -> int list
+(** Network indices co-located with the given network but not peered with
+    it. *)
+
+val recommend_for :
+  ?pair_cap:int -> Interdomain.t -> Env.t -> regional:int ->
+  recommendation option
+(** Best candidate for one regional network index; [None] when there are
+    no candidates. [pair_cap] (default 600) bounds the sampled
+    source/destination pairs per evaluation. *)
+
+val recommend_all :
+  ?pair_cap:int -> Interdomain.t -> Env.t -> recommendation list
+(** One recommendation per regional network that has candidates (Fig. 11). *)

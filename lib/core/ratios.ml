@@ -1,0 +1,114 @@
+open Rr_util
+
+type result = {
+  risk_reduction : float;
+  distance_increase : float;
+  pairs : int;
+}
+
+let default_cap = 20_000
+
+(* Eqs. 5-6 average over 1/N^2 of ALL ordered pairs including the i = j
+   diagonal, whose ratio terms are zero. [diagonal_share] is the fraction
+   of the full pair universe that lies on that diagonal: the mean ratio
+   over evaluated off-diagonal pairs is scaled by [1 - diagonal_share]
+   before entering the paper's formulas. *)
+let accumulate env pairs ~diagonal_share =
+  let risk_sum = ref 0.0 and dist_sum = ref 0.0 and count = ref 0 in
+  Array.iter
+    (fun (src, dst) ->
+      if src <> dst then
+        match (Router.riskroute env ~src ~dst, Router.shortest env ~src ~dst) with
+        | Some rr, Some sp when sp.Router.bit_risk_miles > 0.0 && sp.Router.bit_miles > 0.0 ->
+          risk_sum := !risk_sum +. (rr.Router.bit_risk_miles /. sp.Router.bit_risk_miles);
+          dist_sum := !dist_sum +. (rr.Router.bit_miles /. sp.Router.bit_miles);
+          incr count
+        | _ -> ())
+    pairs;
+  if !count = 0 then { risk_reduction = 0.0; distance_increase = 0.0; pairs = 0 }
+  else begin
+    let n = float_of_int !count in
+    let off_diagonal = 1.0 -. diagonal_share in
+    {
+      risk_reduction = 1.0 -. (!risk_sum /. n *. off_diagonal);
+      distance_increase = (!dist_sum /. n *. off_diagonal) -. 1.0;
+      pairs = !count;
+    }
+  end
+
+let intradomain ?(pair_cap = default_cap) ?(seed = 0x4A71_05L) env =
+  let n = Env.node_count env in
+  let rng = Prng.create seed in
+  let pairs = Sampling.pair_indices rng ~n ~cap:pair_cap in
+  let diagonal_share = if n = 0 then 0.0 else 1.0 /. float_of_int n in
+  accumulate env pairs ~diagonal_share
+
+let weighted ?(pair_cap = default_cap) ?(seed = 0x4A71_05L) ~weight env =
+  let n = Env.node_count env in
+  let rng = Prng.create seed in
+  let pairs = Sampling.pair_indices rng ~n ~cap:pair_cap in
+  let risk_sum = ref 0.0 and dist_sum = ref 0.0 in
+  let weight_sum = ref 0.0 and count = ref 0 in
+  Array.iter
+    (fun (src, dst) ->
+      let w = weight src dst in
+      if src <> dst && w > 0.0 then
+        match (Router.riskroute env ~src ~dst, Router.shortest env ~src ~dst) with
+        | Some rr, Some sp when sp.Router.bit_risk_miles > 0.0 && sp.Router.bit_miles > 0.0 ->
+          risk_sum := !risk_sum +. (w *. rr.Router.bit_risk_miles /. sp.Router.bit_risk_miles);
+          dist_sum := !dist_sum +. (w *. rr.Router.bit_miles /. sp.Router.bit_miles);
+          weight_sum := !weight_sum +. w;
+          incr count
+        | _ -> ())
+    pairs;
+  if !weight_sum <= 0.0 then
+    { risk_reduction = 0.0; distance_increase = 0.0; pairs = 0 }
+  else
+    {
+      risk_reduction = 1.0 -. (!risk_sum /. !weight_sum);
+      distance_increase = (!dist_sum /. !weight_sum) -. 1.0;
+      pairs = !count;
+    }
+
+let between ?(pair_cap = default_cap) ?(seed = 0x4A71_05L) env ~sources ~dests =
+  let ns = Array.length sources and nd = Array.length dests in
+  if ns = 0 || nd = 0 then
+    { risk_reduction = 0.0; distance_increase = 0.0; pairs = 0 }
+  else begin
+    let total = ns * nd in
+    let pairs =
+      if total <= pair_cap then begin
+        let out = ref [] in
+        Array.iter
+          (fun s -> Array.iter (fun d -> if s <> d then out := (s, d) :: !out) dests)
+          sources;
+        Array.of_list !out
+      end
+      else begin
+        let rng = Prng.create seed in
+        let seen = Hashtbl.create (2 * pair_cap) in
+        let out = ref [] and k = ref 0 and attempts = ref 0 in
+        while !k < pair_cap && !attempts < 50 * pair_cap do
+          incr attempts;
+          let s = sources.(Prng.int rng ns) in
+          let d = dests.(Prng.int rng nd) in
+          if s <> d && not (Hashtbl.mem seen (s, d)) then begin
+            Hashtbl.add seen (s, d) ();
+            out := (s, d) :: !out;
+            incr k
+          end
+        done;
+        Array.of_list !out
+      end
+    in
+    (* Diagonal share of the S x D pair universe: |S inter D| / (|S| |D|). *)
+    let dest_set = Hashtbl.create nd in
+    Array.iter (fun d -> Hashtbl.replace dest_set d ()) dests;
+    let overlap =
+      Array.fold_left
+        (fun acc s -> if Hashtbl.mem dest_set s then acc + 1 else acc)
+        0 sources
+    in
+    let diagonal_share = float_of_int overlap /. float_of_int total in
+    accumulate env pairs ~diagonal_share
+  end

@@ -1,0 +1,27 @@
+type route = {
+  path : int list;
+  bit_miles : float;
+  bit_risk_miles : float;
+}
+
+let route_of_path env path =
+  {
+    path;
+    bit_miles = Metric.bit_miles env path;
+    bit_risk_miles = Metric.bit_risk_miles env path;
+  }
+
+let riskroute env ~src ~dst =
+  let kappa = Env.kappa env src dst in
+  let weight u v = Env.edge_weight env ~kappa u v in
+  match Rr_graph.Dijkstra.single_pair (Env.graph env) ~weight ~src ~dst with
+  | None -> None
+  | Some (cost, path) ->
+    Some { path; bit_miles = Metric.bit_miles env path; bit_risk_miles = cost }
+
+let shortest env ~src ~dst =
+  let weight u v = Env.distance_weight env u v in
+  match Rr_graph.Dijkstra.single_pair (Env.graph env) ~weight ~src ~dst with
+  | None -> None
+  | Some (cost, path) ->
+    Some { path; bit_miles = cost; bit_risk_miles = Metric.bit_risk_miles env path }

@@ -1,0 +1,23 @@
+(** Intradomain RiskRoute (Eq. 3): the path minimising bit-risk miles.
+
+    Because [kappa_ij] is constant along a path once its endpoints are
+    fixed, Eq. 3 reduces to one Dijkstra run per (source, destination)
+    pair over edge weights [d(u,v) + kappa_ij * node_risk(v)] — exactly
+    the "constructed risk graph" of Sec. 6.4. *)
+
+type route = {
+  path : int list;           (** node path, source first *)
+  bit_miles : float;
+  bit_risk_miles : float;
+}
+
+val riskroute : Env.t -> src:int -> dst:int -> route option
+(** Minimum bit-risk-miles route; [None] when disconnected. *)
+
+val shortest : Env.t -> src:int -> dst:int -> route option
+(** Geographic shortest path (the paper's stand-in for production
+    routing), with its bit-risk miles evaluated under the same
+    environment for comparison. *)
+
+val route_of_path : Env.t -> int list -> route
+(** Evaluate both metrics on an externally chosen path. *)

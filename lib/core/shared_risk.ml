@@ -1,0 +1,73 @@
+open Rr_util
+
+(* Exposure raster: coarse cells so that metro-level co-location shows up
+   as shared exposure. *)
+let raster_rows = 25
+
+let raster_cols = 58
+
+let exposure_vector ~riskmap net =
+  let grid = Rr_geo.Grid.create Rr_geo.Bbox.conus ~rows:raster_rows ~cols:raster_cols in
+  Array.iter
+    (fun (p : Rr_topology.Pop.t) ->
+      let risk = Rr_disaster.Riskmap.risk_at riskmap p.Rr_topology.Pop.coord in
+      match Rr_geo.Grid.cell_of_coord grid p.Rr_topology.Pop.coord with
+      | None -> ()
+      | Some (row, col) ->
+        (* 3x3 splat so that PoPs on either side of a cell boundary still
+           register as shared exposure *)
+        for dr = -1 to 1 do
+          for dc = -1 to 1 do
+            let r = row + dr and c = col + dc in
+            if r >= 0 && r < raster_rows && c >= 0 && c < raster_cols then begin
+              let w = if dr = 0 && dc = 0 then 0.5 else 0.0625 in
+              Rr_geo.Grid.add grid r c (risk *. w)
+            end
+          done
+        done)
+    net.Rr_topology.Net.pops;
+  Rr_geo.Grid.fold grid ~init:[] ~f:(fun acc _ _ v -> v :: acc)
+  |> Array.of_list
+
+let exposure_correlation ~riskmap a b =
+  let va = exposure_vector ~riskmap a and vb = exposure_vector ~riskmap b in
+  Rr_stats.Descriptive.correlation va vb
+
+type joint = {
+  samples : int;
+  a_hit : float;
+  b_hit : float;
+  both_hit : float;
+  independence_gap : float;
+}
+
+let joint_outage ?rng ?(samples = 2000) ?(damage_radius_miles = 80.0) ~kind a b =
+  let rng = match rng with Some r -> r | None -> Prng.create 0x5A4EDL in
+  if samples <= 0 then invalid_arg "Shared_risk.joint_outage: samples <= 0";
+  let model = Rr_disaster.Model.for_kind kind in
+  let sample = Rr_disaster.Model.sampler model ~seed:(Prng.int64 rng) in
+  let hits net center =
+    Array.exists
+      (fun (p : Rr_topology.Pop.t) ->
+        Rr_geo.Distance.miles center p.Rr_topology.Pop.coord <= damage_radius_miles)
+      net.Rr_topology.Net.pops
+  in
+  let na = ref 0 and nb = ref 0 and nboth = ref 0 in
+  for _ = 1 to samples do
+    let center = sample rng in
+    let ha = hits a center and hb = hits b center in
+    if ha then incr na;
+    if hb then incr nb;
+    if ha && hb then incr nboth
+  done;
+  let f n = float_of_int n /. float_of_int samples in
+  {
+    samples;
+    a_hit = f !na;
+    b_hit = f !nb;
+    both_hit = f !nboth;
+    independence_gap = f !nboth -. (f !na *. f !nb);
+  }
+
+let least_shared_peer ~riskmap ~candidates net =
+  Listx.min_by (fun candidate -> exposure_correlation ~riskmap net candidate) candidates

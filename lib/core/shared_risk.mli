@@ -1,0 +1,39 @@
+(** Shared risk between ISPs (the paper's Sec. 8 future work: "assessing
+    shared risk between multiple ISPs using RiskRoute").
+
+    Two networks that both concentrate infrastructure in the same
+    disaster-prone metros will fail together; a regional ISP multihoming
+    for robustness should prefer transit providers whose exposure is
+    anti-correlated with its own. *)
+
+val exposure_correlation :
+  riskmap:Rr_disaster.Riskmap.t -> Rr_topology.Net.t -> Rr_topology.Net.t ->
+  float
+(** Pearson correlation of the two networks' historical risk profiles
+    over a common geographic raster: each network's per-cell exposure is
+    the risk mass of its PoPs in that cell. 0 when either network has no
+    spatially varying exposure. *)
+
+type joint = {
+  samples : int;
+  a_hit : float;          (** P(network A loses a PoP to the strike) *)
+  b_hit : float;
+  both_hit : float;       (** P(both lose a PoP) *)
+  independence_gap : float;
+      (** [both_hit - a_hit * b_hit]: positive means correlated failure
+          beyond chance — shared risk *)
+}
+
+val joint_outage :
+  ?rng:Rr_util.Prng.t -> ?samples:int -> ?damage_radius_miles:float ->
+  kind:Rr_disaster.Event.kind -> Rr_topology.Net.t -> Rr_topology.Net.t ->
+  joint
+(** Monte Carlo over synthetic disaster strikes of the given kind
+    (default 2000 samples, 80-mile damage radius): how often each network,
+    and both, lose at least one PoP. *)
+
+val least_shared_peer :
+  riskmap:Rr_disaster.Riskmap.t -> candidates:Rr_topology.Net.t list ->
+  Rr_topology.Net.t -> Rr_topology.Net.t option
+(** The candidate whose exposure correlates least with the given
+    network's — the diversity-first peer pick. *)

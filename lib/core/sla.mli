@@ -1,0 +1,35 @@
+(** SLA-constrained RiskRoute (Sec. 6.4: "the RiskRoute framework could
+    easily be expanded to include multiple objective functions that would
+    balance risk and SLA-related issues such as latency").
+
+    The operator question: {e minimise outage risk subject to a latency
+    budget}. This is the classic restricted shortest path problem; it is
+    solved here with LARAC (Lagrangian Relaxation Aggregated Cost):
+    binary search on the multiplier of a combined [latency + lambda *
+    risk] weight, which yields the optimal path of the relaxation and
+    tight bounds in O(log) Dijkstra runs. *)
+
+val propagation_ms_per_mile : float
+(** One-way propagation in fibre: ~0.0082 ms per mile (c/1.468), plus
+    nothing for equipment — a deliberately simple latency model. *)
+
+val latency_ms : Env.t -> int list -> float
+(** One-way propagation latency of a node path. *)
+
+type constrained = {
+  route : Router.route;
+  latency : float;        (** achieved one-way latency, ms *)
+  risk : float;           (** impact-scaled path risk (the minimised objective) *)
+  optimal : bool;
+      (** true when LARAC proved optimality (the relaxation closed);
+          false when the returned path is feasible but possibly
+          improvable *)
+}
+
+val constrained_route :
+  ?iterations:int -> Env.t -> src:int -> dst:int -> max_latency_ms:float ->
+  constrained option
+(** Minimum-risk route whose latency respects the budget. [None] when
+    even the latency-optimal path exceeds the budget or the pair is
+    disconnected. When the unconstrained minimum-risk path already fits
+    the budget it is returned directly (marked optimal). *)

@@ -1,0 +1,54 @@
+open Rr_util
+
+type t = { by_kind : (Event.kind * Event.t array) list }
+
+let generate ?(seed = 0xD15A_57E4L) ?(scale = 1.0) () =
+  if scale <= 0.0 then invalid_arg "Catalog.generate: non-positive scale";
+  let root = Prng.create seed in
+  let by_kind =
+    List.map
+      (fun kind ->
+        let model = Model.for_kind kind in
+        let site_seed = Prng.int64 root in
+        let event_rng = Prng.split root in
+        let sample = Model.sampler model ~seed:site_seed in
+        let n =
+          max 10
+            (int_of_float (Float.round (scale *. float_of_int (Event.paper_count kind))))
+        in
+        let events =
+          Array.init n (fun _ ->
+              let coord = sample event_rng in
+              let year = 1970 + Prng.int event_rng 41 in
+              let month = Model.sample_month event_rng kind in
+              { Event.kind; coord; year; month })
+        in
+        (kind, events))
+      Event.all_kinds
+  in
+  { by_kind }
+
+let shared =
+  let cache = lazy (generate ()) in
+  fun () -> Lazy.force cache
+
+let find t kind =
+  match List.assoc_opt kind t.by_kind with
+  | Some events -> events
+  | None -> [||]
+
+let coords t kind = Array.map (fun e -> e.Event.coord) (find t kind)
+
+let count t kind = Array.length (find t kind)
+
+let total t =
+  List.fold_left (fun acc (_, events) -> acc + Array.length events) 0 t.by_kind
+
+let events t = Array.concat (List.map snd t.by_kind)
+
+let coords_in_months t kind ~months =
+  find t kind
+  |> Array.to_list
+  |> List.filter_map (fun e ->
+         if List.mem e.Event.month months then Some e.Event.coord else None)
+  |> Array.of_list

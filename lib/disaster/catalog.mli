@@ -1,0 +1,26 @@
+(** The assembled 1970-2010 disaster catalogue (paper counts by
+    default: 176k events across the five kinds). *)
+
+type t
+
+val generate : ?seed:int64 -> ?scale:float -> unit -> t
+(** [scale] multiplies every kind's paper count (e.g. 0.01 for fast
+    tests); at least 10 events are kept per kind. Deterministic in
+    [seed]. *)
+
+val shared : unit -> t
+(** Full-size default-seed catalogue, built once and memoised. *)
+
+val coords : t -> Event.kind -> Rr_geo.Coord.t array
+(** Event locations of a kind (shared array — do not mutate). *)
+
+val count : t -> Event.kind -> int
+
+val total : t -> int
+
+val events : t -> Event.t array
+(** Every event with kind and synthetic year/month. *)
+
+val coords_in_months : t -> Event.kind -> months:int list -> Rr_geo.Coord.t array
+(** Event locations of a kind restricted to the given months (1-12) —
+    the input for seasonal risk surfaces. *)

@@ -1,0 +1,37 @@
+type kind =
+  | Fema_hurricane
+  | Fema_tornado
+  | Fema_storm
+  | Noaa_earthquake
+  | Noaa_wind
+
+type t = {
+  kind : kind;
+  coord : Rr_geo.Coord.t;
+  year : int;
+  month : int;
+}
+
+let all_kinds =
+  [ Fema_hurricane; Fema_tornado; Fema_storm; Noaa_earthquake; Noaa_wind ]
+
+let kind_name = function
+  | Fema_hurricane -> "FEMA Hurricane"
+  | Fema_tornado -> "FEMA Tornado"
+  | Fema_storm -> "FEMA Storm"
+  | Noaa_earthquake -> "NOAA Earthquake"
+  | Noaa_wind -> "NOAA Wind"
+
+let paper_count = function
+  | Fema_hurricane -> 2_805
+  | Fema_tornado -> 6_437
+  | Fema_storm -> 20_623
+  | Noaa_earthquake -> 2_267
+  | Noaa_wind -> 143_847
+
+let paper_bandwidth = function
+  | Fema_hurricane -> 71.56
+  | Fema_tornado -> 59.48
+  | Fema_storm -> 24.38
+  | Noaa_earthquake -> 298.82
+  | Noaa_wind -> 3.59

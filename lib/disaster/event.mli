@@ -1,0 +1,32 @@
+(** Historical disaster events (Sec. 4.3).
+
+    Five catalogues drive the historical risk surface: three FEMA
+    emergency-declaration types and two NOAA archives, 1970-2010. *)
+
+type kind =
+  | Fema_hurricane
+  | Fema_tornado
+  | Fema_storm
+  | Noaa_earthquake
+  | Noaa_wind
+
+type t = {
+  kind : kind;
+  coord : Rr_geo.Coord.t;
+  year : int;
+  month : int;  (** 1-12 *)
+}
+
+val all_kinds : kind list
+(** In the paper's Table 1 order. *)
+
+val kind_name : kind -> string
+(** e.g. ["FEMA Hurricane"]. *)
+
+val paper_count : kind -> int
+(** Event count reported in Table 1 (2,805 / 6,437 / 20,623 / 2,267 /
+    143,847). *)
+
+val paper_bandwidth : kind -> float
+(** Optimal kernel bandwidth reported in Table 1 (71.56 / 59.48 / 24.38 /
+    298.82 / 3.59). *)

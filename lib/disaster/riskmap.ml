@@ -1,0 +1,43 @@
+type t = { surfaces : (Event.kind * Rr_kde.Grid_density.t) list }
+
+let build ?(bandwidth = Event.paper_bandwidth) catalog =
+  let surfaces =
+    List.map
+      (fun kind ->
+        let events = Catalog.coords catalog kind in
+        (kind, Rr_kde.Grid_density.fit ~bandwidth:(bandwidth kind) events))
+      Event.all_kinds
+  in
+  { surfaces }
+
+let risk_at t coord =
+  List.fold_left
+    (fun acc (_, surface) -> acc +. Rr_kde.Grid_density.eval surface coord)
+    0.0 t.surfaces
+
+let kind_density t kind =
+  match List.assoc_opt kind t.surfaces with
+  | Some s -> s
+  | None -> invalid_arg "Riskmap.kind_density: unknown kind"
+
+let pop_risks t (net : Rr_topology.Net.t) =
+  Array.map
+    (fun (p : Rr_topology.Pop.t) -> risk_at t p.Rr_topology.Pop.coord)
+    net.Rr_topology.Net.pops
+
+let average_pop_risk t net = Rr_util.Arrayx.fmean (pop_risks t net)
+
+let shared =
+  let cache = lazy (build (Catalog.shared ())) in
+  fun () -> Lazy.force cache
+
+let build_seasonal ?(bandwidth = Event.paper_bandwidth) ~months catalog =
+  let surfaces =
+    List.filter_map
+      (fun kind ->
+        let events = Catalog.coords_in_months catalog kind ~months in
+        if Array.length events = 0 then None
+        else Some (kind, Rr_kde.Grid_density.fit ~bandwidth:(bandwidth kind) events))
+      Event.all_kinds
+  in
+  { surfaces }

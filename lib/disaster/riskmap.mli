@@ -1,0 +1,40 @@
+(** The historical outage-risk surface [o_h] (Sec. 5.2).
+
+    [o_h(y)] is the sum of the five per-kind kernel likelihoods at
+    location [y], each fitted with its Table 1 bandwidth (or a
+    caller-supplied one, e.g. from a fresh {!Rr_kde.Bandwidth.select}
+    run). Densities are rasterised ({!Rr_kde.Grid_density}) so that
+    evaluating hundreds of PoPs is cheap. *)
+
+type t
+
+val build :
+  ?bandwidth:(Event.kind -> float) ->
+  Catalog.t ->
+  t
+(** Fit the five surfaces. Default bandwidths are the paper's Table 1
+    values. *)
+
+val risk_at : t -> Rr_geo.Coord.t -> float
+(** Aggregate likelihood [o_h] (per square mile, summed over the five
+    kinds). *)
+
+val kind_density : t -> Event.kind -> Rr_kde.Grid_density.t
+(** One fitted surface (for Fig. 4 rendering). *)
+
+val pop_risks : t -> Rr_topology.Net.t -> float array
+(** [o_h] at every PoP of a network. *)
+
+val average_pop_risk : t -> Rr_topology.Net.t -> float
+(** Mean PoP risk — the Table 3 "average PoP risk" characteristic. *)
+
+val shared : unit -> t
+(** Surface over {!Catalog.shared} with paper bandwidths, memoised. *)
+
+val build_seasonal :
+  ?bandwidth:(Event.kind -> float) -> months:int list -> Catalog.t -> t
+(** Seasonal variant: each kind's surface is fitted only to events whose
+    month falls in [months] (kinds left with no events contribute zero
+    risk). The paper notes the strong seasonal correlation of tornadoes
+    and hurricanes but fits a single annual surface; this is that
+    extension. *)

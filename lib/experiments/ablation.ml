@@ -1,0 +1,353 @@
+let zoo () = Rr_topology.Zoo.shared ()
+
+let net name =
+  match Rr_topology.Zoo.find (zoo ()) name with
+  | Some net -> net
+  | None -> failwith ("Ablation: unknown network " ^ name)
+
+let run_scale ppf =
+  Format.fprintf ppf
+    "Ablation: risk_scale sensitivity (lambda_h = 1e5, intradomain ratios)@.";
+  Format.fprintf ppf "%-12s %10s %10s %10s@." "Network" "scale" "risk rr" "dist dr";
+  List.iter
+    (fun name ->
+      List.iter
+        (fun scale ->
+          let params = { Riskroute.Params.default with Riskroute.Params.risk_scale = scale } in
+          let env = Riskroute.Env.of_net ~params (net name) in
+          let r = Riskroute.Ratios.intradomain ~pair_cap:2000 env in
+          Format.fprintf ppf "%-12s %10.0f %10.3f %10.3f@." name scale
+            r.Riskroute.Ratios.risk_reduction r.Riskroute.Ratios.distance_increase)
+        [ 1000.0; 3000.0; 10000.0 ])
+    [ "AT&T"; "Level3" ]
+
+let run_impact ppf =
+  Format.fprintf ppf
+    "Ablation: outage-impact factor (census kappa_ij vs uniform impact)@.";
+  List.iter
+    (fun name ->
+      let n = net name in
+      let census = Riskroute.Env.of_net n in
+      let size = Riskroute.Env.node_count census in
+      let uniform =
+        Riskroute.Env.make
+          ~graph:n.Rr_topology.Net.graph
+          ~coords:(Riskroute.Env.coords census)
+          ~impact:(Array.make size (1.0 /. float_of_int size))
+          ~historical:(Riskroute.Env.historical census)
+          ()
+      in
+      let rc = Riskroute.Ratios.intradomain ~pair_cap:2000 census in
+      let ru = Riskroute.Ratios.intradomain ~pair_cap:2000 uniform in
+      Format.fprintf ppf
+        "%-12s census kappa: rr=%.3f dr=%.3f | uniform: rr=%.3f dr=%.3f@." name
+        rc.Riskroute.Ratios.risk_reduction rc.Riskroute.Ratios.distance_increase
+        ru.Riskroute.Ratios.risk_reduction ru.Riskroute.Ratios.distance_increase)
+    [ "AT&T"; "Sprint" ]
+
+let run_candidates ppf =
+  Format.fprintf ppf
+    "Ablation: candidate-link pruning threshold (Sec. 6.3 footnote)@.";
+  Format.fprintf ppf "%-12s %10s %12s %22s@." "Network" "threshold" "candidates"
+    "bit-risk after 5 links";
+  List.iter
+    (fun name ->
+      let env = Riskroute.Env.of_net (net name) in
+      List.iter
+        (fun threshold ->
+          let candidates =
+            Riskroute.Augment.candidates ~reduction_threshold:threshold env
+          in
+          let picks =
+            Riskroute.Augment.greedy ~k:5 ~reduction_threshold:threshold env
+          in
+          let final =
+            match List.rev picks with
+            | last :: _ -> last.Riskroute.Augment.fraction
+            | [] -> 1.0
+          in
+          Format.fprintf ppf "%-12s %10.2f %12d %22.3f@." name threshold
+            (List.length candidates) final)
+        [ 0.3; 0.5; 0.7 ])
+    [ "Sprint"; "Teliasonera" ]
+
+let run_kde ppf =
+  Format.fprintf ppf "Ablation: rasterised vs exact KDE (storm catalogue)@.";
+  let catalog = Rr_disaster.Catalog.generate ~scale:0.05 () in
+  let events = Rr_disaster.Catalog.coords catalog Rr_disaster.Event.Fema_storm in
+  List.iter
+    (fun bandwidth ->
+      let exact = Rr_kde.Density.fit ~bandwidth events in
+      let grid = Rr_kde.Grid_density.fit ~bandwidth events in
+      let probes = Rr_cities.Query.top_by_population 60 in
+      let rel_errors =
+        List.filter_map
+          (fun (c : Rr_cities.Data.city) ->
+            let e = Rr_kde.Density.eval exact c.Rr_cities.Data.coord in
+            let g = Rr_kde.Grid_density.eval grid c.Rr_cities.Data.coord in
+            if e > 1e-12 then Some (Float.abs (g -. e) /. e) else None)
+          probes
+      in
+      Format.fprintf ppf
+        "  bandwidth %6.1f mi: mean relative error %.3f, max %.3f (%d probes)@."
+        bandwidth
+        (Rr_util.Arrayx.fmean (Array.of_list rel_errors))
+        (Rr_util.Arrayx.fmax (Array.of_list rel_errors))
+        (List.length rel_errors))
+    [ 24.38; 71.56; 298.82 ]
+
+let run_outage ppf =
+  Format.fprintf ppf
+    "Extension: Monte Carlo outage simulation (static routes under strikes)@.";
+  Format.fprintf ppf "%-12s %-14s %10s %10s %10s %10s@." "Network" "Strike kind"
+    "shortest" "riskroute" "reactive" "endpoints";
+  List.iter
+    (fun name ->
+      let env = Riskroute.Env.of_net (net name) in
+      List.iter
+        (fun kind ->
+          let r = Riskroute.Outagesim.run ~scenario_count:150 ~pair_cap:150 ~kind env in
+          Format.fprintf ppf "%-12s %-14s %10.3f %10.3f %10.3f %10.3f@." name
+            (Rr_disaster.Event.kind_name kind)
+            r.Riskroute.Outagesim.shortest_survival
+            r.Riskroute.Outagesim.riskroute_survival
+            r.Riskroute.Outagesim.reactive_survival
+            r.Riskroute.Outagesim.endpoint_loss)
+        [ Rr_disaster.Event.Fema_hurricane; Rr_disaster.Event.Fema_tornado ])
+    [ "AT&T"; "Sprint"; "Level3" ]
+
+let run_seasonal ppf =
+  Format.fprintf ppf "Extension: seasonal risk surfaces (annual vs season)@.";
+  let catalog = Rr_disaster.Catalog.shared () in
+  let annual = Rr_disaster.Riskmap.shared () in
+  let hurricane_season = Rr_disaster.Riskmap.build_seasonal ~months:[ 8; 9; 10 ] catalog in
+  let winter = Rr_disaster.Riskmap.build_seasonal ~months:[ 12; 1; 2 ] catalog in
+  let probe name =
+    match Rr_cities.Query.by_name name with
+    | Some c -> c.Rr_cities.Data.coord
+    | None -> failwith ("probe city missing: " ^ name)
+  in
+  Format.fprintf ppf "%-16s %12s %14s %10s@." "City" "annual" "Aug-Oct" "Dec-Feb";
+  List.iter
+    (fun name ->
+      let coord = probe name in
+      Format.fprintf ppf "%-16s %12.2e %14.2e %10.2e@." name
+        (Rr_disaster.Riskmap.risk_at annual coord)
+        (Rr_disaster.Riskmap.risk_at hurricane_season coord)
+        (Rr_disaster.Riskmap.risk_at winter coord))
+    [ "New Orleans"; "Oklahoma City"; "Los Angeles"; "Chicago" ]
+
+let run_ospf ppf =
+  Format.fprintf ppf
+    "Extension: OSPF link-weight export fidelity (Sec. 3.1 deployment path)@.";
+  Format.fprintf ppf "%-18s %12s %12s@." "Network" "exact match" "risk gap";
+  List.iter
+    (fun n ->
+      let env = Riskroute.Env.of_net n in
+      let f = Riskroute.Ospf.fidelity ~pair_cap:1000 env in
+      Format.fprintf ppf "%-18s %11.1f%% %12.4f@." n.Rr_topology.Net.name
+        (100.0 *. f.Riskroute.Ospf.exact_match)
+        f.Riskroute.Ospf.risk_gap)
+    (zoo ()).Rr_topology.Zoo.tier1s
+
+let run_backup ppf =
+  Format.fprintf ppf
+    "Extension: backup-path plans (IP fast reroute, Sec. 3.1)@.";
+  let n = net "AT&T" in
+  let env = Riskroute.Env.of_net n in
+  let size = Riskroute.Env.node_count env in
+  let coverage_sum = ref 0.0 and stretch_sum = ref 0.0 and count = ref 0 in
+  for src = 0 to size - 1 do
+    let dst = (src + (size / 2)) mod size in
+    if src <> dst then
+      match Riskroute.Backup.plan env ~src ~dst with
+      | Some plan ->
+        coverage_sum := !coverage_sum +. Riskroute.Backup.coverage plan;
+        stretch_sum := !stretch_sum +. Riskroute.Backup.worst_stretch plan;
+        incr count
+      | None -> ()
+  done;
+  Format.fprintf ppf
+    "AT&T, %d src/dst plans: mean single-failure coverage %.1f%%, mean worst stretch %.2fx@."
+    !count
+    (100.0 *. !coverage_sum /. float_of_int !count)
+    (!stretch_sum /. float_of_int !count)
+
+let run_bgp ppf =
+  Format.fprintf ppf
+    "Extension: valley-free BGP policy routing vs the Sec. 6.2 bounds@.";
+  let merged, env = Riskroute.Interdomain.shared () in
+  let peering = Riskroute.Interdomain.peering merged in
+  let nets = peering.Rr_topology.Peering.nets in
+  let rng = Rr_util.Prng.create 0xB9_9BL in
+  let regionals =
+    List.filter
+      (fun i -> nets.(i).Rr_topology.Net.tier = Rr_topology.Net.Regional)
+      (Rr_util.Listx.range 0 (Array.length nets))
+  in
+  let samples = 120 in
+  let upper_sum = ref 0.0 and policy_sum = ref 0.0 and lower_sum = ref 0.0 in
+  let routable = ref 0 and policy_blocked = ref 0 in
+  let regional_array = Array.of_list regionals in
+  for _ = 1 to samples do
+    let a = regional_array.(Rr_util.Prng.int rng (Array.length regional_array)) in
+    let b = regional_array.(Rr_util.Prng.int rng (Array.length regional_array)) in
+    if a <> b then begin
+      let sa = Riskroute.Interdomain.net_nodes merged a in
+      let sb = Riskroute.Interdomain.net_nodes merged b in
+      let src = sa.(Rr_util.Prng.int rng (Array.length sa)) in
+      let dst = sb.(Rr_util.Prng.int rng (Array.length sb)) in
+      match Riskroute.Bgp.bounds merged env ~src ~dst with
+      | Some bounds ->
+        incr routable;
+        upper_sum := !upper_sum +. bounds.Riskroute.Bgp.upper;
+        policy_sum := !policy_sum +. bounds.Riskroute.Bgp.policy;
+        lower_sum := !lower_sum +. bounds.Riskroute.Bgp.lower
+      | None -> incr policy_blocked
+    end
+  done;
+  let f sum = sum /. float_of_int (max 1 !routable) in
+  Format.fprintf ppf
+    "  %d sampled regional-to-regional flows (%d with no valley-free path)@."
+    !routable !policy_blocked;
+  Format.fprintf ppf "  mean bit-risk miles: upper (shortest) %.0f@." (f !upper_sum);
+  Format.fprintf ppf "                       policy (valley-free RiskRoute) %.0f@."
+    (f !policy_sum);
+  Format.fprintf ppf "                       lower (full control, Sec. 6.2) %.0f@."
+    (f !lower_sum);
+  Format.fprintf ppf
+    "  policy routing captures %.0f%% of the full-control risk savings@."
+    (100.0 *. (f !upper_sum -. f !policy_sum)
+    /. Float.max 1e-9 (f !upper_sum -. f !lower_sum))
+
+let run_availability ppf =
+  Format.fprintf ppf
+    "Extension: achieved availability under the catalogue strike rate@.";
+  Format.fprintf ppf "%-12s %-12s %22s %22s %12s@." "Network" "Posture"
+    "availability" "downtime (min/yr)" "nines";
+  List.iter
+    (fun name ->
+      let env = Riskroute.Env.of_net (net name) in
+      let a = Riskroute.Availability.run env in
+      List.iter
+        (fun (posture, value) ->
+          Format.fprintf ppf "%-12s %-12s %22.6f %22.0f %12.2f@." name posture
+            value
+            (Riskroute.Availability.downtime_minutes_per_year value)
+            (Riskroute.Availability.nines value))
+        [
+          ("shortest", a.Riskroute.Availability.shortest);
+          ("riskroute", a.Riskroute.Availability.riskroute);
+          ("reactive", a.Riskroute.Availability.reactive);
+        ])
+    [ "AT&T"; "Sprint" ]
+
+let run_traffic ppf =
+  Format.fprintf ppf "Extension: gravity traffic matrix and weighted ratios@.";
+  List.iter
+    (fun name ->
+      let n = net name in
+      let populations = Rr_census.Service.shared_fractions n in
+      let tm = Rr_topology.Traffic.gravity ~populations n in
+      let env = Riskroute.Env.of_net n in
+      Format.fprintf ppf "%s (%.0f Gbps offered):@." name
+        (Rr_topology.Traffic.total tm);
+      List.iter
+        (fun (i, j, v) ->
+          Format.fprintf ppf "  top flow %-22s -> %-22s %6.1f Gbps@."
+            (Rr_topology.Net.pop n i).Rr_topology.Pop.name
+            (Rr_topology.Net.pop n j).Rr_topology.Pop.name v)
+        (Rr_topology.Traffic.top_flows tm 3);
+      let uniform = Riskroute.Ratios.intradomain ~pair_cap:2000 env in
+      let weighted =
+        Riskroute.Ratios.weighted ~pair_cap:2000
+          ~weight:(fun i j -> Rr_topology.Traffic.demand tm i j)
+          env
+      in
+      Format.fprintf ppf
+        "  uniform rr=%.3f dr=%.3f | traffic-weighted rr=%.3f dr=%.3f@."
+        uniform.Riskroute.Ratios.risk_reduction
+        uniform.Riskroute.Ratios.distance_increase
+        weighted.Riskroute.Ratios.risk_reduction
+        weighted.Riskroute.Ratios.distance_increase)
+    [ "Sprint"; "Tinet" ]
+
+let run_mrc ppf =
+  Format.fprintf ppf
+    "Extension: multiple routing configurations (Kvalbein et al. via Sec. 3.1)@.";
+  List.iter
+    (fun name ->
+      let env = Riskroute.Env.of_net (net name) in
+      let mrc = Riskroute.Mrc.build env in
+      let n = Riskroute.Env.node_count env in
+      (* how many single-node failures are recoverable for a probe flow set *)
+      let recovered = ref 0 and total = ref 0 in
+      for failed = 0 to n - 1 do
+        let src = if failed = 0 then 1 else 0 in
+        let dst = if failed = n - 1 then n - 2 else n - 1 in
+        if failed <> src && failed <> dst then begin
+          incr total;
+          match Riskroute.Mrc.recovery_route mrc ~failed ~src ~dst with
+          | Some _ -> incr recovered
+          | None -> ()
+        end
+      done;
+      Format.fprintf ppf
+        "%-12s %d configurations, node coverage %.0f%%, recovery success %d/%d@."
+        name
+        (Riskroute.Mrc.config_count mrc)
+        (100.0 *. Riskroute.Mrc.coverage mrc)
+        !recovered !total)
+    [ "AT&T"; "Sprint"; "Teliasonera" ]
+
+let run_sla ppf =
+  Format.fprintf ppf
+    "Extension: SLA-constrained RiskRoute (LARAC, Sec. 6.4)@.";
+  let n = net "Level3" in
+  let env = Riskroute.Env.of_net n in
+  match
+    (Rr_topology.Net.find_pop n ~city:"Houston", Rr_topology.Net.find_pop n ~city:"Boston")
+  with
+  | Some src, Some dst ->
+    let shortest = Option.get (Riskroute.Router.shortest env ~src ~dst) in
+    let floor_ms = Riskroute.Sla.latency_ms env shortest.Riskroute.Router.path in
+    Format.fprintf ppf
+      "Houston -> Boston on Level3 (latency floor %.2f ms one-way):@." floor_ms;
+    Format.fprintf ppf "%12s %12s %14s %10s@." "budget (ms)" "latency" "path risk" "miles";
+    List.iter
+      (fun slack ->
+        let budget = floor_ms *. slack in
+        match Riskroute.Sla.constrained_route env ~src ~dst ~max_latency_ms:budget with
+        | Some c ->
+          Format.fprintf ppf "%12.2f %12.2f %14.0f %10.0f@." budget c.Riskroute.Sla.latency
+            c.Riskroute.Sla.risk c.Riskroute.Sla.route.Riskroute.Router.bit_miles
+        | None -> Format.fprintf ppf "%12.2f   (infeasible)@." budget)
+      [ 1.0; 1.05; 1.1; 1.2; 1.5; 2.0 ]
+  | _ -> Format.fprintf ppf "Level3 lacks the probe PoPs in this synthesis@."
+
+let run_pareto ppf =
+  Format.fprintf ppf
+    "Extension: distance/risk Pareto frontier (SLA trade-off, Sec. 8)@.";
+  let n = net "Level3" in
+  let env = Riskroute.Env.of_net n in
+  let pairs = [ ("Houston", "Boston"); ("Miami", "Seattle"); ("New Orleans", "Chicago") ] in
+  List.iter
+    (fun (a, b) ->
+      match (Rr_topology.Net.find_pop n ~city:a, Rr_topology.Net.find_pop n ~city:b) with
+      | Some src, Some dst ->
+        let frontier = Riskroute.Pareto.frontier env ~src ~dst in
+        Format.fprintf ppf "%s -> %s: %d non-dominated routes@." a b
+          (List.length frontier);
+        List.iter
+          (fun (p : Riskroute.Pareto.point) ->
+            Format.fprintf ppf "    %7.0f bit-miles, risk %8.0f (%d hops)@."
+              p.Riskroute.Pareto.bit_miles p.Riskroute.Pareto.risk
+              (List.length p.Riskroute.Pareto.path - 1))
+          frontier;
+        (match Riskroute.Pareto.knee frontier with
+        | Some k ->
+          Format.fprintf ppf "    knee: %.0f bit-miles at risk %.0f@."
+            k.Riskroute.Pareto.bit_miles k.Riskroute.Pareto.risk
+        | None -> ())
+      | _ -> Format.fprintf ppf "%s -> %s: PoPs not present in this synthesis@." a b)
+    pairs

@@ -1,0 +1,58 @@
+(** Ablation and extension studies beyond the paper's tables/figures.
+
+    Each [run_*] prints a self-contained report; they are registered in
+    {!Report} under the ids [abl-scale], [abl-impact], [abl-candidates],
+    [abl-kde], [abl-outage], [abl-seasonal], [abl-ospf], [abl-backup] and
+    [abl-pareto]. *)
+
+val run_scale : Format.formatter -> unit
+(** Sensitivity of the Table 2 ratios to the density-to-likelihood
+    calibration constant [risk_scale]. *)
+
+val run_impact : Format.formatter -> unit
+(** Role of the outage-impact factor: census-derived [kappa_ij = c_i + c_j]
+    versus uniform impact. *)
+
+val run_candidates : Format.formatter -> unit
+(** Sweep of the Sec. 6.3 candidate-link pruning threshold (the paper's
+    ">50% bit-miles reduction" rule). *)
+
+val run_kde : Format.formatter -> unit
+(** Rasterised versus exact KDE: accuracy at the gazetteer cities. *)
+
+val run_outage : Format.formatter -> unit
+(** Monte Carlo outage simulation: survival of static shortest-path
+    routes versus static RiskRoute routes under disaster strikes. *)
+
+val run_seasonal : Format.formatter -> unit
+(** Seasonal risk surfaces: hurricane-season versus winter risk at probe
+    cities. *)
+
+val run_ospf : Format.formatter -> unit
+(** Fidelity of OSPF link-weight export per Tier-1 network. *)
+
+val run_backup : Format.formatter -> unit
+(** IP-fast-reroute style backup coverage and stretch. *)
+
+val run_pareto : Format.formatter -> unit
+(** Distance/risk Pareto frontiers for headline city pairs. *)
+
+val run_bgp : Format.formatter -> unit
+(** Valley-free (policy-compliant) interdomain routing versus the
+    paper's upper/lower bounds ([abl-bgp]). *)
+
+val run_availability : Format.formatter -> unit
+(** Achieved availability ("nines") per routing posture under the
+    catalogue's strike rate ([abl-availability]). *)
+
+val run_traffic : Format.formatter -> unit
+(** Gravity traffic matrix and traffic-weighted ratios
+    ([abl-traffic]). *)
+
+val run_mrc : Format.formatter -> unit
+(** Multiple-routing-configurations recovery with RiskRoute weights
+    ([abl-mrc]). *)
+
+val run_sla : Format.formatter -> unit
+(** Latency-budgeted minimum-risk routing (LARAC): risk achievable as the
+    SLA budget loosens ([abl-sla]). *)

@@ -1,0 +1,97 @@
+let with_out path f =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+
+(* Quote a CSV field only when needed (commas appear in PoP names). *)
+let field s =
+  if String.exists (fun c -> c = ',' || c = '"') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let row oc cells = output_string oc (String.concat "," (List.map field cells) ^ "\n")
+
+let write_table2 path =
+  with_out path (fun oc ->
+      row oc [ "network"; "pops"; "rr_1e5"; "dr_1e5"; "rr_1e6"; "dr_1e6" ];
+      List.iter
+        (fun (r : Table2.row) ->
+          row oc
+            [
+              r.Table2.network; string_of_int r.Table2.pops;
+              Printf.sprintf "%.4f" r.Table2.rr_1e5;
+              Printf.sprintf "%.4f" r.Table2.dr_1e5;
+              Printf.sprintf "%.4f" r.Table2.rr_1e6;
+              Printf.sprintf "%.4f" r.Table2.dr_1e6;
+            ])
+        (Table2.compute ()))
+
+let write_fig8 path =
+  with_out path (fun oc ->
+      row oc [ "network"; "distance_ratio"; "risk_ratio"; "pairs" ];
+      List.iter
+        (fun (p : Fig8.point) ->
+          row oc
+            [
+              p.Fig8.network;
+              Printf.sprintf "%.4f" p.Fig8.result.Riskroute.Ratios.distance_increase;
+              Printf.sprintf "%.4f" p.Fig8.result.Riskroute.Ratios.risk_reduction;
+              string_of_int p.Fig8.result.Riskroute.Ratios.pairs;
+            ])
+        (Fig8.compute ()))
+
+let write_fig10 path =
+  with_out path (fun oc ->
+      row oc [ "network"; "links_added"; "fraction_of_original_bit_risk" ];
+      List.iter
+        (fun (c : Fig10.curve) ->
+          Array.iteri
+            (fun i fraction ->
+              row oc
+                [ c.Fig10.network; string_of_int (i + 1); Printf.sprintf "%.4f" fraction ])
+            c.Fig10.fractions)
+        (Fig10.compute ()))
+
+let write_series path series =
+  with_out path (fun oc ->
+      row oc
+        [ "network"; "tick"; "issued"; "risk_reduction"; "distance_increase";
+          "pops_in_scope" ];
+      List.iter
+        (fun (s : Riskroute.Casestudy.series) ->
+          List.iter
+            (fun (p : Riskroute.Casestudy.point) ->
+              row oc
+                [
+                  s.Riskroute.Casestudy.network;
+                  string_of_int p.Riskroute.Casestudy.tick;
+                  p.Riskroute.Casestudy.label;
+                  Printf.sprintf "%.4f" p.Riskroute.Casestudy.risk_reduction;
+                  Printf.sprintf "%.4f" p.Riskroute.Casestudy.distance_increase;
+                  string_of_int p.Riskroute.Casestudy.pops_in_scope;
+                ])
+            s.Riskroute.Casestudy.points)
+        series)
+
+let write_fig12 path storm = write_series path (Fig12.compute storm)
+
+let write_fig13 path storm = write_series path (Fig13.compute storm)
+
+let write_all dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let out name = Filename.concat dir name in
+  let written = ref [] in
+  let emit name write =
+    let path = out name in
+    write path;
+    written := path :: !written
+  in
+  emit "table2.csv" write_table2;
+  emit "fig8.csv" write_fig8;
+  emit "fig10.csv" write_fig10;
+  List.iter
+    (fun storm ->
+      let slug = String.lowercase_ascii storm.Rr_forecast.Track.name in
+      emit (Printf.sprintf "fig12_%s.csv" slug) (fun p -> write_fig12 p storm);
+      emit (Printf.sprintf "fig13_%s.csv" slug) (fun p -> write_fig13 p storm))
+    Rr_forecast.Track.all;
+  List.rev !written

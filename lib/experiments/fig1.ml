@@ -1,0 +1,37 @@
+let tier1_pop_total () =
+  Rr_topology.Zoo.tier1_pop_total (Rr_topology.Zoo.shared ())
+
+let regional_pop_total () =
+  Rr_topology.Zoo.regional_pop_total (Rr_topology.Zoo.shared ())
+
+let pop_map nets =
+  let grid = Rr_geo.Grid.create Rr_geo.Bbox.conus ~rows:60 ~cols:144 in
+  List.iter
+    (fun net ->
+      Array.iter
+        (fun (p : Rr_topology.Pop.t) ->
+          Rr_geo.Grid.deposit grid p.Rr_topology.Pop.coord 1.0)
+        net.Rr_topology.Net.pops)
+    nets;
+  Rr_geo.Grid.render_ascii ~width:72 ~height:20 grid
+
+let run ppf =
+  let zoo = Rr_topology.Zoo.shared () in
+  Format.fprintf ppf "Fig 1: network data sets@.";
+  Format.fprintf ppf
+    "Tier-1 infrastructure: %d networks, %d PoPs (paper: 7 networks, 354 PoPs)@."
+    (List.length zoo.Rr_topology.Zoo.tier1s)
+    (tier1_pop_total ());
+  List.iter
+    (fun net -> Format.fprintf ppf "  %a@." Rr_topology.Net.pp_summary net)
+    zoo.Rr_topology.Zoo.tier1s;
+  Format.fprintf ppf "Tier-1 PoP density map:@.%s@," (pop_map zoo.Rr_topology.Zoo.tier1s);
+  Format.fprintf ppf
+    "Regional infrastructure: %d networks, %d PoPs (paper: 16 networks, 455 PoPs)@."
+    (List.length zoo.Rr_topology.Zoo.regionals)
+    (regional_pop_total ());
+  List.iter
+    (fun net -> Format.fprintf ppf "  %a@." Rr_topology.Net.pp_summary net)
+    zoo.Rr_topology.Zoo.regionals;
+  Format.fprintf ppf "Regional PoP density map:@.%s@."
+    (pop_map zoo.Rr_topology.Zoo.regionals)

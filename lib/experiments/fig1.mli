@@ -1,0 +1,11 @@
+(** Fig. 1: geographic placement of Tier-1 and regional infrastructure
+    (PoP locations and links), rendered as ASCII density maps plus
+    corpus summary statistics. *)
+
+val run : Format.formatter -> unit
+
+val tier1_pop_total : unit -> int
+(** 354 in the paper. *)
+
+val regional_pop_total : unit -> int
+(** 455 in the paper. *)

@@ -1,0 +1,33 @@
+type curve = {
+  network : string;
+  fractions : float array;
+}
+
+let compute ?(max_links = 8) () =
+  let zoo = Rr_topology.Zoo.shared () in
+  List.map
+    (fun net ->
+      let env = Riskroute.Env.of_net net in
+      let picks = Riskroute.Augment.greedy ~k:max_links env in
+      {
+        network = net.Rr_topology.Net.name;
+        fractions =
+          Array.of_list
+            (List.map (fun (p : Riskroute.Augment.pick) -> p.Riskroute.Augment.fraction) picks);
+      })
+    zoo.Rr_topology.Zoo.tier1s
+
+let run ppf =
+  Format.fprintf ppf "Fig 10: fraction of original bit-risk miles vs links added@.";
+  let curves = compute () in
+  Format.fprintf ppf "%-18s" "Network";
+  for k = 1 to 8 do
+    Format.fprintf ppf " %6s" (Printf.sprintf "+%d" k)
+  done;
+  Format.fprintf ppf "@.";
+  List.iter
+    (fun c ->
+      Format.fprintf ppf "%-18s" c.network;
+      Array.iter (fun f -> Format.fprintf ppf " %6.3f" f) c.fractions;
+      Format.fprintf ppf "@.")
+    curves

@@ -1,0 +1,12 @@
+(** Fig. 10: estimated risk reduction as links are added — fraction of
+    the original aggregate bit-risk miles after adding 1..8 greedy links,
+    for every Tier-1 network. *)
+
+type curve = {
+  network : string;
+  fractions : float array;  (** index k-1 = after k added links *)
+}
+
+val compute : ?max_links:int -> unit -> curve list
+
+val run : Format.formatter -> unit

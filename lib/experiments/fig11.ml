@@ -1,0 +1,15 @@
+let compute ?pair_cap () =
+  let merged, env = Riskroute.Interdomain.shared () in
+  Riskroute.Peer_advisor.recommend_all ?pair_cap merged env
+
+let run ppf =
+  Format.fprintf ppf
+    "Fig 11: best additional peering relationship per regional network@.";
+  Format.fprintf ppf "%-18s %-18s %14s@." "Regional" "Recommended peer"
+    "Improvement";
+  List.iter
+    (fun (r : Riskroute.Peer_advisor.recommendation) ->
+      Format.fprintf ppf "%-18s %-18s %13.1f%%@."
+        r.Riskroute.Peer_advisor.regional r.Riskroute.Peer_advisor.peer
+        (100.0 *. r.Riskroute.Peer_advisor.improvement))
+    (compute ())

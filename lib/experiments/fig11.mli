@@ -1,0 +1,6 @@
+(** Fig. 11: best additional peering relationship for each regional
+    network (dotted red links in the paper's figure). *)
+
+val compute : ?pair_cap:int -> unit -> Riskroute.Peer_advisor.recommendation list
+
+val run : Format.formatter -> unit

@@ -1,0 +1,35 @@
+let compute ?(pair_cap = 1000) ?(tick_stride = 4) storm =
+  let zoo = Rr_topology.Zoo.shared () in
+  List.map
+    (fun net -> Riskroute.Casestudy.tier1 ~pair_cap ~tick_stride ~storm net)
+    zoo.Rr_topology.Zoo.tier1s
+
+let pp_series ppf (series : Riskroute.Casestudy.series list) =
+  match series with
+  | [] -> ()
+  | first :: _ ->
+    (* header row of advisory labels, then one row per network *)
+    Format.fprintf ppf "%-18s" "Network \\ advisory";
+    List.iter
+      (fun (p : Riskroute.Casestudy.point) ->
+        Format.fprintf ppf " %6d" p.Riskroute.Casestudy.tick)
+      first.Riskroute.Casestudy.points;
+    Format.fprintf ppf "@.";
+    List.iter
+      (fun (s : Riskroute.Casestudy.series) ->
+        Format.fprintf ppf "%-18s" s.Riskroute.Casestudy.network;
+        List.iter
+          (fun (p : Riskroute.Casestudy.point) ->
+            Format.fprintf ppf " %6.3f" p.Riskroute.Casestudy.risk_reduction)
+          s.Riskroute.Casestudy.points;
+        Format.fprintf ppf "  (scope %.0f%%)@."
+          (100.0 *. s.Riskroute.Casestudy.scope_fraction))
+      series
+
+let run ppf =
+  Format.fprintf ppf "Fig 12: Tier-1 case studies (risk-reduction ratio per advisory)@.";
+  List.iter
+    (fun storm ->
+      Format.fprintf ppf "-- Hurricane %s --@." storm.Rr_forecast.Track.name;
+      pp_series ppf (compute storm))
+    Rr_forecast.Track.all

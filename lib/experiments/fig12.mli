@@ -1,0 +1,12 @@
+(** Fig. 12: Tier-1 intradomain risk-reduction time series during
+    Hurricanes Irene, Katrina and Sandy. *)
+
+val compute :
+  ?pair_cap:int -> ?tick_stride:int -> Rr_forecast.Track.storm ->
+  Riskroute.Casestudy.series list
+(** One series per Tier-1 network (defaults: pair_cap 1000, stride 4). *)
+
+val pp_series : Format.formatter -> Riskroute.Casestudy.series list -> unit
+(** Tabular rendering shared with {!Fig13}. *)
+
+val run : Format.formatter -> unit

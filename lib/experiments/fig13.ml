@@ -1,0 +1,28 @@
+let compute ?(pair_cap = 300) ?(tick_stride = 6) storm =
+  let merged, base_env = Riskroute.Interdomain.shared () in
+  let peering = Riskroute.Interdomain.peering merged in
+  let nets = peering.Rr_topology.Peering.nets in
+  let advisories = Rr_forecast.Track.advisories storm in
+  List.filter_map
+    (fun i ->
+      match nets.(i).Rr_topology.Net.tier with
+      | Rr_topology.Net.Tier1 -> None
+      | Rr_topology.Net.Regional ->
+        let fraction = Rr_forecast.Riskfield.scope_fraction advisories nets.(i) in
+        if fraction > 0.2 then
+          Some
+            (Riskroute.Casestudy.regional ~pair_cap ~tick_stride ~storm ~merged
+               ~base_env i)
+        else None)
+    (Rr_util.Listx.range 0 (Array.length nets))
+
+let run ppf =
+  Format.fprintf ppf
+    "Fig 13: regional interdomain case studies (>20%% of PoPs in scope)@.";
+  List.iter
+    (fun storm ->
+      Format.fprintf ppf "-- Hurricane %s --@." storm.Rr_forecast.Track.name;
+      match compute storm with
+      | [] -> Format.fprintf ppf "  (no regional network above the 20%% scope filter)@."
+      | series -> Fig12.pp_series ppf series)
+    Rr_forecast.Track.all

@@ -1,0 +1,11 @@
+(** Fig. 13: regional interdomain risk-reduction time series during the
+    three hurricanes, restricted (as in Sec. 7.3.1) to regional networks
+    with more than 20% of their PoPs in the event's scope. *)
+
+val compute :
+  ?pair_cap:int -> ?tick_stride:int -> Rr_forecast.Track.storm ->
+  Riskroute.Casestudy.series list
+(** Defaults: pair_cap 300, stride 6 (the merged graph makes per-tick
+    evaluation expensive; see EXPERIMENTS.md). *)
+
+val run : Format.formatter -> unit

@@ -1,0 +1,11 @@
+let edge_count () =
+  let zoo = Rr_topology.Zoo.shared () in
+  List.length zoo.Rr_topology.Zoo.peering.Rr_topology.Peering.edges
+
+let run ppf =
+  let zoo = Rr_topology.Zoo.shared () in
+  let peering = zoo.Rr_topology.Zoo.peering in
+  Format.fprintf ppf "Fig 2: AS connectivity between all %d networks (%d peerings)@."
+    (Rr_topology.Peering.net_count peering)
+    (edge_count ());
+  Rr_topology.Peering.pp ppf peering

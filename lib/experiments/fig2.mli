@@ -1,0 +1,5 @@
+(** Fig. 2: AS-level connectivity between the 23 networks. *)
+
+val run : Format.formatter -> unit
+
+val edge_count : unit -> int

@@ -1,0 +1,27 @@
+let run ppf =
+  let blocks = Rr_census.Synthetic.shared () in
+  Format.fprintf ppf
+    "Fig 3 (left): population density of the continental United States@.";
+  Format.fprintf ppf "census blocks: %d (paper: 215,932), total population %.0f@."
+    (Array.length blocks)
+    (Rr_census.Block.total_population blocks);
+  let grid = Rr_census.Synthetic.heat_grid blocks ~rows:100 ~cols:240 in
+  Format.fprintf ppf "%s@," (Rr_geo.Grid.render_ascii ~width:72 ~height:20 grid);
+  let zoo = Rr_topology.Zoo.shared () in
+  match Rr_topology.Zoo.find zoo "Teliasonera" with
+  | None -> Format.fprintf ppf "Teliasonera network missing@."
+  | Some net ->
+    Format.fprintf ppf
+      "Fig 3 (right): nearest-neighbour assignment for Teliasonera PoPs@.";
+    let fractions = Rr_census.Service.shared_fractions net in
+    let ranked =
+      List.sort
+        (fun (_, a) (_, b) -> Float.compare b a)
+        (List.mapi
+           (fun i f -> ((Rr_topology.Net.pop net i).Rr_topology.Pop.name, f))
+           (Array.to_list fractions))
+    in
+    List.iter
+      (fun (name, f) ->
+        Format.fprintf ppf "  %-24s %6.2f%% of served population@." name (100.0 *. f))
+      ranked

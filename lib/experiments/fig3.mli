@@ -1,0 +1,5 @@
+(** Fig. 3: population density heat map of the CONUS and the
+    nearest-neighbour population assignment for the Teliasonera
+    network. *)
+
+val run : Format.formatter -> unit

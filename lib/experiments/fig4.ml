@@ -1,0 +1,62 @@
+type concentration = {
+  kind : Rr_disaster.Event.kind;
+  region : string;
+  mass_share : float;
+}
+
+(* Regions the paper's Fig. 4 narrative names for each event type. *)
+let region_of_kind = function
+  | Rr_disaster.Event.Fema_hurricane ->
+    ( "Gulf & Atlantic coast (lat < 37)",
+      Rr_geo.Bbox.make ~min_lat:24.5 ~max_lat:37.0 ~min_lon:(-98.0) ~max_lon:(-66.5) )
+  | Rr_disaster.Event.Fema_tornado ->
+    ( "central plains & Dixie (lon -103..-85)",
+      Rr_geo.Bbox.make ~min_lat:26.0 ~max_lat:45.0 ~min_lon:(-103.0) ~max_lon:(-85.0) )
+  | Rr_disaster.Event.Fema_storm ->
+    ( "central US (lon -103..-80)",
+      Rr_geo.Bbox.make ~min_lat:28.0 ~max_lat:49.0 ~min_lon:(-103.0) ~max_lon:(-80.0) )
+  | Rr_disaster.Event.Noaa_earthquake ->
+    ( "West (lon < -104)",
+      Rr_geo.Bbox.make ~min_lat:24.5 ~max_lat:49.5 ~min_lon:(-125.0) ~max_lon:(-104.0) )
+  | Rr_disaster.Event.Noaa_wind ->
+    ( "east of the Rockies (lon > -104)",
+      Rr_geo.Bbox.make ~min_lat:24.5 ~max_lat:49.5 ~min_lon:(-104.0) ~max_lon:(-66.5) )
+
+let concentrations () =
+  let riskmap = Rr_disaster.Riskmap.shared () in
+  List.map
+    (fun kind ->
+      let density = Rr_disaster.Riskmap.kind_density riskmap kind in
+      let grid = Rr_kde.Grid_density.grid density in
+      let region, box = region_of_kind kind in
+      let total = Rr_geo.Grid.total grid in
+      let share =
+        if total > 0.0 then Rr_geo.Grid.mass_in grid box /. total else 0.0
+      in
+      { kind; region; mass_share = share })
+    Rr_disaster.Event.all_kinds
+
+let labels = [ "(A)"; "(B)"; "(C)"; "(D)"; "(E)" ]
+
+let run ppf =
+  Format.fprintf ppf
+    "Fig 4: bandwidth-optimised kernel density estimates, 1970-2010@.";
+  let riskmap = Rr_disaster.Riskmap.shared () in
+  List.iteri
+    (fun i kind ->
+      let density = Rr_disaster.Riskmap.kind_density riskmap kind in
+      Format.fprintf ppf "%s %s likelihood (bandwidth %.2f mi):@."
+        (List.nth labels i)
+        (Rr_disaster.Event.kind_name kind)
+        (Rr_kde.Grid_density.bandwidth density);
+      Format.fprintf ppf "%s@,"
+        (Rr_geo.Grid.render_ascii ~width:72 ~height:16
+           (Rr_kde.Grid_density.grid density)))
+    Rr_disaster.Event.all_kinds;
+  Format.fprintf ppf "Mass concentration checks:@.";
+  List.iter
+    (fun c ->
+      Format.fprintf ppf "  %-18s %5.1f%% of mass in %s@."
+        (Rr_disaster.Event.kind_name c.kind)
+        (100.0 *. c.mass_share) c.region)
+    (concentrations ())

@@ -1,0 +1,17 @@
+(** Fig. 4: bandwidth-optimised kernel density estimates of the five
+    disaster catalogues (A: hurricane, B: tornado, C: storm,
+    D: earthquake, E: damaging wind), as ASCII heat maps plus regional
+    mass-concentration checks. *)
+
+type concentration = {
+  kind : Rr_disaster.Event.kind;
+  region : string;       (** the region the paper says dominates *)
+  mass_share : float;    (** fraction of density mass inside that region *)
+}
+
+val concentrations : unit -> concentration list
+(** Quantitative check of the geography: hurricanes on the Gulf/Atlantic
+    coast, tornadoes/storms in the central plains, earthquakes in the
+    West. *)
+
+val run : Format.formatter -> unit

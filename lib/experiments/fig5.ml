@@ -1,0 +1,25 @@
+(* The paper shows 11 AM 8/25, 5 PM 8/26 and 8 AM 8/28; with 3-hour ticks
+   from 7 PM 8/20 those are advisory indices 38, 48 and 61. *)
+let paper_ticks = [ 38; 48; 61 ]
+
+let run ppf =
+  let storm = Rr_forecast.Track.irene in
+  let advisories = Array.of_list (Rr_forecast.Track.advisories storm) in
+  Format.fprintf ppf
+    "Fig 5: geo-spatial disaster forecast for Hurricane Irene@.";
+  List.iter
+    (fun tick ->
+      if tick < Array.length advisories then begin
+        let a = advisories.(tick) in
+        Format.fprintf ppf "  advisory %2d  %s@." (tick + 1)
+          a.Rr_forecast.Advisory.issued;
+        Format.fprintf ppf
+          "    center %a, hurricane-force %3.0f mi, tropical-storm-force %3.0f mi@."
+          Rr_geo.Coord.pp a.Rr_forecast.Advisory.center
+          a.Rr_forecast.Advisory.hurricane_radius_miles
+          a.Rr_forecast.Advisory.tropical_radius_miles
+      end)
+    paper_ticks;
+  (* also show the raw advisory text round-trip for one tick *)
+  let sample = List.nth (Rr_forecast.Track.advisory_texts storm) 48 in
+  Format.fprintf ppf "Sample rendered advisory text (tick 48):@.%s@." sample

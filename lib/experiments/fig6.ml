@@ -1,0 +1,50 @@
+let tier1_pops_in_hurricane_scope storm =
+  let zoo = Rr_topology.Zoo.shared () in
+  let advisories = Rr_forecast.Track.advisories storm in
+  List.fold_left
+    (fun acc net ->
+      let count = ref 0 in
+      Array.iter
+        (fun (p : Rr_topology.Pop.t) ->
+          let hit =
+            List.exists
+              (fun (a : Rr_forecast.Advisory.t) ->
+                a.Rr_forecast.Advisory.hurricane_radius_miles > 0.0
+                && Rr_geo.Distance.miles a.Rr_forecast.Advisory.center
+                     p.Rr_topology.Pop.coord
+                   <= a.Rr_forecast.Advisory.hurricane_radius_miles)
+              advisories
+          in
+          if hit then incr count)
+        net.Rr_topology.Net.pops;
+      acc + !count)
+    0 zoo.Rr_topology.Zoo.tier1s
+
+let scope_map storm =
+  let advisories = Rr_forecast.Track.advisories storm in
+  let grid = Rr_geo.Grid.create Rr_geo.Bbox.conus ~rows:60 ~cols:144 in
+  for row = 0 to Rr_geo.Grid.rows grid - 1 do
+    for col = 0 to Rr_geo.Grid.cols grid - 1 do
+      let coord = Rr_geo.Grid.coord_of_cell grid row col in
+      Rr_geo.Grid.set grid row col
+        (Rr_forecast.Riskfield.union_scope advisories coord)
+    done
+  done;
+  Rr_geo.Grid.render_ascii ~width:72 ~height:20 grid
+
+let paper_counts = [ ("IRENE", 86); ("KATRINA", 8); ("SANDY", 115) ]
+
+let run ppf =
+  Format.fprintf ppf "Fig 6: final geo-spatial scope of the three hurricanes@.";
+  List.iter
+    (fun storm ->
+      let name = storm.Rr_forecast.Track.name in
+      Format.fprintf ppf "Hurricane %s (%d advisories):@.%s@," name
+        storm.Rr_forecast.Track.advisory_count (scope_map storm);
+      let count = tier1_pops_in_hurricane_scope storm in
+      let paper =
+        match List.assoc_opt name paper_counts with Some c -> c | None -> 0
+      in
+      Format.fprintf ppf
+        "  Tier-1 PoPs under hurricane-force winds: %d (paper: %d)@." count paper)
+    Rr_forecast.Track.all

@@ -1,0 +1,57 @@
+type comparison = {
+  lambda_h : float;
+  shortest : Riskroute.Router.route;
+  riskroute : Riskroute.Router.route;
+}
+
+let level3 () =
+  match Rr_topology.Zoo.find (Rr_topology.Zoo.shared ()) "Level3" with
+  | Some net -> net
+  | None -> failwith "Fig7: Level3 missing from the Zoo"
+
+let endpoints net =
+  match
+    (Rr_topology.Net.find_pop net ~city:"Houston",
+     Rr_topology.Net.find_pop net ~city:"Boston")
+  with
+  | Some h, Some b -> (h, b)
+  | _ -> failwith "Fig7: Level3 map lacks a Houston or Boston PoP"
+
+let compute () =
+  let net = level3 () in
+  let src, dst = endpoints net in
+  List.map
+    (fun lambda_h ->
+      let params = Riskroute.Params.with_lambda_h lambda_h Riskroute.Params.default in
+      let env = Riskroute.Env.of_net ~params net in
+      let get = function
+        | Some route -> route
+        | None -> failwith "Fig7: Houston and Boston are disconnected"
+      in
+      {
+        lambda_h;
+        shortest = get (Riskroute.Router.shortest env ~src ~dst);
+        riskroute = get (Riskroute.Router.riskroute env ~src ~dst);
+      })
+    [ 1e4; 1e5 ]
+
+let pp_route ppf net (route : Riskroute.Router.route) =
+  let names =
+    List.map
+      (fun i -> (Rr_topology.Net.pop net i).Rr_topology.Pop.name)
+      route.Riskroute.Router.path
+  in
+  Format.fprintf ppf "%s (%.0f bit-miles, %.0f bit-risk-miles)"
+    (String.concat " -> " names)
+    route.Riskroute.Router.bit_miles route.Riskroute.Router.bit_risk_miles
+
+let run ppf =
+  let net = level3 () in
+  Format.fprintf ppf
+    "Fig 7: Level3 routing between Houston, TX and Boston, MA@.";
+  List.iter
+    (fun c ->
+      Format.fprintf ppf "lambda_h = %.0e@." c.lambda_h;
+      Format.fprintf ppf "  shortest : %a@." (fun ppf -> pp_route ppf net) c.shortest;
+      Format.fprintf ppf "  riskroute: %a@." (fun ppf -> pp_route ppf net) c.riskroute)
+    (compute ())

@@ -1,0 +1,14 @@
+(** Fig. 7: RiskRoute versus shortest path between the Houston, TX and
+    Boston, MA PoPs of the Level3 network, at lambda_h = 1e4 and 1e5. *)
+
+type comparison = {
+  lambda_h : float;
+  shortest : Riskroute.Router.route;
+  riskroute : Riskroute.Router.route;
+}
+
+val compute : unit -> comparison list
+(** Raises [Failure] if the shared Level3 map lacks Houston or Boston
+    PoPs or they are disconnected. *)
+
+val run : Format.formatter -> unit

@@ -1,0 +1,17 @@
+(** Fig. 8: interdomain distance-increase versus risk-reduction scatter
+    for the 16 regional networks (lambda_h = 1e5).
+
+    Each regional's PoPs are path sources; destinations are the PoPs of
+    all 16 regional networks; routing crosses the merged multi-ISP graph
+    through Tier-1 transit. *)
+
+type point = {
+  network : string;
+  result : Riskroute.Ratios.result;
+}
+
+val compute : ?pair_cap:int -> unit -> point list
+(** [pair_cap] (default 1200) bounds sampled pairs per network. Results
+    for the shared Zoo; memoised (Table 3 reuses them). *)
+
+val run : Format.formatter -> unit

@@ -1,0 +1,40 @@
+type suggestion = {
+  network : string;
+  links : (string * string * float) list;
+}
+
+let networks = [ "Level3"; "AT&T"; "Tinet" ]
+
+let compute ?(k = 10) () =
+  let zoo = Rr_topology.Zoo.shared () in
+  List.filter_map
+    (fun name ->
+      match Rr_topology.Zoo.find zoo name with
+      | None -> None
+      | Some net ->
+        let env = Riskroute.Env.of_net net in
+        let picks = Riskroute.Augment.greedy ~k env in
+        let links =
+          List.map
+            (fun (p : Riskroute.Augment.pick) ->
+              ( (Rr_topology.Net.pop net p.Riskroute.Augment.u).Rr_topology.Pop.name,
+                (Rr_topology.Net.pop net p.Riskroute.Augment.v).Rr_topology.Pop.name,
+                p.Riskroute.Augment.fraction ))
+            picks
+        in
+        Some { network = name; links })
+    networks
+
+let run ppf =
+  Format.fprintf ppf
+    "Fig 9: ten best additional links per network (greedy RiskRoute)@.";
+  List.iter
+    (fun s ->
+      Format.fprintf ppf "%s:@." s.network;
+      List.iteri
+        (fun i (a, b, fraction) ->
+          Format.fprintf ppf
+            "  %2d. %-22s -- %-22s (bit-risk at %.3f of original)@." (i + 1) a b
+            fraction)
+        s.links)
+    (compute ())

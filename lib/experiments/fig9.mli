@@ -1,0 +1,14 @@
+(** Fig. 9: the ten best additional links (greedy RiskRoute robustness
+    suggestions) for the Level3, AT&T and Tinet networks. *)
+
+type suggestion = {
+  network : string;
+  links : (string * string * float) list;
+      (** (endpoint, endpoint, fraction of original bit-risk miles after
+          adding this and all previous links) *)
+}
+
+val compute : ?k:int -> unit -> suggestion list
+(** Default [k] = 10 links per network, as in the paper. *)
+
+val run : Format.formatter -> unit

@@ -1,0 +1,54 @@
+type experiment = {
+  id : string;
+  title : string;
+  run : Format.formatter -> unit;
+}
+
+let all =
+  [
+    { id = "table1"; title = "Trained kernel density bandwidths"; run = Table1.run };
+    { id = "table2"; title = "Tier-1 bit-risk to bit-miles trade-off"; run = Table2.run };
+    { id = "table3"; title = "Regional characteristics R^2"; run = Table3.run };
+    { id = "fig1"; title = "Network data sets"; run = Fig1.run };
+    { id = "fig2"; title = "AS connectivity"; run = Fig2.run };
+    { id = "fig3"; title = "Population density and assignment"; run = Fig3.run };
+    { id = "fig4"; title = "Disaster kernel density estimates"; run = Fig4.run };
+    { id = "fig5"; title = "Hurricane Irene forecast geometry"; run = Fig5.run };
+    { id = "fig6"; title = "Final geographic scope of the hurricanes"; run = Fig6.run };
+    { id = "fig7"; title = "Level3 Houston-Boston routes"; run = Fig7.run };
+    { id = "fig8"; title = "Interdomain regional scatter"; run = Fig8.run };
+    { id = "fig9"; title = "Ten best additional links"; run = Fig9.run };
+    { id = "fig10"; title = "Risk decay with added links"; run = Fig10.run };
+    { id = "fig11"; title = "Best additional peering"; run = Fig11.run };
+    { id = "fig12"; title = "Tier-1 hurricane case studies"; run = Fig12.run };
+    { id = "fig13"; title = "Regional hurricane case studies"; run = Fig13.run };
+    { id = "abl-scale"; title = "Ablation: risk_scale sensitivity"; run = Ablation.run_scale };
+    { id = "abl-impact"; title = "Ablation: impact factor"; run = Ablation.run_impact };
+    { id = "abl-candidates"; title = "Ablation: candidate pruning threshold"; run = Ablation.run_candidates };
+    { id = "abl-kde"; title = "Ablation: grid vs exact KDE"; run = Ablation.run_kde };
+    { id = "abl-outage"; title = "Extension: outage Monte Carlo"; run = Ablation.run_outage };
+    { id = "abl-seasonal"; title = "Extension: seasonal risk"; run = Ablation.run_seasonal };
+    { id = "abl-ospf"; title = "Extension: OSPF weight export"; run = Ablation.run_ospf };
+    { id = "abl-backup"; title = "Extension: backup-path plans"; run = Ablation.run_backup };
+    { id = "abl-pareto"; title = "Extension: Pareto frontiers"; run = Ablation.run_pareto };
+    { id = "abl-bgp"; title = "Extension: valley-free policy routing"; run = Ablation.run_bgp };
+    { id = "abl-availability"; title = "Extension: availability accounting"; run = Ablation.run_availability };
+    { id = "abl-traffic"; title = "Extension: gravity traffic weighting"; run = Ablation.run_traffic };
+    { id = "abl-mrc"; title = "Extension: multiple routing configurations"; run = Ablation.run_mrc };
+    { id = "abl-sla"; title = "Extension: SLA-constrained routing (LARAC)"; run = Ablation.run_sla };
+  ]
+
+let find id =
+  let lower = String.lowercase_ascii id in
+  List.find_opt (fun e -> String.equal e.id lower) all
+
+let ids () = List.map (fun e -> e.id) all
+
+let run_all ppf =
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "@.=== %s: %s ===@." (String.uppercase_ascii e.id) e.title;
+      let t0 = Sys.time () in
+      e.run ppf;
+      Format.fprintf ppf "[%s completed in %.1fs cpu]@." e.id (Sys.time () -. t0))
+    all

@@ -1,0 +1,23 @@
+(** Registry of every reproduced table and figure.
+
+    The bench harness and the CLI's [report] subcommand both drive
+    experiments through this registry. *)
+
+type experiment = {
+  id : string;          (** e.g. ["table2"], ["fig12"] *)
+  title : string;
+  run : Format.formatter -> unit;
+}
+
+val all : experiment list
+(** In paper order: table1-3, fig1-13, then the ablation/extension
+    studies ([abl-*]). *)
+
+val find : string -> experiment option
+(** Case-insensitive id lookup. *)
+
+val ids : unit -> string list
+
+val run_all : Format.formatter -> unit
+(** Run everything, separated by headers, with per-experiment wall-clock
+    timing lines. *)

@@ -1,0 +1,59 @@
+type row = {
+  network : string;
+  pops : int;
+  rr_1e5 : float;
+  dr_1e5 : float;
+  rr_1e6 : float;
+  dr_1e6 : float;
+}
+
+let paper =
+  [
+    ("Level3", (0.075, 0.015, 0.258, 0.136));
+    ("AT&T", (0.207, 0.045, 0.340, 0.168));
+    ("Deutsche Telekom", (0.245, 0.130, 0.384, 0.446));
+    ("NTT", (0.187, 0.040, 0.295, 0.127));
+    ("Sprint", (0.222, 0.079, 0.352, 0.191));
+    ("Tinet", (0.177, 0.045, 0.347, 0.195));
+    ("Teliasonera", (0.223, 0.068, 0.336, 0.226));
+  ]
+
+let compute ?(pair_cap = 6000) () =
+  let zoo = Rr_topology.Zoo.shared () in
+  List.map
+    (fun net ->
+      let ratios lambda_h =
+        let params =
+          Riskroute.Params.with_lambda_h lambda_h Riskroute.Params.default
+        in
+        let env = Riskroute.Env.of_net ~params net in
+        Riskroute.Ratios.intradomain ~pair_cap env
+      in
+      let r5 = ratios 1e5 and r6 = ratios 1e6 in
+      {
+        network = net.Rr_topology.Net.name;
+        pops = Rr_topology.Net.pop_count net;
+        rr_1e5 = r5.Riskroute.Ratios.risk_reduction;
+        dr_1e5 = r5.Riskroute.Ratios.distance_increase;
+        rr_1e6 = r6.Riskroute.Ratios.risk_reduction;
+        dr_1e6 = r6.Riskroute.Ratios.distance_increase;
+      })
+    zoo.Rr_topology.Zoo.tier1s
+
+let run ppf =
+  Format.fprintf ppf
+    "Table 2: Tier-1 bit-risk to bit-miles trade-off (ours | paper)@.";
+  Format.fprintf ppf "%-18s %6s | %-27s | %-27s@." "Network" "#PoPs"
+    "lambda_h = 1e5 (rr, dr)" "lambda_h = 1e6 (rr, dr)";
+  List.iter
+    (fun row ->
+      let prr5, pdr5, prr6, pdr6 =
+        match List.assoc_opt row.network paper with
+        | Some v -> v
+        | None -> (nan, nan, nan, nan)
+      in
+      Format.fprintf ppf
+        "%-18s %6d | %.3f %.3f (paper %.3f %.3f) | %.3f %.3f (paper %.3f %.3f)@."
+        row.network row.pops row.rr_1e5 row.dr_1e5 prr5 pdr5 row.rr_1e6
+        row.dr_1e6 prr6 pdr6)
+    (compute ())

@@ -1,0 +1,19 @@
+(** Table 2: Tier-1 bit-risk versus bit-miles trade-off under RiskRoute at
+    [lambda_h = 1e5] and [1e6]. *)
+
+type row = {
+  network : string;
+  pops : int;
+  rr_1e5 : float;  (** risk reduction ratio at lambda_h = 1e5 *)
+  dr_1e5 : float;  (** distance increase ratio at lambda_h = 1e5 *)
+  rr_1e6 : float;
+  dr_1e6 : float;
+}
+
+val paper : (string * (float * float * float * float)) list
+(** The paper's (rr_1e5, dr_1e5, rr_1e6, dr_1e6) per network. *)
+
+val compute : ?pair_cap:int -> unit -> row list
+(** Ratios over the shared Zoo Tier-1s ([pair_cap] default 6000). *)
+
+val run : Format.formatter -> unit

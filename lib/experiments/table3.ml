@@ -1,0 +1,42 @@
+let paper =
+  [
+    ("Geographic Footprint", (0.618, 0.243));
+    ("Average PoP Risk", (0.104, 0.064));
+    ("Average Outdegree", (0.116, 0.106));
+    ("Number of PoPs", (0.552, 0.405));
+    ("Number of Links", (0.531, 0.361));
+    ("Number of Peers", (0.155, 0.002));
+  ]
+
+let compute ?pair_cap () =
+  let zoo = Rr_topology.Zoo.shared () in
+  let points = Fig8.compute ?pair_cap () in
+  let results =
+    List.filter_map
+      (fun (p : Fig8.point) ->
+        Option.map
+          (fun net -> (net, p.Fig8.result))
+          (Rr_topology.Zoo.find zoo p.Fig8.network))
+      points
+  in
+  Riskroute.Characteristics.table ~results
+    ~peering:zoo.Rr_topology.Zoo.peering
+    ~riskmap:(Rr_disaster.Riskmap.shared ())
+
+let run ppf =
+  Format.fprintf ppf
+    "Table 3: regional R^2 of network characteristics vs interdomain ratios@.";
+  Format.fprintf ppf "%-22s %22s %22s@." "Characteristic"
+    "Risk R^2 (ours|paper)" "Dist R^2 (ours|paper)";
+  List.iter
+    (fun (row : Riskroute.Characteristics.row) ->
+      let cname = Riskroute.Characteristics.name row.Riskroute.Characteristics.characteristic in
+      let pr, pd =
+        match List.assoc_opt cname paper with
+        | Some v -> v
+        | None -> (nan, nan)
+      in
+      Format.fprintf ppf "%-22s %10.3f | %8.3f %10.3f | %8.3f@." cname
+        row.Riskroute.Characteristics.r2_risk pr
+        row.Riskroute.Characteristics.r2_distance pd)
+    (compute ())

@@ -1,0 +1,9 @@
+(** Table 3: coefficient of determination (R^2) of regional network
+    characteristics against the interdomain ratios of Fig. 8. *)
+
+val paper : (string * (float * float)) list
+(** Paper's (risk-ratio R^2, distance-ratio R^2) per characteristic. *)
+
+val compute : ?pair_cap:int -> unit -> Riskroute.Characteristics.row list
+
+val run : Format.formatter -> unit

@@ -1,0 +1,28 @@
+let advisory (a : Advisory.t) =
+  let buf = Buffer.create 512 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let lat = Rr_geo.Coord.lat a.Advisory.center in
+  let lon = Rr_geo.Coord.lon a.Advisory.center in
+  let classification =
+    if a.Advisory.hurricane_radius_miles > 0.0 then "HURRICANE" else "TROPICAL STORM"
+  in
+  add "BULLETIN\n";
+  add "%s %s ADVISORY NUMBER %d\n" classification a.Advisory.storm a.Advisory.number;
+  add "NWS NATIONAL HURRICANE CENTER MIAMI FL\n";
+  add "%s\n\n" a.Advisory.issued;
+  add "...THE CENTER OF %s %s WAS LOCATED NEAR LATITUDE %.1f %s...LONGITUDE %.1f %s.\n"
+    classification a.Advisory.storm (Float.abs lat)
+    (if lat >= 0.0 then "NORTH" else "SOUTH")
+    (Float.abs lon)
+    (if lon >= 0.0 then "EAST" else "WEST");
+  if a.Advisory.hurricane_radius_miles > 0.0 then
+    add
+      "HURRICANE-FORCE WINDS EXTEND OUTWARD UP TO %.0f MILES...%.0f KM...FROM THE CENTER.\n"
+      a.Advisory.hurricane_radius_miles
+      (Rr_geo.Distance.miles_to_km a.Advisory.hurricane_radius_miles);
+  if a.Advisory.tropical_radius_miles > 0.0 then
+    add
+      "...AND TROPICAL-STORM-FORCE WINDS EXTEND OUTWARD UP TO %.0f MILES...%.0f KM.\n"
+      a.Advisory.tropical_radius_miles
+      (Rr_geo.Distance.miles_to_km a.Advisory.tropical_radius_miles);
+  Buffer.contents buf

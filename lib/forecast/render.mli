@@ -1,0 +1,8 @@
+(** Render an advisory back into NHC public-advisory prose.
+
+    [Parse.advisory (Render.advisory adv)] recovers [adv] up to the
+    integer rounding of wind radii (round-trip covered by tests). The
+    experiments always go through this text path, so the NLP parser is on
+    the critical path exactly as in the paper. *)
+
+val advisory : Advisory.t -> string

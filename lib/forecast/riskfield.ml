@@ -1,0 +1,60 @@
+let default_rho_tropical = 50.0
+
+let default_rho_hurricane = 100.0
+
+let risk_at ?(rho_tropical = default_rho_tropical)
+    ?(rho_hurricane = default_rho_hurricane) (a : Advisory.t) point =
+  let d = Rr_geo.Distance.miles a.Advisory.center point in
+  if a.Advisory.hurricane_radius_miles > 0.0 && d <= a.Advisory.hurricane_radius_miles
+  then rho_hurricane
+  else if
+    a.Advisory.tropical_radius_miles > 0.0 && d <= a.Advisory.tropical_radius_miles
+  then rho_tropical
+  else 0.0
+
+let pop_risks ?rho_tropical ?rho_hurricane advisory (net : Rr_topology.Net.t) =
+  Array.map
+    (fun (p : Rr_topology.Pop.t) ->
+      risk_at ?rho_tropical ?rho_hurricane advisory p.Rr_topology.Pop.coord)
+    net.Rr_topology.Net.pops
+
+let count_pops advisory net ~pred =
+  Array.fold_left
+    (fun acc (p : Rr_topology.Pop.t) ->
+      if pred (Rr_geo.Distance.miles advisory.Advisory.center p.Rr_topology.Pop.coord)
+      then acc + 1
+      else acc)
+    0 net.Rr_topology.Net.pops
+
+let pops_in_scope (a : Advisory.t) net =
+  if a.Advisory.tropical_radius_miles <= 0.0 then 0
+  else count_pops a net ~pred:(fun d -> d <= a.Advisory.tropical_radius_miles)
+
+let pops_in_hurricane_scope (a : Advisory.t) net =
+  if a.Advisory.hurricane_radius_miles <= 0.0 then 0
+  else count_pops a net ~pred:(fun d -> d <= a.Advisory.hurricane_radius_miles)
+
+let scope_fraction advisories (net : Rr_topology.Net.t) =
+  let n = Rr_topology.Net.pop_count net in
+  if n = 0 then 0.0
+  else begin
+    let hit = Array.make n false in
+    List.iter
+      (fun (a : Advisory.t) ->
+        if a.Advisory.tropical_radius_miles > 0.0 then
+          Array.iteri
+            (fun i (p : Rr_topology.Pop.t) ->
+              if
+                Rr_geo.Distance.miles a.Advisory.center p.Rr_topology.Pop.coord
+                <= a.Advisory.tropical_radius_miles
+              then hit.(i) <- true)
+            net.Rr_topology.Net.pops)
+      advisories;
+    let hits = Array.fold_left (fun acc h -> if h then acc + 1 else acc) 0 hit in
+    float_of_int hits /. float_of_int n
+  end
+
+let union_scope advisories point =
+  List.fold_left
+    (fun acc advisory -> Float.max acc (risk_at advisory point))
+    0.0 advisories

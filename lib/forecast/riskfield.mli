@@ -1,0 +1,36 @@
+(** Forecasted outage risk [o_f] (Sec. 5.3).
+
+    Given an advisory, a location is at risk [rho_h] when inside the
+    hurricane-force wind radius, [rho_t] when inside the
+    tropical-storm-force radius, and 0 otherwise. Section 7 uses
+    [rho_t = 50] and [rho_h = 100]. *)
+
+val default_rho_tropical : float
+(** 50. *)
+
+val default_rho_hurricane : float
+(** 100. *)
+
+val risk_at :
+  ?rho_tropical:float -> ?rho_hurricane:float -> Advisory.t ->
+  Rr_geo.Coord.t -> float
+
+val pop_risks :
+  ?rho_tropical:float -> ?rho_hurricane:float -> Advisory.t ->
+  Rr_topology.Net.t -> float array
+(** [o_f] per PoP id. *)
+
+val pops_in_scope : Advisory.t -> Rr_topology.Net.t -> int
+(** PoPs inside the tropical-storm-force radius ("in the scope" of the
+    event, the paper's phrase). *)
+
+val pops_in_hurricane_scope : Advisory.t -> Rr_topology.Net.t -> int
+
+val scope_fraction : Advisory.t list -> Rr_topology.Net.t -> float
+(** Fraction of the network's PoPs that are inside the tropical radius at
+    {e any} advisory of the event — the ">20% of their PoPs" filter of
+    Sec. 7.3.1. *)
+
+val union_scope : Advisory.t list -> Rr_geo.Coord.t -> float
+(** Final geographic scope of an event (Fig. 6): the maximum per-advisory
+    risk at the point across the advisory sequence (default rho values). *)

@@ -1,0 +1,209 @@
+type waypoint = {
+  hour : float;
+  lat : float;
+  lon : float;
+  hurricane_radius : float;
+  tropical_radius : float;
+}
+
+type storm = {
+  name : string;
+  year : int;
+  start_month : int;
+  start_day : int;
+  start_hour : int;
+  tz : string;
+  advisory_count : int;
+  interval_hours : float;
+  waypoints : waypoint array;
+}
+
+let w hour lat lon hurricane_radius tropical_radius =
+  { hour; lat; lon; hurricane_radius; tropical_radius }
+
+let irene =
+  {
+    name = "IRENE";
+    year = 2011;
+    start_month = 8;
+    start_day = 20;
+    start_hour = 19;
+    tz = "EDT";
+    advisory_count = 70;
+    interval_hours = 3.0;
+    waypoints =
+      [|
+        w 0.0 21.0 (-70.5) 0.0 150.0;
+        w 24.0 22.5 (-73.0) 30.0 180.0;
+        w 48.0 24.5 (-75.5) 50.0 205.0;
+        w 72.0 26.5 (-77.2) 70.0 230.0;
+        w 96.0 28.5 (-78.0) 80.0 255.0;
+        w 120.0 31.0 (-78.3) 90.0 260.0;
+        w 144.0 33.5 (-77.8) 90.0 260.0;
+        w 156.0 34.7 (-76.6) 85.0 260.0; (* NC landfall *)
+        w 168.0 36.5 (-75.9) 75.0 260.0;
+        w 180.0 39.4 (-74.4) 60.0 250.0; (* New Jersey *)
+        w 186.0 40.6 (-74.0) 50.0 230.0; (* New York City *)
+        w 198.0 43.0 (-73.3) 0.0 200.0;
+        w 207.0 45.0 (-71.5) 0.0 150.0;
+      |];
+  }
+
+let katrina =
+  {
+    name = "KATRINA";
+    year = 2005;
+    start_month = 8;
+    start_day = 23;
+    start_hour = 17;
+    tz = "EDT";
+    advisory_count = 61;
+    interval_hours = 3.0;
+    waypoints =
+      [|
+        w 0.0 23.2 (-75.2) 0.0 70.0;
+        w 24.0 24.9 (-77.0) 15.0 90.0;
+        w 48.0 25.9 (-80.3) 30.0 115.0;  (* South Florida landfall *)
+        w 66.0 24.9 (-82.9) 40.0 140.0;
+        w 90.0 24.8 (-85.9) 60.0 175.0;
+        w 114.0 26.0 (-88.1) 95.0 220.0;
+        w 126.0 27.6 (-89.1) 105.0 230.0; (* category 5 in the Gulf *)
+        w 134.0 29.3 (-89.6) 100.0 230.0; (* Buras LA landfall *)
+        w 144.0 31.5 (-89.6) 50.0 200.0;  (* inland Mississippi *)
+        w 156.0 34.0 (-88.8) 0.0 150.0;
+        w 168.0 36.5 (-87.5) 0.0 90.0;
+        w 180.0 38.5 (-85.5) 0.0 40.0;
+      |];
+  }
+
+let sandy =
+  {
+    name = "SANDY";
+    year = 2012;
+    start_month = 10;
+    start_day = 22;
+    start_hour = 11;
+    tz = "EDT";
+    advisory_count = 60;
+    interval_hours = 3.0;
+    waypoints =
+      [|
+        w 0.0 13.5 (-78.0) 0.0 100.0;
+        w 24.0 15.5 (-77.5) 0.0 140.0;
+        w 48.0 18.0 (-76.8) 35.0 160.0;   (* Jamaica *)
+        w 60.0 20.2 (-76.2) 45.0 175.0;   (* Cuba *)
+        w 84.0 24.5 (-76.0) 50.0 230.0;   (* Bahamas *)
+        w 108.0 28.0 (-77.0) 70.0 310.0;
+        w 132.0 32.0 (-75.0) 100.0 400.0;
+        (* Sandy's hurricane-force wind field was extraordinarily wide
+           (~175 miles) as it turned toward the Mid-Atlantic coast *)
+        w 156.0 36.0 (-71.5) 150.0 470.0;
+        w 165.0 38.0 (-72.5) 175.0 485.0;
+        w 171.0 38.8 (-74.0) 175.0 500.0;
+        w 174.0 39.4 (-74.4) 160.0 500.0; (* New Jersey landfall *)
+        w 177.0 40.1 (-76.3) 90.0 480.0;  (* inland Pennsylvania *)
+      |];
+  }
+
+let all = [ irene; katrina; sandy ]
+
+let find name =
+  let upper = String.uppercase_ascii name in
+  List.find_opt (fun s -> String.equal s.name upper) all
+
+let position_at storm hour =
+  let wps = storm.waypoints in
+  let n = Array.length wps in
+  assert (n > 0);
+  if hour <= wps.(0).hour then wps.(0)
+  else if hour >= wps.(n - 1).hour then wps.(n - 1)
+  else begin
+    let rec seg i = if wps.(i + 1).hour >= hour then i else seg (i + 1) in
+    let i = seg 0 in
+    let a = wps.(i) and b = wps.(i + 1) in
+    let f = (hour -. a.hour) /. (b.hour -. a.hour) in
+    let mix x y = x +. (f *. (y -. x)) in
+    {
+      hour;
+      lat = mix a.lat b.lat;
+      lon = mix a.lon b.lon;
+      hurricane_radius = mix a.hurricane_radius b.hurricane_radius;
+      tropical_radius = mix a.tropical_radius b.tropical_radius;
+    }
+  end
+
+(* --- calendar helpers (proleptic Gregorian, good for 1970-2100) --- *)
+
+let month_days year =
+  let leap = (year mod 4 = 0 && year mod 100 <> 0) || year mod 400 = 0 in
+  [| 31; (if leap then 29 else 28); 31; 30; 31; 30; 31; 31; 30; 31; 30; 31 |]
+
+let month_names =
+  [| "JAN"; "FEB"; "MAR"; "APR"; "MAY"; "JUN"; "JUL"; "AUG"; "SEP"; "OCT"; "NOV"; "DEC" |]
+
+let day_names = [| "SUN"; "MON"; "TUE"; "WED"; "THU"; "FRI"; "SAT" |]
+
+(* Sakamoto's day-of-week algorithm. *)
+let weekday ~year ~month ~day =
+  let t = [| 0; 3; 2; 5; 0; 3; 5; 1; 4; 6; 2; 4 |] in
+  let y = if month < 3 then year - 1 else year in
+  (y + (y / 4) - (y / 100) + (y / 400) + t.(month - 1) + day) mod 7
+
+let add_hours ~year ~month ~day ~hour delta =
+  let total = hour + delta in
+  let extra_days = if total >= 0 then total / 24 else ((total + 1) / 24) - 1 in
+  let hour = total - (24 * extra_days) in
+  let rec roll year month day extra =
+    if extra = 0 then (year, month, day)
+    else begin
+      let dim = (month_days year).(month - 1) in
+      if day + extra <= dim then (year, month, day + extra)
+      else begin
+        let used = dim - day + 1 in
+        let month, year = if month = 12 then (1, year + 1) else (month + 1, year) in
+        roll year month 1 (extra - used)
+      end
+    end
+  in
+  let year, month, day = roll year month day extra_days in
+  (year, month, day, hour)
+
+let hour_label hour =
+  let ampm = if hour < 12 then "AM" else "PM" in
+  let h12 = match hour mod 12 with 0 -> 12 | h -> h in
+  Printf.sprintf "%d00 %s" h12 ampm
+
+let timestamp storm ~tick =
+  let delta = int_of_float (Float.round (float_of_int tick *. storm.interval_hours)) in
+  let year, month, day, hour =
+    add_hours ~year:storm.year ~month:storm.start_month ~day:storm.start_day
+      ~hour:storm.start_hour delta
+  in
+  Printf.sprintf "%s %s %s %s %d %d" (hour_label hour) storm.tz
+    day_names.(weekday ~year ~month ~day)
+    month_names.(month - 1) day year
+
+let advisory_at storm tick =
+  let hour = float_of_int tick *. storm.interval_hours in
+  let pos = position_at storm hour in
+  Advisory.make ~storm:storm.name ~number:(tick + 1)
+    ~issued:(timestamp storm ~tick)
+    ~center:(Rr_geo.Coord.make ~lat:pos.lat ~lon:pos.lon)
+    ~hurricane_radius_miles:pos.hurricane_radius
+    ~tropical_radius_miles:pos.tropical_radius
+
+let advisory_texts storm =
+  List.map
+    (fun tick -> Render.advisory (advisory_at storm tick))
+    (Rr_util.Listx.range 0 storm.advisory_count)
+
+let advisories storm =
+  List.map
+    (fun text ->
+      match Parse.advisory text with
+      | Ok adv -> adv
+      | Error e ->
+        failwith
+          (Printf.sprintf "Track.advisories: round trip failed (%s)"
+             (Parse.error_to_string e)))
+    (advisory_texts storm)

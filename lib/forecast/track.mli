@@ -1,0 +1,53 @@
+(** Models of the three historical storms used in the case studies
+    (Sec. 4.4 / Sec. 7.3): Hurricanes Irene (2011), Katrina (2005) and
+    Sandy (2012).
+
+    Each storm is a piecewise-linear best-track-style trajectory with
+    per-waypoint wind radii, discretised into the paper's advisory counts
+    (70 / 61 / 60) at three-hour ticks. {!advisories} renders each tick
+    as NHC prose and re-parses it, so the advisory data used by the
+    experiments always flows through the NLP parser. *)
+
+type waypoint = {
+  hour : float;                    (** hours since the first advisory *)
+  lat : float;
+  lon : float;
+  hurricane_radius : float;        (** miles; 0 when below hurricane force *)
+  tropical_radius : float;
+}
+
+type storm = {
+  name : string;                   (** upper case, e.g. ["IRENE"] *)
+  year : int;
+  start_month : int;
+  start_day : int;
+  start_hour : int;                (** 0-23, local *)
+  tz : string;                     (** e.g. ["EDT"] *)
+  advisory_count : int;
+  interval_hours : float;
+  waypoints : waypoint array;      (** strictly increasing [hour] *)
+}
+
+val irene : storm
+val katrina : storm
+val sandy : storm
+
+val all : storm list
+(** Irene, Katrina, Sandy — the paper's three case studies. *)
+
+val find : string -> storm option
+(** Case-insensitive lookup. *)
+
+val position_at : storm -> float -> waypoint
+(** Piecewise-linear state at an hour offset (clamped to track ends). *)
+
+val advisory_texts : storm -> string list
+(** The full advisory text sequence, in NHC format. *)
+
+val advisories : storm -> Advisory.t list
+(** Rendered then re-parsed advisories (raises [Failure] if the
+    renderer/parser round trip ever fails — a programming error). *)
+
+val timestamp : storm -> tick:int -> string
+(** Issuance string of advisory [tick] (0-based), e.g.
+    ["1100 PM EDT MON OCT 29 2012"]. *)

@@ -1,0 +1,49 @@
+type t = {
+  min_lat : float;
+  max_lat : float;
+  min_lon : float;
+  max_lon : float;
+}
+
+let make ~min_lat ~max_lat ~min_lon ~max_lon =
+  if min_lat > max_lat || min_lon > max_lon then
+    invalid_arg "Bbox.make: inverted bounds";
+  { min_lat; max_lat; min_lon; max_lon }
+
+let conus = make ~min_lat:24.5 ~max_lat:49.5 ~min_lon:(-125.0) ~max_lon:(-66.5)
+
+let contains t c =
+  let lat = Coord.lat c and lon = Coord.lon c in
+  lat >= t.min_lat && lat <= t.max_lat && lon >= t.min_lon && lon <= t.max_lon
+
+let of_coords = function
+  | [] -> invalid_arg "Bbox.of_coords: empty list"
+  | c :: rest ->
+    let init = (Coord.lat c, Coord.lat c, Coord.lon c, Coord.lon c) in
+    let min_lat, max_lat, min_lon, max_lon =
+      List.fold_left
+        (fun (a, b, c', d) p ->
+          ( Float.min a (Coord.lat p),
+            Float.max b (Coord.lat p),
+            Float.min c' (Coord.lon p),
+            Float.max d (Coord.lon p) ))
+        init rest
+    in
+    make ~min_lat ~max_lat ~min_lon ~max_lon
+
+let expand t ~degrees =
+  make
+    ~min_lat:(Float.max (-90.0) (t.min_lat -. degrees))
+    ~max_lat:(Float.min 90.0 (t.max_lat +. degrees))
+    ~min_lon:(Float.max (-180.0) (t.min_lon -. degrees))
+    ~max_lon:(Float.min 180.0 (t.max_lon +. degrees))
+
+let center t =
+  Coord.make
+    ~lat:((t.min_lat +. t.max_lat) /. 2.0)
+    ~lon:((t.min_lon +. t.max_lon) /. 2.0)
+
+let clamp t c =
+  Coord.make
+    ~lat:(Float.max t.min_lat (Float.min t.max_lat (Coord.lat c)))
+    ~lon:(Float.max t.min_lon (Float.min t.max_lon (Coord.lon c)))

@@ -1,0 +1,27 @@
+(** Axis-aligned latitude/longitude bounding boxes. *)
+
+type t = private {
+  min_lat : float;
+  max_lat : float;
+  min_lon : float;
+  max_lon : float;
+}
+
+val make : min_lat:float -> max_lat:float -> min_lon:float -> max_lon:float -> t
+(** Raises [Invalid_argument] when min exceeds max. *)
+
+val conus : t
+(** The continental United States — the paper's entire study area. *)
+
+val contains : t -> Coord.t -> bool
+
+val of_coords : Coord.t list -> t
+(** Tight box around a non-empty coordinate list. *)
+
+val expand : t -> degrees:float -> t
+(** Grow each side by [degrees], clamped to valid lat/lon ranges. *)
+
+val center : t -> Coord.t
+
+val clamp : t -> Coord.t -> Coord.t
+(** Nearest point of the box to the given coordinate. *)

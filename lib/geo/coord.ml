@@ -1,0 +1,59 @@
+type t = { lat : float; lon : float }
+
+let make ~lat ~lon =
+  if not (Float.is_finite lat && lat >= -90.0 && lat <= 90.0) then
+    invalid_arg "Coord.make: latitude out of range";
+  if not (Float.is_finite lon && lon >= -180.0 && lon <= 180.0) then
+    invalid_arg "Coord.make: longitude out of range";
+  { lat; lon }
+
+let lat t = t.lat
+
+let lon t = t.lon
+
+let equal a b = Float.equal a.lat b.lat && Float.equal a.lon b.lon
+
+let compare a b =
+  let c = Float.compare a.lat b.lat in
+  if c <> 0 then c else Float.compare a.lon b.lon
+
+let deg = Float.pi /. 180.0
+
+let to_radians t = (t.lat *. deg, t.lon *. deg)
+
+(* Convert to a 3D unit vector, blend, convert back: exact great-circle
+   interpolation via spherical linear interpolation. *)
+let to_vec t =
+  let lat, lon = to_radians t in
+  (cos lat *. cos lon, cos lat *. sin lon, sin lat)
+
+let of_vec (x, y, z) =
+  let norm = sqrt ((x *. x) +. (y *. y) +. (z *. z)) in
+  let x = x /. norm and y = y /. norm and z = z /. norm in
+  let lat = asin (Float.max (-1.0) (Float.min 1.0 z)) /. deg in
+  let lon = atan2 y x /. deg in
+  make ~lat ~lon
+
+let interpolate a b f =
+  if f <= 0.0 then a
+  else if f >= 1.0 then b
+  else
+  let ax, ay, az = to_vec a and bx, by, bz = to_vec b in
+  let dot = Float.max (-1.0) (Float.min 1.0 ((ax *. bx) +. (ay *. by) +. (az *. bz))) in
+  let omega = acos dot in
+  if omega < 1e-12 then a
+  else begin
+    let sin_omega = sin omega in
+    let wa = sin ((1.0 -. f) *. omega) /. sin_omega in
+    let wb = sin (f *. omega) /. sin_omega in
+    of_vec ((wa *. ax) +. (wb *. bx), (wa *. ay) +. (wb *. by), (wa *. az) +. (wb *. bz))
+  end
+
+let midpoint a b = interpolate a b 0.5
+
+let pp ppf t =
+  let ns = if t.lat >= 0.0 then 'N' else 'S' in
+  let ew = if t.lon >= 0.0 then 'E' else 'W' in
+  Format.fprintf ppf "(%.2f%c, %.2f%c)" (Float.abs t.lat) ns (Float.abs t.lon) ew
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,35 @@
+(** Geographic coordinates (WGS84 latitude / longitude, degrees).
+
+    Latitude grows northwards in [[-90, 90]]; longitude grows eastwards in
+    [[-180, 180]] (continental-US longitudes are negative). *)
+
+type t = { lat : float; lon : float }
+
+val make : lat:float -> lon:float -> t
+(** Build a coordinate; raises [Invalid_argument] outside the valid
+    ranges. *)
+
+val lat : t -> float
+val lon : t -> float
+
+val equal : t -> t -> bool
+(** Exact float equality — adequate because all coordinates in this code
+    base come from a fixed gazetteer or deterministic generators. *)
+
+val compare : t -> t -> int
+(** Lexicographic (lat, lon) order. *)
+
+val midpoint : t -> t -> t
+(** Great-circle midpoint. *)
+
+val interpolate : t -> t -> float -> t
+(** [interpolate a b f] is the point a fraction [f] in [[0, 1]] along the
+    great circle from [a] to [b]. *)
+
+val to_radians : t -> float * float
+(** (lat, lon) in radians. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as ["(41.88N, 87.63W)"]. *)
+
+val to_string : t -> string

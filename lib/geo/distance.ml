@@ -1,0 +1,20 @@
+let earth_radius_miles = 3958.761
+
+let miles_per_km = 0.621371
+
+let miles a b =
+  let lat1, lon1 = Coord.to_radians a in
+  let lat2, lon2 = Coord.to_radians b in
+  let dlat = lat2 -. lat1 and dlon = lon2 -. lon1 in
+  let s1 = sin (dlat /. 2.0) and s2 = sin (dlon /. 2.0) in
+  let h = (s1 *. s1) +. (cos lat1 *. cos lat2 *. s2 *. s2) in
+  let h = Float.max 0.0 (Float.min 1.0 h) in
+  2.0 *. earth_radius_miles *. asin (sqrt h)
+
+let miles_to_km m = m /. miles_per_km
+
+let km_to_miles k = k *. miles_per_km
+
+let km a b = miles_to_km (miles a b)
+
+let within p ~center ~radius_miles = miles p center <= radius_miles

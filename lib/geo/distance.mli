@@ -1,0 +1,21 @@
+(** Great-circle distances in statute miles.
+
+    The paper's bit-miles ("air miles", Level 3 traffic-exchange policy)
+    and all kernel bandwidths (Table 1) are in miles, so miles are the
+    native unit throughout this code base. *)
+
+val earth_radius_miles : float
+(** Mean Earth radius, 3958.761 miles. *)
+
+val miles : Coord.t -> Coord.t -> float
+(** Haversine great-circle distance. *)
+
+val km : Coord.t -> Coord.t -> float
+(** Same distance in kilometres (for display only). *)
+
+val miles_to_km : float -> float
+val km_to_miles : float -> float
+
+val within : Coord.t -> center:Coord.t -> radius_miles:float -> bool
+(** [within p ~center ~radius_miles] tests disc membership — the wind-radius
+    test of the forecast risk field. *)

@@ -1,0 +1,27 @@
+(** Minimal GeoJSON (RFC 7946) writer.
+
+    Networks, routes and storm tracks exported here drop straight into
+    geojson.io / QGIS / Leaflet for real map rendering — the ASCII maps
+    in the bench output are only a terminal preview. *)
+
+type geometry =
+  | Point of Coord.t
+  | Line_string of Coord.t list
+  | Polygon of Coord.t list  (** single exterior ring; closed automatically *)
+
+type feature = {
+  geometry : geometry;
+  properties : (string * string) list;  (** rendered as JSON strings *)
+}
+
+val feature : ?properties:(string * string) list -> geometry -> feature
+
+val feature_collection : feature list -> string
+(** Serialise as a [FeatureCollection] document. *)
+
+val circle : center:Coord.t -> radius_miles:float -> ?segments:int -> unit ->
+  geometry
+(** Geodesic circle approximated by [segments] (default 48) points — wind
+    radii as polygons. *)
+
+val to_file : string -> feature list -> unit

@@ -1,0 +1,37 @@
+type t = Coord.t array
+
+let length_miles t =
+  let acc = ref 0.0 in
+  for i = 1 to Array.length t - 1 do
+    acc := !acc +. Distance.miles t.(i - 1) t.(i)
+  done;
+  !acc
+
+let point_at t ~fraction =
+  if Array.length t = 0 then invalid_arg "Polyline.point_at: empty polyline";
+  if Array.length t = 1 then t.(0)
+  else begin
+    let fraction = Float.max 0.0 (Float.min 1.0 fraction) in
+    let target = fraction *. length_miles t in
+    let rec walk i travelled =
+      if i >= Array.length t - 1 then t.(Array.length t - 1)
+      else begin
+        let leg = Distance.miles t.(i) t.(i + 1) in
+        if travelled +. leg >= target && leg > 0.0 then
+          Coord.interpolate t.(i) t.(i + 1) ((target -. travelled) /. leg)
+        else walk (i + 1) (travelled +. leg)
+      end
+    in
+    walk 0 0.0
+  end
+
+let resample t ~every_miles =
+  if every_miles <= 0.0 then invalid_arg "Polyline.resample: non-positive step";
+  match Array.length t with
+  | 0 -> [||]
+  | 1 -> Array.copy t
+  | _ ->
+    let total = length_miles t in
+    let n = max 1 (int_of_float (Float.round (total /. every_miles))) in
+    Array.init (n + 1) (fun i ->
+        point_at t ~fraction:(float_of_int i /. float_of_int n))

@@ -1,0 +1,15 @@
+(** Sequences of coordinates — storm tracks and routing paths on a map. *)
+
+type t = Coord.t array
+
+val length_miles : t -> float
+(** Sum of great-circle leg lengths. *)
+
+val resample : t -> every_miles:float -> t
+(** Points spaced roughly [every_miles] apart along the polyline
+    (endpoints always included). Used to densify storm tracks before
+    rendering advisory ticks. *)
+
+val point_at : t -> fraction:float -> Coord.t
+(** Point a fraction [f] in [[0, 1]] of the total length along the
+    polyline. *)

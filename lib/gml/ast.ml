@@ -1,0 +1,47 @@
+type value =
+  | Int of int
+  | Float of float
+  | String of string
+  | List of (string * value) list
+
+type t = (string * value) list
+
+let find doc key =
+  match List.assoc_opt key doc with
+  | Some v -> Some v
+  | None -> None
+
+let find_all doc key =
+  List.filter_map (fun (k, v) -> if String.equal k key then Some v else None) doc
+
+let as_int = function
+  | Int i -> Some i
+  | Float f when Float.is_integer f -> Some (int_of_float f)
+  | Float _ | String _ | List _ -> None
+
+let as_float = function
+  | Float f -> Some f
+  | Int i -> Some (float_of_int i)
+  | String _ | List _ -> None
+
+let as_string = function
+  | String s -> Some s
+  | Int _ | Float _ | List _ -> None
+
+let as_list = function
+  | List l -> Some l
+  | Int _ | Float _ | String _ -> None
+
+let rec equal_value a b =
+  match (a, b) with
+  | Int x, Int y -> x = y
+  | Float x, Float y -> Float.equal x y
+  | String x, String y -> String.equal x y
+  | List x, List y -> equal x y
+  | (Int _ | Float _ | String _ | List _), _ -> false
+
+and equal a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (ka, va) (kb, vb) -> String.equal ka kb && equal_value va vb)
+       a b

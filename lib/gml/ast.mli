@@ -1,0 +1,32 @@
+(** Abstract syntax of GML (Graph Modelling Language).
+
+    GML is the interchange format of the Internet Topology Zoo, the
+    paper's source of ISP maps. A document is a list of key/value pairs;
+    values are integers, floats, quoted strings or nested lists. *)
+
+type value =
+  | Int of int
+  | Float of float
+  | String of string
+  | List of (string * value) list
+
+type t = (string * value) list
+(** A whole document (normally a single ["graph"] entry). *)
+
+val find : t -> string -> value option
+(** First value bound to a key (GML allows repeated keys). *)
+
+val find_all : t -> string -> value list
+(** Every value bound to a key, in order. *)
+
+val as_int : value -> int option
+(** Ints, and floats with integral value. *)
+
+val as_float : value -> float option
+(** Floats and ints. *)
+
+val as_string : value -> string option
+val as_list : value -> (string * value) list option
+
+val equal : t -> t -> bool
+(** Structural equality (used by round-trip tests). *)

@@ -1,0 +1,116 @@
+type token =
+  | Key of string
+  | Int_lit of int
+  | Float_lit of float
+  | String_lit of string
+  | Lbracket
+  | Rbracket
+  | Eof
+
+exception Error of string * int
+
+let is_space = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident c = is_ident_start c || (c >= '0' && c <= '9') || c = '.'
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokens src =
+  let n = String.length src in
+  let pos = ref 0 in
+  let acc = ref [] in
+  let peek () = if !pos < n then Some src.[!pos] else None in
+  let emit tok = acc := tok :: !acc in
+  let rec skip_ws () =
+    match peek () with
+    | Some c when is_space c ->
+      incr pos;
+      skip_ws ()
+    | Some '#' ->
+      while !pos < n && src.[!pos] <> '\n' do
+        incr pos
+      done;
+      skip_ws ()
+    | Some _ | None -> ()
+  in
+  let lex_string () =
+    let start = !pos in
+    incr pos;
+    let buf = Buffer.create 16 in
+    let rec loop () =
+      if !pos >= n then raise (Error ("unterminated string", start))
+      else
+        match src.[!pos] with
+        | '"' -> incr pos
+        | '\\' when !pos + 1 < n ->
+          (* GML escapes are rare; pass the escaped char through. *)
+          Buffer.add_char buf src.[!pos + 1];
+          pos := !pos + 2;
+          loop ()
+        | c ->
+          Buffer.add_char buf c;
+          incr pos;
+          loop ()
+    in
+    loop ();
+    emit (String_lit (Buffer.contents buf))
+  in
+  let lex_number () =
+    let start = !pos in
+    if src.[!pos] = '-' || src.[!pos] = '+' then incr pos;
+    let is_float = ref false in
+    while
+      !pos < n
+      && (is_digit src.[!pos] || src.[!pos] = '.' || src.[!pos] = 'e'
+         || src.[!pos] = 'E'
+         || ((src.[!pos] = '-' || src.[!pos] = '+')
+            && (src.[!pos - 1] = 'e' || src.[!pos - 1] = 'E')))
+    do
+      if src.[!pos] = '.' || src.[!pos] = 'e' || src.[!pos] = 'E' then is_float := true;
+      incr pos
+    done;
+    let text = String.sub src start (!pos - start) in
+    if !is_float then
+      match float_of_string_opt text with
+      | Some f -> emit (Float_lit f)
+      | None -> raise (Error (Printf.sprintf "bad float %S" text, start))
+    else begin
+      match int_of_string_opt text with
+      | Some i -> emit (Int_lit i)
+      | None -> raise (Error (Printf.sprintf "bad integer %S" text, start))
+    end
+  in
+  let lex_ident () =
+    let start = !pos in
+    while !pos < n && is_ident src.[!pos] do
+      incr pos
+    done;
+    emit (Key (String.sub src start (!pos - start)))
+  in
+  let rec loop () =
+    skip_ws ();
+    match peek () with
+    | None -> emit Eof
+    | Some '[' ->
+      incr pos;
+      emit Lbracket;
+      loop ()
+    | Some ']' ->
+      incr pos;
+      emit Rbracket;
+      loop ()
+    | Some '"' ->
+      lex_string ();
+      loop ()
+    | Some c when is_digit c || c = '-' || c = '+' ->
+      lex_number ();
+      loop ()
+    | Some c when is_ident_start c ->
+      lex_ident ();
+      loop ()
+    | Some c -> raise (Error (Printf.sprintf "unexpected character %C" c, !pos))
+  in
+  loop ();
+  List.rev !acc

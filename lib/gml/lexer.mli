@@ -1,0 +1,17 @@
+(** Tokeniser for GML text. *)
+
+type token =
+  | Key of string       (** bare identifier, e.g. [Latitude] *)
+  | Int_lit of int
+  | Float_lit of float
+  | String_lit of string
+  | Lbracket
+  | Rbracket
+  | Eof
+
+exception Error of string * int
+(** Message and byte offset of a lexical error. *)
+
+val tokens : string -> token list
+(** Tokenise a whole document. GML line comments (["#" to end of line])
+    are skipped. Raises {!Error} on malformed input. *)

@@ -1,0 +1,57 @@
+exception Error of string
+
+(* Grammar:  doc   ::= pair* EOF
+             pair  ::= KEY value
+             value ::= INT | FLOAT | STRING | '[' pair* ']'      *)
+let parse src =
+  let toks = ref (Lexer.tokens src) in
+  let peek () = match !toks with [] -> Lexer.Eof | t :: _ -> t in
+  let advance () = match !toks with [] -> () | _ :: rest -> toks := rest in
+  let rec parse_pairs acc =
+    match peek () with
+    | Lexer.Key key ->
+      advance ();
+      let value = parse_value () in
+      parse_pairs ((key, value) :: acc)
+    | Lexer.Eof | Lexer.Rbracket -> List.rev acc
+    | Lexer.Lbracket -> raise (Error "unexpected '['; expected a key")
+    | Lexer.Int_lit _ | Lexer.Float_lit _ | Lexer.String_lit _ ->
+      raise (Error "unexpected literal; expected a key")
+  and parse_value () =
+    match peek () with
+    | Lexer.Int_lit i ->
+      advance ();
+      Ast.Int i
+    | Lexer.Float_lit f ->
+      advance ();
+      Ast.Float f
+    | Lexer.String_lit s ->
+      advance ();
+      Ast.String s
+    | Lexer.Lbracket ->
+      advance ();
+      let pairs = parse_pairs [] in
+      (match peek () with
+      | Lexer.Rbracket ->
+        advance ();
+        Ast.List pairs
+      | Lexer.Eof | Lexer.Key _ | Lexer.Lbracket | Lexer.Int_lit _
+      | Lexer.Float_lit _ | Lexer.String_lit _ ->
+        raise (Error "expected ']'"))
+    | Lexer.Eof -> raise (Error "unexpected end of input; expected a value")
+    | Lexer.Rbracket -> raise (Error "unexpected ']'; expected a value")
+    | Lexer.Key k -> raise (Error (Printf.sprintf "unexpected key %S; expected a value" k))
+  in
+  let doc = parse_pairs [] in
+  match peek () with
+  | Lexer.Eof -> doc
+  | Lexer.Rbracket -> raise (Error "unbalanced ']'")
+  | Lexer.Key _ | Lexer.Lbracket | Lexer.Int_lit _ | Lexer.Float_lit _
+  | Lexer.String_lit _ -> raise (Error "trailing tokens after document")
+
+let parse_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let content = really_input_string ic len in
+  close_in ic;
+  parse content

@@ -1,0 +1,11 @@
+(** Recursive-descent parser for GML documents. *)
+
+exception Error of string
+(** Raised on syntactically invalid documents. *)
+
+val parse : string -> Ast.t
+(** Parse GML text into a document. Raises {!Error} or
+    {!Lexer.Error}. *)
+
+val parse_file : string -> Ast.t
+(** Read and parse a file. *)

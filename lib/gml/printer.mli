@@ -1,0 +1,8 @@
+(** Pretty-printer for GML documents.
+
+    [parse (to_string doc)] is structurally equal to [doc] (round-trip
+    property, covered by qcheck tests). *)
+
+val to_string : Ast.t -> string
+
+val to_file : string -> Ast.t -> unit

@@ -1,0 +1,40 @@
+let components g =
+  let n = Graph.node_count g in
+  let label = Array.make n (-1) in
+  let next = ref 0 in
+  let stack = Stack.create () in
+  for start = 0 to n - 1 do
+    if label.(start) = -1 then begin
+      let c = !next in
+      incr next;
+      Stack.push start stack;
+      label.(start) <- c;
+      while not (Stack.is_empty stack) do
+        let u = Stack.pop stack in
+        Graph.iter_neighbors g u (fun v ->
+            if label.(v) = -1 then begin
+              label.(v) <- c;
+              Stack.push v stack
+            end)
+      done
+    end
+  done;
+  label
+
+let component_count g =
+  let label = components g in
+  Array.fold_left (fun acc c -> max acc (c + 1)) 0 label
+
+let is_connected g = component_count g <= 1
+
+let largest_component g =
+  let label = components g in
+  let n = Graph.node_count g in
+  if n = 0 then []
+  else begin
+    let k = Array.fold_left (fun acc c -> max acc (c + 1)) 0 label in
+    let sizes = Array.make k 0 in
+    Array.iter (fun c -> sizes.(c) <- sizes.(c) + 1) label;
+    let best = Rr_util.Arrayx.argmax (Array.map float_of_int sizes) in
+    List.filter (fun v -> label.(v) = best) (Rr_util.Listx.range 0 n)
+  end

@@ -1,0 +1,12 @@
+(** Connectivity queries. *)
+
+val components : Graph.t -> int array
+(** Component label per node; labels are dense from 0. *)
+
+val component_count : Graph.t -> int
+
+val is_connected : Graph.t -> bool
+(** True for the empty graph and any graph with one component. *)
+
+val largest_component : Graph.t -> int list
+(** Nodes of a largest connected component. *)

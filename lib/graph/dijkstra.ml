@@ -1,0 +1,74 @@
+open Rr_util
+
+type tree = { dist : float array; parent : int array }
+
+(* Shared core: runs Dijkstra from [src]; stops early when [stop_at]
+   (if any) is settled. *)
+let run g ~weight ~src ~stop_at =
+  let n = Graph.node_count g in
+  if src < 0 || src >= n then invalid_arg "Dijkstra: source out of range";
+  let dist = Array.make n infinity in
+  let parent = Array.make n (-1) in
+  let settled = Array.make n false in
+  let heap = Heap.create ~capacity:(max 16 n) () in
+  dist.(src) <- 0.0;
+  Heap.push heap 0.0 src;
+  let finished = ref false in
+  while (not !finished) && not (Heap.is_empty heap) do
+    match Heap.pop_min heap with
+    | None -> finished := true
+    | Some (d, u) ->
+      if not settled.(u) then begin
+        settled.(u) <- true;
+        if stop_at = Some u then finished := true
+        else
+          Graph.iter_neighbors g u (fun v ->
+              if not settled.(v) then begin
+                let w = weight u v in
+                if w < 0.0 then invalid_arg "Dijkstra: negative edge weight";
+                let nd = d +. w in
+                if nd < dist.(v) then begin
+                  dist.(v) <- nd;
+                  parent.(v) <- u;
+                  Heap.push heap nd v
+                end
+              end)
+      end
+  done;
+  { dist; parent }
+
+let single_source g ~weight ~src = run g ~weight ~src ~stop_at:None
+
+let path_of_tree tree ~src ~dst =
+  if tree.dist.(dst) = infinity then None
+  else begin
+    let rec build acc v =
+      if v = src then src :: acc
+      else begin
+        let p = tree.parent.(v) in
+        assert (p >= 0);
+        build (v :: acc) p
+      end
+    in
+    Some (build [] dst)
+  end
+
+let single_pair g ~weight ~src ~dst =
+  let n = Graph.node_count g in
+  if dst < 0 || dst >= n then invalid_arg "Dijkstra: destination out of range";
+  if src = dst then Some (0.0, [ src ])
+  else begin
+    let tree = run g ~weight ~src ~stop_at:(Some dst) in
+    if tree.dist.(dst) = infinity then None
+    else
+      match path_of_tree tree ~src ~dst with
+      | None -> None
+      | Some path -> Some (tree.dist.(dst), path)
+  end
+
+let path_cost ~weight path =
+  let rec loop acc = function
+    | a :: (b :: _ as rest) -> loop (acc +. weight a b) rest
+    | [ _ ] | [] -> acc
+  in
+  loop 0.0 path

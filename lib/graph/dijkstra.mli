@@ -1,0 +1,25 @@
+(** Dijkstra shortest paths with a caller-supplied edge-weight function.
+
+    This is the optimiser behind both shortest-path (bit-miles) routing and
+    RiskRoute (bit-risk-miles, Eq. 3 of the paper): the two differ only in
+    the weight function. Weights must be non-negative. *)
+
+type tree = {
+  dist : float array;  (** [infinity] for unreachable nodes *)
+  parent : int array;  (** [-1] for the source and unreachable nodes *)
+}
+
+val single_source : Graph.t -> weight:(int -> int -> float) -> src:int -> tree
+(** Full shortest-path tree from [src]. *)
+
+val single_pair :
+  Graph.t -> weight:(int -> int -> float) -> src:int -> dst:int ->
+  (float * int list) option
+(** Cost and node path (source first) from [src] to [dst]; [None] when
+    disconnected. Terminates early once [dst] is settled. *)
+
+val path_of_tree : tree -> src:int -> dst:int -> int list option
+(** Recover the node path from a tree; [None] when [dst] unreachable. *)
+
+val path_cost : weight:(int -> int -> float) -> int list -> float
+(** Total weight of a node path (0 for paths of length < 2). *)

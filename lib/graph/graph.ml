@@ -1,0 +1,66 @@
+type t = {
+  n : int;
+  adj : int list array;
+  mutable edge_count : int;
+}
+
+let create n =
+  if n < 0 then invalid_arg "Graph.create: negative size";
+  { n; adj = Array.make n []; edge_count = 0 }
+
+let node_count t = t.n
+
+let edge_count t = t.edge_count
+
+let check_node t v =
+  if v < 0 || v >= t.n then invalid_arg "Graph: node out of range"
+
+let has_edge t u v =
+  check_node t u;
+  check_node t v;
+  List.mem v t.adj.(u)
+
+let add_edge t u v =
+  check_node t u;
+  check_node t v;
+  if u = v then invalid_arg "Graph.add_edge: self-loop";
+  if not (List.mem v t.adj.(u)) then begin
+    t.adj.(u) <- v :: t.adj.(u);
+    t.adj.(v) <- u :: t.adj.(v);
+    t.edge_count <- t.edge_count + 1
+  end
+
+let remove_edge t u v =
+  check_node t u;
+  check_node t v;
+  if List.mem v t.adj.(u) then begin
+    t.adj.(u) <- List.filter (fun x -> x <> v) t.adj.(u);
+    t.adj.(v) <- List.filter (fun x -> x <> u) t.adj.(v);
+    t.edge_count <- t.edge_count - 1
+  end
+
+let neighbors t v =
+  check_node t v;
+  t.adj.(v)
+
+let iter_neighbors t v f =
+  check_node t v;
+  List.iter f t.adj.(v)
+
+let degree t v =
+  check_node t v;
+  List.length t.adj.(v)
+
+let edges t =
+  let acc = ref [] in
+  for u = t.n - 1 downto 0 do
+    List.iter (fun v -> if u < v then acc := (u, v) :: !acc) t.adj.(u)
+  done;
+  !acc
+
+let copy t = { t with adj = Array.copy t.adj }
+
+let of_edges n edge_list =
+  let t = create n in
+  List.iter (fun (u, v) -> add_edge t u v) edge_list;
+  t

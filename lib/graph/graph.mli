@@ -1,0 +1,42 @@
+(** Undirected simple graphs over integer nodes [0 .. n-1].
+
+    Edge weights are deliberately {e not} stored: every RiskRoute query
+    weighs the same physical topology differently (distance-only for
+    shortest path, distance-plus-scaled-risk for bit-risk miles, with a
+    per-source/destination impact factor), so traversals take a weight
+    function instead. *)
+
+type t
+
+val create : int -> t
+(** [create n] is an edgeless graph on [n] nodes. *)
+
+val node_count : t -> int
+
+val edge_count : t -> int
+
+val add_edge : t -> int -> int -> unit
+(** Add an undirected edge; self-loops are rejected with
+    [Invalid_argument]; re-adding an existing edge is a no-op. *)
+
+val remove_edge : t -> int -> int -> unit
+(** Remove the edge if present. *)
+
+val has_edge : t -> int -> int -> bool
+
+val neighbors : t -> int -> int list
+(** Neighbour list of a node (unspecified order, no duplicates). *)
+
+val iter_neighbors : t -> int -> (int -> unit) -> unit
+(** Allocation-free neighbour iteration — the Dijkstra hot path. *)
+
+val degree : t -> int -> int
+
+val edges : t -> (int * int) list
+(** Every edge once, as [(u, v)] with [u < v]. *)
+
+val copy : t -> t
+(** Independent deep copy. *)
+
+val of_edges : int -> (int * int) list -> t
+(** Graph on [n] nodes with the given edges. *)

@@ -1,0 +1,70 @@
+let mst ~n ~dist =
+  if n < 1 then invalid_arg "Spanner.mst: need at least one node";
+  let g = Graph.create n in
+  let in_tree = Array.make n false in
+  let best_dist = Array.make n infinity in
+  let best_edge = Array.make n (-1) in
+  in_tree.(0) <- true;
+  for v = 1 to n - 1 do
+    best_dist.(v) <- dist 0 v;
+    best_edge.(v) <- 0
+  done;
+  for _ = 1 to n - 1 do
+    (* Pick the closest out-of-tree node. *)
+    let u = ref (-1) in
+    for v = 0 to n - 1 do
+      if (not in_tree.(v)) && (!u = -1 || best_dist.(v) < best_dist.(!u)) then u := v
+    done;
+    let u = !u in
+    in_tree.(u) <- true;
+    Graph.add_edge g u best_edge.(u);
+    for v = 0 to n - 1 do
+      if not in_tree.(v) then begin
+        let d = dist u v in
+        if d < best_dist.(v) then begin
+          best_dist.(v) <- d;
+          best_edge.(v) <- u
+        end
+      end
+    done
+  done;
+  g
+
+let gabriel ~n ~dist =
+  let g = Graph.create n in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      let duv2 = dist u v ** 2.0 in
+      let blocked = ref false in
+      let w = ref 0 in
+      while (not !blocked) && !w < n do
+        if !w <> u && !w <> v then begin
+          let d2 = (dist u !w ** 2.0) +. (dist v !w ** 2.0) in
+          if d2 <= duv2 then blocked := true
+        end;
+        incr w
+      done;
+      if not !blocked then Graph.add_edge g u v
+    done
+  done;
+  g
+
+let knn ~n ~dist ~k =
+  if k < 0 then invalid_arg "Spanner.knn: negative k";
+  let g = Graph.create n in
+  for u = 0 to n - 1 do
+    let others =
+      List.filter (fun v -> v <> u) (Rr_util.Listx.range 0 n)
+      |> List.map (fun v -> (dist u v, v))
+      |> List.sort compare
+    in
+    List.iteri (fun i (_, v) -> if i < k then Graph.add_edge g u v) others
+  done;
+  g
+
+let union a b =
+  if Graph.node_count a <> Graph.node_count b then
+    invalid_arg "Spanner.union: node-count mismatch";
+  let g = Graph.copy a in
+  List.iter (fun (u, v) -> Graph.add_edge g u v) (Graph.edges b);
+  g

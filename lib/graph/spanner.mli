@@ -1,0 +1,22 @@
+(** Geometric graph constructions over an abstract metric.
+
+    The synthetic topology builder ({!Rr_topology.Builder}) grows ISP maps
+    the way real fibre maps look: a minimum spanning tree for backbone
+    connectivity, Gabriel-graph edges for regional meshiness, and k-NN
+    edges for dense metros. All constructions only need a pairwise
+    distance function, keeping this library free of geographic types. *)
+
+val mst : n:int -> dist:(int -> int -> float) -> Graph.t
+(** Prim minimum spanning tree over the complete metric graph ([n >= 1]).
+    The result is connected by construction. *)
+
+val gabriel : n:int -> dist:(int -> int -> float) -> Graph.t
+(** Metric Gabriel graph: [(u, v)] is an edge when no third point [w]
+    satisfies [dist u w ^ 2 + dist v w ^ 2 <= dist u v ^ 2]. O(n^3) — fine
+    for the few-hundred-node maps used here. *)
+
+val knn : n:int -> dist:(int -> int -> float) -> k:int -> Graph.t
+(** Each node linked to its [k] nearest neighbours (union, undirected). *)
+
+val union : Graph.t -> Graph.t -> Graph.t
+(** Edge union of two graphs on the same node set. *)

@@ -1,0 +1,51 @@
+type t = {
+  bandwidth : float;
+  (* Flat lat/lon arrays in radians for a fast inner loop. *)
+  lats : float array;
+  lons : float array;
+  cos_lats : float array;
+}
+
+let fit ~bandwidth coords =
+  if bandwidth <= 0.0 then invalid_arg "Density.fit: non-positive bandwidth";
+  if Array.length coords = 0 then invalid_arg "Density.fit: no events";
+  let deg = Float.pi /. 180.0 in
+  let lats = Array.map (fun c -> Rr_geo.Coord.lat c *. deg) coords in
+  let lons = Array.map (fun c -> Rr_geo.Coord.lon c *. deg) coords in
+  let cos_lats = Array.map cos lats in
+  { bandwidth; lats; lons; cos_lats }
+
+let bandwidth t = t.bandwidth
+
+let event_count t = Array.length t.lats
+
+(* Inlined haversine on pre-converted radians. *)
+let dist_miles t i plat plon cos_plat =
+  let dlat = plat -. t.lats.(i) in
+  let dlon = plon -. t.lons.(i) in
+  let s1 = sin (dlat /. 2.0) and s2 = sin (dlon /. 2.0) in
+  let h = (s1 *. s1) +. (t.cos_lats.(i) *. cos_plat *. s2 *. s2) in
+  let h = Float.max 0.0 (Float.min 1.0 h) in
+  2.0 *. Rr_geo.Distance.earth_radius_miles *. asin (sqrt h)
+
+let eval t point =
+  let deg = Float.pi /. 180.0 in
+  let plat = Rr_geo.Coord.lat point *. deg in
+  let plon = Rr_geo.Coord.lon point *. deg in
+  let cos_plat = cos plat in
+  let n = Array.length t.lats in
+  let inv_h2 = 1.0 /. (t.bandwidth *. t.bandwidth) in
+  let norm = 1.0 /. (2.0 *. Float.pi *. t.bandwidth *. t.bandwidth) in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    let d = dist_miles t i plat plon cos_plat in
+    let z2 = d *. d *. inv_h2 in
+    (* Skip negligible kernels: exp(-30) ~ 1e-13. *)
+    if z2 < 60.0 then acc := !acc +. exp (-0.5 *. z2)
+  done;
+  norm *. !acc /. float_of_int n
+
+let log_eval t point =
+  let v = eval t point in
+  let peak = 1.0 /. (2.0 *. Float.pi *. t.bandwidth *. t.bandwidth) in
+  log (Float.max (peak *. 1e-12) v)

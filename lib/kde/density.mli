@@ -1,0 +1,21 @@
+(** Exact kernel density estimate over geographic event locations
+    (Eq. 2 of the paper).
+
+    Evaluation is O(number of events); use {!Grid_density} when many
+    evaluations over a fixed surface are needed. *)
+
+type t
+
+val fit : bandwidth:float -> Rr_geo.Coord.t array -> t
+(** Fit to a non-empty event set. Raises [Invalid_argument] on an empty
+    array or non-positive bandwidth. *)
+
+val bandwidth : t -> float
+val event_count : t -> int
+
+val eval : t -> Rr_geo.Coord.t -> float
+(** Estimated density (events per square mile, integrating to 1). *)
+
+val log_eval : t -> Rr_geo.Coord.t -> float
+(** Log-density, floored to avoid [-inf] far from all events (the floor
+    corresponds to one part in 1e12 of the peak kernel height). *)

@@ -1,0 +1,67 @@
+type t = {
+  bandwidth : float;
+  grid : Rr_geo.Grid.t;
+}
+
+let default_rows = 250
+
+let default_cols = 580
+
+let fit ?(rows = default_rows) ?(cols = default_cols) ~bandwidth events =
+  if bandwidth <= 0.0 then invalid_arg "Grid_density.fit: non-positive bandwidth";
+  if Array.length events = 0 then invalid_arg "Grid_density.fit: no events";
+  let box = Rr_geo.Bbox.conus in
+  let counts = Rr_geo.Grid.create box ~rows ~cols in
+  Array.iter (fun c -> Rr_geo.Grid.deposit counts c 1.0) events;
+  (* Cell geometry (miles). Longitude scale varies by row. *)
+  let lat_span = box.Rr_geo.Bbox.max_lat -. box.Rr_geo.Bbox.min_lat in
+  let lon_span = box.Rr_geo.Bbox.max_lon -. box.Rr_geo.Bbox.min_lon in
+  let cell_lat_miles = lat_span /. float_of_int rows *. 69.0 in
+  let out = Rr_geo.Grid.create box ~rows ~cols in
+  let support = Kernel.support_miles ~bandwidth in
+  let rad_rows = max 1 (int_of_float (Float.ceil (support /. cell_lat_miles))) in
+  let inv_2h2 = 0.5 /. (bandwidth *. bandwidth) in
+  let norm = 1.0 /. (2.0 *. Float.pi *. bandwidth *. bandwidth) in
+  let total_events = float_of_int (Array.length events) in
+  (* Scatter each non-empty source cell onto its neighbourhood. This runs
+     over occupied cells only, which is far cheaper than gathering into
+     every output cell when events cluster. *)
+  for src_row = 0 to rows - 1 do
+    let src_lat =
+      box.Rr_geo.Bbox.max_lat
+      -. ((float_of_int src_row +. 0.5) /. float_of_int rows *. lat_span)
+    in
+    let cell_lon_miles =
+      lon_span /. float_of_int cols *. 69.0
+      *. Float.max 0.2 (cos (src_lat *. Float.pi /. 180.0))
+    in
+    let rad_cols = max 1 (int_of_float (Float.ceil (support /. cell_lon_miles))) in
+    for src_col = 0 to cols - 1 do
+      let mass = Rr_geo.Grid.get counts src_row src_col in
+      if mass > 0.0 then
+        for dr = -rad_rows to rad_rows do
+          let row = src_row + dr in
+          if row >= 0 && row < rows then
+            for dc = -rad_cols to rad_cols do
+              let col = src_col + dc in
+              if col >= 0 && col < cols then begin
+                let dy = float_of_int dr *. cell_lat_miles in
+                let dx = float_of_int dc *. cell_lon_miles in
+                let d2 = (dy *. dy) +. (dx *. dx) in
+                let k = norm *. exp (-.d2 *. inv_2h2) in
+                Rr_geo.Grid.add out row col (mass *. k /. total_events)
+              end
+            done
+        done
+    done
+  done;
+  { bandwidth; grid = out }
+
+let bandwidth t = t.bandwidth
+
+let eval t point =
+  match Rr_geo.Grid.cell_of_coord t.grid point with
+  | None -> 0.0
+  | Some (row, col) -> Rr_geo.Grid.get t.grid row col
+
+let grid t = t.grid

@@ -1,0 +1,24 @@
+(** Rasterised kernel density estimate.
+
+    Events are binned onto a CONUS grid, then the Gaussian kernel is
+    applied as a truncated convolution in cell space. Fitting is
+    O(events + cells * support^2) and evaluation is O(1) — the fast path
+    for heat-map figures and for evaluating a density at hundreds of
+    PoPs. Accuracy versus the exact {!Density} degrades only when the
+    bandwidth is smaller than a cell. *)
+
+type t
+
+val fit :
+  ?rows:int -> ?cols:int -> bandwidth:float -> Rr_geo.Coord.t array -> t
+(** Default raster is 250 x 580 over {!Rr_geo.Bbox.conus} (about 6 x 6.4
+    miles per cell). Events outside the box are dropped. *)
+
+val bandwidth : t -> float
+
+val eval : t -> Rr_geo.Coord.t -> float
+(** Density (per square mile) of the cell containing the point; 0 outside
+    the raster. *)
+
+val grid : t -> Rr_geo.Grid.t
+(** The underlying normalised-density raster (read for rendering). *)

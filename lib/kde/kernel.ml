@@ -1,0 +1,10 @@
+let two_pi = 2.0 *. Float.pi
+
+let log_density ~bandwidth ~dist_miles =
+  assert (bandwidth > 0.0);
+  let z = dist_miles /. bandwidth in
+  -.log (two_pi *. bandwidth *. bandwidth) -. (0.5 *. z *. z)
+
+let density ~bandwidth ~dist_miles = exp (log_density ~bandwidth ~dist_miles)
+
+let support_miles ~bandwidth = 4.0 *. bandwidth

@@ -1,0 +1,19 @@
+(** Gaussian kernel on geographic distance.
+
+    The paper (Eq. 2) uses [K(z) = (1 / 2pi) exp(-z^T z / 2)] over
+    lat/lon offsets scaled by the bandwidth. We work directly with
+    great-circle distance in miles, i.e. an isotropic 2D Gaussian with
+    standard deviation [bandwidth] miles, normalised on the plane —
+    accurate because every bandwidth in Table 1 is tiny relative to the
+    Earth's radius. *)
+
+val density : bandwidth:float -> dist_miles:float -> float
+(** [1 / (2 pi h^2) * exp (-d^2 / 2 h^2)] — planar 2D Gaussian density
+    (per square mile) at distance [d] for bandwidth [h > 0]. *)
+
+val log_density : bandwidth:float -> dist_miles:float -> float
+(** Log of {!density} (avoids underflow at large distances). *)
+
+val support_miles : bandwidth:float -> float
+(** Radius beyond which the kernel is treated as zero by the rasterised
+    evaluator (4 bandwidths: mass beyond it is < 4e-4). *)

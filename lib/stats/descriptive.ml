@@ -1,0 +1,38 @@
+open Rr_util
+
+let mean = Arrayx.fmean
+
+let variance a =
+  let m = mean a in
+  let devs = Array.map (fun x -> (x -. m) *. (x -. m)) a in
+  Arrayx.fmean devs
+
+let stddev a = sqrt (variance a)
+
+let sorted_copy a =
+  let b = Array.copy a in
+  Array.sort Float.compare b;
+  b
+
+let percentile a p =
+  assert (Array.length a > 0);
+  if p < 0.0 || p > 100.0 then invalid_arg "Descriptive.percentile: p out of range";
+  let b = sorted_copy a in
+  let n = Array.length b in
+  let rank = p /. 100.0 *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor rank) in
+  let hi = min (n - 1) (lo + 1) in
+  let frac = rank -. float_of_int lo in
+  (b.(lo) *. (1.0 -. frac)) +. (b.(hi) *. frac)
+
+let median a = percentile a 50.0
+
+let covariance a b =
+  assert (Array.length a = Array.length b && Array.length a > 0);
+  let ma = mean a and mb = mean b in
+  let prods = Array.init (Array.length a) (fun i -> (a.(i) -. ma) *. (b.(i) -. mb)) in
+  Arrayx.fmean prods
+
+let correlation a b =
+  let sa = stddev a and sb = stddev b in
+  if sa = 0.0 || sb = 0.0 then 0.0 else covariance a b /. (sa *. sb)

@@ -1,0 +1,22 @@
+(** Descriptive statistics over float arrays. *)
+
+val mean : float array -> float
+(** Mean of a non-empty array. *)
+
+val variance : float array -> float
+(** Population variance of a non-empty array. *)
+
+val stddev : float array -> float
+
+val median : float array -> float
+(** Median of a non-empty array (average of middle two when even). *)
+
+val percentile : float array -> float -> float
+(** [percentile a p] with [p] in [[0, 100]], nearest-rank with linear
+    interpolation. *)
+
+val covariance : float array -> float array -> float
+(** Population covariance of equal-length non-empty arrays. *)
+
+val correlation : float array -> float array -> float
+(** Pearson correlation; 0 when either side has zero variance. *)

@@ -1,0 +1,32 @@
+open Rr_util
+
+let floor_prob = 1e-12
+
+let normalized a =
+  let total = Arrayx.fsum a in
+  if total <= 0.0 then invalid_arg "Divergence: non-positive total mass";
+  Array.map (fun v -> Float.max 0.0 v /. total) a
+
+let kl ~p ~q =
+  if Array.length p <> Array.length q then invalid_arg "Divergence.kl: length mismatch";
+  let p = normalized p and q = normalized q in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i pi -> if pi > 0.0 then acc := !acc +. (pi *. log (pi /. Float.max floor_prob q.(i))))
+    p;
+  !acc
+
+let jensen_shannon ~p ~q =
+  if Array.length p <> Array.length q then
+    invalid_arg "Divergence.jensen_shannon: length mismatch";
+  let p = normalized p and q = normalized q in
+  let m = Array.init (Array.length p) (fun i -> (p.(i) +. q.(i)) /. 2.0) in
+  (kl ~p ~q:m +. kl ~p:q ~q:m) /. 2.0
+
+let holdout_score ~log_density ~n =
+  assert (n > 0);
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    acc := !acc +. log_density i
+  done;
+  -. (!acc /. float_of_int n)

@@ -1,0 +1,33 @@
+type t = {
+  lo : float;
+  hi : float;
+  counts : int array;
+  mutable total : int;
+}
+
+let create ~lo ~hi ~bins =
+  if hi <= lo then invalid_arg "Histogram.create: hi <= lo";
+  if bins <= 0 then invalid_arg "Histogram.create: non-positive bins";
+  { lo; hi; counts = Array.make bins 0; total = 0 }
+
+let bin_index t v =
+  let bins = Array.length t.counts in
+  let frac = (v -. t.lo) /. (t.hi -. t.lo) in
+  let i = int_of_float (frac *. float_of_int bins) in
+  max 0 (min (bins - 1) i)
+
+let add t v =
+  t.counts.(bin_index t v) <- t.counts.(bin_index t v) + 1;
+  t.total <- t.total + 1
+
+let counts t = Array.copy t.counts
+
+let total t = t.total
+
+let densities t =
+  if t.total = 0 then Array.make (Array.length t.counts) 0.0
+  else Array.map (fun c -> float_of_int c /. float_of_int t.total) t.counts
+
+let bin_center t i =
+  let bins = float_of_int (Array.length t.counts) in
+  t.lo +. ((float_of_int i +. 0.5) /. bins *. (t.hi -. t.lo))

@@ -1,0 +1,19 @@
+(** Fixed-width one-dimensional histograms. *)
+
+type t
+
+val create : lo:float -> hi:float -> bins:int -> t
+(** Empty histogram over [[lo, hi)] with [bins] equal-width bins. *)
+
+val add : t -> float -> unit
+(** Count a sample; values outside [[lo, hi)] are clamped into the edge
+    bins. *)
+
+val counts : t -> int array
+val total : t -> int
+
+val densities : t -> float array
+(** Per-bin empirical probability mass (sums to 1); all zeros when
+    empty. *)
+
+val bin_center : t -> int -> float

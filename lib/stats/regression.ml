@@ -1,0 +1,25 @@
+type fit = { slope : float; intercept : float; r_squared : float; n : int }
+
+let ols ~x ~y =
+  let n = Array.length x in
+  if n <> Array.length y then invalid_arg "Regression.ols: length mismatch";
+  if n < 2 then invalid_arg "Regression.ols: need at least two points";
+  let var_x = Descriptive.variance x in
+  let mean_x = Descriptive.mean x and mean_y = Descriptive.mean y in
+  if var_x = 0.0 then { slope = 0.0; intercept = mean_y; r_squared = 0.0; n }
+  else begin
+    let cov = Descriptive.covariance x y in
+    let slope = cov /. var_x in
+    let intercept = mean_y -. (slope *. mean_x) in
+    let var_y = Descriptive.variance y in
+    let r_squared =
+      if var_y = 0.0 then 0.0
+      else begin
+        let r = Descriptive.correlation x y in
+        r *. r
+      end
+    in
+    { slope; intercept; r_squared; n }
+  end
+
+let r_squared ~x ~y = (ols ~x ~y).r_squared

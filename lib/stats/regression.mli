@@ -1,0 +1,19 @@
+(** Ordinary least-squares simple linear regression.
+
+    Table 3 of the paper reports the coefficient of determination (R^2) of
+    six network characteristics against the risk-reduction and
+    distance-increase ratios; this module provides exactly that fit. *)
+
+type fit = {
+  slope : float;
+  intercept : float;
+  r_squared : float;  (** in [[0, 1]]; 0 when x or y has no variance *)
+  n : int;
+}
+
+val ols : x:float array -> y:float array -> fit
+(** Least-squares line through equal-length arrays of at least two
+    points. *)
+
+val r_squared : x:float array -> y:float array -> float
+(** Shorthand for [(ols ~x ~y).r_squared]. *)

@@ -1,0 +1,139 @@
+open Rr_util
+
+type style = Mesh | Ring
+
+type spec = {
+  name : string;
+  tier : Net.tier;
+  states : string list;
+  pop_count : int;
+  style : style;
+  mesh_fraction : float;
+  hub_links : int;
+}
+
+(* Weighted sample of [k] site assignments over the city pool. Cities can
+   repeat once the pool is exhausted (or when a metro is drawn again after
+   every city has been used), yielding secondary metro PoPs. *)
+let choose_sites rng pool k =
+  let n = Array.length pool in
+  let weights = Array.map (fun (c : Rr_cities.Data.city) -> float_of_int c.population) pool in
+  let live = Array.copy weights in
+  let uses = Array.make n 0 in
+  let order = ref [] in
+  for _ = 1 to k do
+    let total = Arrayx.fsum live in
+    let idx =
+      if total > 0.0 then Prng.categorical rng live
+      else Prng.categorical rng weights (* pool exhausted: re-draw by population *)
+    in
+    live.(idx) <- 0.0;
+    uses.(idx) <- uses.(idx) + 1;
+    order := (idx, uses.(idx)) :: !order
+  done;
+  List.rev !order
+
+let jitter rng coord =
+  (* About 0.03 degrees sigma: secondary metro PoPs stay within a couple
+     of miles of the city centre (carrier hotels cluster downtown), so
+     they share the metro's risk surface. *)
+  let dlat = 0.03 *. Prng.gaussian rng in
+  let dlon = 0.03 *. Prng.gaussian rng in
+  let moved =
+    Rr_geo.Coord.make
+      ~lat:(Float.max (-89.0) (Float.min 89.0 (Rr_geo.Coord.lat coord +. dlat)))
+      ~lon:(Float.max (-179.0) (Float.min 179.0 (Rr_geo.Coord.lon coord +. dlon)))
+  in
+  Rr_geo.Bbox.clamp Rr_geo.Bbox.conus moved
+
+let build ~rng spec =
+  if spec.pop_count < 1 then invalid_arg "Builder.build: pop_count < 1";
+  let pool =
+    match spec.states with
+    | [] -> Rr_cities.Data.all
+    | states ->
+      Array.of_list (Rr_cities.Query.in_states states)
+  in
+  if Array.length pool = 0 then invalid_arg "Builder.build: empty city pool";
+  let sites = choose_sites rng pool spec.pop_count in
+  let pops =
+    Array.of_list
+      (List.mapi
+         (fun id (city_idx, metro_index) ->
+           let city = pool.(city_idx) in
+           let coord =
+             if metro_index = 1 then city.Rr_cities.Data.coord
+             else jitter rng city.Rr_cities.Data.coord
+           in
+           Pop.make ~id ~city:city.Rr_cities.Data.name
+             ~state:city.Rr_cities.Data.state ~metro_index coord)
+         sites)
+  in
+  let n = Array.length pops in
+  let dist u v = Rr_geo.Distance.miles pops.(u).Pop.coord pops.(v).Pop.coord in
+  (* Ring backbone: tour the PoPs by angle around the footprint centroid,
+     the shape of small national backbones in the Topology Zoo. *)
+  let ring_backbone () =
+    let mean_lat = Arrayx.fmean (Array.map (fun p -> Rr_geo.Coord.lat p.Pop.coord) pops) in
+    let mean_lon = Arrayx.fmean (Array.map (fun p -> Rr_geo.Coord.lon p.Pop.coord) pops) in
+    let angle i =
+      atan2
+        (Rr_geo.Coord.lat pops.(i).Pop.coord -. mean_lat)
+        (Rr_geo.Coord.lon pops.(i).Pop.coord -. mean_lon)
+    in
+    let order =
+      List.sort
+        (fun a b -> Float.compare (angle a) (angle b))
+        (Listx.range 0 n)
+    in
+    let g = Rr_graph.Graph.create n in
+    (match order with
+    | [] | [ _ ] -> ()
+    | first :: _ ->
+      let rec link = function
+        | a :: (b :: _ as rest) ->
+          Rr_graph.Graph.add_edge g a b;
+          link rest
+        | [ last ] -> if last <> first then Rr_graph.Graph.add_edge g last first
+        | [] -> ()
+      in
+      link order);
+    g
+  in
+  let backbone =
+    match spec.style with
+    | Mesh -> Rr_graph.Spanner.mst ~n ~dist
+    | Ring -> if n >= 3 then ring_backbone () else Rr_graph.Spanner.mst ~n ~dist
+  in
+  let graph =
+    if n <= 2 then backbone
+    else begin
+      let gabriel = Rr_graph.Spanner.gabriel ~n ~dist in
+      let g = backbone in
+      List.iter
+        (fun (u, v) ->
+          if Prng.float rng 1.0 < spec.mesh_fraction then
+            Rr_graph.Graph.add_edge g u v)
+        (Rr_graph.Graph.edges gabriel);
+      g
+    end
+  in
+  (* Hub shortcuts: ring the biggest metros together so large networks get
+     the long-haul express links real backbones have. *)
+  if spec.hub_links > 0 && n > 3 then begin
+    let pop_weight i =
+      match Rr_cities.Query.by_name ~state:pops.(i).Pop.state pops.(i).Pop.city with
+      | Some c -> float_of_int c.Rr_cities.Data.population
+      | None -> 0.0
+    in
+    let ranked =
+      List.sort
+        (fun a b -> Float.compare (pop_weight b) (pop_weight a))
+        (Listx.range 0 n)
+    in
+    let hubs = Array.of_list (Listx.take (min n (spec.hub_links + 1)) ranked) in
+    for i = 0 to Array.length hubs - 2 do
+      if hubs.(i) <> hubs.(i + 1) then Rr_graph.Graph.add_edge graph hubs.(i) hubs.(i + 1)
+    done
+  end;
+  Net.make ~name:spec.name ~tier:spec.tier ~states:spec.states pops graph

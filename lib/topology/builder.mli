@@ -1,0 +1,39 @@
+(** Deterministic synthetic ISP generator.
+
+    Real Topology Zoo maps are unavailable in this sealed environment, so
+    networks are grown over the real city gazetteer the way fibre maps
+    look in the Zoo: a minimum spanning tree guarantees connectivity,
+    a sampled subset of Gabriel-graph edges adds regional meshiness, and a
+    few hub shortcuts connect the biggest metros. PoP sites are drawn
+    weighted by city population; when a network needs more PoPs than its
+    region has cities, extra metro PoPs are placed with a small jitter
+    (as multiple PoPs per metro are common in real maps). *)
+
+type style =
+  | Mesh
+      (** MST backbone + sampled Gabriel edges — large meshy backbones
+          (Level3) and regional footprints *)
+  | Ring
+      (** a national ring (angular tour around the centroid) + sampled
+          Gabriel chords — the shape of small Tier-1 US maps in the
+          Topology Zoo *)
+
+type spec = {
+  name : string;
+  tier : Net.tier;
+  states : string list;
+      (** restrict the city pool (and the served population) to these
+          states; empty means the whole CONUS *)
+  pop_count : int;
+  style : style;
+  mesh_fraction : float;
+      (** probability of keeping each non-backbone Gabriel edge; controls
+          link density *)
+  hub_links : int;
+      (** extra shortcut links among the most populous PoP metros *)
+}
+
+val build : rng:Rr_util.Prng.t -> spec -> Net.t
+(** Grow one network. The result is connected and has exactly
+    [spec.pop_count] PoPs. Raises [Invalid_argument] when the state list
+    selects no cities or [pop_count < 1]. *)

@@ -1,0 +1,25 @@
+let default_threshold_miles = 15.0
+
+let pairs ?(threshold_miles = default_threshold_miles) a b =
+  let acc = ref [] in
+  for i = Net.pop_count a - 1 downto 0 do
+    for j = Net.pop_count b - 1 downto 0 do
+      let d =
+        Rr_geo.Distance.miles (Net.pop a i).Pop.coord (Net.pop b j).Pop.coord
+      in
+      if d <= threshold_miles then acc := (i, j) :: !acc
+    done
+  done;
+  !acc
+
+let co_located ?threshold_miles a b =
+  match pairs ?threshold_miles a b with [] -> false | _ :: _ -> true
+
+let shared_cities a b =
+  let cities_of net =
+    Array.to_list net.Net.pops
+    |> List.map (fun (p : Pop.t) -> p.Pop.city)
+    |> List.sort_uniq String.compare
+  in
+  let cb = cities_of b in
+  List.filter (fun c -> List.mem c cb) (cities_of a)

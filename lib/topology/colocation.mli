@@ -1,0 +1,19 @@
+(** Co-location of PoPs across networks.
+
+    Two PoPs of different ISPs are co-located when they sit within a small
+    great-circle distance of each other (same metro / same carrier
+    hotel). Co-location is where peering links can physically exist and
+    where the paper's "candidate peers" (Sec. 6.3) live. *)
+
+val default_threshold_miles : float
+(** 15 miles — same-metro scale. *)
+
+val pairs :
+  ?threshold_miles:float -> Net.t -> Net.t -> (int * int) list
+(** [(i, j)] with PoP [i] of the first network co-located with PoP [j] of
+    the second. *)
+
+val co_located : ?threshold_miles:float -> Net.t -> Net.t -> bool
+
+val shared_cities : Net.t -> Net.t -> string list
+(** Distinct city names hosting PoPs of both networks. *)

@@ -1,0 +1,37 @@
+let net_features (net : Net.t) =
+  let pops =
+    Array.to_list net.Net.pops
+    |> List.map (fun (p : Pop.t) ->
+           Rr_geo.Geojson.feature
+             ~properties:
+               [
+                 ("name", p.Pop.name);
+                 ("network", net.Net.name);
+                 ("kind", "pop");
+               ]
+             (Rr_geo.Geojson.Point p.Pop.coord))
+  in
+  let links =
+    Rr_graph.Graph.edges net.Net.graph
+    |> List.map (fun (u, v) ->
+           Rr_geo.Geojson.feature
+             ~properties:
+               [
+                 ("network", net.Net.name);
+                 ("kind", "link");
+                 ("endpoints",
+                  Printf.sprintf "%s -- %s" (Net.pop net u).Pop.name
+                    (Net.pop net v).Pop.name);
+               ]
+             (Rr_geo.Geojson.Line_string
+                [ (Net.pop net u).Pop.coord; (Net.pop net v).Pop.coord ]))
+  in
+  pops @ links
+
+let route_feature ?(properties = []) net path =
+  let coords = List.map (fun v -> (Net.pop net v).Pop.coord) path in
+  Rr_geo.Geojson.feature
+    ~properties:(("kind", "route") :: properties)
+    (Rr_geo.Geojson.Line_string coords)
+
+let to_file path net = Rr_geo.Geojson.to_file path (net_features net)

@@ -1,0 +1,14 @@
+(** GeoJSON views of networks and routes. *)
+
+val net_features : Net.t -> Rr_geo.Geojson.feature list
+(** One [Point] per PoP (with name/state properties) and one
+    [LineString] per link. *)
+
+val route_feature :
+  ?properties:(string * string) list -> Net.t -> int list ->
+  Rr_geo.Geojson.feature
+(** A node path as a [LineString]. Raises [Invalid_argument] on node ids
+    outside the network. *)
+
+val to_file : string -> Net.t -> unit
+(** Write the whole network as a FeatureCollection. *)

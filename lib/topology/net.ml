@@ -1,0 +1,66 @@
+type tier = Tier1 | Regional
+
+type t = {
+  name : string;
+  tier : tier;
+  pops : Pop.t array;
+  graph : Rr_graph.Graph.t;
+  states : string list;
+}
+
+let make ~name ~tier ?(states = []) pops graph =
+  if Rr_graph.Graph.node_count graph <> Array.length pops then
+    invalid_arg "Net.make: graph size differs from PoP count";
+  Array.iteri
+    (fun i (p : Pop.t) ->
+      if p.Pop.id <> i then invalid_arg "Net.make: PoP ids must be dense")
+    pops;
+  { name; tier; pops; graph; states }
+
+let pop_count t = Array.length t.pops
+
+let link_count t = Rr_graph.Graph.edge_count t.graph
+
+let pop t i =
+  if i < 0 || i >= Array.length t.pops then invalid_arg "Net.pop: out of range";
+  t.pops.(i)
+
+let find_pop t ~city =
+  let n = Array.length t.pops in
+  let rec loop i =
+    if i >= n then None
+    else if String.equal t.pops.(i).Pop.city city then Some i
+    else loop (i + 1)
+  in
+  loop 0
+
+let link_miles t u v =
+  Rr_geo.Distance.miles (pop t u).Pop.coord (pop t v).Pop.coord
+
+let footprint_miles t =
+  let best = ref 0.0 in
+  let n = pop_count t in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      best := Float.max !best (link_miles t u v)
+    done
+  done;
+  !best
+
+let average_outdegree t =
+  let n = pop_count t in
+  if n = 0 then 0.0
+  else 2.0 *. float_of_int (link_count t) /. float_of_int n
+
+let is_connected t = Rr_graph.Component.is_connected t.graph
+
+let with_extra_links t links =
+  let graph = Rr_graph.Graph.copy t.graph in
+  List.iter (fun (u, v) -> Rr_graph.Graph.add_edge graph u v) links;
+  { t with graph }
+
+let pp_summary ppf t =
+  Format.fprintf ppf "%s (%s): %d PoPs, %d links"
+    t.name
+    (match t.tier with Tier1 -> "Tier-1" | Regional -> "regional")
+    (pop_count t) (link_count t)

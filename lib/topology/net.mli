@@ -1,0 +1,50 @@
+(** A single ISP: named PoPs plus link structure.
+
+    Link lengths are line-of-sight great-circle miles, following the
+    paper's Sec. 4.1 convention ("we use line-of-sight to place links"). *)
+
+type tier = Tier1 | Regional
+
+type t = {
+  name : string;
+  tier : tier;
+  pops : Pop.t array;
+  graph : Rr_graph.Graph.t;  (** node ids = PoP ids *)
+  states : string list;
+    (** for regional networks, the states the network is confined to
+        (used to restrict the served population, Sec. 5.1); empty for
+        Tier-1s *)
+}
+
+val make :
+  name:string -> tier:tier -> ?states:string list -> Pop.t array ->
+  Rr_graph.Graph.t -> t
+(** Validates that graph size equals PoP count and ids are dense. *)
+
+val pop_count : t -> int
+val link_count : t -> int
+
+val pop : t -> int -> Pop.t
+(** Raises [Invalid_argument] on out-of-range ids. *)
+
+val find_pop : t -> city:string -> int option
+(** First PoP in the given city. *)
+
+val link_miles : t -> int -> int -> float
+(** Great-circle length of the (u, v) line-of-sight link (defined for any
+    PoP pair, edge or not). *)
+
+val footprint_miles : t -> float
+(** Largest great-circle distance between any two PoPs — the paper's
+    "geographic footprint" characteristic (Table 3). *)
+
+val average_outdegree : t -> float
+(** Mean PoP degree (Table 3 characteristic). *)
+
+val is_connected : t -> bool
+
+val with_extra_links : t -> (int * int) list -> t
+(** Copy of the network with additional links installed (provisioning
+    what-if analysis). *)
+
+val pp_summary : Format.formatter -> t -> unit

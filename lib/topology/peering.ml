@@ -1,0 +1,78 @@
+open Rr_util
+
+type t = { nets : Net.t array; edges : (int * int) list }
+
+let build ~rng ~tier1s ~regionals =
+  let nets = Array.of_list (tier1s @ regionals) in
+  let nt1 = List.length tier1s in
+  let edges = ref [] in
+  let add i j =
+    let e = (min i j, max i j) in
+    if not (List.mem e !edges) then edges := e :: !edges
+  in
+  (* Tier-1 full mesh. *)
+  for i = 0 to nt1 - 1 do
+    for j = i + 1 to nt1 - 1 do
+      add i j
+    done
+  done;
+  (* Regionals multihome to co-located Tier-1s. *)
+  for r = nt1 to Array.length nets - 1 do
+    let candidates =
+      List.filter_map
+        (fun i ->
+          let shared = Colocation.shared_cities nets.(r) nets.(i) in
+          match shared with [] -> None | _ :: _ -> Some (i, List.length shared))
+        (Listx.range 0 nt1)
+    in
+    let ranked = List.sort (fun (_, a) (_, b) -> compare b a) candidates in
+    let how_many = 1 + Prng.int rng 3 in
+    List.iteri (fun k (i, _) -> if k < how_many then add r i) ranked
+  done;
+  { nets; edges = List.sort compare !edges }
+
+let net_count t = Array.length t.nets
+
+let net t i =
+  if i < 0 || i >= Array.length t.nets then invalid_arg "Peering.net: out of range";
+  t.nets.(i)
+
+let index_of t name =
+  let rec loop i =
+    if i >= Array.length t.nets then None
+    else if String.equal t.nets.(i).Net.name name then Some i
+    else loop (i + 1)
+  in
+  loop 0
+
+let peers t i =
+  List.filter_map
+    (fun (a, b) -> if a = i then Some b else if b = i then Some a else None)
+    t.edges
+
+let are_peers t i j =
+  let e = (min i j, max i j) in
+  List.mem e t.edges
+
+let degree t i = List.length (peers t i)
+
+type relationship =
+  | Customer_to_provider
+  | Provider_to_customer
+  | Peer_to_peer
+
+let relationship t i j =
+  if not (are_peers t i j) then None
+  else begin
+    let tier k = t.nets.(k).Net.tier in
+    match (tier i, tier j) with
+    | Net.Tier1, Net.Tier1 | Net.Regional, Net.Regional -> Some Peer_to_peer
+    | Net.Regional, Net.Tier1 -> Some Customer_to_provider
+    | Net.Tier1, Net.Regional -> Some Provider_to_customer
+  end
+
+let pp ppf t =
+  List.iter
+    (fun (a, b) ->
+      Format.fprintf ppf "%s -- %s@." t.nets.(a).Net.name t.nets.(b).Net.name)
+    t.edges

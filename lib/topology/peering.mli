@@ -1,0 +1,40 @@
+(** The AS-level view: which of the 23 networks peer with which (Fig. 2).
+
+    Peering edges are only created between networks that actually
+    co-locate somewhere, so every AS edge is realisable as at least one
+    physical PoP-to-PoP interconnect. *)
+
+type t = {
+  nets : Net.t array;        (** Tier-1s first, then regionals *)
+  edges : (int * int) list;  (** AS adjacency, [(i, j)] with [i < j] *)
+}
+
+val build :
+  rng:Rr_util.Prng.t -> tier1s:Net.t list -> regionals:Net.t list -> t
+(** Tier-1s form a full mesh (they co-locate everywhere); each regional
+    network multihomes to one to three co-located Tier-1s, preferring
+    those with more shared metros. *)
+
+val net_count : t -> int
+val net : t -> int -> Net.t
+val index_of : t -> string -> int option
+val peers : t -> int -> int list
+val are_peers : t -> int -> int -> bool
+
+val degree : t -> int -> int
+(** Number of peers of a network — the paper's "number of peers"
+    characteristic (Table 3). *)
+
+type relationship =
+  | Customer_to_provider  (** first network buys transit from the second *)
+  | Provider_to_customer
+  | Peer_to_peer
+
+val relationship : t -> int -> int -> relationship option
+(** Directed business relationship along an AS edge, in the CAIDA
+    AS-relationship sense (Sec. 4.1 of the paper): Tier-1 pairs and
+    regional-regional pairs settle as peers; a regional buying from a
+    Tier-1 is its customer. [None] when the networks do not peer. *)
+
+val pp : Format.formatter -> t -> unit
+(** One line per AS edge. *)

@@ -1,0 +1,16 @@
+type t = {
+  id : int;
+  name : string;
+  city : string;
+  state : string;
+  coord : Rr_geo.Coord.t;
+}
+
+let make ~id ~city ~state ?(metro_index = 1) coord =
+  let name =
+    if metro_index <= 1 then Printf.sprintf "%s, %s" city state
+    else Printf.sprintf "%s, %s (%d)" city state metro_index
+  in
+  { id; name; city; state; coord }
+
+let pp ppf t = Format.fprintf ppf "%s %a" t.name Rr_geo.Coord.pp t.coord

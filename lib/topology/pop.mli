@@ -1,0 +1,20 @@
+(** A Point of Presence: the unit of physical infrastructure in the paper.
+
+    PoP ids are dense indices [0 .. n-1] within their network and double
+    as graph node ids. *)
+
+type t = {
+  id : int;
+  name : string;  (** e.g. ["Houston, TX"] or ["Houston, TX (2)"] for a second metro PoP *)
+  city : string;
+  state : string;
+  coord : Rr_geo.Coord.t;
+}
+
+val make :
+  id:int -> city:string -> state:string -> ?metro_index:int ->
+  Rr_geo.Coord.t -> t
+(** [metro_index] greater than 1 marks additional PoPs in the same metro
+    and is reflected in {!field-name}. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,44 @@
+type t = {
+  demand : float array array;
+  total : float;
+}
+
+let gravity ?(alpha = 1.0) ?(total_gbps = 1000.0) ~populations net =
+  let n = Net.pop_count net in
+  if Array.length populations <> n then
+    invalid_arg "Traffic.gravity: population length mismatch";
+  if total_gbps <= 0.0 then invalid_arg "Traffic.gravity: non-positive load";
+  let raw =
+    Array.init n (fun i ->
+        Array.init n (fun j ->
+            if i = j then 0.0
+            else begin
+              let d = Float.max 1.0 (Net.link_miles net i j) in
+              populations.(i) *. populations.(j) /. (d ** alpha)
+            end))
+  in
+  let raw_total =
+    Array.fold_left
+      (fun acc row -> acc +. Rr_util.Arrayx.fsum row)
+      0.0 raw
+  in
+  let scale = if raw_total > 0.0 then total_gbps /. raw_total else 0.0 in
+  {
+    demand = Array.map (Array.map (fun v -> v *. scale)) raw;
+    total = (if raw_total > 0.0 then total_gbps else 0.0);
+  }
+
+let demand t i j = t.demand.(i).(j)
+
+let total t = t.total
+
+let top_flows t n =
+  let flows = ref [] in
+  Array.iteri
+    (fun i row ->
+      Array.iteri (fun j v -> if v > 0.0 then flows := (i, j, v) :: !flows) row)
+    t.demand;
+  List.sort (fun (_, _, a) (_, _, b) -> Float.compare b a) !flows
+  |> Rr_util.Listx.take n
+
+let pair_weights t pairs = Array.map (fun (i, j) -> t.demand.(i).(j)) pairs

@@ -1,0 +1,31 @@
+(** Gravity-model traffic matrices.
+
+    The paper weighs outage impact by served population and notes
+    (Sec. 5) that "the impact of an outage could also be influenced by
+    traffic flows between two PoPs". This module supplies those flows: a
+    standard gravity model where demand between PoPs i and j is
+    proportional to [pop_i * pop_j / d(i,j)^alpha], normalised to a total
+    offered load. *)
+
+type t
+
+val gravity :
+  ?alpha:float -> ?total_gbps:float -> populations:float array ->
+  Net.t -> t
+(** [gravity ~populations net] builds the demand matrix from per-PoP
+    served population (any non-negative weights; typically census service
+    fractions). [alpha] (default 1.0) is the distance-decay exponent;
+    [total_gbps] (default 1000) scales the matrix. Co-located pairs use a
+    1-mile distance floor. *)
+
+val demand : t -> int -> int -> float
+(** Offered load from PoP [i] to PoP [j] in Gbps (0 on the diagonal). *)
+
+val total : t -> float
+
+val top_flows : t -> int -> (int * int * float) list
+(** Largest [n] directed demands. *)
+
+val pair_weights : t -> (int * int) array -> float array
+(** Demands for an explicit pair list — the weighting vector for
+    traffic-weighted ratios. *)

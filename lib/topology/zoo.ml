@@ -1,0 +1,72 @@
+open Rr_util
+
+type t = {
+  tier1s : Net.t list;
+  regionals : Net.t list;
+  peering : Peering.t;
+}
+
+let default_seed = 0x5EED_2013L
+
+(* Tier-1 specs: PoP counts from Table 2. Mesh / hub parameters encode the
+   paper's qualitative density story: Level3 is large and densely
+   connected; Sprint and Teliasonera are sparse (they gain most from added
+   links, Fig. 10). *)
+let tier1_specs : Builder.spec list =
+  [
+    { name = "Level3"; tier = Net.Tier1; states = []; pop_count = 233; style = Builder.Mesh; mesh_fraction = 0.85; hub_links = 14 };
+    { name = "AT&T"; tier = Net.Tier1; states = []; pop_count = 25; style = Builder.Ring; mesh_fraction = 0.45; hub_links = 4 };
+    { name = "Deutsche Telekom"; tier = Net.Tier1; states = []; pop_count = 10; style = Builder.Ring; mesh_fraction = 0.20; hub_links = 2 };
+    { name = "NTT"; tier = Net.Tier1; states = []; pop_count = 12; style = Builder.Ring; mesh_fraction = 0.35; hub_links = 2 };
+    { name = "Sprint"; tier = Net.Tier1; states = []; pop_count = 24; style = Builder.Ring; mesh_fraction = 0.30; hub_links = 2 };
+    { name = "Tinet"; tier = Net.Tier1; states = []; pop_count = 35; style = Builder.Mesh; mesh_fraction = 0.45; hub_links = 3 };
+    { name = "Teliasonera"; tier = Net.Tier1; states = []; pop_count = 15; style = Builder.Ring; mesh_fraction = 0.30; hub_links = 1 };
+  ]
+
+(* Regional specs: 16 networks, 455 PoPs total. *)
+let regional_specs : Builder.spec list =
+  [
+    { name = "ANS"; tier = Net.Regional; states = [ "NY"; "NJ"; "CT"; "PA" ]; pop_count = 20; style = Builder.Mesh; mesh_fraction = 0.30; hub_links = 2 };
+    { name = "Digex"; tier = Net.Regional; states = [ "MD"; "VA"; "DC"; "DE" ]; pop_count = 18; style = Builder.Mesh; mesh_fraction = 0.30; hub_links = 2 };
+    { name = "British Telecom"; tier = Net.Regional; states = [ "NY"; "MA"; "CT"; "NJ" ]; pop_count = 25; style = Builder.Mesh; mesh_fraction = 0.35; hub_links = 2 };
+    { name = "Epoch"; tier = Net.Regional; states = [ "CA" ]; pop_count = 30; style = Builder.Mesh; mesh_fraction = 0.30; hub_links = 3 };
+    { name = "Iris"; tier = Net.Regional; states = [ "TN"; "MS"; "AR" ]; pop_count = 28; style = Builder.Mesh; mesh_fraction = 0.30; hub_links = 2 };
+    { name = "Bluebird"; tier = Net.Regional; states = [ "MO"; "IL"; "KS" ]; pop_count = 26; style = Builder.Mesh; mesh_fraction = 0.30; hub_links = 2 };
+    { name = "Gridnet"; tier = Net.Regional; states = [ "NC"; "VA" ]; pop_count = 22; style = Builder.Mesh; mesh_fraction = 0.25; hub_links = 2 };
+    { name = "Globalcenter"; tier = Net.Regional; states = [ "NJ"; "NY" ]; pop_count = 8; style = Builder.Mesh; mesh_fraction = 0.25; hub_links = 1 };
+    { name = "Bandcon"; tier = Net.Regional; states = [ "NY"; "PA"; "NJ" ]; pop_count = 24; style = Builder.Mesh; mesh_fraction = 0.25; hub_links = 2 };
+    { name = "Abilene"; tier = Net.Regional; states = [ "IL"; "IN"; "OH"; "MI"; "WI" ]; pop_count = 44; style = Builder.Mesh; mesh_fraction = 0.30; hub_links = 4 };
+    { name = "USA Network"; tier = Net.Regional; states = [ "LA"; "TX" ]; pop_count = 36; style = Builder.Mesh; mesh_fraction = 0.30; hub_links = 3 };
+    { name = "Telepak"; tier = Net.Regional; states = [ "MS"; "LA"; "AL" ]; pop_count = 30; style = Builder.Mesh; mesh_fraction = 0.30; hub_links = 2 };
+    { name = "Goodnet"; tier = Net.Regional; states = [ "PA"; "NY"; "OH" ]; pop_count = 28; style = Builder.Mesh; mesh_fraction = 0.30; hub_links = 2 };
+    { name = "NTS"; tier = Net.Regional; states = [ "TX" ]; pop_count = 40; style = Builder.Mesh; mesh_fraction = 0.30; hub_links = 3 };
+    { name = "Hibernia"; tier = Net.Regional; states = [ "MA"; "NH"; "ME"; "RI"; "CT"; "VT" ]; pop_count = 38; style = Builder.Mesh; mesh_fraction = 0.25; hub_links = 3 };
+    { name = "CoStreet"; tier = Net.Regional; states = [ "AL"; "GA"; "FL" ]; pop_count = 38; style = Builder.Mesh; mesh_fraction = 0.30; hub_links = 3 };
+  ]
+
+let create ?(seed = default_seed) () =
+  let root = Prng.create seed in
+  let topo_rng = Prng.split root in
+  let peering_rng = Prng.split root in
+  let tier1s = List.map (fun spec -> Builder.build ~rng:topo_rng spec) tier1_specs in
+  let regionals = List.map (fun spec -> Builder.build ~rng:topo_rng spec) regional_specs in
+  let peering = Peering.build ~rng:peering_rng ~tier1s ~regionals in
+  { tier1s; regionals; peering }
+
+let shared =
+  let cache = lazy (create ()) in
+  fun () -> Lazy.force cache
+
+let all_nets t = t.tier1s @ t.regionals
+
+let find t name =
+  let lower = String.lowercase_ascii name in
+  List.find_opt
+    (fun net -> String.equal (String.lowercase_ascii net.Net.name) lower)
+    (all_nets t)
+
+let pop_total nets = List.fold_left (fun acc n -> acc + Net.pop_count n) 0 nets
+
+let tier1_pop_total t = pop_total t.tier1s
+
+let regional_pop_total t = pop_total t.regionals

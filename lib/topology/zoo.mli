@@ -1,0 +1,33 @@
+(** The study's network corpus: 7 Tier-1 and 16 regional US networks.
+
+    PoP counts copy the paper exactly — Table 2 gives the Tier-1 counts
+    (354 PoPs total) and Sec. 4.1 gives 455 regional PoPs; regional names
+    are the 16 of Fig. 2. Regional state footprints are chosen so the
+    disaster case studies line up with the paper's narrative (Telepak /
+    Iris / USA Network / CoStreet on the Gulf for Katrina; ANS / Bandcon /
+    Digex / Globalcenter / Gridnet / Hibernia / Goodnet on the Atlantic
+    seaboard for Irene and Sandy). *)
+
+type t = {
+  tier1s : Net.t list;
+  regionals : Net.t list;
+  peering : Peering.t;
+}
+
+val default_seed : int64
+
+val create : ?seed:int64 -> unit -> t
+(** Deterministically generate the corpus. *)
+
+val shared : unit -> t
+(** The corpus at {!default_seed}, built once and memoised — what the
+    experiments and CLI use. *)
+
+val all_nets : t -> Net.t list
+(** Tier-1s then regionals. *)
+
+val find : t -> string -> Net.t option
+(** Case-insensitive lookup by network name. *)
+
+val tier1_pop_total : t -> int
+val regional_pop_total : t -> int

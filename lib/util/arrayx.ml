@@ -1,0 +1,43 @@
+let fsum a =
+  let sum = ref 0.0 and comp = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    let y = a.(i) -. !comp in
+    let t = !sum +. y in
+    comp := t -. !sum -. y;
+    sum := t
+  done;
+  !sum
+
+let fmean a =
+  assert (Array.length a > 0);
+  fsum a /. float_of_int (Array.length a)
+
+let fmin a =
+  assert (Array.length a > 0);
+  Array.fold_left min a.(0) a
+
+let fmax a =
+  assert (Array.length a > 0);
+  Array.fold_left max a.(0) a
+
+let argextreme better a =
+  assert (Array.length a > 0);
+  let best = ref 0 in
+  for i = 1 to Array.length a - 1 do
+    if better a.(i) a.(!best) then best := i
+  done;
+  !best
+
+let argmin a = argextreme ( < ) a
+
+let argmax a = argextreme ( > ) a
+
+let normalize a =
+  let total = fsum a in
+  assert (total > 0.0);
+  Array.map (fun x -> x /. total) a
+
+let init_matrix rows cols f =
+  Array.init rows (fun i -> Array.init cols (fun j -> f i j))
+
+let take n a = if n >= Array.length a then Array.copy a else Array.sub a 0 n

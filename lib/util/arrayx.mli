@@ -1,0 +1,29 @@
+(** Array helpers shared across the code base. *)
+
+val fsum : float array -> float
+(** Kahan-compensated sum; keeps large event-catalogue aggregations
+    accurate. *)
+
+val fmean : float array -> float
+(** Mean of a non-empty array. *)
+
+val fmin : float array -> float
+(** Minimum of a non-empty array. *)
+
+val fmax : float array -> float
+(** Maximum of a non-empty array. *)
+
+val argmin : float array -> int
+(** Index of the minimum of a non-empty array (first on ties). *)
+
+val argmax : float array -> int
+(** Index of the maximum of a non-empty array (first on ties). *)
+
+val normalize : float array -> float array
+(** Scale a non-negative array to sum to 1. The sum must be positive. *)
+
+val init_matrix : int -> int -> (int -> int -> float) -> float array array
+(** [init_matrix rows cols f] builds a dense matrix. *)
+
+val take : int -> 'a array -> 'a array
+(** First [n] elements (or the whole array if shorter). *)

@@ -1,0 +1,73 @@
+type 'a t = {
+  mutable keys : float array;
+  mutable vals : 'a array;
+  mutable size : int;
+}
+
+let create ?(capacity = 64) () =
+  { keys = Array.make (max 1 capacity) 0.0; vals = [||]; size = 0 }
+
+let length h = h.size
+
+let is_empty h = h.size = 0
+
+let grow h v =
+  let cap = Array.length h.keys in
+  if h.size >= cap then begin
+    let keys' = Array.make (2 * cap) 0.0 in
+    Array.blit h.keys 0 keys' 0 h.size;
+    h.keys <- keys';
+    let vals' = Array.make (2 * cap) v in
+    Array.blit h.vals 0 vals' 0 h.size;
+    h.vals <- vals'
+  end;
+  (* First push: materialise the value array now that we have a witness. *)
+  if Array.length h.vals = 0 then h.vals <- Array.make (Array.length h.keys) v
+
+let swap h i j =
+  let k = h.keys.(i) in
+  h.keys.(i) <- h.keys.(j);
+  h.keys.(j) <- k;
+  let v = h.vals.(i) in
+  h.vals.(i) <- h.vals.(j);
+  h.vals.(j) <- v
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if h.keys.(i) < h.keys.(parent) then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = if l < h.size && h.keys.(l) < h.keys.(i) then l else i in
+  let smallest = if r < h.size && h.keys.(r) < h.keys.(smallest) then r else smallest in
+  if smallest <> i then begin
+    swap h i smallest;
+    sift_down h smallest
+  end
+
+let push h key v =
+  grow h v;
+  h.keys.(h.size) <- key;
+  h.vals.(h.size) <- v;
+  h.size <- h.size + 1;
+  sift_up h (h.size - 1)
+
+let pop_min h =
+  if h.size = 0 then None
+  else begin
+    let key = h.keys.(0) and v = h.vals.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.keys.(0) <- h.keys.(h.size);
+      h.vals.(0) <- h.vals.(h.size);
+      sift_down h 0
+    end;
+    Some (key, v)
+  end
+
+let clear h = h.size <- 0

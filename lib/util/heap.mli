@@ -1,0 +1,25 @@
+(** Imperative binary min-heap keyed by floats.
+
+    This is the priority queue behind {!Rr_graph.Dijkstra}. Stale entries
+    are handled by lazy deletion: pushing a better key for an element is
+    allowed, and consumers skip pops they have already settled. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** Fresh empty heap. *)
+
+val length : 'a t -> int
+(** Number of (possibly stale) entries currently stored. *)
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> float -> 'a -> unit
+(** [push h key v] inserts [v] with priority [key]. *)
+
+val pop_min : 'a t -> (float * 'a) option
+(** Removes and returns the entry with the smallest key, or [None] when
+    empty. Ties are broken arbitrarily. *)
+
+val clear : 'a t -> unit
+(** Drop all entries, retaining allocated capacity. *)

@@ -1,0 +1,52 @@
+let take n l =
+  let rec loop acc n = function
+    | [] -> List.rev acc
+    | _ when n <= 0 -> List.rev acc
+    | x :: rest -> loop (x :: acc) (n - 1) rest
+  in
+  loop [] n l
+
+let range lo hi =
+  let rec loop acc i = if i < lo then acc else loop (i :: acc) (i - 1) in
+  loop [] (hi - 1)
+
+let pairs l =
+  let rec loop acc = function
+    | [] -> List.rev acc
+    | x :: rest ->
+      let acc = List.fold_left (fun acc y -> (x, y) :: acc) acc rest in
+      loop acc rest
+  in
+  loop [] l
+
+let group_by key l =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun x ->
+      let k = key x in
+      match Hashtbl.find_opt tbl k with
+      | None ->
+        Hashtbl.add tbl k (ref [ x ]);
+        order := k :: !order
+      | Some cell -> cell := x :: !cell)
+    l;
+  List.rev_map (fun k -> (k, List.rev !(Hashtbl.find tbl k))) !order
+
+let extreme_by better score = function
+  | [] -> None
+  | x :: rest ->
+    let best, _ =
+      List.fold_left
+        (fun (best, best_score) y ->
+          let s = score y in
+          if better s best_score then (y, s) else (best, best_score))
+        (x, score x) rest
+    in
+    Some best
+
+let min_by score l = extreme_by ( < ) score l
+
+let max_by score l = extreme_by ( > ) score l
+
+let sum_by score l = List.fold_left (fun acc x -> acc +. score x) 0.0 l

@@ -1,0 +1,23 @@
+(** List helpers shared across the code base. *)
+
+val take : int -> 'a list -> 'a list
+(** First [n] elements (or the whole list if shorter). *)
+
+val range : int -> int -> int list
+(** [range lo hi] is [[lo; lo+1; ...; hi-1]]; empty when [hi <= lo]. *)
+
+val pairs : 'a list -> ('a * 'a) list
+(** All unordered pairs of distinct elements, in order of appearance. *)
+
+val group_by : ('a -> 'b) -> 'a list -> ('b * 'a list) list
+(** Stable grouping by key; keys appear in first-occurrence order, each
+    group preserves input order. *)
+
+val min_by : ('a -> float) -> 'a list -> 'a option
+(** Element minimising the score (first on ties); [None] on empty. *)
+
+val max_by : ('a -> float) -> 'a list -> 'a option
+(** Element maximising the score (first on ties); [None] on empty. *)
+
+val sum_by : ('a -> float) -> 'a list -> float
+(** Sum of scores. *)

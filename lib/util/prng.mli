@@ -1,0 +1,60 @@
+(** Deterministic pseudo-random number generation.
+
+    Every synthetic dataset in this repository (topologies, census blocks,
+    disaster catalogues, storm jitter) is derived from this SplitMix64
+    generator so that experiments are exactly reproducible from a seed.
+    The standard-library [Random] module is deliberately not used: its
+    sequence is not guaranteed stable across OCaml releases. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int64 -> t
+(** [create seed] returns a fresh generator. Equal seeds yield equal
+    streams. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator starting from [t]'s current
+    state. *)
+
+val split : t -> t
+(** [split t] derives a new independent stream from [t], advancing [t].
+    Used to give each synthetic subsystem its own stream so that adding
+    draws in one subsystem does not perturb another. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val float : t -> float -> float
+(** [float t bound] draws uniformly from [[0., bound)]. [bound] must be
+    positive. *)
+
+val int : t -> int -> int
+(** [int t bound] draws uniformly from [[0, bound)]. [bound] must be
+    positive. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val uniform : t -> float -> float -> float
+(** [uniform t lo hi] draws uniformly from [[lo, hi)]. *)
+
+val gaussian : t -> float
+(** Standard normal draw (Box-Muller). *)
+
+val gaussian2 : t -> float * float
+(** Two independent standard normal draws (one Box-Muller evaluation). *)
+
+val exponential : t -> float -> float
+(** [exponential t rate] draws from Exp(rate). *)
+
+val pareto : t -> alpha:float -> xmin:float -> float
+(** Pareto draw with shape [alpha] and scale [xmin]; used for heavy-tailed
+    suburb population scatter. *)
+
+val categorical : t -> float array -> int
+(** [categorical t weights] draws index [i] with probability proportional
+    to [weights.(i)]. Weights must be non-negative with a positive sum. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)

@@ -1,0 +1,48 @@
+let all_ordered_pairs n =
+  let out = Array.make (n * (n - 1)) (0, 0) in
+  let k = ref 0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j then begin
+        out.(!k) <- (i, j);
+        incr k
+      end
+    done
+  done;
+  out
+
+let pair_indices rng ~n ~cap =
+  assert (n >= 0 && cap >= 0);
+  if n < 2 || cap = 0 then [||]
+  else
+    let total = n * (n - 1) in
+    if total <= cap then all_ordered_pairs n
+    else begin
+      (* Sample distinct ordered pairs by rejection over a hash set: cap is
+         far below total in practice, so collisions are rare. *)
+      let seen = Hashtbl.create (2 * cap) in
+      let out = Array.make cap (0, 0) in
+      let k = ref 0 in
+      while !k < cap do
+        let i = Prng.int rng n in
+        let j = Prng.int rng n in
+        if i <> j && not (Hashtbl.mem seen (i, j)) then begin
+          Hashtbl.add seen (i, j) ();
+          out.(!k) <- (i, j);
+          incr k
+        end
+      done;
+      out
+    end
+
+let reservoir rng ~k a =
+  let n = Array.length a in
+  if k >= n then Array.copy a
+  else begin
+    let out = Array.sub a 0 k in
+    for i = k to n - 1 do
+      let j = Prng.int rng (i + 1) in
+      if j < k then out.(j) <- a.(i)
+    done;
+    out
+  end

@@ -1,0 +1,158 @@
+let small_blocks () = Rr_census.Synthetic.generate ~seed:11L ~blocks:4_000 ()
+
+(* --- Synthetic --- *)
+
+let test_block_count () =
+  Alcotest.(check int) "exact block count" 4_000 (Array.length (small_blocks ()))
+
+let test_population_conserved () =
+  let blocks = small_blocks () in
+  let total = Rr_census.Block.total_population blocks in
+  let expected = float_of_int Rr_cities.Data.total_population in
+  Alcotest.(check bool) "within 1% of gazetteer total" true
+    (Float.abs (total -. expected) /. expected < 0.01)
+
+let test_blocks_in_conus () =
+  Array.iter
+    (fun (b : Rr_census.Block.t) ->
+      Alcotest.(check bool) "in CONUS" true
+        (Rr_geo.Bbox.contains Rr_geo.Bbox.conus b.Rr_census.Block.coord))
+    (small_blocks ())
+
+let test_blocks_deterministic () =
+  let a = Rr_census.Synthetic.generate ~seed:5L ~blocks:500 () in
+  let b = Rr_census.Synthetic.generate ~seed:5L ~blocks:500 () in
+  Alcotest.(check bool) "same blocks" true
+    (Array.for_all2
+       (fun (x : Rr_census.Block.t) (y : Rr_census.Block.t) ->
+         Rr_geo.Coord.equal x.Rr_census.Block.coord y.Rr_census.Block.coord)
+       a b)
+
+let test_blocks_cluster_at_cities () =
+  (* most of the population should sit within 50 miles of some gazetteer city *)
+  let blocks = small_blocks () in
+  let near = ref 0.0 and total = ref 0.0 in
+  Array.iter
+    (fun (b : Rr_census.Block.t) ->
+      let city = Rr_cities.Query.nearest b.Rr_census.Block.coord in
+      total := !total +. b.Rr_census.Block.population;
+      if Rr_geo.Distance.miles city.Rr_cities.Data.coord b.Rr_census.Block.coord < 50.0
+      then near := !near +. b.Rr_census.Block.population)
+    blocks;
+  Alcotest.(check bool) "85%+ near cities" true (!near /. !total > 0.85)
+
+let test_heat_grid () =
+  let grid = Rr_census.Synthetic.heat_grid (small_blocks ()) ~rows:40 ~cols:80 in
+  Alcotest.(check (float 1e-6)) "normalised" 1.0 (Rr_geo.Grid.total grid)
+
+(* --- Assignment --- *)
+
+let test_nearest_index_matches_haversine () =
+  (* The equirectangular shortcut may disagree with haversine on distant
+     near-ties; the guarantee is that the chosen site is within 2% (or
+     five miles) of the true nearest distance. *)
+  let sites =
+    [|
+      Rr_geo.Coord.make ~lat:40.71 ~lon:(-74.01);
+      Rr_geo.Coord.make ~lat:34.05 ~lon:(-118.24);
+      Rr_geo.Coord.make ~lat:41.88 ~lon:(-87.63);
+    |]
+  in
+  let rng = Rr_util.Prng.create 3L in
+  for _ = 1 to 500 do
+    let p =
+      Rr_geo.Coord.make
+        ~lat:(Rr_util.Prng.uniform rng 25.0 49.0)
+        ~lon:(Rr_util.Prng.uniform rng (-124.0) (-67.0))
+    in
+    let fast = Rr_census.Assignment.nearest_index sites p in
+    let chosen = Rr_geo.Distance.miles sites.(fast) p in
+    let best = ref infinity in
+    Array.iter (fun s -> best := Float.min !best (Rr_geo.Distance.miles s p)) sites;
+    Alcotest.(check bool) "near-optimal assignment" true
+      (chosen <= (1.02 *. !best) +. 5.0)
+  done
+
+let test_assignment_fractions_sum () =
+  let blocks = small_blocks () in
+  let sites =
+    [|
+      Rr_geo.Coord.make ~lat:40.0 ~lon:(-100.0);
+      Rr_geo.Coord.make ~lat:35.0 ~lon:(-90.0);
+    |]
+  in
+  let fractions = Rr_census.Assignment.fractions ~sites blocks in
+  Alcotest.(check (float 1e-9)) "sums to one" 1.0 (Rr_util.Arrayx.fsum fractions)
+
+let test_assignment_single_site () =
+  let blocks = small_blocks () in
+  let sites = [| Rr_geo.Coord.make ~lat:40.0 ~lon:(-100.0) |] in
+  let fractions = Rr_census.Assignment.fractions ~sites blocks in
+  Alcotest.(check (float 1e-9)) "everything to the only site" 1.0 fractions.(0)
+
+let test_assignment_no_sites () =
+  Alcotest.check_raises "no sites"
+    (Invalid_argument "Assignment.nearest_index: no sites") (fun () ->
+      ignore
+        (Rr_census.Assignment.nearest_index [||] (Rr_geo.Coord.make ~lat:40.0 ~lon:(-100.0))))
+
+(* --- Service --- *)
+
+let test_service_tier1_uses_everything () =
+  let zoo = Rr_topology.Zoo.shared () in
+  let net = Option.get (Rr_topology.Zoo.find zoo "AT&T") in
+  let blocks = small_blocks () in
+  let fractions = Rr_census.Service.fractions net blocks in
+  Alcotest.(check int) "per PoP" (Rr_topology.Net.pop_count net) (Array.length fractions);
+  Alcotest.(check (float 1e-9)) "sums to one" 1.0 (Rr_util.Arrayx.fsum fractions)
+
+let test_service_regional_restricted () =
+  let zoo = Rr_topology.Zoo.shared () in
+  let net = Option.get (Rr_topology.Zoo.find zoo "Epoch") in
+  (* Epoch is CA-only: a PoP-wise assignment restricted to CA blocks *)
+  let blocks = small_blocks () in
+  let ca_blocks =
+    Array.of_list
+      (List.filter
+         (fun (b : Rr_census.Block.t) -> String.equal b.Rr_census.Block.state "CA")
+         (Array.to_list blocks))
+  in
+  Alcotest.(check bool) "some CA blocks" true (Array.length ca_blocks > 0);
+  let fractions = Rr_census.Service.fractions net blocks in
+  Alcotest.(check (float 1e-6)) "sums to one over CA only" 1.0
+    (Rr_util.Arrayx.fsum fractions)
+
+let test_service_memoised () =
+  let zoo = Rr_topology.Zoo.shared () in
+  let net = Option.get (Rr_topology.Zoo.find zoo "Globalcenter") in
+  let a = Rr_census.Service.shared_fractions net in
+  let b = Rr_census.Service.shared_fractions net in
+  Alcotest.(check bool) "same array back" true (a == b)
+
+let () =
+  Alcotest.run "rr_census"
+    [
+      ( "synthetic",
+        [
+          Alcotest.test_case "block count" `Quick test_block_count;
+          Alcotest.test_case "population conserved" `Quick test_population_conserved;
+          Alcotest.test_case "blocks in CONUS" `Quick test_blocks_in_conus;
+          Alcotest.test_case "deterministic" `Quick test_blocks_deterministic;
+          Alcotest.test_case "clusters at cities" `Quick test_blocks_cluster_at_cities;
+          Alcotest.test_case "heat grid" `Quick test_heat_grid;
+        ] );
+      ( "assignment",
+        [
+          Alcotest.test_case "nearest matches haversine" `Quick
+            test_nearest_index_matches_haversine;
+          Alcotest.test_case "fractions sum" `Quick test_assignment_fractions_sum;
+          Alcotest.test_case "single site" `Quick test_assignment_single_site;
+          Alcotest.test_case "no sites" `Quick test_assignment_no_sites;
+        ] );
+      ( "service",
+        [
+          Alcotest.test_case "tier-1 national" `Quick test_service_tier1_uses_everything;
+          Alcotest.test_case "regional restricted" `Quick test_service_regional_restricted;
+          Alcotest.test_case "memoised" `Quick test_service_memoised;
+        ] );
+    ]

@@ -1,0 +1,94 @@
+let test_count () =
+  Alcotest.(check bool) "rich gazetteer" true (Rr_cities.Data.count > 200);
+  Alcotest.(check int) "count consistent" Rr_cities.Data.count
+    (Array.length Rr_cities.Data.all)
+
+let test_all_in_conus () =
+  Array.iter
+    (fun (c : Rr_cities.Data.city) ->
+      Alcotest.(check bool) (c.name ^ " in CONUS") true
+        (Rr_geo.Bbox.contains Rr_geo.Bbox.conus c.coord))
+    Rr_cities.Data.all
+
+let test_populations_positive () =
+  Array.iter
+    (fun (c : Rr_cities.Data.city) ->
+      Alcotest.(check bool) (c.name ^ " populated") true (c.population > 0))
+    Rr_cities.Data.all;
+  Alcotest.(check bool) "plausible national total" true
+    (Rr_cities.Data.total_population > 50_000_000
+    && Rr_cities.Data.total_population < 150_000_000)
+
+let test_by_name () =
+  (match Rr_cities.Query.by_name "Chicago" with
+  | Some c ->
+    Alcotest.(check string) "state" "IL" c.state;
+    Alcotest.(check bool) "coords" true
+      (Float.abs (Rr_geo.Coord.lat c.coord -. 41.88) < 0.01)
+  | None -> Alcotest.fail "Chicago missing");
+  Alcotest.(check bool) "unknown city" true (Rr_cities.Query.by_name "Gotham" = None)
+
+let test_by_name_disambiguation () =
+  (* two Wilmingtons: DE and NC *)
+  (match Rr_cities.Query.by_name ~state:"NC" "Wilmington" with
+  | Some c -> Alcotest.(check string) "NC one" "NC" c.state
+  | None -> Alcotest.fail "Wilmington NC missing");
+  match Rr_cities.Query.by_name ~state:"DE" "Wilmington" with
+  | Some c -> Alcotest.(check string) "DE one" "DE" c.state
+  | None -> Alcotest.fail "Wilmington DE missing"
+
+let test_in_states () =
+  let texan = Rr_cities.Query.in_states [ "TX" ] in
+  Alcotest.(check bool) "many Texas cities" true (List.length texan >= 15);
+  List.iter
+    (fun (c : Rr_cities.Data.city) -> Alcotest.(check string) "all TX" "TX" c.state)
+    texan
+
+let test_in_bbox () =
+  let florida =
+    Rr_geo.Bbox.make ~min_lat:24.5 ~max_lat:31.0 ~min_lon:(-87.7) ~max_lon:(-80.0)
+  in
+  let cities = Rr_cities.Query.in_bbox florida in
+  Alcotest.(check bool) "finds Florida cities" true (List.length cities >= 10)
+
+let test_nearest () =
+  (* a point in rural Illinois should resolve to an Illinois-ish city *)
+  let c = Rr_cities.Query.nearest (Rr_geo.Coord.make ~lat:41.9 ~lon:(-87.7)) in
+  Alcotest.(check string) "nearest to downtown Chicago" "Chicago" c.name
+
+let test_top_by_population () =
+  let top = Rr_cities.Query.top_by_population 5 in
+  Alcotest.(check int) "five" 5 (List.length top);
+  (match top with
+  | first :: _ -> Alcotest.(check string) "NYC first" "New York" first.name
+  | [] -> Alcotest.fail "empty");
+  let pops = List.map (fun (c : Rr_cities.Data.city) -> c.population) top in
+  Alcotest.(check (list int)) "descending" (List.sort (fun a b -> compare b a) pops) pops
+
+let test_states_coverage () =
+  let states = Rr_cities.Query.states () in
+  (* 48 continental states + DC = 49 *)
+  Alcotest.(check bool) "near-complete coverage" true (List.length states >= 45);
+  Alcotest.(check bool) "sorted unique" true
+    (List.sort_uniq String.compare states = states)
+
+let () =
+  Alcotest.run "rr_cities"
+    [
+      ( "data",
+        [
+          Alcotest.test_case "count" `Quick test_count;
+          Alcotest.test_case "all in CONUS" `Quick test_all_in_conus;
+          Alcotest.test_case "positive populations" `Quick test_populations_positive;
+        ] );
+      ( "query",
+        [
+          Alcotest.test_case "by_name" `Quick test_by_name;
+          Alcotest.test_case "by_name disambiguation" `Quick test_by_name_disambiguation;
+          Alcotest.test_case "in_states" `Quick test_in_states;
+          Alcotest.test_case "in_bbox" `Quick test_in_bbox;
+          Alcotest.test_case "nearest" `Quick test_nearest;
+          Alcotest.test_case "top_by_population" `Quick test_top_by_population;
+          Alcotest.test_case "state coverage" `Quick test_states_coverage;
+        ] );
+    ]

@@ -1,0 +1,194 @@
+let small_catalog () = Rr_disaster.Catalog.generate ~seed:21L ~scale:0.02 ()
+
+(* --- Event --- *)
+
+let test_paper_counts () =
+  Alcotest.(check int) "hurricane" 2_805
+    (Rr_disaster.Event.paper_count Rr_disaster.Event.Fema_hurricane);
+  Alcotest.(check int) "wind" 143_847
+    (Rr_disaster.Event.paper_count Rr_disaster.Event.Noaa_wind);
+  let total =
+    List.fold_left
+      (fun acc k -> acc + Rr_disaster.Event.paper_count k)
+      0 Rr_disaster.Event.all_kinds
+  in
+  (* 29,865 FEMA declarations + 146,114 NOAA records *)
+  Alcotest.(check int) "grand total" 175_979 total
+
+let test_fema_total_matches_paper () =
+  let fema =
+    Rr_disaster.Event.paper_count Rr_disaster.Event.Fema_hurricane
+    + Rr_disaster.Event.paper_count Rr_disaster.Event.Fema_tornado
+    + Rr_disaster.Event.paper_count Rr_disaster.Event.Fema_storm
+  in
+  Alcotest.(check int) "29,865 FEMA declarations" 29_865 fema
+
+let test_kind_names_distinct () =
+  let names = List.map Rr_disaster.Event.kind_name Rr_disaster.Event.all_kinds in
+  Alcotest.(check int) "distinct" 5 (List.length (List.sort_uniq compare names))
+
+(* --- Model --- *)
+
+let test_model_sampler_in_conus () =
+  List.iter
+    (fun kind ->
+      let model = Rr_disaster.Model.for_kind kind in
+      let sample = Rr_disaster.Model.sampler model ~seed:9L in
+      let rng = Rr_util.Prng.create 10L in
+      for _ = 1 to 200 do
+        let c = sample rng in
+        Alcotest.(check bool) "in CONUS" true
+          (Rr_geo.Bbox.contains Rr_geo.Bbox.conus c)
+      done)
+    Rr_disaster.Event.all_kinds
+
+let test_model_macro_density_positive () =
+  let model = Rr_disaster.Model.for_kind Rr_disaster.Event.Fema_hurricane in
+  let at_gulf =
+    Rr_disaster.Model.macro_density model (Rr_geo.Coord.make ~lat:29.95 ~lon:(-90.07))
+  in
+  let at_plains =
+    Rr_disaster.Model.macro_density model (Rr_geo.Coord.make ~lat:41.0 ~lon:(-100.0))
+  in
+  Alcotest.(check bool) "positive" true (at_gulf > 0.0);
+  Alcotest.(check bool) "gulf >> plains for hurricanes" true (at_gulf > 10.0 *. at_plains)
+
+let test_model_geography () =
+  (* earthquake mass should sit in the west; tornado mass in the plains *)
+  let check kind hot cold =
+    let model = Rr_disaster.Model.for_kind kind in
+    let sample = Rr_disaster.Model.sampler model ~seed:3L in
+    let rng = Rr_util.Prng.create 4L in
+    let hot_count = ref 0 and cold_count = ref 0 in
+    for _ = 1 to 1000 do
+      let c = sample rng in
+      if Rr_geo.Distance.miles c hot < 500.0 then incr hot_count;
+      if Rr_geo.Distance.miles c cold < 500.0 then incr cold_count
+    done;
+    Alcotest.(check bool)
+      (Rr_disaster.Event.kind_name kind ^ " geography")
+      true (!hot_count > 2 * !cold_count)
+  in
+  check Rr_disaster.Event.Noaa_earthquake
+    (Rr_geo.Coord.make ~lat:36.0 ~lon:(-119.0)) (* California *)
+    (Rr_geo.Coord.make ~lat:33.0 ~lon:(-84.0));  (* Georgia *)
+  check Rr_disaster.Event.Fema_tornado
+    (Rr_geo.Coord.make ~lat:36.0 ~lon:(-97.0))  (* Oklahoma *)
+    (Rr_geo.Coord.make ~lat:44.0 ~lon:(-71.0))   (* New Hampshire *)
+
+(* --- Catalog --- *)
+
+let test_catalog_scaled_counts () =
+  let catalog = small_catalog () in
+  List.iter
+    (fun kind ->
+      let expected =
+        max 10
+          (int_of_float (Float.round (0.02 *. float_of_int (Rr_disaster.Event.paper_count kind))))
+      in
+      Alcotest.(check int)
+        (Rr_disaster.Event.kind_name kind)
+        expected
+        (Rr_disaster.Catalog.count catalog kind))
+    Rr_disaster.Event.all_kinds
+
+let test_catalog_total () =
+  let catalog = small_catalog () in
+  let sum =
+    List.fold_left
+      (fun acc k -> acc + Rr_disaster.Catalog.count catalog k)
+      0 Rr_disaster.Event.all_kinds
+  in
+  Alcotest.(check int) "total is sum" sum (Rr_disaster.Catalog.total catalog)
+
+let test_catalog_years () =
+  let catalog = small_catalog () in
+  Array.iter
+    (fun (e : Rr_disaster.Event.t) ->
+      Alcotest.(check bool) "1970-2010" true
+        (e.Rr_disaster.Event.year >= 1970 && e.Rr_disaster.Event.year <= 2010))
+    (Rr_disaster.Catalog.events catalog)
+
+let test_catalog_deterministic () =
+  let a = Rr_disaster.Catalog.generate ~seed:33L ~scale:0.01 () in
+  let b = Rr_disaster.Catalog.generate ~seed:33L ~scale:0.01 () in
+  let coords c = Rr_disaster.Catalog.coords c Rr_disaster.Event.Fema_storm in
+  Alcotest.(check bool) "same storm coords" true
+    (Array.for_all2 Rr_geo.Coord.equal (coords a) (coords b))
+
+let test_catalog_validation () =
+  Alcotest.check_raises "bad scale"
+    (Invalid_argument "Catalog.generate: non-positive scale") (fun () ->
+      ignore (Rr_disaster.Catalog.generate ~scale:0.0 ()))
+
+(* --- Riskmap --- *)
+
+let test_riskmap_positive_and_geographic () =
+  let riskmap = Rr_disaster.Riskmap.build (small_catalog ()) in
+  let new_orleans = Rr_geo.Coord.make ~lat:29.95 ~lon:(-90.07) in
+  let montana = Rr_geo.Coord.make ~lat:47.0 ~lon:(-109.0) in
+  let risk_no = Rr_disaster.Riskmap.risk_at riskmap new_orleans in
+  let risk_mt = Rr_disaster.Riskmap.risk_at riskmap montana in
+  Alcotest.(check bool) "positive at New Orleans" true (risk_no > 0.0);
+  Alcotest.(check bool) "Gulf riskier than Montana" true (risk_no > 3.0 *. risk_mt)
+
+let test_riskmap_kind_density () =
+  let riskmap = Rr_disaster.Riskmap.build (small_catalog ()) in
+  List.iter
+    (fun kind ->
+      let density = Rr_disaster.Riskmap.kind_density riskmap kind in
+      Alcotest.(check (float 1e-9))
+        (Rr_disaster.Event.kind_name kind ^ " bandwidth")
+        (Rr_disaster.Event.paper_bandwidth kind)
+        (Rr_kde.Grid_density.bandwidth density))
+    Rr_disaster.Event.all_kinds
+
+let test_riskmap_custom_bandwidth () =
+  let riskmap =
+    Rr_disaster.Riskmap.build ~bandwidth:(fun _ -> 50.0) (small_catalog ())
+  in
+  let density = Rr_disaster.Riskmap.kind_density riskmap Rr_disaster.Event.Noaa_wind in
+  Alcotest.(check (float 1e-9)) "override" 50.0 (Rr_kde.Grid_density.bandwidth density)
+
+let test_riskmap_pop_risks () =
+  let zoo = Rr_topology.Zoo.shared () in
+  let net = Option.get (Rr_topology.Zoo.find zoo "Globalcenter") in
+  let riskmap = Rr_disaster.Riskmap.build (small_catalog ()) in
+  let risks = Rr_disaster.Riskmap.pop_risks riskmap net in
+  Alcotest.(check int) "one per PoP" (Rr_topology.Net.pop_count net) (Array.length risks);
+  Array.iter (fun r -> Alcotest.(check bool) "non-negative" true (r >= 0.0)) risks;
+  Alcotest.(check (float 1e-12)) "average matches"
+    (Rr_util.Arrayx.fmean risks)
+    (Rr_disaster.Riskmap.average_pop_risk riskmap net)
+
+let () =
+  Alcotest.run "rr_disaster"
+    [
+      ( "event",
+        [
+          Alcotest.test_case "paper counts" `Quick test_paper_counts;
+          Alcotest.test_case "FEMA total" `Quick test_fema_total_matches_paper;
+          Alcotest.test_case "kind names" `Quick test_kind_names_distinct;
+        ] );
+      ( "model",
+        [
+          Alcotest.test_case "samples in CONUS" `Quick test_model_sampler_in_conus;
+          Alcotest.test_case "macro density" `Quick test_model_macro_density_positive;
+          Alcotest.test_case "geography" `Quick test_model_geography;
+        ] );
+      ( "catalog",
+        [
+          Alcotest.test_case "scaled counts" `Quick test_catalog_scaled_counts;
+          Alcotest.test_case "total" `Quick test_catalog_total;
+          Alcotest.test_case "years" `Quick test_catalog_years;
+          Alcotest.test_case "deterministic" `Quick test_catalog_deterministic;
+          Alcotest.test_case "validation" `Quick test_catalog_validation;
+        ] );
+      ( "riskmap",
+        [
+          Alcotest.test_case "geographic risk" `Quick test_riskmap_positive_and_geographic;
+          Alcotest.test_case "kind densities" `Quick test_riskmap_kind_density;
+          Alcotest.test_case "custom bandwidth" `Quick test_riskmap_custom_bandwidth;
+          Alcotest.test_case "pop risks" `Quick test_riskmap_pop_risks;
+        ] );
+    ]

@@ -1,0 +1,202 @@
+(* Unit tests of the experiment layer that avoid the full-size shared
+   pipeline where possible (fast paths only; the expensive end-to-end
+   checks live in test_integration.ml). *)
+
+let buffer_run f =
+  let buffer = Buffer.create 4096 in
+  let ppf = Format.formatter_of_buffer buffer in
+  f ppf;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buffer
+
+let contains needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec scan i = i + nl <= hl && (String.sub haystack i nl = needle || scan (i + 1)) in
+  scan 0
+
+(* --- Table 1 --- *)
+
+let test_table1_small_catalog () =
+  let catalog = Rr_disaster.Catalog.generate ~seed:3L ~scale:0.02 () in
+  let rows = Rr_experiments.Table1.compute ~catalog ~max_events:400 () in
+  Alcotest.(check int) "five rows" 5 (List.length rows);
+  List.iter
+    (fun (row : Rr_experiments.Table1.row) ->
+      Alcotest.(check bool) "bandwidth positive" true
+        (row.Rr_experiments.Table1.bandwidth > 0.0);
+      Alcotest.(check bool) "entries scaled" true
+        (row.Rr_experiments.Table1.entries
+        < Rr_disaster.Event.paper_count row.Rr_experiments.Table1.kind))
+    rows
+
+let test_table1_paper_column () =
+  let catalog = Rr_disaster.Catalog.generate ~seed:3L ~scale:0.02 () in
+  let rows = Rr_experiments.Table1.compute ~catalog ~max_events:200 () in
+  List.iter
+    (fun (row : Rr_experiments.Table1.row) ->
+      Alcotest.(check (float 1e-9)) "paper value attached"
+        (Rr_disaster.Event.paper_bandwidth row.Rr_experiments.Table1.kind)
+        row.Rr_experiments.Table1.paper_bandwidth)
+    rows
+
+(* --- Table 2 constants --- *)
+
+let test_table2_paper_values () =
+  Alcotest.(check int) "seven networks" 7 (List.length Rr_experiments.Table2.paper);
+  match List.assoc_opt "Level3" Rr_experiments.Table2.paper with
+  | Some (rr5, dr5, rr6, dr6) ->
+    Alcotest.(check (float 1e-9)) "rr 1e5" 0.075 rr5;
+    Alcotest.(check (float 1e-9)) "dr 1e5" 0.015 dr5;
+    Alcotest.(check (float 1e-9)) "rr 1e6" 0.258 rr6;
+    Alcotest.(check (float 1e-9)) "dr 1e6" 0.136 dr6
+  | None -> Alcotest.fail "Level3 row missing"
+
+(* --- Table 3 constants --- *)
+
+let test_table3_paper_values () =
+  Alcotest.(check int) "six characteristics" 6 (List.length Rr_experiments.Table3.paper);
+  match List.assoc_opt "Geographic Footprint" Rr_experiments.Table3.paper with
+  | Some (r2_risk, r2_dist) ->
+    Alcotest.(check (float 1e-9)) "risk r2" 0.618 r2_risk;
+    Alcotest.(check (float 1e-9)) "dist r2" 0.243 r2_dist
+  | None -> Alcotest.fail "footprint row missing"
+
+(* --- Fig 1 / Fig 2 dataset invariants --- *)
+
+let test_fig1_totals () =
+  Alcotest.(check int) "354 tier-1 PoPs" 354 (Rr_experiments.Fig1.tier1_pop_total ());
+  Alcotest.(check int) "455 regional PoPs" 455 (Rr_experiments.Fig1.regional_pop_total ())
+
+let test_fig2_edges () =
+  (* tier-1 clique alone is 21 edges; regional multihoming adds more *)
+  Alcotest.(check bool) "at least the clique" true (Rr_experiments.Fig2.edge_count () > 21)
+
+(* --- Fig 4 geography --- *)
+
+let test_fig4_concentrations () =
+  let concentrations = Rr_experiments.Fig4.concentrations () in
+  Alcotest.(check int) "five kinds" 5 (List.length concentrations);
+  List.iter
+    (fun (c : Rr_experiments.Fig4.concentration) ->
+      Alcotest.(check bool)
+        (Rr_disaster.Event.kind_name c.Rr_experiments.Fig4.kind
+        ^ " concentrated where the paper says")
+        true
+        (c.Rr_experiments.Fig4.mass_share > 0.5))
+    concentrations
+
+(* --- Fig 5 ticks --- *)
+
+let test_fig5_mentions_paper_times () =
+  let out = buffer_run Rr_experiments.Fig5.run in
+  Alcotest.(check bool) "Irene header" true (contains "Irene" out);
+  Alcotest.(check bool) "wind radii shown" true (contains "tropical-storm-force" out
+                                                 || contains "TROPICAL-STORM-FORCE" out)
+
+(* --- Fig 10 --- *)
+
+let test_fig10_fractions_bounded () =
+  List.iter
+    (fun (curve : Rr_experiments.Fig10.curve) ->
+      Array.iter
+        (fun f ->
+          Alcotest.(check bool)
+            (curve.Rr_experiments.Fig10.network ^ " fraction in (0, 1]")
+            true
+            (f > 0.0 && f <= 1.0 +. 1e-9))
+        curve.Rr_experiments.Fig10.fractions)
+    (Rr_experiments.Fig10.compute ~max_links:3 ())
+
+let test_fig10_level3_flattest () =
+  (* the paper's Fig. 10 story: dense Level3 gains least from added links *)
+  let curves = Rr_experiments.Fig10.compute ~max_links:3 () in
+  let final name =
+    match
+      List.find_opt
+        (fun (c : Rr_experiments.Fig10.curve) ->
+          String.equal c.Rr_experiments.Fig10.network name)
+        curves
+    with
+    | Some c when Array.length c.Rr_experiments.Fig10.fractions > 0 ->
+      c.Rr_experiments.Fig10.fractions.(Array.length c.Rr_experiments.Fig10.fractions - 1)
+    | _ -> 1.0
+  in
+  Alcotest.(check bool) "Level3 improves less than Sprint" true
+    (final "Level3" > final "Sprint");
+  Alcotest.(check bool) "Level3 improves less than Teliasonera" true
+    (final "Level3" > final "Teliasonera")
+
+(* --- ablation runners produce output --- *)
+
+(* --- CSV export --- *)
+
+let test_csv_table2 () =
+  let path = Filename.temp_file "riskroute" ".csv" in
+  Rr_experiments.Csv_export.write_table2 path;
+  let ic = open_in path in
+  let header = input_line ic in
+  let lines = ref 0 in
+  (try
+     while true do
+       ignore (input_line ic);
+       incr lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check string) "header" "network,pops,rr_1e5,dr_1e5,rr_1e6,dr_1e6" header;
+  Alcotest.(check int) "seven networks" 7 !lines
+
+let test_csv_fig10 () =
+  let path = Filename.temp_file "riskroute" ".csv" in
+  Rr_experiments.Csv_export.write_fig10 path;
+  let ic = open_in path in
+  let header = input_line ic in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check string) "header" "network,links_added,fraction_of_original_bit_risk"
+    header
+
+let test_ablation_runners () =
+  List.iter
+    (fun (name, run) ->
+      let out = buffer_run run in
+      Alcotest.(check bool) (name ^ " non-empty") true (String.length out > 40))
+    [
+      ("abl-kde", Rr_experiments.Ablation.run_kde);
+      ("abl-seasonal", Rr_experiments.Ablation.run_seasonal);
+    ]
+
+let () =
+  Alcotest.run "rr_experiments"
+    [
+      ( "table1",
+        [
+          Alcotest.test_case "small catalogue" `Slow test_table1_small_catalog;
+          Alcotest.test_case "paper column" `Slow test_table1_paper_column;
+        ] );
+      ( "constants",
+        [
+          Alcotest.test_case "table2 paper values" `Quick test_table2_paper_values;
+          Alcotest.test_case "table3 paper values" `Quick test_table3_paper_values;
+        ] );
+      ( "datasets",
+        [
+          Alcotest.test_case "fig1 totals" `Quick test_fig1_totals;
+          Alcotest.test_case "fig2 edges" `Quick test_fig2_edges;
+          Alcotest.test_case "fig4 concentrations" `Slow test_fig4_concentrations;
+          Alcotest.test_case "fig5 output" `Slow test_fig5_mentions_paper_times;
+        ] );
+      ( "fig10",
+        [
+          Alcotest.test_case "fractions bounded" `Slow test_fig10_fractions_bounded;
+          Alcotest.test_case "Level3 flattest" `Slow test_fig10_level3_flattest;
+        ] );
+      ( "csv",
+        [
+          Alcotest.test_case "table2 csv" `Slow test_csv_table2;
+          Alcotest.test_case "fig10 csv" `Slow test_csv_fig10;
+        ] );
+      ( "ablation",
+        [ Alcotest.test_case "runners" `Slow test_ablation_runners ] );
+    ]

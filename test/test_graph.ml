@@ -1,0 +1,291 @@
+open Rr_graph
+
+(* --- Graph --- *)
+
+let test_graph_basics () =
+  let g = Graph.create 4 in
+  Graph.add_edge g 0 1;
+  Graph.add_edge g 1 2;
+  Alcotest.(check int) "nodes" 4 (Graph.node_count g);
+  Alcotest.(check int) "edges" 2 (Graph.edge_count g);
+  Alcotest.(check bool) "has 0-1" true (Graph.has_edge g 0 1);
+  Alcotest.(check bool) "has 1-0 (undirected)" true (Graph.has_edge g 1 0);
+  Alcotest.(check bool) "no 0-2" false (Graph.has_edge g 0 2);
+  Alcotest.(check int) "degree 1" 2 (Graph.degree g 1)
+
+let test_graph_idempotent_add () =
+  let g = Graph.create 3 in
+  Graph.add_edge g 0 1;
+  Graph.add_edge g 0 1;
+  Graph.add_edge g 1 0;
+  Alcotest.(check int) "one edge" 1 (Graph.edge_count g)
+
+let test_graph_self_loop () =
+  let g = Graph.create 3 in
+  Alcotest.check_raises "self loop" (Invalid_argument "Graph.add_edge: self-loop")
+    (fun () -> Graph.add_edge g 1 1)
+
+let test_graph_remove () =
+  let g = Graph.of_edges 3 [ (0, 1); (1, 2) ] in
+  Graph.remove_edge g 0 1;
+  Alcotest.(check bool) "removed" false (Graph.has_edge g 0 1);
+  Alcotest.(check int) "one left" 1 (Graph.edge_count g);
+  Graph.remove_edge g 0 1 (* no-op *);
+  Alcotest.(check int) "still one" 1 (Graph.edge_count g)
+
+let test_graph_edges_listing () =
+  let g = Graph.of_edges 4 [ (2, 1); (0, 3); (0, 1) ] in
+  Alcotest.(check (list (pair int int))) "sorted u < v" [ (0, 1); (0, 3); (1, 2) ]
+    (List.sort compare (Graph.edges g))
+
+let test_graph_copy_independent () =
+  let g = Graph.of_edges 3 [ (0, 1) ] in
+  let g' = Graph.copy g in
+  Graph.add_edge g' 1 2;
+  Alcotest.(check int) "copy gains edge" 2 (Graph.edge_count g');
+  Alcotest.(check int) "original untouched" 1 (Graph.edge_count g);
+  Alcotest.(check bool) "original lacks 1-2" false (Graph.has_edge g 1 2)
+
+let test_graph_out_of_range () =
+  let g = Graph.create 2 in
+  Alcotest.check_raises "bad node" (Invalid_argument "Graph: node out of range")
+    (fun () -> ignore (Graph.neighbors g 5))
+
+(* --- Dijkstra --- *)
+
+let line_graph weights =
+  (* 0 -1- 2 -... chain with given weights *)
+  let n = Array.length weights + 1 in
+  let g = Graph.create n in
+  for i = 0 to n - 2 do
+    Graph.add_edge g i (i + 1)
+  done;
+  let weight u v =
+    let lo = min u v in
+    weights.(lo)
+  in
+  (g, weight)
+
+let test_dijkstra_chain () =
+  let g, weight = line_graph [| 1.0; 2.0; 3.0 |] in
+  let tree = Dijkstra.single_source g ~weight ~src:0 in
+  Alcotest.(check (float 1e-9)) "dist to 3" 6.0 tree.Dijkstra.dist.(3);
+  Alcotest.(check (option (list int))) "path" (Some [ 0; 1; 2; 3 ])
+    (Dijkstra.path_of_tree tree ~src:0 ~dst:3)
+
+let test_dijkstra_picks_cheaper () =
+  (* square: 0-1-3 costs 2, 0-2-3 costs 10 *)
+  let g = Graph.of_edges 4 [ (0, 1); (1, 3); (0, 2); (2, 3) ] in
+  let weight u v =
+    match (min u v, max u v) with
+    | 0, 1 | 1, 3 -> 1.0
+    | _ -> 5.0
+  in
+  match Dijkstra.single_pair g ~weight ~src:0 ~dst:3 with
+  | Some (cost, path) ->
+    Alcotest.(check (float 1e-9)) "cost" 2.0 cost;
+    Alcotest.(check (list int)) "path" [ 0; 1; 3 ] path
+  | None -> Alcotest.fail "connected"
+
+let test_dijkstra_disconnected () =
+  let g = Graph.of_edges 4 [ (0, 1) ] in
+  let weight _ _ = 1.0 in
+  Alcotest.(check bool) "no path" true
+    (Dijkstra.single_pair g ~weight ~src:0 ~dst:3 = None);
+  let tree = Dijkstra.single_source g ~weight ~src:0 in
+  Alcotest.(check bool) "inf dist" true (tree.Dijkstra.dist.(3) = infinity);
+  Alcotest.(check (option (list int))) "no tree path" None
+    (Dijkstra.path_of_tree tree ~src:0 ~dst:3)
+
+let test_dijkstra_src_eq_dst () =
+  let g = Graph.of_edges 2 [ (0, 1) ] in
+  match Dijkstra.single_pair g ~weight:(fun _ _ -> 1.0) ~src:0 ~dst:0 with
+  | Some (cost, path) ->
+    Alcotest.(check (float 1e-9)) "zero" 0.0 cost;
+    Alcotest.(check (list int)) "trivial path" [ 0 ] path
+  | None -> Alcotest.fail "self distance"
+
+let test_dijkstra_negative_weight () =
+  let g = Graph.of_edges 2 [ (0, 1) ] in
+  Alcotest.check_raises "rejects negative"
+    (Invalid_argument "Dijkstra: negative edge weight") (fun () ->
+      ignore (Dijkstra.single_pair g ~weight:(fun _ _ -> -1.0) ~src:0 ~dst:1))
+
+let test_dijkstra_directional_weight () =
+  (* asymmetric weight: going 0 -> 1 costs 1, 1 -> 0 costs 10 *)
+  let g = Graph.of_edges 2 [ (0, 1) ] in
+  let weight u v = if u < v then 1.0 else 10.0 in
+  let c01 = Option.get (Dijkstra.single_pair g ~weight ~src:0 ~dst:1) in
+  let c10 = Option.get (Dijkstra.single_pair g ~weight ~src:1 ~dst:0) in
+  Alcotest.(check (float 1e-9)) "forward" 1.0 (fst c01);
+  Alcotest.(check (float 1e-9)) "backward" 10.0 (fst c10)
+
+let test_path_cost () =
+  let weight u v = float_of_int (u + v) in
+  Alcotest.(check (float 1e-9)) "sum" 4.0 (Dijkstra.path_cost ~weight [ 0; 1; 2 ]);
+  Alcotest.(check (float 1e-9)) "singleton" 0.0 (Dijkstra.path_cost ~weight [ 7 ])
+
+(* brute-force Bellman-Ford-ish reference for random graphs *)
+let brute_force_dist g ~weight ~src =
+  let n = Graph.node_count g in
+  let dist = Array.make n infinity in
+  dist.(src) <- 0.0;
+  for _ = 1 to n do
+    List.iter
+      (fun (u, v) ->
+        if dist.(u) +. weight u v < dist.(v) then dist.(v) <- dist.(u) +. weight u v;
+        if dist.(v) +. weight v u < dist.(u) then dist.(u) <- dist.(v) +. weight v u)
+      (Graph.edges g)
+  done;
+  dist
+
+let random_graph_gen =
+  QCheck.Gen.(
+    int_range 2 12 >>= fun n ->
+    list_size (int_range 0 30) (pair (int_bound (n - 1)) (int_bound (n - 1)))
+    >>= fun edges ->
+    let edges = List.filter (fun (u, v) -> u <> v) edges in
+    return (n, edges))
+
+let arb_random_graph =
+  QCheck.make random_graph_gen ~print:(fun (n, edges) ->
+      Printf.sprintf "n=%d edges=[%s]" n
+        (String.concat ";" (List.map (fun (u, v) -> Printf.sprintf "(%d,%d)" u v) edges)))
+
+let dijkstra_matches_brute_force =
+  QCheck.Test.make ~name:"dijkstra equals brute force on random graphs" ~count:200
+    arb_random_graph
+    (fun (n, edges) ->
+      let g = Graph.of_edges n edges in
+      let weight u v = float_of_int (((u * 7) + (v * 13)) mod 19) +. 1.0 in
+      let tree = Dijkstra.single_source g ~weight ~src:0 in
+      let reference = brute_force_dist g ~weight ~src:0 in
+      Array.for_all2
+        (fun a b -> (a = infinity && b = infinity) || Float.abs (a -. b) < 1e-6)
+        tree.Dijkstra.dist reference)
+
+let single_pair_consistent =
+  QCheck.Test.make ~name:"single_pair cost equals path_cost of its path" ~count:200
+    arb_random_graph
+    (fun (n, edges) ->
+      let g = Graph.of_edges n edges in
+      let weight u v = float_of_int (((u * 3) + (v * 5)) mod 11) +. 0.5 in
+      match Dijkstra.single_pair g ~weight ~src:0 ~dst:(n - 1) with
+      | None -> true
+      | Some (cost, path) ->
+        Float.abs (cost -. Dijkstra.path_cost ~weight path) < 1e-9
+        && List.hd path = 0
+        && List.nth path (List.length path - 1) = n - 1)
+
+(* --- Component --- *)
+
+let test_components () =
+  let g = Graph.of_edges 6 [ (0, 1); (1, 2); (3, 4) ] in
+  Alcotest.(check int) "three components" 3 (Component.component_count g);
+  Alcotest.(check bool) "not connected" false (Component.is_connected g);
+  Alcotest.(check (list int)) "largest" [ 0; 1; 2 ] (Component.largest_component g)
+
+let test_components_connected () =
+  let g = Graph.of_edges 3 [ (0, 1); (1, 2) ] in
+  Alcotest.(check bool) "connected" true (Component.is_connected g);
+  let labels = Component.components g in
+  Alcotest.(check (array int)) "all zero" [| 0; 0; 0 |] labels
+
+let test_components_empty () =
+  Alcotest.(check bool) "empty graph connected" true
+    (Component.is_connected (Graph.create 0))
+
+(* --- Spanner --- *)
+
+let ring_points n =
+  Array.init n (fun i ->
+      let theta = 2.0 *. Float.pi *. float_of_int i /. float_of_int n in
+      (cos theta, sin theta))
+
+let euclid points u v =
+  let xu, yu = points.(u) and xv, yv = points.(v) in
+  sqrt (((xu -. xv) ** 2.0) +. ((yu -. yv) ** 2.0))
+
+let test_mst_connected () =
+  let points = ring_points 12 in
+  let g = Spanner.mst ~n:12 ~dist:(euclid points) in
+  Alcotest.(check bool) "connected" true (Component.is_connected g);
+  Alcotest.(check int) "n-1 edges" 11 (Graph.edge_count g)
+
+let test_mst_single_node () =
+  let g = Spanner.mst ~n:1 ~dist:(fun _ _ -> 0.0) in
+  Alcotest.(check int) "no edges" 0 (Graph.edge_count g)
+
+let test_gabriel_ring () =
+  let points = ring_points 8 in
+  let g = Spanner.gabriel ~n:8 ~dist:(euclid points) in
+  (* ring neighbours are Gabriel edges; antipodal pairs are not *)
+  Alcotest.(check bool) "adjacent linked" true (Graph.has_edge g 0 1);
+  Alcotest.(check bool) "antipodal blocked" false (Graph.has_edge g 0 4)
+
+let test_knn_degree () =
+  let points = ring_points 10 in
+  let g = Spanner.knn ~n:10 ~dist:(euclid points) ~k:2 in
+  for v = 0 to 9 do
+    Alcotest.(check bool) "degree >= k" true (Graph.degree g v >= 2)
+  done
+
+let test_union () =
+  let a = Graph.of_edges 3 [ (0, 1) ] in
+  let b = Graph.of_edges 3 [ (1, 2) ] in
+  let u = Spanner.union a b in
+  Alcotest.(check int) "edges merged" 2 (Graph.edge_count u);
+  Alcotest.check_raises "size mismatch"
+    (Invalid_argument "Spanner.union: node-count mismatch") (fun () ->
+      ignore (Spanner.union a (Graph.create 5)))
+
+let mst_always_spanning =
+  QCheck.Test.make ~name:"mst spans any point set" ~count:100
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 20) (pair (float_range (-1.0) 1.0) (float_range (-1.0) 1.0)))
+    (fun pts ->
+      let points = Array.of_list pts in
+      let n = Array.length points in
+      let g = Spanner.mst ~n ~dist:(euclid points) in
+      Component.is_connected g && Graph.edge_count g = n - 1)
+
+let () =
+  Alcotest.run "rr_graph"
+    [
+      ( "graph",
+        [
+          Alcotest.test_case "basics" `Quick test_graph_basics;
+          Alcotest.test_case "idempotent add" `Quick test_graph_idempotent_add;
+          Alcotest.test_case "self loop" `Quick test_graph_self_loop;
+          Alcotest.test_case "remove" `Quick test_graph_remove;
+          Alcotest.test_case "edge listing" `Quick test_graph_edges_listing;
+          Alcotest.test_case "copy independence" `Quick test_graph_copy_independent;
+          Alcotest.test_case "out of range" `Quick test_graph_out_of_range;
+        ] );
+      ( "dijkstra",
+        [
+          Alcotest.test_case "chain" `Quick test_dijkstra_chain;
+          Alcotest.test_case "picks cheaper" `Quick test_dijkstra_picks_cheaper;
+          Alcotest.test_case "disconnected" `Quick test_dijkstra_disconnected;
+          Alcotest.test_case "src = dst" `Quick test_dijkstra_src_eq_dst;
+          Alcotest.test_case "negative weight" `Quick test_dijkstra_negative_weight;
+          Alcotest.test_case "directional weight" `Quick test_dijkstra_directional_weight;
+          Alcotest.test_case "path cost" `Quick test_path_cost;
+          QCheck_alcotest.to_alcotest dijkstra_matches_brute_force;
+          QCheck_alcotest.to_alcotest single_pair_consistent;
+        ] );
+      ( "component",
+        [
+          Alcotest.test_case "components" `Quick test_components;
+          Alcotest.test_case "connected" `Quick test_components_connected;
+          Alcotest.test_case "empty" `Quick test_components_empty;
+        ] );
+      ( "spanner",
+        [
+          Alcotest.test_case "mst connected" `Quick test_mst_connected;
+          Alcotest.test_case "mst single node" `Quick test_mst_single_node;
+          Alcotest.test_case "gabriel ring" `Quick test_gabriel_ring;
+          Alcotest.test_case "knn degree" `Quick test_knn_degree;
+          Alcotest.test_case "union" `Quick test_union;
+          QCheck_alcotest.to_alcotest mst_always_spanning;
+        ] );
+    ]

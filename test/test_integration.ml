@@ -1,0 +1,261 @@
+(* End-to-end tests over the shared full-size pipeline (Zoo topology,
+   215,932-block census, 176k-event catalogue). These are slower than the
+   unit suites — everything heavy is built once and memoised. *)
+
+open Riskroute
+
+let zoo () = Rr_topology.Zoo.shared ()
+
+let net name = Option.get (Rr_topology.Zoo.find (zoo ()) name)
+
+(* --- Env.of_net over the full pipeline --- *)
+
+let test_of_net_shapes () =
+  let env = Env.of_net (net "AT&T") in
+  Alcotest.(check int) "25 nodes" 25 (Env.node_count env);
+  Alcotest.(check (float 1e-6)) "impact sums to one" 1.0
+    (Rr_util.Arrayx.fsum (Env.impact env));
+  Array.iter
+    (fun h -> Alcotest.(check bool) "historical risk positive" true (h > 0.0))
+    (Env.historical env)
+
+let test_of_net_regional_impact_restricted () =
+  (* Epoch is confined to California: the impact of all its PoPs still
+     sums to 1 (population restricted to CA). *)
+  let env = Env.of_net (net "Epoch") in
+  Alcotest.(check (float 1e-6)) "sums to one" 1.0 (Rr_util.Arrayx.fsum (Env.impact env))
+
+let test_gulf_pops_riskier_than_mountain () =
+  let riskmap = Rr_disaster.Riskmap.shared () in
+  let gulf = Rr_disaster.Riskmap.risk_at riskmap (Rr_geo.Coord.make ~lat:29.95 ~lon:(-90.07)) in
+  let mountain = Rr_disaster.Riskmap.risk_at riskmap (Rr_geo.Coord.make ~lat:46.6 ~lon:(-112.0)) in
+  Alcotest.(check bool) "New Orleans much riskier than Helena" true
+    (gulf > 5.0 *. mountain)
+
+(* --- Table 2 behaviour --- *)
+
+let test_ratios_grow_with_lambda () =
+  let n = net "Sprint" in
+  let at lambda_h =
+    let params = Params.with_lambda_h lambda_h Params.default in
+    Ratios.intradomain ~pair_cap:1500 (Env.of_net ~params n)
+  in
+  let r5 = at 1e5 and r6 = at 1e6 in
+  Alcotest.(check bool) "risk reduction grows" true
+    (r6.Ratios.risk_reduction > r5.Ratios.risk_reduction);
+  Alcotest.(check bool) "distance increase grows" true
+    (r6.Ratios.distance_increase > r5.Ratios.distance_increase)
+
+let test_level3_low_ratio () =
+  (* the paper's headline ordering: the big dense Level3 network has the
+     smallest risk-reduction ratio of the Tier-1s *)
+  let ratio name =
+    (Ratios.intradomain ~pair_cap:1500 (Env.of_net (net name))).Ratios.risk_reduction
+  in
+  let level3 = ratio "Level3" in
+  Alcotest.(check bool) "Level3 below DT" true (level3 < ratio "Deutsche Telekom");
+  Alcotest.(check bool) "Level3 below NTT" true (level3 < ratio "NTT");
+  Alcotest.(check bool) "Level3 below Teliasonera" true (level3 < ratio "Teliasonera")
+
+(* --- Fig 7 behaviour --- *)
+
+let test_fig7_risk_aversion_grows () =
+  let comparisons = Rr_experiments.Fig7.compute () in
+  Alcotest.(check int) "two lambda values" 2 (List.length comparisons);
+  List.iter
+    (fun (c : Rr_experiments.Fig7.comparison) ->
+      Alcotest.(check bool) "riskroute never riskier" true
+        (c.Rr_experiments.Fig7.riskroute.Router.bit_risk_miles
+        <= c.Rr_experiments.Fig7.shortest.Router.bit_risk_miles +. 1e-6);
+      Alcotest.(check bool) "riskroute never shorter" true
+        (c.Rr_experiments.Fig7.riskroute.Router.bit_miles
+        >= c.Rr_experiments.Fig7.shortest.Router.bit_miles -. 1e-6))
+    comparisons;
+  match comparisons with
+  | [ low; high ] ->
+    Alcotest.(check bool) "more risk-averse at higher lambda" true
+      (high.Rr_experiments.Fig7.riskroute.Router.bit_miles
+      >= low.Rr_experiments.Fig7.riskroute.Router.bit_miles -. 1e-6)
+  | _ -> Alcotest.fail "expected exactly two comparisons"
+
+(* --- Fig 6 exposure counts --- *)
+
+let test_fig6_exposure_ordering () =
+  let count storm = Rr_experiments.Fig6.tier1_pops_in_hurricane_scope storm in
+  let irene = count Rr_forecast.Track.irene in
+  let katrina = count Rr_forecast.Track.katrina in
+  let sandy = count Rr_forecast.Track.sandy in
+  (* paper: Irene 86, Katrina 8, Sandy 115 — Katrina is by far the most
+     localised, Sandy the widest *)
+  Alcotest.(check bool) "Katrina most localised" true
+    (katrina < irene && katrina < sandy);
+  Alcotest.(check bool) "Katrina touches some PoPs" true (katrina > 0);
+  Alcotest.(check bool) "Sandy widest" true (sandy >= irene)
+
+(* --- Case studies --- *)
+
+let test_casestudy_tier1_series () =
+  let series =
+    Casestudy.tier1 ~pair_cap:300 ~tick_stride:10 ~storm:Rr_forecast.Track.katrina
+      (net "Deutsche Telekom")
+  in
+  Alcotest.(check string) "storm name" "KATRINA" series.Casestudy.storm;
+  Alcotest.(check int) "strided points" 7 (List.length series.Casestudy.points);
+  List.iter
+    (fun (p : Casestudy.point) ->
+      Alcotest.(check bool) "ratio sane" true
+        (p.Casestudy.risk_reduction > -1.0 && p.Casestudy.risk_reduction < 1.0))
+    series.Casestudy.points
+
+let peak_ratio net_name storm =
+  let n = net net_name in
+  let advisories = Rr_forecast.Track.advisories storm in
+  let base = Env.of_net n in
+  let quiet = Ratios.intradomain ~pair_cap:800 base in
+  let peak_advisory =
+    Option.get
+      (Rr_util.Listx.max_by
+         (fun a -> float_of_int (Rr_forecast.Riskfield.pops_in_scope a n))
+         advisories)
+  in
+  let stormy =
+    Ratios.intradomain ~pair_cap:800 (Env.with_advisory base (Some peak_advisory))
+  in
+  (quiet.Ratios.risk_reduction, stormy.Ratios.risk_reduction)
+
+let test_casestudy_forecast_raises_ratio () =
+  (* a national Tier-1 with a minority of PoPs in the storm's scope can
+     reroute around them: the achievable reduction grows *)
+  let quiet, stormy = peak_ratio "AT&T" Rr_forecast.Track.sandy in
+  Alcotest.(check bool) "partial exposure raises the ratio" true (stormy > quiet)
+
+let test_casestudy_saturation_lowers_ratio () =
+  (* the paper's Sec. 7.3.1 observation: when a majority of a network's
+     infrastructure is inside the storm, there is nowhere safe to
+     reroute and the reduction ratio falls *)
+  let quiet, stormy = peak_ratio "Telepak" Rr_forecast.Track.katrina in
+  Alcotest.(check bool) "saturated exposure lowers the ratio" true (stormy < quiet)
+
+let test_in_scope_filter () =
+  let selected =
+    Casestudy.in_scope_filter ~storm:Rr_forecast.Track.katrina (zoo ()).Rr_topology.Zoo.regionals
+  in
+  let names = List.map (fun (n, _) -> n.Rr_topology.Net.name) selected in
+  (* the Gulf regionals must pass the 20% filter for Katrina *)
+  Alcotest.(check bool) "Telepak selected" true (List.mem "Telepak" names);
+  (* the New-England network must not *)
+  Alcotest.(check bool) "Hibernia not selected" false (List.mem "Hibernia" names);
+  List.iter
+    (fun (_, fraction) ->
+      Alcotest.(check bool) "above filter" true (fraction > 0.2))
+    selected
+
+(* --- Interdomain shared pipeline --- *)
+
+let test_interdomain_shared () =
+  let merged, env = Interdomain.shared () in
+  Alcotest.(check int) "809 nodes" 809 (Interdomain.node_count merged);
+  Alcotest.(check int) "455 regional nodes" 455
+    (Array.length (Interdomain.regional_nodes merged));
+  Alcotest.(check bool) "has peering links" true
+    (Interdomain.peering_link_count merged > 0);
+  (* impact is per-network and halved: 23 members each summing to 1/2 *)
+  Alcotest.(check (float 1e-4)) "merged impact sums to half the member count" 11.5
+    (Rr_util.Arrayx.fsum (Env.impact env))
+
+let test_interdomain_bounds () =
+  let merged, env = Interdomain.shared () in
+  let sources = Interdomain.net_nodes merged 7 (* first regional *) in
+  let dests = Interdomain.regional_nodes merged in
+  let r = Ratios.between ~pair_cap:150 env ~sources ~dests in
+  Alcotest.(check bool) "pairs evaluated" true (r.Ratios.pairs > 0);
+  Alcotest.(check bool) "reduction sane" true
+    (r.Ratios.risk_reduction > -0.5 && r.Ratios.risk_reduction < 1.0)
+
+let test_peer_advisor_improves () =
+  let merged, env = Interdomain.shared () in
+  match Peer_advisor.recommend_all ~pair_cap:120 merged env with
+  | [] -> Alcotest.fail "expected recommendations"
+  | recs ->
+    List.iter
+      (fun (r : Peer_advisor.recommendation) ->
+        Alcotest.(check bool)
+          (r.Peer_advisor.regional ^ " non-degrading")
+          true
+          (r.Peer_advisor.improvement >= -1e-9))
+      recs
+
+(* --- Augmentation on a real network --- *)
+
+let test_augment_tier1 () =
+  let env = Env.of_net (net "Teliasonera") in
+  let picks = Augment.greedy ~k:3 env in
+  Alcotest.(check bool) "found links" true (List.length picks >= 1);
+  List.iter
+    (fun (p : Augment.pick) ->
+      Alcotest.(check bool) "strictly improves" true (p.Augment.fraction < 1.0))
+    picks
+
+(* --- Experiment registry --- *)
+
+let test_report_registry () =
+  (* 3 tables + 13 figures + 14 ablation/extension studies *)
+  Alcotest.(check int) "30 experiments" 30 (List.length Rr_experiments.Report.all);
+  Alcotest.(check bool) "find table2" true (Rr_experiments.Report.find "TABLE2" <> None);
+  Alcotest.(check bool) "unknown" true (Rr_experiments.Report.find "fig99" = None);
+  let ids = Rr_experiments.Report.ids () in
+  Alcotest.(check bool) "fig13 present" true (List.mem "fig13" ids);
+  Alcotest.(check bool) "ablations present" true (List.mem "abl-outage" ids)
+
+let test_fig5_output () =
+  let buffer = Buffer.create 1024 in
+  let ppf = Format.formatter_of_buffer buffer in
+  Rr_experiments.Fig5.run ppf;
+  Format.pp_print_flush ppf ();
+  let out = Buffer.contents buffer in
+  let contains needle haystack =
+    let nl = String.length needle and hl = String.length haystack in
+    let rec scan i = i + nl <= hl && (String.sub haystack i nl = needle || scan (i + 1)) in
+    scan 0
+  in
+  Alcotest.(check bool) "mentions Irene" true
+    (contains "IRENE" out || contains "Irene" out)
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "pipeline",
+        [
+          Alcotest.test_case "of_net shapes" `Slow test_of_net_shapes;
+          Alcotest.test_case "regional impact" `Slow test_of_net_regional_impact_restricted;
+          Alcotest.test_case "gulf risk dominates" `Slow test_gulf_pops_riskier_than_mountain;
+        ] );
+      ( "table2",
+        [
+          Alcotest.test_case "ratios grow with lambda" `Slow test_ratios_grow_with_lambda;
+          Alcotest.test_case "Level3 lowest" `Slow test_level3_low_ratio;
+        ] );
+      ( "figures",
+        [
+          Alcotest.test_case "fig7 risk aversion" `Slow test_fig7_risk_aversion_grows;
+          Alcotest.test_case "fig6 exposure ordering" `Slow test_fig6_exposure_ordering;
+          Alcotest.test_case "fig5 output" `Slow test_fig5_output;
+        ] );
+      ( "casestudy",
+        [
+          Alcotest.test_case "tier-1 series" `Slow test_casestudy_tier1_series;
+          Alcotest.test_case "forecast raises ratio" `Slow test_casestudy_forecast_raises_ratio;
+          Alcotest.test_case "saturation lowers ratio" `Slow test_casestudy_saturation_lowers_ratio;
+          Alcotest.test_case "20% scope filter" `Slow test_in_scope_filter;
+        ] );
+      ( "interdomain",
+        [
+          Alcotest.test_case "shared pipeline" `Slow test_interdomain_shared;
+          Alcotest.test_case "bounds" `Slow test_interdomain_bounds;
+          Alcotest.test_case "peer advisor" `Slow test_peer_advisor_improves;
+        ] );
+      ( "augment",
+        [ Alcotest.test_case "tier-1 greedy" `Slow test_augment_tier1 ] );
+      ( "registry",
+        [ Alcotest.test_case "report registry" `Quick test_report_registry ] );
+    ]

@@ -1,0 +1,140 @@
+(* SLA-constrained routing (LARAC) and the shipped real Abilene map. *)
+
+open Riskroute
+
+let coord lat lon = Rr_geo.Coord.make ~lat ~lon
+
+(* Triangle with a long safe detour:
+   0 -- 1 direct but 1..2 region hot; 0 -- 2 -- 3 -- 1 long but safe. *)
+let corridor () =
+  let coords =
+    [|
+      coord 30.0 (-95.0);  (* src *)
+      coord 30.0 (-85.0);  (* dst, ~595 mi east *)
+      coord 33.5 (-93.0);  (* northern detour 1 *)
+      coord 33.5 (-87.0);  (* northern detour 2 *)
+      coord 30.0 (-90.0);  (* hot midpoint on the direct path *)
+    |]
+  in
+  let graph =
+    Rr_graph.Graph.of_edges 5 [ (0, 4); (4, 1); (0, 2); (2, 3); (3, 1) ]
+  in
+  let impact = Array.make 5 0.2 in
+  let historical = [| 1e-6; 1e-6; 1e-7; 1e-7; 5e-4 |] in
+  Env.make ~graph ~coords ~impact ~historical ()
+
+let test_latency_model () =
+  let env = corridor () in
+  let direct = Metric.bit_miles env [ 0; 4; 1 ] in
+  Alcotest.(check (float 1e-9)) "latency proportional to distance"
+    (Sla.propagation_ms_per_mile *. direct)
+    (Sla.latency_ms env [ 0; 4; 1 ])
+
+let test_constrained_loose_budget () =
+  (* budget so generous the risk-optimal (northern) path fits *)
+  let env = corridor () in
+  match Sla.constrained_route env ~src:0 ~dst:1 ~max_latency_ms:100.0 with
+  | Some c ->
+    Alcotest.(check bool) "optimal flag" true c.Sla.optimal;
+    Alcotest.(check (list int)) "risk-optimal path" [ 0; 2; 3; 1 ] c.Sla.route.Router.path
+  | None -> Alcotest.fail "feasible"
+
+let test_constrained_tight_budget () =
+  (* budget that only the direct (hot) path can meet *)
+  let env = corridor () in
+  let direct_latency = Sla.latency_ms env [ 0; 4; 1 ] in
+  match
+    Sla.constrained_route env ~src:0 ~dst:1 ~max_latency_ms:(direct_latency +. 0.1)
+  with
+  | Some c ->
+    Alcotest.(check (list int)) "forced onto the direct path" [ 0; 4; 1 ]
+      c.Sla.route.Router.path;
+    Alcotest.(check bool) "within budget" true (c.Sla.latency <= direct_latency +. 0.1)
+  | None -> Alcotest.fail "direct path is feasible"
+
+let test_constrained_infeasible () =
+  let env = corridor () in
+  Alcotest.(check bool) "impossible budget" true
+    (Sla.constrained_route env ~src:0 ~dst:1 ~max_latency_ms:0.001 = None);
+  Alcotest.check_raises "non-positive budget"
+    (Invalid_argument "Sla.constrained_route: non-positive budget") (fun () ->
+      ignore (Sla.constrained_route env ~src:0 ~dst:1 ~max_latency_ms:0.0))
+
+let test_constrained_monotone_in_budget () =
+  (* more budget can only reduce achievable risk *)
+  let env = corridor () in
+  let risk_at budget =
+    match Sla.constrained_route env ~src:0 ~dst:1 ~max_latency_ms:budget with
+    | Some c -> c.Sla.risk
+    | None -> infinity
+  in
+  let direct = Sla.latency_ms env [ 0; 4; 1 ] in
+  let tight = risk_at (direct +. 0.05) in
+  let loose = risk_at (direct *. 2.0) in
+  Alcotest.(check bool) "risk shrinks with budget" true (loose <= tight +. 1e-9)
+
+(* --- Abilene GML fixture --- *)
+
+let abilene_path =
+  (* dune runs tests from the build context; fall back to the source tree *)
+  let candidates =
+    [ "data/abilene.gml"; "../data/abilene.gml"; "../../data/abilene.gml";
+      "../../../data/abilene.gml"; "../../../../data/abilene.gml" ]
+  in
+  List.find_opt Sys.file_exists candidates
+
+let with_abilene f =
+  match abilene_path with
+  | Some path -> f (Rr_topology.Gml_io.of_file path)
+  | None -> Alcotest.skip ()
+
+let test_abilene_loads () =
+  with_abilene (fun net ->
+      Alcotest.(check string) "name" "Abilene (Internet2)" net.Rr_topology.Net.name;
+      Alcotest.(check int) "11 nodes" 11 (Rr_topology.Net.pop_count net);
+      Alcotest.(check int) "14 links" 14 (Rr_topology.Net.link_count net);
+      Alcotest.(check bool) "connected" true (Rr_topology.Net.is_connected net))
+
+let test_abilene_routes () =
+  with_abilene (fun net ->
+      let env = Env.of_net net in
+      let seattle = Option.get (Rr_topology.Net.find_pop net ~city:"Seattle") in
+      let dc = Option.get (Rr_topology.Net.find_pop net ~city:"Washington") in
+      match
+        (Router.shortest env ~src:seattle ~dst:dc,
+         Router.riskroute env ~src:seattle ~dst:dc)
+      with
+      | Some sp, Some rr ->
+        Alcotest.(check bool) "riskroute no riskier" true
+          (rr.Router.bit_risk_miles <= sp.Router.bit_risk_miles +. 1e-6);
+        Alcotest.(check bool) "plausible distance" true
+          (sp.Router.bit_miles > 2300.0 && sp.Router.bit_miles < 4500.0)
+      | _ -> Alcotest.fail "Abilene is connected")
+
+let test_abilene_sla () =
+  with_abilene (fun net ->
+      let env = Env.of_net net in
+      let seattle = Option.get (Rr_topology.Net.find_pop net ~city:"Seattle") in
+      let ny = Option.get (Rr_topology.Net.find_pop net ~city:"New York") in
+      match Sla.constrained_route env ~src:seattle ~dst:ny ~max_latency_ms:40.0 with
+      | Some c -> Alcotest.(check bool) "budget respected" true (c.Sla.latency <= 40.0)
+      | None -> Alcotest.fail "40 ms one-way is ample for Seattle-NY")
+
+let () =
+  Alcotest.run "sla"
+    [
+      ( "larac",
+        [
+          Alcotest.test_case "latency model" `Quick test_latency_model;
+          Alcotest.test_case "loose budget" `Quick test_constrained_loose_budget;
+          Alcotest.test_case "tight budget" `Quick test_constrained_tight_budget;
+          Alcotest.test_case "infeasible" `Quick test_constrained_infeasible;
+          Alcotest.test_case "monotone in budget" `Quick test_constrained_monotone_in_budget;
+        ] );
+      ( "abilene",
+        [
+          Alcotest.test_case "loads" `Quick test_abilene_loads;
+          Alcotest.test_case "routes" `Slow test_abilene_routes;
+          Alcotest.test_case "sla" `Slow test_abilene_sla;
+        ] );
+    ]

@@ -1,0 +1,171 @@
+open Rr_stats
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* --- Descriptive --- *)
+
+let test_mean_variance () =
+  let a = [| 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 |] in
+  check_float "mean" 5.0 (Descriptive.mean a);
+  check_float "variance" 4.0 (Descriptive.variance a);
+  check_float "stddev" 2.0 (Descriptive.stddev a)
+
+let test_median_percentile () =
+  check_float "odd median" 3.0 (Descriptive.median [| 1.0; 3.0; 9.0 |]);
+  check_float "even median" 2.5 (Descriptive.median [| 1.0; 2.0; 3.0; 4.0 |]);
+  check_float "p0" 1.0 (Descriptive.percentile [| 1.0; 2.0; 3.0 |] 0.0);
+  check_float "p100" 3.0 (Descriptive.percentile [| 1.0; 2.0; 3.0 |] 100.0);
+  check_float "p25 interpolates" 1.5 (Descriptive.percentile [| 1.0; 2.0; 3.0 |] 25.0);
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Descriptive.percentile: p out of range") (fun () ->
+      ignore (Descriptive.percentile [| 1.0 |] 101.0))
+
+let test_correlation () =
+  let x = [| 1.0; 2.0; 3.0; 4.0 |] in
+  let y = Array.map (fun v -> (2.0 *. v) +. 1.0) x in
+  check_float "perfect positive" 1.0 (Descriptive.correlation x y);
+  let neg = Array.map (fun v -> -.v) x in
+  check_float "perfect negative" (-1.0) (Descriptive.correlation x neg);
+  check_float "constant side" 0.0 (Descriptive.correlation x [| 1.0; 1.0; 1.0; 1.0 |])
+
+let test_covariance () =
+  let x = [| 1.0; 2.0; 3.0 |] and y = [| 2.0; 4.0; 6.0 |] in
+  check_float "cov" (4.0 /. 3.0) (Descriptive.covariance x y)
+
+(* --- Regression --- *)
+
+let test_ols_exact_line () =
+  let x = [| 0.0; 1.0; 2.0; 3.0 |] in
+  let y = Array.map (fun v -> (3.0 *. v) -. 2.0) x in
+  let fit = Regression.ols ~x ~y in
+  check_float "slope" 3.0 fit.Regression.slope;
+  check_float "intercept" (-2.0) fit.Regression.intercept;
+  check_float "r2" 1.0 fit.Regression.r_squared
+
+let test_ols_noisy () =
+  let x = Array.init 50 float_of_int in
+  let y = Array.mapi (fun i v -> v +. (if i mod 2 = 0 then 1.0 else -1.0)) x in
+  let fit = Regression.ols ~x ~y in
+  Alcotest.(check bool) "slope near 1" true (Float.abs (fit.Regression.slope -. 1.0) < 0.01);
+  Alcotest.(check bool) "r2 high but < 1" true
+    (fit.Regression.r_squared > 0.99 && fit.Regression.r_squared < 1.0)
+
+let test_ols_degenerate () =
+  let fit = Regression.ols ~x:[| 2.0; 2.0; 2.0 |] ~y:[| 1.0; 2.0; 3.0 |] in
+  check_float "no x variance -> r2 0" 0.0 fit.Regression.r_squared;
+  check_float "intercept is mean" 2.0 fit.Regression.intercept;
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Regression.ols: length mismatch") (fun () ->
+      ignore (Regression.ols ~x:[| 1.0 |] ~y:[| 1.0; 2.0 |]));
+  Alcotest.check_raises "too few"
+    (Invalid_argument "Regression.ols: need at least two points") (fun () ->
+      ignore (Regression.ols ~x:[| 1.0 |] ~y:[| 1.0 |]))
+
+let r2_bounds =
+  QCheck.Test.make ~name:"r_squared within [0, 1]" ~count:200
+    QCheck.(pair (array_of_size (QCheck.Gen.int_range 2 20) (float_bound_exclusive 100.0))
+              (array_of_size (QCheck.Gen.int_range 2 20) (float_bound_exclusive 100.0)))
+    (fun (x, y) ->
+      QCheck.assume (Array.length x = Array.length y);
+      let r2 = Regression.r_squared ~x ~y in
+      r2 >= 0.0 && r2 <= 1.0 +. 1e-9)
+
+(* --- Divergence --- *)
+
+let test_kl_identical () =
+  let p = [| 0.2; 0.3; 0.5 |] in
+  check_float "zero for identical" 0.0 (Divergence.kl ~p ~q:p)
+
+let test_kl_positive () =
+  let p = [| 0.9; 0.1 |] and q = [| 0.5; 0.5 |] in
+  Alcotest.(check bool) "positive" true (Divergence.kl ~p ~q > 0.0)
+
+let test_kl_normalises () =
+  let p = [| 2.0; 3.0; 5.0 |] and q = [| 0.2; 0.3; 0.5 |] in
+  check_float "scale invariant" 0.0 (Divergence.kl ~p ~q)
+
+let test_kl_mismatch () =
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Divergence.kl: length mismatch") (fun () ->
+      ignore (Divergence.kl ~p:[| 1.0 |] ~q:[| 0.5; 0.5 |]))
+
+let test_jensen_shannon () =
+  let p = [| 1.0; 0.0 |] and q = [| 0.0; 1.0 |] in
+  let js = Divergence.jensen_shannon ~p ~q in
+  Alcotest.(check bool) "bounded by ln 2" true (js <= log 2.0 +. 1e-9 && js > 0.0);
+  check_float "symmetric" js (Divergence.jensen_shannon ~p:q ~q:p)
+
+let test_holdout_score () =
+  let logs = [| -1.0; -2.0; -3.0 |] in
+  check_float "negative mean log likelihood" 2.0
+    (Divergence.holdout_score ~log_density:(fun i -> logs.(i)) ~n:3)
+
+let kl_nonneg =
+  QCheck.Test.make ~name:"KL non-negative" ~count:200
+    QCheck.(
+      pair
+        (array_of_size (QCheck.Gen.return 5) (float_range 0.01 10.0))
+        (array_of_size (QCheck.Gen.return 5) (float_range 0.01 10.0)))
+    (fun (p, q) -> Divergence.kl ~p ~q >= -1e-9)
+
+(* --- Histogram --- *)
+
+let test_histogram_counts () =
+  let h = Histogram.create ~lo:0.0 ~hi:10.0 ~bins:5 in
+  List.iter (Histogram.add h) [ 0.5; 1.5; 2.5; 2.6; 9.9 ];
+  Alcotest.(check (array int)) "counts" [| 2; 2; 0; 0; 1 |] (Histogram.counts h);
+  Alcotest.(check int) "total" 5 (Histogram.total h)
+
+let test_histogram_clamping () =
+  let h = Histogram.create ~lo:0.0 ~hi:1.0 ~bins:2 in
+  Histogram.add h (-5.0);
+  Histogram.add h 5.0;
+  Alcotest.(check (array int)) "edge bins" [| 1; 1 |] (Histogram.counts h)
+
+let test_histogram_densities () =
+  let h = Histogram.create ~lo:0.0 ~hi:4.0 ~bins:4 in
+  List.iter (Histogram.add h) [ 0.5; 1.5; 1.6; 3.5 ];
+  let d = Histogram.densities h in
+  check_float "sums to one" 1.0 (Rr_util.Arrayx.fsum d);
+  check_float "bin 1" 0.5 d.(1)
+
+let test_histogram_centers () =
+  let h = Histogram.create ~lo:0.0 ~hi:10.0 ~bins:5 in
+  check_float "first centre" 1.0 (Histogram.bin_center h 0);
+  check_float "last centre" 9.0 (Histogram.bin_center h 4)
+
+let () =
+  Alcotest.run "rr_stats"
+    [
+      ( "descriptive",
+        [
+          Alcotest.test_case "mean/variance" `Quick test_mean_variance;
+          Alcotest.test_case "median/percentile" `Quick test_median_percentile;
+          Alcotest.test_case "correlation" `Quick test_correlation;
+          Alcotest.test_case "covariance" `Quick test_covariance;
+        ] );
+      ( "regression",
+        [
+          Alcotest.test_case "exact line" `Quick test_ols_exact_line;
+          Alcotest.test_case "noisy line" `Quick test_ols_noisy;
+          Alcotest.test_case "degenerate inputs" `Quick test_ols_degenerate;
+          QCheck_alcotest.to_alcotest r2_bounds;
+        ] );
+      ( "divergence",
+        [
+          Alcotest.test_case "kl identical" `Quick test_kl_identical;
+          Alcotest.test_case "kl positive" `Quick test_kl_positive;
+          Alcotest.test_case "kl normalises" `Quick test_kl_normalises;
+          Alcotest.test_case "kl mismatch" `Quick test_kl_mismatch;
+          Alcotest.test_case "jensen-shannon" `Quick test_jensen_shannon;
+          Alcotest.test_case "holdout score" `Quick test_holdout_score;
+          QCheck_alcotest.to_alcotest kl_nonneg;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "counts" `Quick test_histogram_counts;
+          Alcotest.test_case "clamping" `Quick test_histogram_clamping;
+          Alcotest.test_case "densities" `Quick test_histogram_densities;
+          Alcotest.test_case "centers" `Quick test_histogram_centers;
+        ] );
+    ]

@@ -1,0 +1,269 @@
+open Rr_topology
+
+let rng () = Rr_util.Prng.create 2024L
+
+let mesh_spec =
+  {
+    Builder.name = "TestMesh";
+    tier = Net.Tier1;
+    states = [];
+    pop_count = 30;
+    style = Builder.Mesh;
+    mesh_fraction = 0.4;
+    hub_links = 3;
+  }
+
+let ring_spec =
+  { mesh_spec with Builder.name = "TestRing"; style = Builder.Ring; pop_count = 12 }
+
+(* --- Builder --- *)
+
+let test_builder_pop_count () =
+  let net = Builder.build ~rng:(rng ()) mesh_spec in
+  Alcotest.(check int) "exact pop count" 30 (Net.pop_count net)
+
+let test_builder_connected () =
+  let net = Builder.build ~rng:(rng ()) mesh_spec in
+  Alcotest.(check bool) "mesh connected" true (Net.is_connected net);
+  let ring = Builder.build ~rng:(rng ()) ring_spec in
+  Alcotest.(check bool) "ring connected" true (Net.is_connected ring)
+
+let test_builder_ring_degree () =
+  let ring =
+    Builder.build ~rng:(rng ())
+      { ring_spec with Builder.mesh_fraction = 0.0; hub_links = 0 }
+  in
+  (* a pure ring: every node has degree exactly 2 *)
+  for v = 0 to Net.pop_count ring - 1 do
+    Alcotest.(check int) "ring degree" 2 (Rr_graph.Graph.degree ring.Net.graph v)
+  done
+
+let test_builder_dense_ids () =
+  let net = Builder.build ~rng:(rng ()) mesh_spec in
+  Array.iteri
+    (fun i (p : Pop.t) -> Alcotest.(check int) "dense" i p.Pop.id)
+    net.Net.pops
+
+let test_builder_state_restriction () =
+  let net =
+    Builder.build ~rng:(rng ())
+      { mesh_spec with Builder.states = [ "CA" ]; pop_count = 10 }
+  in
+  Array.iter
+    (fun (p : Pop.t) -> Alcotest.(check string) "in CA" "CA" p.Pop.state)
+    net.Net.pops
+
+let test_builder_metro_overflow () =
+  (* more PoPs than cities in the pool: metro duplicates appear *)
+  let net =
+    Builder.build ~rng:(rng ())
+      { mesh_spec with Builder.states = [ "RI" ]; pop_count = 4 }
+  in
+  Alcotest.(check int) "all four built" 4 (Net.pop_count net);
+  let metro2 =
+    Array.exists
+      (fun (p : Pop.t) ->
+        String.length p.Pop.name > 3
+        && String.sub p.Pop.name (String.length p.Pop.name - 3) 3 = "(2)")
+      net.Net.pops
+  in
+  Alcotest.(check bool) "secondary metro PoP present" true metro2
+
+let test_builder_deterministic () =
+  let a = Builder.build ~rng:(rng ()) mesh_spec in
+  let b = Builder.build ~rng:(rng ()) mesh_spec in
+  Alcotest.(check int) "same links" (Net.link_count a) (Net.link_count b);
+  Alcotest.(check bool) "same pops" true
+    (Array.for_all2
+       (fun (p : Pop.t) (q : Pop.t) -> String.equal p.Pop.name q.Pop.name)
+       a.Net.pops b.Net.pops)
+
+let test_builder_validation () =
+  Alcotest.check_raises "pop_count < 1"
+    (Invalid_argument "Builder.build: pop_count < 1") (fun () ->
+      ignore (Builder.build ~rng:(rng ()) { mesh_spec with Builder.pop_count = 0 }));
+  Alcotest.check_raises "empty pool"
+    (Invalid_argument "Builder.build: empty city pool") (fun () ->
+      ignore
+        (Builder.build ~rng:(rng ()) { mesh_spec with Builder.states = [ "ZZ" ] }))
+
+(* --- Net --- *)
+
+let test_net_accessors () =
+  let net = Builder.build ~rng:(rng ()) mesh_spec in
+  Alcotest.(check bool) "footprint positive" true (Net.footprint_miles net > 100.0);
+  Alcotest.(check bool) "avg outdegree sane" true
+    (Net.average_outdegree net >= 2.0 && Net.average_outdegree net < 10.0);
+  Alcotest.check_raises "pop out of range" (Invalid_argument "Net.pop: out of range")
+    (fun () -> ignore (Net.pop net 999))
+
+let test_net_find_pop () =
+  let net = Builder.build ~rng:(rng ()) mesh_spec in
+  let p = Net.pop net 0 in
+  (match Net.find_pop net ~city:p.Pop.city with
+  | Some i -> Alcotest.(check string) "found same city" p.Pop.city (Net.pop net i).Pop.city
+  | None -> Alcotest.fail "must find existing city");
+  Alcotest.(check bool) "missing city" true (Net.find_pop net ~city:"Gotham" = None)
+
+let test_net_with_extra_links () =
+  let net = Builder.build ~rng:(rng ()) ring_spec in
+  let non_edge =
+    let rec find u v =
+      if Rr_graph.Graph.has_edge net.Net.graph u v then
+        if v + 1 < Net.pop_count net then find u (v + 1) else find (u + 1) (u + 2)
+      else (u, v)
+    in
+    find 0 1
+  in
+  let upgraded = Net.with_extra_links net [ non_edge ] in
+  Alcotest.(check int) "one more link" (Net.link_count net + 1) (Net.link_count upgraded);
+  Alcotest.(check int) "original untouched"
+    (Net.link_count net)
+    (Rr_graph.Graph.edge_count net.Net.graph)
+
+let test_net_link_miles () =
+  let net = Builder.build ~rng:(rng ()) mesh_spec in
+  Alcotest.(check (float 1e-9)) "self distance" 0.0 (Net.link_miles net 3 3);
+  Alcotest.(check bool) "symmetric" true
+    (Float.abs (Net.link_miles net 0 1 -. Net.link_miles net 1 0) < 1e-9)
+
+(* --- Zoo --- *)
+
+let test_zoo_totals () =
+  let zoo = Zoo.shared () in
+  Alcotest.(check int) "354 Tier-1 PoPs" 354 (Zoo.tier1_pop_total zoo);
+  Alcotest.(check int) "455 regional PoPs" 455 (Zoo.regional_pop_total zoo);
+  Alcotest.(check int) "7 Tier-1s" 7 (List.length zoo.Zoo.tier1s);
+  Alcotest.(check int) "16 regionals" 16 (List.length zoo.Zoo.regionals)
+
+let test_zoo_all_connected () =
+  let zoo = Zoo.shared () in
+  List.iter
+    (fun net ->
+      Alcotest.(check bool) (net.Net.name ^ " connected") true (Net.is_connected net))
+    (Zoo.all_nets zoo)
+
+let test_zoo_level3_largest () =
+  let zoo = Zoo.shared () in
+  match Zoo.find zoo "Level3" with
+  | Some net -> Alcotest.(check int) "233 PoPs" 233 (Net.pop_count net)
+  | None -> Alcotest.fail "Level3 missing"
+
+let test_zoo_find_case_insensitive () =
+  let zoo = Zoo.shared () in
+  Alcotest.(check bool) "lower case" true (Zoo.find zoo "level3" <> None);
+  Alcotest.(check bool) "unknown" true (Zoo.find zoo "Comcast" = None)
+
+let test_zoo_deterministic () =
+  let a = Zoo.create ~seed:7L () in
+  let b = Zoo.create ~seed:7L () in
+  List.iter2
+    (fun x y -> Alcotest.(check int) "links equal" (Net.link_count x) (Net.link_count y))
+    (Zoo.all_nets a) (Zoo.all_nets b);
+  let c = Zoo.create ~seed:8L () in
+  let links zoo = List.map Net.link_count (Zoo.all_nets zoo) in
+  Alcotest.(check bool) "different seed differs" true (links a <> links c)
+
+let test_zoo_regional_states () =
+  let zoo = Zoo.shared () in
+  List.iter
+    (fun net ->
+      Alcotest.(check bool)
+        (net.Net.name ^ " stays in its states")
+        true
+        (Array.for_all
+           (fun (p : Pop.t) -> List.mem p.Pop.state net.Net.states)
+           net.Net.pops))
+    zoo.Zoo.regionals
+
+(* --- Colocation & Peering --- *)
+
+let test_colocation () =
+  let zoo = Zoo.shared () in
+  let level3 = Option.get (Zoo.find zoo "Level3") in
+  let att = Option.get (Zoo.find zoo "AT&T") in
+  Alcotest.(check bool) "two national nets co-locate" true
+    (Colocation.co_located level3 att);
+  let pairs = Colocation.pairs level3 att in
+  List.iter
+    (fun (i, j) ->
+      let d =
+        Rr_geo.Distance.miles (Net.pop level3 i).Pop.coord (Net.pop att j).Pop.coord
+      in
+      Alcotest.(check bool) "within threshold" true
+        (d <= Colocation.default_threshold_miles))
+    pairs
+
+let test_shared_cities () =
+  let zoo = Zoo.shared () in
+  let level3 = Option.get (Zoo.find zoo "Level3") in
+  let att = Option.get (Zoo.find zoo "AT&T") in
+  Alcotest.(check bool) "share big metros" true
+    (List.length (Colocation.shared_cities level3 att) > 5)
+
+let test_peering_structure () =
+  let zoo = Zoo.shared () in
+  let peering = zoo.Zoo.peering in
+  Alcotest.(check int) "23 networks" 23 (Peering.net_count peering);
+  (* tier-1 full mesh: 7 choose 2 = 21 edges among indices 0..6 *)
+  let tier1_edges =
+    List.filter (fun (a, b) -> a < 7 && b < 7) peering.Peering.edges
+  in
+  Alcotest.(check int) "tier-1 clique" 21 (List.length tier1_edges);
+  (* every regional peers with at least one tier-1 *)
+  for r = 7 to 22 do
+    let peers = Peering.peers peering r in
+    Alcotest.(check bool) "regional multihomed" true
+      (List.exists (fun p -> p < 7) peers)
+  done
+
+let test_peering_lookup () =
+  let zoo = Zoo.shared () in
+  let peering = zoo.Zoo.peering in
+  (match Peering.index_of peering "Level3" with
+  | Some 0 -> ()
+  | Some i -> Alcotest.failf "Level3 at unexpected index %d" i
+  | None -> Alcotest.fail "Level3 missing");
+  Alcotest.(check bool) "are_peers symmetric" true
+    (Peering.are_peers peering 0 1 = Peering.are_peers peering 1 0);
+  Alcotest.(check int) "degree matches peers" (List.length (Peering.peers peering 0))
+    (Peering.degree peering 0)
+
+let () =
+  Alcotest.run "rr_topology"
+    [
+      ( "builder",
+        [
+          Alcotest.test_case "pop count" `Quick test_builder_pop_count;
+          Alcotest.test_case "connected" `Quick test_builder_connected;
+          Alcotest.test_case "pure ring degree" `Quick test_builder_ring_degree;
+          Alcotest.test_case "dense ids" `Quick test_builder_dense_ids;
+          Alcotest.test_case "state restriction" `Quick test_builder_state_restriction;
+          Alcotest.test_case "metro overflow" `Quick test_builder_metro_overflow;
+          Alcotest.test_case "deterministic" `Quick test_builder_deterministic;
+          Alcotest.test_case "validation" `Quick test_builder_validation;
+        ] );
+      ( "net",
+        [
+          Alcotest.test_case "accessors" `Quick test_net_accessors;
+          Alcotest.test_case "find_pop" `Quick test_net_find_pop;
+          Alcotest.test_case "with_extra_links" `Quick test_net_with_extra_links;
+          Alcotest.test_case "link_miles" `Quick test_net_link_miles;
+        ] );
+      ( "zoo",
+        [
+          Alcotest.test_case "paper totals" `Quick test_zoo_totals;
+          Alcotest.test_case "all connected" `Quick test_zoo_all_connected;
+          Alcotest.test_case "Level3 size" `Quick test_zoo_level3_largest;
+          Alcotest.test_case "find" `Quick test_zoo_find_case_insensitive;
+          Alcotest.test_case "deterministic" `Quick test_zoo_deterministic;
+          Alcotest.test_case "regional state confinement" `Quick test_zoo_regional_states;
+        ] );
+      ( "peering",
+        [
+          Alcotest.test_case "colocation" `Quick test_colocation;
+          Alcotest.test_case "shared cities" `Quick test_shared_cities;
+          Alcotest.test_case "structure" `Quick test_peering_structure;
+          Alcotest.test_case "lookup" `Quick test_peering_lookup;
+        ] );
+    ]

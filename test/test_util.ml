@@ -1,0 +1,260 @@
+open Rr_util
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* --- Prng --- *)
+
+let test_prng_deterministic () =
+  let a = Prng.create 42L and b = Prng.create 42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.int64 a) (Prng.int64 b)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = Prng.create 1L and b = Prng.create 2L in
+  Alcotest.(check bool) "different seeds differ" true (Prng.int64 a <> Prng.int64 b)
+
+let test_prng_float_range () =
+  let rng = Prng.create 7L in
+  for _ = 1 to 1000 do
+    let v = Prng.float rng 10.0 in
+    Alcotest.(check bool) "in [0, 10)" true (v >= 0.0 && v < 10.0)
+  done
+
+let test_prng_int_range () =
+  let rng = Prng.create 8L in
+  let seen = Array.make 6 false in
+  for _ = 1 to 600 do
+    let v = Prng.int rng 6 in
+    Alcotest.(check bool) "in [0, 6)" true (v >= 0 && v < 6);
+    seen.(v) <- true
+  done;
+  Alcotest.(check bool) "all values reached" true (Array.for_all Fun.id seen)
+
+let test_prng_uniform () =
+  let rng = Prng.create 9L in
+  for _ = 1 to 100 do
+    let v = Prng.uniform rng (-3.0) (-1.0) in
+    Alcotest.(check bool) "in [-3, -1)" true (v >= -3.0 && v < -1.0)
+  done
+
+let test_prng_gaussian_moments () =
+  let rng = Prng.create 10L in
+  let n = 20_000 in
+  let samples = Array.init n (fun _ -> Prng.gaussian rng) in
+  let mean = Arrayx.fmean samples in
+  let var = Arrayx.fmean (Array.map (fun x -> x *. x) samples) -. (mean *. mean) in
+  Alcotest.(check bool) "mean near 0" true (Float.abs mean < 0.05);
+  Alcotest.(check bool) "variance near 1" true (Float.abs (var -. 1.0) < 0.1)
+
+let test_prng_exponential_mean () =
+  let rng = Prng.create 11L in
+  let n = 20_000 in
+  let samples = Array.init n (fun _ -> Prng.exponential rng 2.0) in
+  let mean = Arrayx.fmean samples in
+  Alcotest.(check bool) "mean near 1/rate" true (Float.abs (mean -. 0.5) < 0.05)
+
+let test_prng_pareto_support () =
+  let rng = Prng.create 12L in
+  for _ = 1 to 1000 do
+    let v = Prng.pareto rng ~alpha:2.0 ~xmin:3.0 in
+    Alcotest.(check bool) "at least xmin" true (v >= 3.0)
+  done
+
+let test_prng_categorical () =
+  let rng = Prng.create 13L in
+  let weights = [| 0.0; 5.0; 0.0; 5.0 |] in
+  for _ = 1 to 500 do
+    let i = Prng.categorical rng weights in
+    Alcotest.(check bool) "only positive-weight indices" true (i = 1 || i = 3)
+  done
+
+let test_prng_categorical_skew () =
+  let rng = Prng.create 14L in
+  let weights = [| 1.0; 9.0 |] in
+  let counts = [| 0; 0 |] in
+  for _ = 1 to 10_000 do
+    counts.(Prng.categorical rng weights) <- counts.(Prng.categorical rng weights) + 1
+  done;
+  Alcotest.(check bool) "index 1 dominates" true (counts.(1) > counts.(0))
+
+let test_prng_split_independent () =
+  let root = Prng.create 99L in
+  let a = Prng.split root in
+  let b = Prng.split root in
+  Alcotest.(check bool) "split streams differ" true (Prng.int64 a <> Prng.int64 b)
+
+let test_prng_shuffle_permutation () =
+  let rng = Prng.create 15L in
+  let a = Array.init 50 Fun.id in
+  Prng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 Fun.id) sorted
+
+(* --- Heap --- *)
+
+let test_heap_ordering () =
+  let h = Heap.create () in
+  List.iter (fun k -> Heap.push h k (int_of_float k)) [ 5.0; 1.0; 3.0; 2.0; 4.0 ];
+  let order = ref [] in
+  let rec drain () =
+    match Heap.pop_min h with
+    | None -> ()
+    | Some (_, v) ->
+      order := v :: !order;
+      drain ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "ascending" [ 1; 2; 3; 4; 5 ] (List.rev !order)
+
+let test_heap_empty () =
+  let h = Heap.create () in
+  Alcotest.(check bool) "is_empty" true (Heap.is_empty h);
+  Alcotest.(check bool) "pop on empty" true (Heap.pop_min h = None)
+
+let test_heap_clear () =
+  let h = Heap.create () in
+  Heap.push h 1.0 "a";
+  Heap.clear h;
+  Alcotest.(check int) "cleared" 0 (Heap.length h)
+
+let test_heap_duplicate_keys () =
+  let h = Heap.create () in
+  Heap.push h 1.0 "a";
+  Heap.push h 1.0 "b";
+  Heap.push h 0.5 "c";
+  (match Heap.pop_min h with
+  | Some (k, "c") -> check_float "min key" 0.5 k
+  | _ -> Alcotest.fail "expected c first");
+  Alcotest.(check int) "two left" 2 (Heap.length h)
+
+let heap_sort_property =
+  QCheck.Test.make ~name:"heap pops keys in ascending order" ~count:200
+    QCheck.(list (float_bound_exclusive 1000.0))
+    (fun keys ->
+      let h = Heap.create () in
+      List.iter (fun k -> Heap.push h k k) keys;
+      let rec drain acc =
+        match Heap.pop_min h with None -> List.rev acc | Some (k, _) -> drain (k :: acc)
+      in
+      let out = drain [] in
+      out = List.sort Float.compare keys)
+
+(* --- Arrayx / Listx --- *)
+
+let test_fsum_kahan () =
+  let a = Array.make 10_000 0.1 in
+  check_float "compensated" 1000.0 (Arrayx.fsum a)
+
+let test_argmin_argmax () =
+  let a = [| 3.0; 1.0; 4.0; 1.0; 5.0 |] in
+  Alcotest.(check int) "argmin first tie" 1 (Arrayx.argmin a);
+  Alcotest.(check int) "argmax" 4 (Arrayx.argmax a)
+
+let test_normalize () =
+  let a = Arrayx.normalize [| 1.0; 3.0 |] in
+  check_float "first" 0.25 a.(0);
+  check_float "second" 0.75 a.(1)
+
+let test_take () =
+  Alcotest.(check (array int)) "prefix" [| 1; 2 |] (Arrayx.take 2 [| 1; 2; 3 |]);
+  Alcotest.(check (array int)) "whole" [| 1; 2 |] (Arrayx.take 5 [| 1; 2 |])
+
+let test_listx_range () =
+  Alcotest.(check (list int)) "range" [ 2; 3; 4 ] (Listx.range 2 5);
+  Alcotest.(check (list int)) "empty" [] (Listx.range 5 5)
+
+let test_listx_pairs () =
+  Alcotest.(check int) "C(4,2)" 6 (List.length (Listx.pairs [ 1; 2; 3; 4 ]))
+
+let test_listx_group_by () =
+  let groups = Listx.group_by (fun x -> x mod 2) [ 1; 2; 3; 4; 5 ] in
+  Alcotest.(check int) "two groups" 2 (List.length groups);
+  Alcotest.(check (list int)) "odds in order" [ 1; 3; 5 ] (List.assoc 1 groups)
+
+let test_listx_min_max_by () =
+  Alcotest.(check (option int)) "min" (Some 3)
+    (Listx.min_by float_of_int [ 5; 3; 9 ]);
+  Alcotest.(check (option int)) "max" (Some 9)
+    (Listx.max_by float_of_int [ 5; 3; 9 ]);
+  Alcotest.(check (option int)) "empty" None (Listx.min_by float_of_int [])
+
+(* --- Sampling --- *)
+
+let test_pair_indices_exhaustive () =
+  let rng = Prng.create 1L in
+  let pairs = Sampling.pair_indices rng ~n:4 ~cap:100 in
+  Alcotest.(check int) "all ordered pairs" 12 (Array.length pairs);
+  Array.iter (fun (i, j) -> Alcotest.(check bool) "distinct" true (i <> j)) pairs
+
+let test_pair_indices_capped () =
+  let rng = Prng.create 2L in
+  let pairs = Sampling.pair_indices rng ~n:50 ~cap:100 in
+  Alcotest.(check int) "capped" 100 (Array.length pairs);
+  let seen = Hashtbl.create 128 in
+  Array.iter
+    (fun p ->
+      Alcotest.(check bool) "no duplicates" false (Hashtbl.mem seen p);
+      Hashtbl.add seen p ())
+    pairs
+
+let test_pair_indices_degenerate () =
+  let rng = Prng.create 3L in
+  Alcotest.(check int) "n=1" 0 (Array.length (Sampling.pair_indices rng ~n:1 ~cap:10));
+  Alcotest.(check int) "cap=0" 0 (Array.length (Sampling.pair_indices rng ~n:5 ~cap:0))
+
+let test_reservoir () =
+  let rng = Prng.create 4L in
+  let a = Array.init 100 Fun.id in
+  let s = Sampling.reservoir rng ~k:10 a in
+  Alcotest.(check int) "size" 10 (Array.length s);
+  Array.iter (fun v -> Alcotest.(check bool) "from source" true (v >= 0 && v < 100)) s;
+  let all = Sampling.reservoir rng ~k:200 a in
+  Alcotest.(check int) "whole array when k >= n" 100 (Array.length all)
+
+let () =
+  Alcotest.run "rr_util"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_prng_seed_sensitivity;
+          Alcotest.test_case "float range" `Quick test_prng_float_range;
+          Alcotest.test_case "int range" `Quick test_prng_int_range;
+          Alcotest.test_case "uniform range" `Quick test_prng_uniform;
+          Alcotest.test_case "gaussian moments" `Quick test_prng_gaussian_moments;
+          Alcotest.test_case "exponential mean" `Quick test_prng_exponential_mean;
+          Alcotest.test_case "pareto support" `Quick test_prng_pareto_support;
+          Alcotest.test_case "categorical support" `Quick test_prng_categorical;
+          Alcotest.test_case "categorical skew" `Quick test_prng_categorical_skew;
+          Alcotest.test_case "split independence" `Quick test_prng_split_independent;
+          Alcotest.test_case "shuffle permutation" `Quick test_prng_shuffle_permutation;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "ordering" `Quick test_heap_ordering;
+          Alcotest.test_case "empty" `Quick test_heap_empty;
+          Alcotest.test_case "clear" `Quick test_heap_clear;
+          Alcotest.test_case "duplicate keys" `Quick test_heap_duplicate_keys;
+          QCheck_alcotest.to_alcotest heap_sort_property;
+        ] );
+      ( "arrayx-listx",
+        [
+          Alcotest.test_case "fsum kahan" `Quick test_fsum_kahan;
+          Alcotest.test_case "argmin/argmax" `Quick test_argmin_argmax;
+          Alcotest.test_case "normalize" `Quick test_normalize;
+          Alcotest.test_case "take" `Quick test_take;
+          Alcotest.test_case "range" `Quick test_listx_range;
+          Alcotest.test_case "pairs" `Quick test_listx_pairs;
+          Alcotest.test_case "group_by" `Quick test_listx_group_by;
+          Alcotest.test_case "min_by/max_by" `Quick test_listx_min_max_by;
+        ] );
+      ( "sampling",
+        [
+          Alcotest.test_case "exhaustive pairs" `Quick test_pair_indices_exhaustive;
+          Alcotest.test_case "capped pairs" `Quick test_pair_indices_capped;
+          Alcotest.test_case "degenerate" `Quick test_pair_indices_degenerate;
+          Alcotest.test_case "reservoir" `Quick test_reservoir;
+        ] );
+    ]
