@@ -4,6 +4,7 @@
      main.exe                 run every table/figure, then the Bechamel suite
      main.exe <id> [<id>...]  run selected experiments (table1..fig13)
      main.exe bechamel        run only the Bechamel microbenchmark suite
+     main.exe json [file]     write Bechamel timings as JSON (default BENCH.json)
      main.exe list            list experiment ids *)
 
 open Bechamel
@@ -126,8 +127,7 @@ let bechamel_suite () =
   dijkstra_tests () @ kde_tests () @ forecast_tests () @ census_tests ()
   @ augment_tests () @ ratio_tests () @ gml_tests () @ extension_tests ()
 
-let run_bechamel () =
-  print_endline "\n=== Bechamel microbenchmark suite ===";
+let bechamel_estimates () =
   let tests = Test.make_grouped ~name:"riskroute" ~fmt:"%s/%s" (bechamel_suite ()) in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
   let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
@@ -143,13 +143,33 @@ let run_bechamel () =
         | Some _ | None -> acc)
       results []
   in
+  List.sort compare rows
+
+let run_bechamel () =
+  print_endline "\n=== Bechamel microbenchmark suite ===";
   List.iter
     (fun (name, est) ->
       if est >= 1e9 then Printf.printf "%-48s %10.2f s/run\n" name (est /. 1e9)
       else if est >= 1e6 then Printf.printf "%-48s %10.2f ms/run\n" name (est /. 1e6)
       else if est >= 1e3 then Printf.printf "%-48s %10.2f us/run\n" name (est /. 1e3)
       else Printf.printf "%-48s %10.0f ns/run\n" name est)
-    (List.sort compare rows)
+    (bechamel_estimates ())
+
+(* Machine-readable timings for CI trend tracking and cross-machine
+   comparison (perf dashboards read this, humans read [run_bechamel]). *)
+let run_json file =
+  let rows = bechamel_estimates () in
+  let oc = open_out file in
+  Printf.fprintf oc "{\n  \"domains\": %d,\n  \"results\": [\n"
+    (Rr_util.Parallel.domain_count ());
+  List.iteri
+    (fun i (name, est) ->
+      Printf.fprintf oc "    {\"name\": %S, \"ns_per_run\": %.2f}%s\n" name est
+        (if i < List.length rows - 1 then "," else ""))
+    rows;
+  output_string oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote %s (%d results)\n" file (List.length rows)
 
 let ppf = Format.std_formatter
 
@@ -160,6 +180,9 @@ let () =
     Format.pp_print_flush ppf ();
     run_bechamel ()
   | _ :: [ "bechamel" ] -> run_bechamel ()
+  | _ :: "json" :: rest ->
+    let file = match rest with [ f ] -> f | _ -> "BENCH.json" in
+    run_json file
   | _ :: [ "list" ] ->
     List.iter print_endline (Rr_experiments.Report.ids ())
   | _ :: "csv" :: rest ->

@@ -26,12 +26,19 @@ let nearest_index sites point =
   !best
 
 let populations ~sites blocks =
+  (* The nearest-site search per block is independent and dominates the
+     cost, so it fans out across the domain pool; the population totals
+     are then accumulated sequentially in block order, keeping the sums
+     bit-identical at any pool size. *)
+  let indices =
+    Rr_util.Parallel.map_array
+      (fun (b : Block.t) -> nearest_index sites b.coord)
+      blocks
+  in
   let totals = Array.make (Array.length sites) 0.0 in
-  Array.iter
-    (fun (b : Block.t) ->
-      let i = nearest_index sites b.coord in
-      totals.(i) <- totals.(i) +. b.population)
-    blocks;
+  Array.iteri
+    (fun k i -> totals.(i) <- totals.(i) +. blocks.(k).Block.population)
+    indices;
   totals
 
 let fractions ~sites blocks =

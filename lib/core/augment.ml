@@ -1,3 +1,5 @@
+open Rr_util
+
 type pick = {
   u : int;
   v : int;
@@ -5,57 +7,138 @@ type pick = {
   fraction : float;
 }
 
-(* All-pairs matrix of minimum path cost under a directed weight:
-   [m.(i).(j)] is the best cost i -> j, infinity when disconnected. *)
-let all_pairs graph ~weight =
-  let n = Rr_graph.Graph.node_count graph in
-  Array.init n (fun src ->
-      (Rr_graph.Dijkstra.single_source graph ~weight ~src).Rr_graph.Dijkstra.dist)
+let node_ids n = Array.init n (fun i -> i)
+
+(* All-pairs matrix of minimum path cost under a per-arc weight:
+   [m.(i).(j)] is the best cost i -> j, infinity when disconnected. One
+   single-source Dijkstra per row, swept by the domain pool. *)
+let all_pairs_arcs env ~arc_weight =
+  let n = Env.node_count env in
+  let off = Env.arc_off env and tgt = Env.arc_tgt env in
+  Parallel.map_array
+    (fun src ->
+      (Rr_graph.Dijkstra.single_source_flat ~n ~off ~tgt ~weight:arc_weight ~src)
+        .Rr_graph.Dijkstra.dist)
+    (node_ids n)
 
 let matrix_total m =
   let n = Array.length m in
   let acc = ref 0.0 in
   for i = 0 to n - 1 do
+    let mi = m.(i) in
     for j = 0 to n - 1 do
-      if i <> j && m.(i).(j) < infinity then acc := !acc +. m.(i).(j)
+      let v = Array.unsafe_get mi j in
+      if i <> j && v < infinity then acc := !acc +. v
     done
   done;
   !acc
 
+let risk_arc_weight env =
+  let kappa = Env.mean_kappa env in
+  let miles = Env.arc_miles env and risk = Env.arc_risk env in
+  fun k -> Array.unsafe_get miles k +. (kappa *. Array.unsafe_get risk k)
+
+(* Pair-indexed mean-kappa weight, for arcs that are not in the graph
+   yet (candidate links). *)
 let risk_weight env =
   let kappa = Env.mean_kappa env in
   fun u v -> Env.edge_weight env ~kappa u v
 
 let total_bit_risk env =
-  matrix_total (all_pairs (Env.graph env) ~weight:(risk_weight env))
+  matrix_total (all_pairs_arcs env ~arc_weight:(risk_arc_weight env))
 
-(* Relax the whole matrix through one new undirected edge (u, v): the only
-   new paths pass through the edge in one of its two directions. *)
-let relax_through m ~u ~v ~wuv ~wvu =
+(* Total after adding (u, v), via the single-edge insertion identity —
+   computed without materialising the relaxed matrix. Accumulation runs
+   in row-major order so the result is independent of how candidates are
+   scheduled across domains. *)
+let insertion_total ?(all_finite = false) m ~u ~v ~wuv ~wvu =
   let n = Array.length m in
-  let out = Array.map Array.copy m in
-  for i = 0 to n - 1 do
-    let diu = m.(i).(u) and div_ = m.(i).(v) in
-    if diu < infinity || div_ < infinity then
+  let mu = m.(u) and mv = m.(v) in
+  let total = ref 0.0 in
+  (* Candidate scoring is the greedy loop's dominant kernel: O(n^2) per
+     candidate per round. Rows all have length n, so the unchecked reads
+     are in bounds. Infinity propagates through [+.] exactly like the
+     explicit finiteness guards it replaces. *)
+  if all_finite then
+    (* Connected-graph fast path: no finiteness tests, and the diagonal
+       needs no exclusion — [m.(i).(i) = 0] and weights are
+       non-negative, so its term is exactly [0.0] and adding it leaves
+       the (non-negative) total bit-identical to the guarded loop. *)
+    for i = 0 to n - 1 do
+      let mi = m.(i) in
+      let a = mi.(u) +. wuv and b = mi.(v) +. wvu in
       for j = 0 to n - 1 do
-        let best = ref out.(i).(j) in
-        if diu < infinity && m.(v).(j) < infinity then begin
-          let c = diu +. wuv +. m.(v).(j) in
-          if c < !best then best := c
-        end;
-        if div_ < infinity && m.(u).(j) < infinity then begin
-          let c = div_ +. wvu +. m.(u).(j) in
-          if c < !best then best := c
-        end;
-        out.(i).(j) <- !best
+        let c1 = a +. Array.unsafe_get mv j in
+        let c2 = b +. Array.unsafe_get mu j in
+        total :=
+          !total +. Float.min (Array.unsafe_get mi j) (Float.min c1 c2)
+      done
+    done
+  else
+  for i = 0 to n - 1 do
+    let mi = m.(i) in
+    let diu = mi.(u) and div_ = mi.(v) in
+    if diu < infinity || div_ < infinity then begin
+      let a = diu +. wuv and b = div_ +. wvu in
+      for j = 0 to n - 1 do
+        if i <> j then begin
+          let c1 = a +. Array.unsafe_get mv j in
+          let c2 = b +. Array.unsafe_get mu j in
+          let best_ij = Float.min (Array.unsafe_get mi j) (Float.min c1 c2) in
+          if best_ij < infinity then total := !total +. best_ij
+        end
+      done
+    end
+    else
+      for j = 0 to n - 1 do
+        if i <> j then begin
+          let c = Array.unsafe_get mi j in
+          if c < infinity then total := !total +. c
+        end
       done
   done;
-  out
+  !total
+
+(* Relax the whole matrix through one new undirected edge (u, v): the
+   only new paths pass through the edge in one of its two directions.
+   Returns the new matrix plus, per row, the sorted columns that
+   improved — the change set drives incremental candidate rescoring.
+   Rows are independent, so the sweep runs on the pool; untouched rows
+   are shared (rows are never mutated in place afterwards). *)
+let relax_through_tracked m ~u ~v ~wuv ~wvu =
+  let n = Array.length m in
+  let mu = m.(u) and mv = m.(v) in
+  let relaxed =
+    Parallel.map_array
+      (fun i ->
+        let mi = m.(i) in
+        let diu = mi.(u) and div_ = mi.(v) in
+        if diu = infinity && div_ = infinity then (mi, [||])
+        else begin
+          let a = diu +. wuv and b = div_ +. wvu in
+          let out = ref mi in
+          let changed = ref [] in
+          for j = n - 1 downto 0 do
+            let c =
+              Float.min (a +. Array.unsafe_get mv j) (b +. Array.unsafe_get mu j)
+            in
+            if c < Array.unsafe_get mi j then begin
+              if !out == mi then out := Array.copy mi;
+              Array.unsafe_set !out j c;
+              changed := j :: !changed
+            end
+          done;
+          (!out, Array.of_list !changed)
+        end)
+      (node_ids n)
+  in
+  (Array.map fst relaxed, Array.map snd relaxed)
 
 let candidates ?(max_candidates = 400) ?(reduction_threshold = 0.5) env =
   let graph = Env.graph env in
   let n = Rr_graph.Graph.node_count graph in
-  let dist_matrix = all_pairs graph ~weight:(fun u v -> Env.link_miles env u v) in
+  let miles = Env.arc_miles env in
+  let dist_matrix = all_pairs_arcs env ~arc_weight:(fun k -> miles.(k)) in
   let scored = ref [] in
   for u = 0 to n - 1 do
     for v = u + 1 to n - 1 do
@@ -75,55 +158,107 @@ let candidates ?(max_candidates = 400) ?(reduction_threshold = 0.5) env =
 let greedy ?(k = 1) ?max_candidates ?reduction_threshold env =
   let weight = risk_weight env in
   let graph = Rr_graph.Graph.copy (Env.graph env) in
-  let m = ref (all_pairs graph ~weight) in
+  let m = ref (all_pairs_arcs env ~arc_weight:(risk_arc_weight env)) in
+  let n = Array.length !m in
   let original = matrix_total !m in
-  let pool = ref (candidates ?max_candidates ?reduction_threshold env) in
+  let pool = Array.of_list (candidates ?max_candidates ?reduction_threshold env) in
+  (* Relaxation only lowers finite entries, so connectivity observed on
+     the initial matrix licenses the fast scoring path for every round. *)
+  let all_finite =
+    Array.for_all (Array.for_all (fun x -> x < infinity)) !m
+  in
+  let alive = Array.make (Array.length pool) true in
+  let score = Array.make (Array.length pool) infinity in
+  let rescore_all () =
+    Parallel.parallel_for (Array.length pool) (fun c ->
+        if alive.(c) then begin
+          let u, v = pool.(c) in
+          score.(c) <-
+            insertion_total ~all_finite !m ~u ~v ~wuv:(weight u v)
+              ~wvu:(weight v u)
+        end)
+  in
+  (* After inserting an edge, candidates whose endpoint rows/columns were
+     untouched see the same via-terms as before: their total moves only
+     on the cells the relaxation actually improved, so an O(|changes|)
+     delta replaces the O(n^2) rescore. Candidates touching a changed
+     row/column are rescored in full. *)
+  let rescore_incremental m_old changed =
+    let total_changed = Array.fold_left (fun a c -> a + Array.length c) 0 changed in
+    if total_changed = 0 then ()
+    else if total_changed * 8 > n * n then rescore_all ()
+    else begin
+      let row_changed = Array.map (fun c -> Array.length c > 0) changed in
+      let col_changed = Array.make n false in
+      Array.iter (Array.iter (fun j -> col_changed.(j) <- true)) changed;
+      Parallel.parallel_for (Array.length pool) (fun c ->
+          if alive.(c) then begin
+            let a, b = pool.(c) in
+            if row_changed.(a) || row_changed.(b) || col_changed.(a) || col_changed.(b)
+            then
+              score.(c) <-
+                insertion_total ~all_finite !m ~u:a ~v:b ~wuv:(weight a b)
+                  ~wvu:(weight b a)
+            else begin
+              let wab = weight a b and wba = weight b a in
+              let ma = !m.(a) and mb = !m.(b) in
+              let delta = ref 0.0 in
+              Array.iteri
+                (fun i cols ->
+                  if Array.length cols > 0 then begin
+                    let mi_new = !m.(i) and mi_old = m_old.(i) in
+                    let dia = mi_new.(a) and dib = mi_new.(b) in
+                    Array.iter
+                      (fun j ->
+                        if i <> j then begin
+                          let via =
+                            Float.min (dia +. wab +. mb.(j)) (dib +. wba +. ma.(j))
+                          in
+                          let t_old = Float.min mi_old.(j) via in
+                          let t_new = Float.min mi_new.(j) via in
+                          let c_old = if t_old < infinity then t_old else 0.0 in
+                          let c_new = if t_new < infinity then t_new else 0.0 in
+                          delta := !delta +. (c_new -. c_old)
+                        end)
+                      cols
+                  end)
+                changed;
+              score.(c) <- score.(c) +. !delta
+            end
+          end)
+    end
+  in
   let picks = ref [] in
   (try
-     for _ = 1 to k do
-       match !pool with
-       | [] -> raise Exit
-       | pool_now ->
-         let best = ref None in
-         List.iter
-           (fun (u, v) ->
-             let wuv = weight u v and wvu = weight v u in
-             (* Total after adding (u, v), via the insertion identity —
-                computed without materialising the relaxed matrix. *)
-             let n = Array.length !m in
-             let total = ref 0.0 in
-             for i = 0 to n - 1 do
-               let diu = !m.(i).(u) and div_ = !m.(i).(v) in
-               for j = 0 to n - 1 do
-                 if i <> j then begin
-                   let cur = !m.(i).(j) in
-                   let c1 =
-                     if diu < infinity && !m.(v).(j) < infinity then
-                       diu +. wuv +. !m.(v).(j)
-                     else infinity
-                   in
-                   let c2 =
-                     if div_ < infinity && !m.(u).(j) < infinity then
-                       div_ +. wvu +. !m.(u).(j)
-                     else infinity
-                   in
-                   let best_ij = Float.min cur (Float.min c1 c2) in
-                   if best_ij < infinity then total := !total +. best_ij
-                 end
-               done
-             done;
-             match !best with
-             | Some (_, _, t) when t <= !total -> ()
-             | _ -> best := Some (u, v, !total))
-           pool_now;
-         (match !best with
-         | None -> raise Exit
-         | Some (u, v, total_after) ->
-           Rr_graph.Graph.add_edge graph u v;
-           m := relax_through !m ~u ~v ~wuv:(weight u v) ~wvu:(weight v u);
-           pool := List.filter (fun e -> e <> (u, v)) !pool;
-           picks :=
-             { u; v; total_after; fraction = total_after /. original } :: !picks)
+     rescore_all ();
+     for round = 1 to k do
+       (* Deterministic first-minimum over the pool order, matching the
+          sequential scan this replaces. *)
+       let best = ref (-1) in
+       for c = 0 to Array.length pool - 1 do
+         if alive.(c) && (!best < 0 || score.(c) < score.(!best)) then best := c
+       done;
+       if !best < 0 then raise Exit;
+       let u, v = pool.(!best) in
+       let total_after = score.(!best) in
+       Rr_graph.Graph.add_edge graph u v;
+       alive.(!best) <- false;
+       (* Prune candidates that are now actual edges — the chosen link
+          plus any duplicate the pool may carry. *)
+       Array.iteri
+         (fun c (a, b) ->
+           if alive.(c) && Rr_graph.Graph.has_edge graph a b then alive.(c) <- false)
+         pool;
+       picks :=
+         { u; v; total_after; fraction = total_after /. original } :: !picks;
+       if round < k then begin
+         let m_old = !m in
+         let relaxed, changed =
+           relax_through_tracked m_old ~u ~v ~wuv:(weight u v) ~wvu:(weight v u)
+         in
+         m := relaxed;
+         rescore_incremental m_old changed
+       end
      done
    with Exit -> ());
   List.rev !picks

@@ -10,7 +10,13 @@
     evaluated with the network-mean impact [kappa = 2/n] rather than the
     per-pair [kappa_ij] (the single-edge-insertion identity needs a
     pair-independent edge weight); tests validate the approximation
-    against brute force on small graphs. *)
+    against brute force on small graphs.
+
+    Candidate scoring fans out on the {!Rr_util.Parallel} domain pool,
+    and rounds after the first rescore incrementally: only candidates
+    whose endpoint rows/columns were touched by the last insertion are
+    rescored in full, the rest receive an O(|changed cells|) delta.
+    Results are bit-identical at any pool size. *)
 
 type pick = {
   u : int;

@@ -1,3 +1,14 @@
+(* The environment is immutable after construction: every distance and
+   risk term is materialised into flat arrays up front, so routing sweeps
+   can fan out across domains with nothing but read sharing.
+
+   - [miles] is the dense n x n great-circle matrix (row-major, 0 on the
+     diagonal), making [link_miles] a single array read for any pair.
+   - [arc_off]/[arc_tgt] is the graph in CSR form ([Graph.to_csr]);
+     [arc_miles]/[arc_risk] carry the per-arc distance and target-node
+     risk, so the Dijkstra relaxation weighs arc [k] as
+     [arc_miles.(k) +. kappa *. arc_risk.(k)] — no hashing, no closure
+     over coordinates, no trigonometry. *)
 type t = {
   graph : Rr_graph.Graph.t;
   coords : Rr_geo.Coord.t array;
@@ -6,13 +17,45 @@ type t = {
   historical : float array;
   forecast : float array;
   node_risk : float array;
-  dist_cache : (int, float) Hashtbl.t;
+  miles : float array;
+  arc_off : int array;
+  arc_tgt : int array;
+  arc_miles : float array;
+  arc_risk : float array;
 }
 
 let compute_node_risk params historical forecast =
   Array.init (Array.length historical) (fun i ->
       (params.Params.lambda_h *. params.Params.risk_scale *. historical.(i))
       +. (params.Params.lambda_f *. forecast.(i)))
+
+(* Each row u fills cells (u, v) and (v, u) for v > u, so rows write
+   disjoint cell sets and the sweep parallelises cleanly. *)
+let compute_miles coords =
+  let n = Array.length coords in
+  let miles = Array.make (n * n) 0.0 in
+  Rr_util.Parallel.parallel_for n (fun u ->
+      let base = u * n in
+      for v = u + 1 to n - 1 do
+        let d = Rr_geo.Distance.miles coords.(u) coords.(v) in
+        miles.(base + v) <- d;
+        miles.((v * n) + u) <- d
+      done);
+  miles
+
+let compute_arcs graph miles n =
+  let arc_off, arc_tgt = Rr_graph.Graph.to_csr graph in
+  let arc_miles = Array.make (Array.length arc_tgt) 0.0 in
+  for u = 0 to n - 1 do
+    let base = u * n in
+    for k = arc_off.(u) to arc_off.(u + 1) - 1 do
+      arc_miles.(k) <- miles.(base + arc_tgt.(k))
+    done
+  done;
+  (arc_off, arc_tgt, arc_miles)
+
+let compute_arc_risk node_risk arc_tgt =
+  Array.map (fun v -> node_risk.(v)) arc_tgt
 
 let make ?(params = Params.default) ~graph ~coords ~impact ~historical
     ?forecast () =
@@ -24,6 +67,9 @@ let make ?(params = Params.default) ~graph ~coords ~impact ~historical
     || Array.length historical <> n
     || Array.length forecast <> n
   then invalid_arg "Env.make: array lengths must match the node count";
+  let node_risk = compute_node_risk params historical forecast in
+  let miles = compute_miles coords in
+  let arc_off, arc_tgt, arc_miles = compute_arcs graph miles n in
   {
     graph;
     coords;
@@ -31,8 +77,12 @@ let make ?(params = Params.default) ~graph ~coords ~impact ~historical
     impact;
     historical;
     forecast;
-    node_risk = compute_node_risk params historical forecast;
-    dist_cache = Hashtbl.create (4 * max 16 (Rr_graph.Graph.edge_count graph));
+    node_risk;
+    miles;
+    arc_off;
+    arc_tgt;
+    arc_miles;
+    arc_risk = compute_arc_risk node_risk arc_tgt;
   }
 
 let forecast_of_advisory params coords advisory =
@@ -59,14 +109,17 @@ let of_net ?(params = Params.default) ?riskmap ?advisory (net : Rr_topology.Net.
   make ~params ~graph:net.Rr_topology.Net.graph ~coords ~impact ~historical
     ?forecast ()
 
+(* Risk refreshes (new forecast tick, new params) recompute only the
+   O(n + arcs) risk vectors; the distance matrix and CSR layout are
+   shared with the parent environment. *)
+let with_node_risk t node_risk =
+  { t with node_risk; arc_risk = compute_arc_risk node_risk t.arc_tgt }
+
 let with_forecast t forecast =
   if Array.length forecast <> Array.length t.forecast then
     invalid_arg "Env.with_forecast: length mismatch";
-  {
-    t with
-    forecast;
-    node_risk = compute_node_risk t.params t.historical forecast;
-  }
+  let t = with_node_risk t (compute_node_risk t.params t.historical forecast) in
+  { t with forecast }
 
 let with_advisory t advisory =
   match advisory with
@@ -75,12 +128,22 @@ let with_advisory t advisory =
 
 let with_params t params =
   Params.validate params;
-  { t with params; node_risk = compute_node_risk params t.historical t.forecast }
+  let t = with_node_risk t (compute_node_risk params t.historical t.forecast) in
+  { t with params }
 
 let with_graph t graph =
-  if Rr_graph.Graph.node_count graph <> Array.length t.coords then
+  let n = Array.length t.coords in
+  if Rr_graph.Graph.node_count graph <> n then
     invalid_arg "Env.with_graph: node-count mismatch";
-  { t with graph }
+  let arc_off, arc_tgt, arc_miles = compute_arcs graph t.miles n in
+  {
+    t with
+    graph;
+    arc_off;
+    arc_tgt;
+    arc_miles;
+    arc_risk = compute_arc_risk t.node_risk arc_tgt;
+  }
 
 let graph t = t.graph
 
@@ -98,15 +161,17 @@ let node_risk t v = t.node_risk.(v)
 
 let node_count t = Array.length t.coords
 
-let link_miles t u v =
-  let n = Array.length t.coords in
-  let key = if u < v then (u * n) + v else (v * n) + u in
-  match Hashtbl.find_opt t.dist_cache key with
-  | Some d -> d
-  | None ->
-    let d = Rr_geo.Distance.miles t.coords.(u) t.coords.(v) in
-    Hashtbl.add t.dist_cache key d;
-    d
+let link_miles t u v = t.miles.((u * Array.length t.coords) + v)
+
+let arc_off t = t.arc_off
+
+let arc_tgt t = t.arc_tgt
+
+let arc_miles t = t.arc_miles
+
+let arc_risk t = t.arc_risk
+
+let arc_count t = Array.length t.arc_tgt
 
 let kappa t i j = t.impact.(i) +. t.impact.(j)
 

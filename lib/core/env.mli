@@ -4,7 +4,12 @@
 
     Environments are cheap to re-derive for a new advisory tick
     ({!with_forecast}), which is how the disaster case studies step
-    through a storm. *)
+    through a storm.
+
+    An environment is immutable after construction: distances and risk
+    terms are precomputed into flat arrays (no caches are filled behind
+    the scenes), so any number of domains may route over one
+    environment concurrently. *)
 
 type t
 
@@ -60,7 +65,32 @@ val node_risk : t -> int -> float
 val node_count : t -> int
 
 val link_miles : t -> int -> int -> float
-(** Great-circle miles between two nodes (memoised per node pair). *)
+(** Great-circle miles between two nodes — a single read out of the
+    dense distance matrix precomputed at construction. *)
+
+(** {1 Flattened hot-path arrays}
+
+    The graph in CSR form with per-arc weight terms, all built once at
+    construction (see {!Rr_graph.Graph.to_csr} for the layout). The
+    returned arrays are the environment's own — treat them as
+    read-only. Routing weighs arc [k] as
+    [arc_miles k +. kappa *. arc_risk k]. *)
+
+val arc_count : t -> int
+(** Number of directed arcs (twice the undirected edge count). *)
+
+val arc_off : t -> int array
+(** CSR row offsets, length [node_count + 1]. *)
+
+val arc_tgt : t -> int array
+(** Target node per arc. *)
+
+val arc_miles : t -> float array
+(** Great-circle miles per arc. *)
+
+val arc_risk : t -> float array
+(** [node_risk] of the arc's target node (refreshed by
+    {!with_forecast} / {!with_params}). *)
 
 val kappa : t -> int -> int -> float
 (** Outage impact [kappa_ij = c_i + c_j]. *)

@@ -53,9 +53,10 @@ let run ?rng ?(scenario_count = 200) ?(pair_cap = 200) ?(radius_miles = 80.0)
   let rng = match rng with Some r -> r | None -> Prng.create 0x0D15A57EL in
   let n = Env.node_count env in
   let pairs = Sampling.pair_indices (Prng.split rng) ~n ~cap:pair_cap in
-  (* Static paths installed before any disaster. *)
+  (* Static paths installed before any disaster — independent per pair,
+     routed on the domain pool. *)
   let static =
-    Array.map
+    Parallel.map_array
       (fun (src, dst) ->
         let shortest = Router.shortest env ~src ~dst in
         let riskroute = Router.riskroute env ~src ~dst in
@@ -63,59 +64,76 @@ let run ?rng ?(scenario_count = 200) ?(pair_cap = 200) ?(radius_miles = 80.0)
       pairs
   in
   let scenarios =
-    sample_scenarios ~rng:(Prng.split rng) ~radius_miles ~kind
-      ~count:scenario_count env
+    Array.of_list
+      (sample_scenarios ~rng:(Prng.split rng) ~radius_miles ~kind
+         ~count:scenario_count env)
+  in
+  (* Scenarios are evaluated independently (each builds its own failed
+     set and reroutes against the shared immutable environment); their
+     per-scenario survival fractions are summed in scenario order, so
+     the result is bit-identical at any pool size. *)
+  let contributions =
+    Parallel.map_array
+      (fun scenario ->
+        let failed = Hashtbl.create 8 in
+        List.iter (fun v -> Hashtbl.replace failed v ()) scenario.failed_pops;
+        let path_alive path =
+          List.for_all (fun v -> not (Hashtbl.mem failed v)) path
+        in
+        let live_pairs = ref 0
+        and s_ok = ref 0
+        and r_ok = ref 0
+        and re_ok = ref 0
+        and endpoint_dead = ref 0 in
+        Array.iter
+          (fun (src, dst, shortest, riskroute) ->
+            if Hashtbl.mem failed src || Hashtbl.mem failed dst then
+              incr endpoint_dead
+            else begin
+              incr live_pairs;
+              (match shortest with
+              | Some (route : Router.route) ->
+                if path_alive route.Router.path then incr s_ok
+              | None -> ());
+              (match riskroute with
+              | Some (route : Router.route) ->
+                if path_alive route.Router.path then incr r_ok
+              | None -> ());
+              if
+                Hashtbl.length failed = 0
+                || reactive_survives env ~failed ~src ~dst
+              then incr re_ok
+            end)
+          static;
+        let total = Array.length static in
+        if total = 0 then (0.0, 0.0, 0.0, 0.0)
+        else begin
+          let endpoint = float_of_int !endpoint_dead /. float_of_int total in
+          if !live_pairs = 0 then (0.0, 0.0, 0.0, endpoint)
+          else begin
+            let live = float_of_int !live_pairs in
+            ( float_of_int !s_ok /. live,
+              float_of_int !r_ok /. live,
+              float_of_int !re_ok /. live,
+              endpoint )
+          end
+        end)
+      scenarios
   in
   let sum_shortest = ref 0.0
   and sum_riskroute = ref 0.0
   and sum_reactive = ref 0.0
   and sum_endpoint = ref 0.0 in
-  List.iter
-    (fun scenario ->
-      let failed = Hashtbl.create 8 in
-      List.iter (fun v -> Hashtbl.replace failed v ()) scenario.failed_pops;
-      let path_alive path =
-        List.for_all (fun v -> not (Hashtbl.mem failed v)) path
-      in
-      let live_pairs = ref 0
-      and s_ok = ref 0
-      and r_ok = ref 0
-      and re_ok = ref 0
-      and endpoint_dead = ref 0 in
-      Array.iter
-        (fun (src, dst, shortest, riskroute) ->
-          if Hashtbl.mem failed src || Hashtbl.mem failed dst then
-            incr endpoint_dead
-          else begin
-            incr live_pairs;
-            (match shortest with
-            | Some (route : Router.route) ->
-              if path_alive route.Router.path then incr s_ok
-            | None -> ());
-            (match riskroute with
-            | Some (route : Router.route) ->
-              if path_alive route.Router.path then incr r_ok
-            | None -> ());
-            if
-              Hashtbl.length failed = 0
-              || reactive_survives env ~failed ~src ~dst
-            then incr re_ok
-          end)
-        static;
-      let total = Array.length static in
-      if total > 0 then begin
-        sum_endpoint := !sum_endpoint +. (float_of_int !endpoint_dead /. float_of_int total);
-        if !live_pairs > 0 then begin
-          let live = float_of_int !live_pairs in
-          sum_shortest := !sum_shortest +. (float_of_int !s_ok /. live);
-          sum_riskroute := !sum_riskroute +. (float_of_int !r_ok /. live);
-          sum_reactive := !sum_reactive +. (float_of_int !re_ok /. live)
-        end
-      end)
-    scenarios;
-  let count = float_of_int (List.length scenarios) in
+  Array.iter
+    (fun (s, r, re, endpoint) ->
+      sum_shortest := !sum_shortest +. s;
+      sum_riskroute := !sum_riskroute +. r;
+      sum_reactive := !sum_reactive +. re;
+      sum_endpoint := !sum_endpoint +. endpoint)
+    contributions;
+  let count = float_of_int (Array.length scenarios) in
   {
-    scenarios = List.length scenarios;
+    scenarios = Array.length scenarios;
     pairs = Array.length pairs;
     shortest_survival = !sum_shortest /. count;
     riskroute_survival = !sum_riskroute /. count;

@@ -8,23 +8,51 @@ type result = {
 
 let default_cap = 20_000
 
+(* Route every sampled pair, grouping pairs by source so one geographic
+   shortest-path tree serves all destinations sharing that source
+   (RiskRoute paths still need one run per pair, since [kappa] depends
+   on both endpoints). Per-pair results are computed independently on
+   the domain pool and consumed in pair order, so downstream
+   accumulation is bit-identical at any pool size. *)
+let pair_routes env pairs =
+  let slot = Hashtbl.create 64 in
+  let sources = ref [] in
+  Array.iter
+    (fun (src, dst) ->
+      if src <> dst && not (Hashtbl.mem slot src) then begin
+        Hashtbl.add slot src (Hashtbl.length slot);
+        sources := src :: !sources
+      end)
+    pairs;
+  let sources = Array.of_list (List.rev !sources) in
+  let trees =
+    Parallel.map_array (fun src -> Router.shortest_tree env ~src) sources
+  in
+  Parallel.map_array
+    (fun (src, dst) ->
+      if src = dst then (None, None)
+      else
+        ( Router.riskroute env ~src ~dst,
+          Router.shortest_of_tree env trees.(Hashtbl.find slot src) ~src ~dst ))
+    pairs
+
 (* Eqs. 5-6 average over 1/N^2 of ALL ordered pairs including the i = j
    diagonal, whose ratio terms are zero. [diagonal_share] is the fraction
    of the full pair universe that lies on that diagonal: the mean ratio
    over evaluated off-diagonal pairs is scaled by [1 - diagonal_share]
    before entering the paper's formulas. *)
-let accumulate env pairs ~diagonal_share =
+let accumulate routed ~diagonal_share =
   let risk_sum = ref 0.0 and dist_sum = ref 0.0 and count = ref 0 in
   Array.iter
-    (fun (src, dst) ->
-      if src <> dst then
-        match (Router.riskroute env ~src ~dst, Router.shortest env ~src ~dst) with
-        | Some rr, Some sp when sp.Router.bit_risk_miles > 0.0 && sp.Router.bit_miles > 0.0 ->
-          risk_sum := !risk_sum +. (rr.Router.bit_risk_miles /. sp.Router.bit_risk_miles);
-          dist_sum := !dist_sum +. (rr.Router.bit_miles /. sp.Router.bit_miles);
-          incr count
-        | _ -> ())
-    pairs;
+    (fun routes ->
+      match routes with
+      | Some rr, Some sp
+        when sp.Router.bit_risk_miles > 0.0 && sp.Router.bit_miles > 0.0 ->
+        risk_sum := !risk_sum +. (rr.Router.bit_risk_miles /. sp.Router.bit_risk_miles);
+        dist_sum := !dist_sum +. (rr.Router.bit_miles /. sp.Router.bit_miles);
+        incr count
+      | _ -> ())
+    routed;
   if !count = 0 then { risk_reduction = 0.0; distance_increase = 0.0; pairs = 0 }
   else begin
     let n = float_of_int !count in
@@ -41,20 +69,22 @@ let intradomain ?(pair_cap = default_cap) ?(seed = 0x4A71_05L) env =
   let rng = Prng.create seed in
   let pairs = Sampling.pair_indices rng ~n ~cap:pair_cap in
   let diagonal_share = if n = 0 then 0.0 else 1.0 /. float_of_int n in
-  accumulate env pairs ~diagonal_share
+  accumulate (pair_routes env pairs) ~diagonal_share
 
 let weighted ?(pair_cap = default_cap) ?(seed = 0x4A71_05L) ~weight env =
   let n = Env.node_count env in
   let rng = Prng.create seed in
   let pairs = Sampling.pair_indices rng ~n ~cap:pair_cap in
+  let routed = pair_routes env pairs in
   let risk_sum = ref 0.0 and dist_sum = ref 0.0 in
   let weight_sum = ref 0.0 and count = ref 0 in
-  Array.iter
-    (fun (src, dst) ->
+  Array.iteri
+    (fun i (src, dst) ->
       let w = weight src dst in
       if src <> dst && w > 0.0 then
-        match (Router.riskroute env ~src ~dst, Router.shortest env ~src ~dst) with
-        | Some rr, Some sp when sp.Router.bit_risk_miles > 0.0 && sp.Router.bit_miles > 0.0 ->
+        match routed.(i) with
+        | Some rr, Some sp
+          when sp.Router.bit_risk_miles > 0.0 && sp.Router.bit_miles > 0.0 ->
           risk_sum := !risk_sum +. (w *. rr.Router.bit_risk_miles /. sp.Router.bit_risk_miles);
           dist_sum := !dist_sum +. (w *. rr.Router.bit_miles /. sp.Router.bit_miles);
           weight_sum := !weight_sum +. w;
@@ -110,5 +140,5 @@ let between ?(pair_cap = default_cap) ?(seed = 0x4A71_05L) env ~sources ~dests =
         0 sources
     in
     let diagonal_share = float_of_int overlap /. float_of_int total in
-    accumulate env pairs ~diagonal_share
+    accumulate (pair_routes env pairs) ~diagonal_share
   end

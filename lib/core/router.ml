@@ -13,15 +13,45 @@ let route_of_path env path =
 
 let riskroute env ~src ~dst =
   let kappa = Env.kappa env src dst in
-  let weight u v = Env.edge_weight env ~kappa u v in
-  match Rr_graph.Dijkstra.single_pair (Env.graph env) ~weight ~src ~dst with
+  let miles = Env.arc_miles env and risk = Env.arc_risk env in
+  let weight k = Array.unsafe_get miles k +. (kappa *. Array.unsafe_get risk k) in
+  match
+    Rr_graph.Dijkstra.single_pair_flat ~n:(Env.node_count env)
+      ~off:(Env.arc_off env) ~tgt:(Env.arc_tgt env) ~weight ~src ~dst
+  with
   | None -> None
   | Some (cost, path) ->
     Some { path; bit_miles = Metric.bit_miles env path; bit_risk_miles = cost }
 
+let shortest_tree env ~src =
+  let miles = Env.arc_miles env in
+  Rr_graph.Dijkstra.single_source_flat ~n:(Env.node_count env)
+    ~off:(Env.arc_off env) ~tgt:(Env.arc_tgt env)
+    ~weight:(fun k -> Array.unsafe_get miles k)
+    ~src
+
+let shortest_of_tree env tree ~src ~dst =
+  if src = dst then
+    Some { path = [ src ]; bit_miles = 0.0; bit_risk_miles = 0.0 }
+  else
+    match Rr_graph.Dijkstra.path_of_tree tree ~src ~dst with
+    | None -> None
+    | Some path ->
+      Some
+        {
+          path;
+          bit_miles = tree.Rr_graph.Dijkstra.dist.(dst);
+          bit_risk_miles = Metric.bit_risk_miles env path;
+        }
+
 let shortest env ~src ~dst =
-  let weight u v = Env.distance_weight env u v in
-  match Rr_graph.Dijkstra.single_pair (Env.graph env) ~weight ~src ~dst with
+  let miles = Env.arc_miles env in
+  match
+    Rr_graph.Dijkstra.single_pair_flat ~n:(Env.node_count env)
+      ~off:(Env.arc_off env) ~tgt:(Env.arc_tgt env)
+      ~weight:(fun k -> Array.unsafe_get miles k)
+      ~src ~dst
+  with
   | None -> None
   | Some (cost, path) ->
     Some { path; bit_miles = cost; bit_risk_miles = Metric.bit_risk_miles env path }

@@ -21,3 +21,15 @@ val shortest : Env.t -> src:int -> dst:int -> route option
 
 val route_of_path : Env.t -> int list -> route
 (** Evaluate both metrics on an externally chosen path. *)
+
+val shortest_tree : Env.t -> src:int -> Rr_graph.Dijkstra.tree
+(** Full geographic shortest-path tree from one source. One tree serves
+    every destination: the pair sweeps in {!Ratios} group sampled pairs
+    by source so a single Dijkstra run replaces hundreds of
+    {!shortest} calls. *)
+
+val shortest_of_tree :
+  Env.t -> Rr_graph.Dijkstra.tree -> src:int -> dst:int -> route option
+(** Extract one destination's route from a {!shortest_tree}. Produces
+    exactly the route {!shortest} would return for the pair (the
+    early-stopped and full runs settle the path identically). *)

@@ -2,9 +2,11 @@ open Rr_util
 
 type tree = { dist : float array; parent : int array }
 
-(* Shared core: runs Dijkstra from [src]; stops early when [stop_at]
-   (if any) is settled. *)
-let run g ~weight ~src ~stop_at =
+(* Shared core over the adjacency-list graph: runs Dijkstra from [src];
+   stops early once node [stop] (-1 for none) is settled. [stop] is a
+   plain int so the settle test is an integer compare instead of an
+   option allocation + polymorphic compare per pop. *)
+let run g ~weight ~src ~stop =
   let n = Graph.node_count g in
   if src < 0 || src >= n then invalid_arg "Dijkstra: source out of range";
   let dist = Array.make n infinity in
@@ -15,29 +17,75 @@ let run g ~weight ~src ~stop_at =
   Heap.push heap 0.0 src;
   let finished = ref false in
   while (not !finished) && not (Heap.is_empty heap) do
-    match Heap.pop_min heap with
-    | None -> finished := true
-    | Some (d, u) ->
-      if not settled.(u) then begin
-        settled.(u) <- true;
-        if stop_at = Some u then finished := true
-        else
-          Graph.iter_neighbors g u (fun v ->
-              if not settled.(v) then begin
-                let w = weight u v in
-                if w < 0.0 then invalid_arg "Dijkstra: negative edge weight";
-                let nd = d +. w in
-                if nd < dist.(v) then begin
-                  dist.(v) <- nd;
-                  parent.(v) <- u;
-                  Heap.push heap nd v
-                end
-              end)
-      end
+    let d = Heap.min_key heap in
+    let u = Heap.min_elt heap in
+    Heap.drop_min heap;
+    if not settled.(u) then begin
+      settled.(u) <- true;
+      if u = stop then finished := true
+      else
+        Graph.iter_neighbors g u (fun v ->
+            if not settled.(v) then begin
+              let w = weight u v in
+              if w < 0.0 then invalid_arg "Dijkstra: negative edge weight";
+              let nd = d +. w in
+              if nd < dist.(v) then begin
+                dist.(v) <- nd;
+                parent.(v) <- u;
+                Heap.push heap nd v
+              end
+            end)
+    end
   done;
   { dist; parent }
 
-let single_source g ~weight ~src = run g ~weight ~src ~stop_at:None
+(* Flat core over a CSR adjacency ([Graph.to_csr] layout): the edge
+   relaxation loop walks an int array by index and weighs arcs through a
+   single [int -> float] lookup — in the RiskRoute hot path that lookup
+   is two float-array reads and a fused multiply-add, with no hashing,
+   no list traversal and no great-circle trigonometry. *)
+let run_flat ~n ~off ~tgt ~weight ~src ~stop =
+  if src < 0 || src >= n then invalid_arg "Dijkstra: source out of range";
+  let dist = Array.make n infinity in
+  let parent = Array.make n (-1) in
+  let settled = Array.make n false in
+  let heap = Heap.create ~capacity:(max 16 n) () in
+  dist.(src) <- 0.0;
+  Heap.push heap 0.0 src;
+  let finished = ref false in
+  while (not !finished) && not (Heap.is_empty heap) do
+    let d = Heap.min_key heap in
+    let u = Heap.min_elt heap in
+    Heap.drop_min heap;
+    if not settled.(u) then begin
+      settled.(u) <- true;
+      if u = stop then finished := true
+      else
+        (* In-bounds by construction: [u < n] (heap only holds pushed
+           nodes), so [off] reads are valid, and CSR targets satisfy
+           [tgt.(k) < n]. Unsafe accesses keep the relaxation loop free
+           of bounds checks — this is the innermost loop of every sweep. *)
+        for k = Array.unsafe_get off u to Array.unsafe_get off (u + 1) - 1 do
+          let v = Array.unsafe_get tgt k in
+          if not (Array.unsafe_get settled v) then begin
+            let w = weight k in
+            if w < 0.0 then invalid_arg "Dijkstra: negative edge weight";
+            let nd = d +. w in
+            if nd < Array.unsafe_get dist v then begin
+              Array.unsafe_set dist v nd;
+              Array.unsafe_set parent v u;
+              Heap.push heap nd v
+            end
+          end
+        done
+    end
+  done;
+  { dist; parent }
+
+let single_source g ~weight ~src = run g ~weight ~src ~stop:(-1)
+
+let single_source_flat ~n ~off ~tgt ~weight ~src =
+  run_flat ~n ~off ~tgt ~weight ~src ~stop:(-1)
 
 let path_of_tree tree ~src ~dst =
   if tree.dist.(dst) = infinity then None
@@ -53,18 +101,23 @@ let path_of_tree tree ~src ~dst =
     Some (build [] dst)
   end
 
+let pair_of_tree tree ~src ~dst =
+  if tree.dist.(dst) = infinity then None
+  else
+    match path_of_tree tree ~src ~dst with
+    | None -> None
+    | Some path -> Some (tree.dist.(dst), path)
+
 let single_pair g ~weight ~src ~dst =
   let n = Graph.node_count g in
   if dst < 0 || dst >= n then invalid_arg "Dijkstra: destination out of range";
   if src = dst then Some (0.0, [ src ])
-  else begin
-    let tree = run g ~weight ~src ~stop_at:(Some dst) in
-    if tree.dist.(dst) = infinity then None
-    else
-      match path_of_tree tree ~src ~dst with
-      | None -> None
-      | Some path -> Some (tree.dist.(dst), path)
-  end
+  else pair_of_tree (run g ~weight ~src ~stop:dst) ~src ~dst
+
+let single_pair_flat ~n ~off ~tgt ~weight ~src ~dst =
+  if dst < 0 || dst >= n then invalid_arg "Dijkstra: destination out of range";
+  if src = dst then Some (0.0, [ src ])
+  else pair_of_tree (run_flat ~n ~off ~tgt ~weight ~src ~stop:dst) ~src ~dst
 
 let path_cost ~weight path =
   let rec loop acc = function

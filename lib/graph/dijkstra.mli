@@ -12,11 +12,36 @@ type tree = {
 val single_source : Graph.t -> weight:(int -> int -> float) -> src:int -> tree
 (** Full shortest-path tree from [src]. *)
 
+val single_source_flat :
+  n:int ->
+  off:int array ->
+  tgt:int array ->
+  weight:(int -> float) ->
+  src:int ->
+  tree
+(** {!single_source} over a flattened CSR adjacency (see
+    {!Graph.to_csr}); [weight] maps an {e arc index} to its weight. This
+    is the hot path used by the risk sweeps: arc targets and weights are
+    contiguous arrays, so relaxation does no list traversal and no
+    per-edge recomputation. Arc order matches {!Graph.iter_neighbors},
+    so results (including equal-cost tie-breaks) are identical to the
+    closure-weight runner. *)
+
 val single_pair :
   Graph.t -> weight:(int -> int -> float) -> src:int -> dst:int ->
   (float * int list) option
 (** Cost and node path (source first) from [src] to [dst]; [None] when
     disconnected. Terminates early once [dst] is settled. *)
+
+val single_pair_flat :
+  n:int ->
+  off:int array ->
+  tgt:int array ->
+  weight:(int -> float) ->
+  src:int ->
+  dst:int ->
+  (float * int list) option
+(** {!single_pair} over a flattened CSR adjacency. *)
 
 val path_of_tree : tree -> src:int -> dst:int -> int list option
 (** Recover the node path from a tree; [None] when [dst] unreachable. *)

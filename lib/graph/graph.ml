@@ -58,6 +58,22 @@ let edges t =
   done;
   !acc
 
+let to_csr t =
+  let off = Array.make (t.n + 1) 0 in
+  for u = 0 to t.n - 1 do
+    off.(u + 1) <- off.(u) + List.length t.adj.(u)
+  done;
+  let tgt = Array.make off.(t.n) 0 in
+  for u = 0 to t.n - 1 do
+    let k = ref off.(u) in
+    List.iter
+      (fun v ->
+        tgt.(!k) <- v;
+        incr k)
+      t.adj.(u)
+  done;
+  (off, tgt)
+
 let copy t = { t with adj = Array.copy t.adj }
 
 let of_edges n edge_list =

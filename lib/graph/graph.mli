@@ -35,6 +35,14 @@ val degree : t -> int -> int
 val edges : t -> (int * int) list
 (** Every edge once, as [(u, v)] with [u < v]. *)
 
+val to_csr : t -> int array * int array
+(** [(off, tgt)] in compressed-sparse-row form: the out-arcs of node [u]
+    are [tgt.(off.(u)) .. tgt.(off.(u + 1) - 1)] (every undirected edge
+    appears as two arcs). Arc order per node matches {!iter_neighbors},
+    so traversals that switch between the two representations settle
+    equal-cost ties identically. The arrays are fresh snapshots: later
+    mutations of the graph are not reflected. *)
+
 val copy : t -> t
 (** Independent deep copy. *)
 

@@ -26,35 +26,61 @@ let fit ?(rows = default_rows) ?(cols = default_cols) ~bandwidth events =
   (* Scatter each non-empty source cell onto its neighbourhood. This runs
      over occupied cells only, which is far cheaper than gathering into
      every output cell when events cluster. *)
-  for src_row = 0 to rows - 1 do
-    let src_lat =
-      box.Rr_geo.Bbox.max_lat
-      -. ((float_of_int src_row +. 0.5) /. float_of_int rows *. lat_span)
-    in
-    let cell_lon_miles =
-      lon_span /. float_of_int cols *. 69.0
-      *. Float.max 0.2 (cos (src_lat *. Float.pi /. 180.0))
-    in
-    let rad_cols = max 1 (int_of_float (Float.ceil (support /. cell_lon_miles))) in
-    for src_col = 0 to cols - 1 do
-      let mass = Rr_geo.Grid.get counts src_row src_col in
-      if mass > 0.0 then
-        for dr = -rad_rows to rad_rows do
-          let row = src_row + dr in
-          if row >= 0 && row < rows then
-            for dc = -rad_cols to rad_cols do
-              let col = src_col + dc in
-              if col >= 0 && col < cols then begin
-                let dy = float_of_int dr *. cell_lat_miles in
-                let dx = float_of_int dc *. cell_lon_miles in
-                let d2 = (dy *. dy) +. (dx *. dx) in
-                let k = norm *. exp (-.d2 *. inv_2h2) in
-                Rr_geo.Grid.add out row col (mass *. k /. total_events)
-              end
-            done
-        done
+  let scatter dst lo hi =
+    for src_row = lo to hi do
+      let src_lat =
+        box.Rr_geo.Bbox.max_lat
+        -. ((float_of_int src_row +. 0.5) /. float_of_int rows *. lat_span)
+      in
+      let cell_lon_miles =
+        lon_span /. float_of_int cols *. 69.0
+        *. Float.max 0.2 (cos (src_lat *. Float.pi /. 180.0))
+      in
+      let rad_cols = max 1 (int_of_float (Float.ceil (support /. cell_lon_miles))) in
+      for src_col = 0 to cols - 1 do
+        let mass = Rr_geo.Grid.get counts src_row src_col in
+        if mass > 0.0 then
+          for dr = -rad_rows to rad_rows do
+            let row = src_row + dr in
+            if row >= 0 && row < rows then
+              for dc = -rad_cols to rad_cols do
+                let col = src_col + dc in
+                if col >= 0 && col < cols then begin
+                  let dy = float_of_int dr *. cell_lat_miles in
+                  let dx = float_of_int dc *. cell_lon_miles in
+                  let d2 = (dy *. dy) +. (dx *. dx) in
+                  let k = norm *. exp (-.d2 *. inv_2h2) in
+                  Rr_geo.Grid.add dst row col (mass *. k /. total_events)
+                end
+              done
+          done
+      done
     done
-  done;
+  in
+  let domains = Rr_util.Parallel.domain_count () in
+  if domains <= 1 then scatter out 0 (rows - 1)
+  else begin
+    (* Source-row chunks scatter into private grids (their output
+       neighbourhoods overlap by the kernel radius), merged in chunk
+       order. Summation order differs from the sequential pass, so
+       densities agree only to rounding when more than one domain runs;
+       a single-domain pool reproduces the sequential result exactly. *)
+    let chunks = min rows (2 * domains) in
+    let partials =
+      Rr_util.Parallel.map_array
+        (fun c ->
+          let lo = c * rows / chunks and hi = ((c + 1) * rows / chunks) - 1 in
+          let dst = Rr_geo.Grid.create box ~rows ~cols in
+          scatter dst lo hi;
+          dst)
+        (Array.init chunks (fun c -> c))
+    in
+    Array.iter
+      (fun partial ->
+        Rr_geo.Grid.fold partial ~init:() ~f:(fun () row col v ->
+            if v <> 0.0 then Rr_geo.Grid.add out row col v))
+      partials
+  end;
   { bandwidth; grid = out }
 
 let bandwidth t = t.bandwidth

@@ -24,27 +24,39 @@ let grow h v =
   (* First push: materialise the value array now that we have a witness. *)
   if Array.length h.vals = 0 then h.vals <- Array.make (Array.length h.keys) v
 
+(* Sift indices stay within [0, size), and [size <= capacity] is the
+   structure's core invariant, so the unchecked accesses below are in
+   bounds; they keep the decrease-key-free Dijkstra inner loop lean. *)
 let swap h i j =
-  let k = h.keys.(i) in
-  h.keys.(i) <- h.keys.(j);
-  h.keys.(j) <- k;
-  let v = h.vals.(i) in
-  h.vals.(i) <- h.vals.(j);
-  h.vals.(j) <- v
+  let keys = h.keys and vals = h.vals in
+  let k = Array.unsafe_get keys i in
+  Array.unsafe_set keys i (Array.unsafe_get keys j);
+  Array.unsafe_set keys j k;
+  let v = Array.unsafe_get vals i in
+  Array.unsafe_set vals i (Array.unsafe_get vals j);
+  Array.unsafe_set vals j v
 
 let rec sift_up h i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if h.keys.(i) < h.keys.(parent) then begin
+    if Array.unsafe_get h.keys i < Array.unsafe_get h.keys parent then begin
       swap h i parent;
       sift_up h parent
     end
   end
 
 let rec sift_down h i =
+  let keys = h.keys in
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
-  let smallest = if l < h.size && h.keys.(l) < h.keys.(i) then l else i in
-  let smallest = if r < h.size && h.keys.(r) < h.keys.(smallest) then r else smallest in
+  let smallest =
+    if l < h.size && Array.unsafe_get keys l < Array.unsafe_get keys i then l
+    else i
+  in
+  let smallest =
+    if r < h.size && Array.unsafe_get keys r < Array.unsafe_get keys smallest
+    then r
+    else smallest
+  in
   if smallest <> i then begin
     swap h i smallest;
     sift_down h smallest
@@ -56,6 +68,23 @@ let push h key v =
   h.vals.(h.size) <- v;
   h.size <- h.size + 1;
   sift_up h (h.size - 1)
+
+let min_key h =
+  if h.size = 0 then invalid_arg "Heap.min_key: empty heap";
+  h.keys.(0)
+
+let min_elt h =
+  if h.size = 0 then invalid_arg "Heap.min_elt: empty heap";
+  h.vals.(0)
+
+let drop_min h =
+  if h.size = 0 then invalid_arg "Heap.drop_min: empty heap";
+  h.size <- h.size - 1;
+  if h.size > 0 then begin
+    h.keys.(0) <- h.keys.(h.size);
+    h.vals.(0) <- h.vals.(h.size);
+    sift_down h 0
+  end
 
 let pop_min h =
   if h.size = 0 then None

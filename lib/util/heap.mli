@@ -21,5 +21,16 @@ val pop_min : 'a t -> (float * 'a) option
 (** Removes and returns the entry with the smallest key, or [None] when
     empty. Ties are broken arbitrarily. *)
 
+val min_key : 'a t -> float
+(** Smallest key without removing it; raises [Invalid_argument] on an
+    empty heap. With {!min_elt} and {!drop_min} this gives consumers an
+    allocation-free alternative to {!pop_min} (no option, no tuple). *)
+
+val min_elt : 'a t -> 'a
+(** Value paired with the smallest key; raises on an empty heap. *)
+
+val drop_min : 'a t -> unit
+(** Remove the minimum entry; raises on an empty heap. *)
+
 val clear : 'a t -> unit
 (** Drop all entries, retaining allocated capacity. *)

@@ -1,0 +1,196 @@
+(* Stdlib-only domain pool shared by every fan-out sweep in the repo.
+
+   One global pool of [domain_count () - 1] worker domains pulls closures
+   off a mutex/condvar work queue; the submitting domain participates in
+   draining the queue, so nested parallel regions cannot deadlock (the
+   submitter of the deepest pending batch is always making progress).
+   With a pool size of 1 every entry point degrades to the plain
+   sequential loop — no domains, no locks — which keeps single-domain
+   runs bit-identical to pre-pool code. *)
+
+type pool = {
+  mutex : Mutex.t;
+  nonempty : Condition.t;  (* work arrived, or shutdown *)
+  tasks : (unit -> unit) Queue.t;
+  mutable stop : bool;
+  mutable workers : unit Domain.t array;
+}
+
+let env_var = "RISKROUTE_DOMAINS"
+
+let env_count () =
+  match Sys.getenv_opt env_var with
+  | None -> None
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some k when k >= 1 -> Some k
+    | Some _ | None -> None)
+
+(* [requested] overrides the environment (tests switch pool sizes at
+   runtime); resolution order: set_domain_count > RISKROUTE_DOMAINS >
+   Domain.recommended_domain_count. *)
+let requested = ref None
+
+let current : pool option ref = ref None
+
+let current_size = ref 0
+
+let domain_count () =
+  match !requested with
+  | Some k -> k
+  | None -> (
+    match env_count () with
+    | Some k -> k
+    | None -> max 1 (Domain.recommended_domain_count ()))
+
+let rec worker pool =
+  Mutex.lock pool.mutex;
+  while Queue.is_empty pool.tasks && not pool.stop do
+    Condition.wait pool.nonempty pool.mutex
+  done;
+  if Queue.is_empty pool.tasks then Mutex.unlock pool.mutex
+  else begin
+    let task = Queue.pop pool.tasks in
+    Mutex.unlock pool.mutex;
+    task ();
+    worker pool
+  end
+
+let shutdown () =
+  match !current with
+  | None -> ()
+  | Some pool ->
+    Mutex.lock pool.mutex;
+    pool.stop <- true;
+    Condition.broadcast pool.nonempty;
+    Mutex.unlock pool.mutex;
+    Array.iter Domain.join pool.workers;
+    current := None;
+    current_size := 0
+
+let () = at_exit shutdown
+
+let set_domain_count k =
+  if k < 1 then invalid_arg "Parallel.set_domain_count: need k >= 1";
+  requested := Some k;
+  shutdown ()
+
+let ensure_pool size =
+  match !current with
+  | Some pool when !current_size = size -> pool
+  | _ ->
+    shutdown ();
+    let pool =
+      {
+        mutex = Mutex.create ();
+        nonempty = Condition.create ();
+        tasks = Queue.create ();
+        stop = false;
+        workers = [||];
+      }
+    in
+    pool.workers <- Array.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker pool));
+    current := Some pool;
+    current_size := size;
+    pool
+
+(* Push a batch, then help drain the queue until every batch task has
+   finished. Helping may execute tasks of other (nested) batches; that is
+   deliberate. The first exception of the batch is re-raised here. *)
+let run_batch pool (bodies : (unit -> unit) array) =
+  let remaining = ref (Array.length bodies) in
+  let batch_done = Condition.create () in
+  let error = ref None in
+  let wrap f () =
+    (try f ()
+     with e ->
+       Mutex.lock pool.mutex;
+       if !error = None then error := Some e;
+       Mutex.unlock pool.mutex);
+    Mutex.lock pool.mutex;
+    decr remaining;
+    if !remaining = 0 then Condition.broadcast batch_done;
+    Mutex.unlock pool.mutex
+  in
+  Mutex.lock pool.mutex;
+  Array.iter (fun f -> Queue.push (wrap f) pool.tasks) bodies;
+  Condition.broadcast pool.nonempty;
+  Mutex.unlock pool.mutex;
+  let running = ref true in
+  while !running do
+    Mutex.lock pool.mutex;
+    if !remaining = 0 then begin
+      Mutex.unlock pool.mutex;
+      running := false
+    end
+    else
+      match Queue.take_opt pool.tasks with
+      | Some task ->
+        Mutex.unlock pool.mutex;
+        task ()
+      | None ->
+        while !remaining > 0 && Queue.is_empty pool.tasks do
+          Condition.wait batch_done pool.mutex
+        done;
+        Mutex.unlock pool.mutex
+  done;
+  match !error with Some e -> raise e | None -> ()
+
+let default_chunks size n = min n (4 * size)
+
+let parallel_for ?chunks n f =
+  if n > 0 then begin
+    let size = domain_count () in
+    if size <= 1 || n = 1 then
+      for i = 0 to n - 1 do
+        f i
+      done
+    else begin
+      let pool = ensure_pool size in
+      let nchunks =
+        match chunks with
+        | Some c -> max 1 (min c n)
+        | None -> default_chunks size n
+      in
+      let step = (n + nchunks - 1) / nchunks in
+      let bodies =
+        Array.init nchunks (fun c ->
+            let lo = c * step in
+            let hi = min n (lo + step) in
+            fun () ->
+              for i = lo to hi - 1 do
+                f i
+              done)
+      in
+      run_batch pool bodies
+    end
+  end
+
+let map_array f a =
+  let n = Array.length a in
+  if n = 0 then [||]
+  else if domain_count () <= 1 then Array.map f a
+  else begin
+    (* First element on the calling domain: it both surfaces immediate
+       errors and gives [Array.make] its witness value. *)
+    let r0 = f a.(0) in
+    let out = Array.make n r0 in
+    parallel_for (n - 1) (fun i -> out.(i + 1) <- f a.(i + 1));
+    out
+  end
+
+let fold ?chunks n ~f ~init ~combine =
+  if n <= 0 then init
+  else if domain_count () <= 1 then begin
+    let acc = ref init in
+    for i = 0 to n - 1 do
+      acc := combine !acc (f i)
+    done;
+    !acc
+  end
+  else begin
+    let v0 = f 0 in
+    let values = Array.make n v0 in
+    parallel_for ?chunks (n - 1) (fun i -> values.(i + 1) <- f (i + 1));
+    Array.fold_left combine init values
+  end

@@ -1,0 +1,46 @@
+(** Multicore execution engine: a stdlib-only domain pool behind simple
+    data-parallel entry points.
+
+    Pool size resolution: {!set_domain_count} override, else the
+    [RISKROUTE_DOMAINS] environment variable, else
+    [Domain.recommended_domain_count ()]. A size of [1] runs every entry
+    point as a plain sequential loop on the calling domain — no domains
+    are spawned and results are bit-identical to pre-pool code paths.
+
+    Determinism: all entry points write results by index and reduce on
+    the calling domain in index order, so for a task function that is
+    deterministic per element the result does not depend on the pool
+    size or on scheduling. Task functions must not mutate shared state
+    (the sweeps in this repo only read immutable environment arrays). *)
+
+val domain_count : unit -> int
+(** The pool size parallel entry points will use. *)
+
+val set_domain_count : int -> unit
+(** Override the pool size (minimum 1) for subsequent calls; shuts down
+    any live pool so the next parallel call rebuilds it at the new
+    size. Intended for tests and benchmarks comparing pool sizes. *)
+
+val shutdown : unit -> unit
+(** Join all worker domains. Also registered via [at_exit]; safe to call
+    when no pool is live. The pool is re-created lazily afterwards. *)
+
+val parallel_for : ?chunks:int -> int -> (int -> unit) -> unit
+(** [parallel_for n f] runs [f 0 .. f (n-1)], split into [chunks] queue
+    tasks (default [4 x pool size]) executed by the pool. Exceptions are
+    re-raised in the caller (first one wins). *)
+
+val map_array : ('a -> 'b) -> 'a array -> 'b array
+(** Parallel [Array.map]; element order of the result is preserved. *)
+
+val fold :
+  ?chunks:int ->
+  int ->
+  f:(int -> 'b) ->
+  init:'a ->
+  combine:('a -> 'b -> 'a) ->
+  'a
+(** [fold n ~f ~init ~combine] computes [f i] for [i = 0 .. n-1] in
+    parallel, then combines the results {e on the calling domain, in
+    index order} — the chunking is invisible to the reduction, so the
+    result is independent of the pool size. *)
