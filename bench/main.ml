@@ -5,7 +5,11 @@
      main.exe <id> [<id>...]  run selected experiments (table1..fig13)
      main.exe bechamel        run only the Bechamel microbenchmark suite
      main.exe json [file]     write Bechamel timings as JSON (default BENCH.json)
-     main.exe list            list experiment ids *)
+     main.exe list            list experiment ids
+
+   [--telemetry <file|->] anywhere on the command line enables the
+   Rr_obs engine telemetry dump (same semantics as the CLI flag and
+   RISKROUTE_TELEMETRY). *)
 
 open Bechamel
 open Toolkit
@@ -155,13 +159,56 @@ let run_bechamel () =
       else Printf.printf "%-48s %10.0f ns/run\n" name est)
     (bechamel_estimates ())
 
+(* The current git revision, read straight off .git so the harness stays
+   dependency- and subprocess-free; "unknown" outside a checkout. *)
+let git_rev () =
+  let read_line path =
+    let ic = open_in path in
+    Fun.protect ~finally:(fun () -> close_in ic) (fun () -> input_line ic)
+  in
+  try
+    let head = String.trim (read_line ".git/HEAD") in
+    let prefix = "ref: " in
+    if String.length head > String.length prefix
+       && String.sub head 0 (String.length prefix) = prefix
+    then begin
+      let r = String.sub head 5 (String.length head - 5) in
+      try String.trim (read_line (Filename.concat ".git" r))
+      with _ ->
+        (* Ref not unpacked: scan .git/packed-refs for it. *)
+        let ic = open_in ".git/packed-refs" in
+        Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+            let rev = ref "unknown" in
+            (try
+               while true do
+                 let line = input_line ic in
+                 match String.index_opt line ' ' with
+                 | Some i when String.sub line (i + 1) (String.length line - i - 1) = r ->
+                   rev := String.sub line 0 i;
+                   raise Exit
+                 | _ -> ()
+               done
+             with End_of_file | Exit -> ());
+            !rev)
+    end
+    else head
+  with _ -> "unknown"
+
 (* Machine-readable timings for CI trend tracking and cross-machine
-   comparison (perf dashboards read this, humans read [run_bechamel]). *)
+   comparison (perf dashboards read this, humans read [run_bechamel]).
+   The [meta] block (schema 2) carries everything needed to compare
+   BENCH_*.json files across PRs and machines. *)
+let bench_schema = 2
+
 let run_json file =
   let rows = bechamel_estimates () in
   let oc = open_out file in
-  Printf.fprintf oc "{\n  \"domains\": %d,\n  \"results\": [\n"
-    (Rr_util.Parallel.domain_count ());
+  Printf.fprintf oc
+    "{\n  \"meta\": {\"schema\": %d, \"domains\": %d, \"git_rev\": %S, \"hostname\": %S},\n  \"results\": [\n"
+    bench_schema
+    (Rr_util.Parallel.domain_count ())
+    (git_rev ())
+    (Unix.gethostname ());
   List.iteri
     (fun i (name, est) ->
       Printf.fprintf oc "    {\"name\": %S, \"ns_per_run\": %.2f}%s\n" name est
@@ -173,8 +220,23 @@ let run_json file =
 
 let ppf = Format.std_formatter
 
+(* Pull "--telemetry <spec>" (or "--telemetry=<spec>") out of argv before
+   experiment-id dispatch; the harness has no cmdliner front end. *)
+let extract_telemetry argv =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | "--telemetry" :: spec :: rest ->
+      Rr_obs.enable_dump spec;
+      go acc rest
+    | arg :: rest when String.length arg > 12 && String.sub arg 0 12 = "--telemetry=" ->
+      Rr_obs.enable_dump (String.sub arg 12 (String.length arg - 12));
+      go acc rest
+    | arg :: rest -> go (arg :: acc) rest
+  in
+  go [] argv
+
 let () =
-  match Array.to_list Sys.argv with
+  match extract_telemetry (Array.to_list Sys.argv) with
   | [] | _ :: [] ->
     Rr_experiments.Report.run_all ppf;
     Format.pp_print_flush ppf ();

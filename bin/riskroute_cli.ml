@@ -27,6 +27,26 @@ let verbose_arg =
   let doc = "Enable verbose logging." in
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
 
+let telemetry_arg =
+  let doc =
+    "Record engine telemetry (counters, histograms, spans) and dump it on \
+     exit. $(docv) is a file path (a .prom suffix selects Prometheus text \
+     format, anything else JSON) or '-' to write JSON to stderr. Setting \
+     RISKROUTE_TELEMETRY=<spec> in the environment is equivalent."
+  in
+  Arg.(value & opt (some string) None & info [ "telemetry" ] ~docv:"FILE" ~doc)
+
+(* Every subcommand takes --telemetry: observability must not require
+   knowing in advance which entry point will be slow. *)
+let setup verbose telemetry =
+  setup_logs verbose;
+  match telemetry with
+  | None -> ()
+  | Some spec ->
+    Rr_obs.enable_dump spec;
+    Rr_obs.set_meta "domains"
+      (string_of_int (Rr_util.Parallel.domain_count ()))
+
 let net_arg =
   let doc = "Network name (e.g. Level3, AT&T, Telepak)." in
   Arg.(required & opt (some string) None & info [ "n"; "network" ] ~doc)
@@ -60,8 +80,8 @@ let or_die = function
 (* --- networks --- *)
 
 let networks_cmd =
-  let run verbose =
-    setup_logs verbose;
+  let run verbose telemetry =
+    setup verbose telemetry;
     let zoo = Rr_topology.Zoo.shared () in
     Format.printf "Tier-1 networks:@.";
     List.iter
@@ -74,7 +94,7 @@ let networks_cmd =
   in
   Cmd.v
     (Cmd.info "networks" ~doc:"List the 23-network corpus.")
-    Term.(const run $ verbose_arg)
+    Term.(const run $ verbose_arg $ telemetry_arg)
 
 (* --- route --- *)
 
@@ -94,8 +114,8 @@ let route_cmd =
   let tick_arg =
     Arg.(value & opt int 40 & info [ "tick" ] ~doc:"Advisory index for --storm.")
   in
-  let run verbose name src dst lambda_h storm tick =
-    setup_logs verbose;
+  let run verbose telemetry name src dst lambda_h storm tick =
+    setup verbose telemetry;
     let net = or_die (find_net name) in
     let params = Riskroute.Params.with_lambda_h lambda_h Riskroute.Params.default in
     let advisory =
@@ -134,7 +154,7 @@ let route_cmd =
     (Cmd.info "route"
        ~doc:"Compare RiskRoute and shortest-path routes between two PoPs.")
     Term.(
-      const run $ verbose_arg $ net_arg $ src_arg $ dst_arg $ lambda_h_arg
+      const run $ verbose_arg $ telemetry_arg $ net_arg $ src_arg $ dst_arg $ lambda_h_arg
       $ storm_opt $ tick_arg)
 
 (* --- ratios --- *)
@@ -143,8 +163,8 @@ let ratios_cmd =
   let pair_cap_arg =
     Arg.(value & opt int 6000 & info [ "pair-cap" ] ~doc:"Max sampled pairs.")
   in
-  let run verbose name lambda_h pair_cap =
-    setup_logs verbose;
+  let run verbose telemetry name lambda_h pair_cap =
+    setup verbose telemetry;
     let net = or_die (find_net name) in
     let params = Riskroute.Params.with_lambda_h lambda_h Riskroute.Params.default in
     let env = Riskroute.Env.of_net ~params net in
@@ -156,7 +176,7 @@ let ratios_cmd =
   in
   Cmd.v
     (Cmd.info "ratios" ~doc:"Intradomain risk/distance ratios (Eqs. 5-6).")
-    Term.(const run $ verbose_arg $ net_arg $ lambda_h_arg $ pair_cap_arg)
+    Term.(const run $ verbose_arg $ telemetry_arg $ net_arg $ lambda_h_arg $ pair_cap_arg)
 
 (* --- provision --- *)
 
@@ -164,8 +184,8 @@ let provision_cmd =
   let k_arg =
     Arg.(value & opt int 5 & info [ "k" ] ~doc:"Number of links to suggest.")
   in
-  let run verbose name k =
-    setup_logs verbose;
+  let run verbose telemetry name k =
+    setup verbose telemetry;
     let net = or_die (find_net name) in
     let env = Riskroute.Env.of_net net in
     let picks = Riskroute.Augment.greedy ~k env in
@@ -180,13 +200,13 @@ let provision_cmd =
   in
   Cmd.v
     (Cmd.info "provision" ~doc:"Suggest risk-reducing additional links (Eq. 4).")
-    Term.(const run $ verbose_arg $ net_arg $ k_arg)
+    Term.(const run $ verbose_arg $ telemetry_arg $ net_arg $ k_arg)
 
 (* --- peers --- *)
 
 let peers_cmd =
-  let run verbose =
-    setup_logs verbose;
+  let run verbose telemetry =
+    setup verbose telemetry;
     let merged, env = Riskroute.Interdomain.shared () in
     List.iter
       (fun (r : Riskroute.Peer_advisor.recommendation) ->
@@ -197,13 +217,13 @@ let peers_cmd =
   in
   Cmd.v
     (Cmd.info "peers" ~doc:"Recommend new peerings for regional networks.")
-    Term.(const run $ verbose_arg)
+    Term.(const run $ verbose_arg $ telemetry_arg)
 
 (* --- forecast --- *)
 
 let forecast_cmd =
-  let run verbose storm_name =
-    setup_logs verbose;
+  let run verbose telemetry storm_name =
+    setup verbose telemetry;
     let storm = or_die (find_storm storm_name) in
     let advisories = Rr_forecast.Track.advisories storm in
     Format.printf "Hurricane %s: %d advisories@." storm.Rr_forecast.Track.name
@@ -215,7 +235,7 @@ let forecast_cmd =
   in
   Cmd.v
     (Cmd.info "forecast" ~doc:"Parse and list a storm's advisory sequence.")
-    Term.(const run $ verbose_arg $ storm_arg)
+    Term.(const run $ verbose_arg $ telemetry_arg $ storm_arg)
 
 (* --- export-gml --- *)
 
@@ -223,8 +243,8 @@ let export_gml_cmd =
   let out_arg =
     Arg.(required & opt (some string) None & info [ "o"; "output" ] ~doc:"Output file.")
   in
-  let run verbose name path =
-    setup_logs verbose;
+  let run verbose telemetry name path =
+    setup verbose telemetry;
     let net = or_die (find_net name) in
     Rr_topology.Gml_io.to_file path net;
     Format.printf "wrote %s (%d PoPs, %d links) to %s@." name
@@ -234,7 +254,7 @@ let export_gml_cmd =
   in
   Cmd.v
     (Cmd.info "export-gml" ~doc:"Export a network as Topology Zoo GML.")
-    Term.(const run $ verbose_arg $ net_arg $ out_arg)
+    Term.(const run $ verbose_arg $ telemetry_arg $ net_arg $ out_arg)
 
 (* --- simulate --- *)
 
@@ -249,8 +269,8 @@ let simulate_cmd =
     Arg.(value & opt string "hurricane"
          & info [ "kind" ] ~doc:"Strike kind: hurricane, tornado or storm.")
   in
-  let run verbose name scenarios radius kind =
-    setup_logs verbose;
+  let run verbose telemetry name scenarios radius kind =
+    setup verbose telemetry;
     let net = or_die (find_net name) in
     let kind =
       match String.lowercase_ascii kind with
@@ -273,7 +293,7 @@ let simulate_cmd =
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Monte Carlo outage simulation of static routes.")
-    Term.(const run $ verbose_arg $ net_arg $ scenarios_arg $ radius_arg $ kind_arg)
+    Term.(const run $ verbose_arg $ telemetry_arg $ net_arg $ scenarios_arg $ radius_arg $ kind_arg)
 
 (* --- backup --- *)
 
@@ -284,8 +304,8 @@ let backup_cmd =
   let dst_arg =
     Arg.(required & opt (some string) None & info [ "to" ] ~doc:"Destination city.")
   in
-  let run verbose name src dst =
-    setup_logs verbose;
+  let run verbose telemetry name src dst =
+    setup verbose telemetry;
     let net = or_die (find_net name) in
     let env = Riskroute.Env.of_net net in
     let pop_id city =
@@ -324,7 +344,7 @@ let backup_cmd =
   in
   Cmd.v
     (Cmd.info "backup" ~doc:"Pre-compute fast-reroute repair paths for a flow.")
-    Term.(const run $ verbose_arg $ net_arg $ src_arg $ dst_arg)
+    Term.(const run $ verbose_arg $ telemetry_arg $ net_arg $ src_arg $ dst_arg)
 
 (* --- pareto --- *)
 
@@ -335,8 +355,8 @@ let pareto_cmd =
   let dst_arg =
     Arg.(required & opt (some string) None & info [ "to" ] ~doc:"Destination city.")
   in
-  let run verbose name src dst =
-    setup_logs verbose;
+  let run verbose telemetry name src dst =
+    setup verbose telemetry;
     let net = or_die (find_net name) in
     let env = Riskroute.Env.of_net net in
     let pop_id city =
@@ -364,7 +384,7 @@ let pareto_cmd =
   in
   Cmd.v
     (Cmd.info "pareto" ~doc:"Distance/risk trade-off curve between two PoPs.")
-    Term.(const run $ verbose_arg $ net_arg $ src_arg $ dst_arg)
+    Term.(const run $ verbose_arg $ telemetry_arg $ net_arg $ src_arg $ dst_arg)
 
 (* --- export-geojson --- *)
 
@@ -372,15 +392,15 @@ let export_geojson_cmd =
   let out_arg =
     Arg.(required & opt (some string) None & info [ "o"; "output" ] ~doc:"Output file.")
   in
-  let run verbose name path =
-    setup_logs verbose;
+  let run verbose telemetry name path =
+    setup verbose telemetry;
     let net = or_die (find_net name) in
     Rr_topology.Geo_export.to_file path net;
     Format.printf "wrote %s as GeoJSON to %s@." name path
   in
   Cmd.v
     (Cmd.info "export-geojson" ~doc:"Export a network map as GeoJSON.")
-    Term.(const run $ verbose_arg $ net_arg $ out_arg)
+    Term.(const run $ verbose_arg $ telemetry_arg $ net_arg $ out_arg)
 
 (* --- shared-risk --- *)
 
@@ -388,8 +408,8 @@ let shared_risk_cmd =
   let other_arg =
     Arg.(required & opt (some string) None & info [ "with" ] ~doc:"Second network.")
   in
-  let run verbose name other =
-    setup_logs verbose;
+  let run verbose telemetry name other =
+    setup verbose telemetry;
     let a = or_die (find_net name) and b = or_die (find_net other) in
     let riskmap = Rr_disaster.Riskmap.shared () in
     let corr = Riskroute.Shared_risk.exposure_correlation ~riskmap a b in
@@ -404,7 +424,7 @@ let shared_risk_cmd =
   in
   Cmd.v
     (Cmd.info "shared-risk" ~doc:"Shared disaster exposure of two networks.")
-    Term.(const run $ verbose_arg $ net_arg $ other_arg)
+    Term.(const run $ verbose_arg $ telemetry_arg $ net_arg $ other_arg)
 
 (* --- availability --- *)
 
@@ -412,8 +432,8 @@ let availability_cmd =
   let mttr_arg =
     Arg.(value & opt float 12.0 & info [ "mttr" ] ~doc:"Mean time to repair, hours.")
   in
-  let run verbose name mttr =
-    setup_logs verbose;
+  let run verbose telemetry name mttr =
+    setup verbose telemetry;
     let net = or_die (find_net name) in
     let env = Riskroute.Env.of_net net in
     let a = Riskroute.Availability.run ~mttr_hours:mttr env in
@@ -433,7 +453,7 @@ let availability_cmd =
   in
   Cmd.v
     (Cmd.info "availability" ~doc:"Achieved availability (nines) per routing posture.")
-    Term.(const run $ verbose_arg $ net_arg $ mttr_arg)
+    Term.(const run $ verbose_arg $ telemetry_arg $ net_arg $ mttr_arg)
 
 (* --- report --- *)
 
@@ -442,13 +462,13 @@ let report_cmd =
     Arg.(value & pos 0 string "all" & info [] ~docv:"EXPERIMENT"
            ~doc:"Experiment id (table1..fig13) or 'all'.")
   in
-  let run verbose exp =
-    setup_logs verbose;
+  let run verbose telemetry exp =
+    setup verbose telemetry;
     let ppf = Format.std_formatter in
     (if String.equal exp "all" then Rr_experiments.Report.run_all ppf
      else
        match Rr_experiments.Report.find exp with
-       | Some e -> e.Rr_experiments.Report.run ppf
+       | Some e -> Rr_experiments.Report.run_timed e ppf
        | None ->
          or_die
            (Error
@@ -458,7 +478,7 @@ let report_cmd =
   in
   Cmd.v
     (Cmd.info "report" ~doc:"Reproduce a paper table or figure.")
-    Term.(const run $ verbose_arg $ exp_arg)
+    Term.(const run $ verbose_arg $ telemetry_arg $ exp_arg)
 
 let main_cmd =
   let doc = "RiskRoute: mitigate network outage threats (CoNEXT'13 reproduction)." in

@@ -25,7 +25,11 @@ let nearest_index sites point =
   done;
   !best
 
+let c_blocks = Rr_obs.Counter.make "census.blocks_assigned"
+
 let populations ~sites blocks =
+ Rr_obs.with_span "census.assign" @@ fun () ->
+  Rr_obs.Counter.add c_blocks (Array.length blocks);
   (* The nearest-site search per block is independent and dominates the
      cost, so it fans out across the domain pool; the population totals
      are then accumulated sequentially in block order, keeping the sums

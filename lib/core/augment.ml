@@ -7,6 +7,18 @@ type pick = {
   fraction : float;
 }
 
+let c_scored = Rr_obs.Counter.make "augment.candidates_scored"
+
+let c_rescore_full = Rr_obs.Counter.make "augment.rescore_full"
+
+let c_rescore_incremental = Rr_obs.Counter.make "augment.rescore_incremental"
+
+let c_pruned = Rr_obs.Counter.make "augment.pool_pruned"
+
+let c_rounds = Rr_obs.Counter.make "augment.rounds"
+
+let g_pool = Rr_obs.Gauge.make "augment.candidate_pool"
+
 let node_ids n = Array.init n (fun i -> i)
 
 (* All-pairs matrix of minimum path cost under a per-arc weight:
@@ -135,6 +147,7 @@ let relax_through_tracked m ~u ~v ~wuv ~wvu =
   (Array.map fst relaxed, Array.map snd relaxed)
 
 let candidates ?(max_candidates = 400) ?(reduction_threshold = 0.5) env =
+ Rr_obs.with_span "augment.candidates" @@ fun () ->
   let graph = Env.graph env in
   let n = Rr_graph.Graph.node_count graph in
   let miles = Env.arc_miles env in
@@ -156,12 +169,14 @@ let candidates ?(max_candidates = 400) ?(reduction_threshold = 0.5) env =
   |> List.map snd
 
 let greedy ?(k = 1) ?max_candidates ?reduction_threshold env =
+ Rr_obs.with_span "augment.greedy" @@ fun () ->
   let weight = risk_weight env in
   let graph = Rr_graph.Graph.copy (Env.graph env) in
   let m = ref (all_pairs_arcs env ~arc_weight:(risk_arc_weight env)) in
   let n = Array.length !m in
   let original = matrix_total !m in
   let pool = Array.of_list (candidates ?max_candidates ?reduction_threshold env) in
+  Rr_obs.Gauge.set g_pool (Array.length pool);
   (* Relaxation only lowers finite entries, so connectivity observed on
      the initial matrix licenses the fast scoring path for every round. *)
   let all_finite =
@@ -175,7 +190,9 @@ let greedy ?(k = 1) ?max_candidates ?reduction_threshold env =
           let u, v = pool.(c) in
           score.(c) <-
             insertion_total ~all_finite !m ~u ~v ~wuv:(weight u v)
-              ~wvu:(weight v u)
+              ~wvu:(weight v u);
+          Rr_obs.Counter.incr c_scored;
+          Rr_obs.Counter.incr c_rescore_full
         end)
   in
   (* After inserting an edge, candidates whose endpoint rows/columns were
@@ -195,10 +212,13 @@ let greedy ?(k = 1) ?max_candidates ?reduction_threshold env =
           if alive.(c) then begin
             let a, b = pool.(c) in
             if row_changed.(a) || row_changed.(b) || col_changed.(a) || col_changed.(b)
-            then
+            then begin
               score.(c) <-
                 insertion_total ~all_finite !m ~u:a ~v:b ~wuv:(weight a b)
-                  ~wvu:(weight b a)
+                  ~wvu:(weight b a);
+              Rr_obs.Counter.incr c_scored;
+              Rr_obs.Counter.incr c_rescore_full
+            end
             else begin
               let wab = weight a b and wba = weight b a in
               let ma = !m.(a) and mb = !m.(b) in
@@ -223,7 +243,9 @@ let greedy ?(k = 1) ?max_candidates ?reduction_threshold env =
                       cols
                   end)
                 changed;
-              score.(c) <- score.(c) +. !delta
+              score.(c) <- score.(c) +. !delta;
+              Rr_obs.Counter.incr c_scored;
+              Rr_obs.Counter.incr c_rescore_incremental
             end
           end)
     end
@@ -239,6 +261,7 @@ let greedy ?(k = 1) ?max_candidates ?reduction_threshold env =
          if alive.(c) && (!best < 0 || score.(c) < score.(!best)) then best := c
        done;
        if !best < 0 then raise Exit;
+       Rr_obs.Counter.incr c_rounds;
        let u, v = pool.(!best) in
        let total_after = score.(!best) in
        Rr_graph.Graph.add_edge graph u v;
@@ -247,7 +270,10 @@ let greedy ?(k = 1) ?max_candidates ?reduction_threshold env =
           plus any duplicate the pool may carry. *)
        Array.iteri
          (fun c (a, b) ->
-           if alive.(c) && Rr_graph.Graph.has_edge graph a b then alive.(c) <- false)
+           if alive.(c) && Rr_graph.Graph.has_edge graph a b then begin
+             alive.(c) <- false;
+             Rr_obs.Counter.incr c_pruned
+           end)
          pool;
        picks :=
          { u; v; total_after; fraction = total_after /. original } :: !picks;

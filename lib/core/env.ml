@@ -24,6 +24,14 @@ type t = {
   arc_risk : float array;
 }
 
+let c_builds = Rr_obs.Counter.make "env.builds"
+
+let c_csr_arcs = Rr_obs.Counter.make "env.csr_arcs"
+
+let c_nodes = Rr_obs.Counter.make "env.nodes"
+
+let h_build = Rr_obs.Histogram.make "env.build_seconds"
+
 let compute_node_risk params historical forecast =
   Array.init (Array.length historical) (fun i ->
       (params.Params.lambda_h *. params.Params.risk_scale *. historical.(i))
@@ -59,31 +67,44 @@ let compute_arc_risk node_risk arc_tgt =
 
 let make ?(params = Params.default) ~graph ~coords ~impact ~historical
     ?forecast () =
-  Params.validate params;
-  let n = Rr_graph.Graph.node_count graph in
-  let forecast = match forecast with Some f -> f | None -> Array.make n 0.0 in
-  if
-    Array.length coords <> n || Array.length impact <> n
-    || Array.length historical <> n
-    || Array.length forecast <> n
-  then invalid_arg "Env.make: array lengths must match the node count";
-  let node_risk = compute_node_risk params historical forecast in
-  let miles = compute_miles coords in
-  let arc_off, arc_tgt, arc_miles = compute_arcs graph miles n in
-  {
-    graph;
-    coords;
-    params;
-    impact;
-    historical;
-    forecast;
-    node_risk;
-    miles;
-    arc_off;
-    arc_tgt;
-    arc_miles;
-    arc_risk = compute_arc_risk node_risk arc_tgt;
-  }
+  Rr_obs.with_span "env.make" (fun () ->
+      let tel = Rr_obs.enabled () in
+      let t0 = if tel then Rr_obs.Clock.monotonic () else 0.0 in
+      Params.validate params;
+      let n = Rr_graph.Graph.node_count graph in
+      let forecast =
+        match forecast with Some f -> f | None -> Array.make n 0.0
+      in
+      if
+        Array.length coords <> n || Array.length impact <> n
+        || Array.length historical <> n
+        || Array.length forecast <> n
+      then invalid_arg "Env.make: array lengths must match the node count";
+      let node_risk = compute_node_risk params historical forecast in
+      let miles =
+        Rr_obs.with_span "env.miles_matrix" (fun () -> compute_miles coords)
+      in
+      let arc_off, arc_tgt, arc_miles = compute_arcs graph miles n in
+      if tel then begin
+        Rr_obs.Counter.incr c_builds;
+        Rr_obs.Counter.add c_nodes n;
+        Rr_obs.Counter.add c_csr_arcs (Array.length arc_tgt);
+        Rr_obs.Histogram.observe h_build (Rr_obs.Clock.monotonic () -. t0)
+      end;
+      {
+        graph;
+        coords;
+        params;
+        impact;
+        historical;
+        forecast;
+        node_risk;
+        miles;
+        arc_off;
+        arc_tgt;
+        arc_miles;
+        arc_risk = compute_arc_risk node_risk arc_tgt;
+      })
 
 let forecast_of_advisory params coords advisory =
   Array.map
@@ -94,20 +115,21 @@ let forecast_of_advisory params coords advisory =
     coords
 
 let of_net ?(params = Params.default) ?riskmap ?advisory (net : Rr_topology.Net.t) =
-  let riskmap =
-    match riskmap with Some r -> r | None -> Rr_disaster.Riskmap.shared ()
-  in
-  let coords =
-    Array.map (fun (p : Rr_topology.Pop.t) -> p.Rr_topology.Pop.coord)
-      net.Rr_topology.Net.pops
-  in
-  let impact = Rr_census.Service.shared_fractions net in
-  let historical = Rr_disaster.Riskmap.pop_risks riskmap net in
-  let forecast =
-    Option.map (forecast_of_advisory params coords) advisory
-  in
-  make ~params ~graph:net.Rr_topology.Net.graph ~coords ~impact ~historical
-    ?forecast ()
+  Rr_obs.with_span "env.of_net" (fun () ->
+      let riskmap =
+        match riskmap with Some r -> r | None -> Rr_disaster.Riskmap.shared ()
+      in
+      let coords =
+        Array.map (fun (p : Rr_topology.Pop.t) -> p.Rr_topology.Pop.coord)
+          net.Rr_topology.Net.pops
+      in
+      let impact = Rr_census.Service.shared_fractions net in
+      let historical = Rr_disaster.Riskmap.pop_risks riskmap net in
+      let forecast =
+        Option.map (forecast_of_advisory params coords) advisory
+      in
+      make ~params ~graph:net.Rr_topology.Net.graph ~coords ~impact ~historical
+        ?forecast ())
 
 (* Risk refreshes (new forecast tick, new params) recompute only the
    O(n + arcs) risk vectors; the distance matrix and CSR layout are

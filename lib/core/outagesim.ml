@@ -39,7 +39,12 @@ let sample_scenarios ?rng ?(radius_miles = 80.0) ?(probabilistic = false) ~kind
 
 let banned_cost = 1e15
 
+let c_scenarios = Rr_obs.Counter.make "outagesim.scenarios"
+
+let c_reactive = Rr_obs.Counter.make "outagesim.reactive_checks"
+
 let reactive_survives env ~failed ~src ~dst =
+  Rr_obs.Counter.incr c_reactive;
   let weight u v =
     if Hashtbl.mem failed u || Hashtbl.mem failed v then banned_cost
     else Env.distance_weight env u v
@@ -50,6 +55,8 @@ let reactive_survives env ~failed ~src ~dst =
 
 let run ?rng ?(scenario_count = 200) ?(pair_cap = 200) ?(radius_miles = 80.0)
     ?(kind = Rr_disaster.Event.Fema_hurricane) env =
+ Rr_obs.with_span "outagesim.run" @@ fun () ->
+  Rr_obs.Counter.add c_scenarios scenario_count;
   let rng = match rng with Some r -> r | None -> Prng.create 0x0D15A57EL in
   let n = Env.node_count env in
   let pairs = Sampling.pair_indices (Prng.split rng) ~n ~cap:pair_cap in

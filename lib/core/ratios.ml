@@ -8,6 +8,10 @@ type result = {
 
 let default_cap = 20_000
 
+let c_pairs = Rr_obs.Counter.make "ratios.pairs_routed"
+
+let h_sweep = Rr_obs.Histogram.make "ratios.sweep_seconds"
+
 (* Route every sampled pair, grouping pairs by source so one geographic
    shortest-path tree serves all destinations sharing that source
    (RiskRoute paths still need one run per pair, since [kappa] depends
@@ -15,6 +19,9 @@ let default_cap = 20_000
    the domain pool and consumed in pair order, so downstream
    accumulation is bit-identical at any pool size. *)
 let pair_routes env pairs =
+ Rr_obs.with_span "ratios.pair_routes" @@ fun () ->
+  let tel = Rr_obs.enabled () in
+  let t0 = if tel then Rr_obs.Clock.monotonic () else 0.0 in
   let slot = Hashtbl.create 64 in
   let sources = ref [] in
   Array.iter
@@ -28,13 +35,20 @@ let pair_routes env pairs =
   let trees =
     Parallel.map_array (fun src -> Router.shortest_tree env ~src) sources
   in
-  Parallel.map_array
-    (fun (src, dst) ->
-      if src = dst then (None, None)
-      else
-        ( Router.riskroute env ~src ~dst,
-          Router.shortest_of_tree env trees.(Hashtbl.find slot src) ~src ~dst ))
-    pairs
+  let routed =
+    Parallel.map_array
+      (fun (src, dst) ->
+        if src = dst then (None, None)
+        else
+          ( Router.riskroute env ~src ~dst,
+            Router.shortest_of_tree env trees.(Hashtbl.find slot src) ~src ~dst ))
+      pairs
+  in
+  if tel then begin
+    Rr_obs.Counter.add c_pairs (Array.length pairs);
+    Rr_obs.Histogram.observe h_sweep (Rr_obs.Clock.monotonic () -. t0)
+  end;
+  routed
 
 (* Eqs. 5-6 average over 1/N^2 of ALL ordered pairs including the i = j
    diagonal, whose ratio terms are zero. [diagonal_share] is the fraction
@@ -65,6 +79,7 @@ let accumulate routed ~diagonal_share =
   end
 
 let intradomain ?(pair_cap = default_cap) ?(seed = 0x4A71_05L) env =
+ Rr_obs.with_span "ratios.intradomain" @@ fun () ->
   let n = Env.node_count env in
   let rng = Prng.create seed in
   let pairs = Sampling.pair_indices rng ~n ~cap:pair_cap in

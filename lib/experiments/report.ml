@@ -44,11 +44,20 @@ let find id =
 
 let ids () = List.map (fun e -> e.id) all
 
+(* Every experiment runs under a "report.<id>" span, so a telemetry dump
+   attributes engine counters and nested spans (env builds, sweeps) to
+   the experiment that caused them. *)
+let run_timed e ppf =
+  Rr_obs.with_span ("report." ^ e.id) (fun () -> e.run ppf)
+
 let run_all ppf =
   List.iter
     (fun e ->
       Format.fprintf ppf "@.=== %s: %s ===@." (String.uppercase_ascii e.id) e.title;
-      let t0 = Sys.time () in
-      e.run ppf;
-      Format.fprintf ppf "[%s completed in %.1fs cpu]@." e.id (Sys.time () -. t0))
+      (* Wall time, not [Sys.time]: CPU seconds overstate multicore runs
+         by roughly the pool size. *)
+      let t0 = Rr_obs.Clock.monotonic () in
+      run_timed e ppf;
+      Format.fprintf ppf "[%s completed in %.1fs]@." e.id
+        (Rr_obs.Clock.monotonic () -. t0))
     all

@@ -18,6 +18,10 @@ val find : string -> experiment option
 
 val ids : unit -> string list
 
+val run_timed : experiment -> Format.formatter -> unit
+(** Run one experiment under a ["report.<id>"] telemetry span, so engine
+    counters and nested spans recorded during the run attribute to it. *)
+
 val run_all : Format.formatter -> unit
 (** Run everything, separated by headers, with per-experiment wall-clock
     timing lines. *)

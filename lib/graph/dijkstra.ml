@@ -2,6 +2,28 @@ open Rr_util
 
 type tree = { dist : float array; parent : int array }
 
+(* Kernel counters. The CSR core picks one of two loop bodies per run —
+   a plain one with no telemetry code and a counted one tallying into
+   stack-local refs, flushed to the sharded counters once at the end —
+   so routing with telemetry off pays exactly one flag read per run.
+   Relaxations count the full arc range of each expanded node. *)
+let c_runs = Rr_obs.Counter.make "dijkstra.runs"
+
+let c_relaxations = Rr_obs.Counter.make "dijkstra.relaxations"
+
+let c_heap_pushes = Rr_obs.Counter.make "dijkstra.heap_pushes"
+
+let c_heap_pops = Rr_obs.Counter.make "dijkstra.heap_pops"
+
+let c_early_stops = Rr_obs.Counter.make "dijkstra.early_stops"
+
+let flush_counters ~relaxations ~pushes ~pops ~early =
+  Rr_obs.Counter.incr c_runs;
+  Rr_obs.Counter.add c_relaxations relaxations;
+  Rr_obs.Counter.add c_heap_pushes pushes;
+  Rr_obs.Counter.add c_heap_pops pops;
+  if early then Rr_obs.Counter.incr c_early_stops
+
 (* Shared core over the adjacency-list graph: runs Dijkstra from [src];
    stops early once node [stop] (-1 for none) is settled. [stop] is a
    plain int so the settle test is an integer compare instead of an
@@ -9,6 +31,8 @@ type tree = { dist : float array; parent : int array }
 let run g ~weight ~src ~stop =
   let n = Graph.node_count g in
   if src < 0 || src >= n then invalid_arg "Dijkstra: source out of range";
+  let tel = Rr_obs.enabled () in
+  let relaxations = ref 0 and pushes = ref 1 and pops = ref 0 in
   let dist = Array.make n infinity in
   let parent = Array.make n (-1) in
   let settled = Array.make n false in
@@ -20,10 +44,12 @@ let run g ~weight ~src ~stop =
     let d = Heap.min_key heap in
     let u = Heap.min_elt heap in
     Heap.drop_min heap;
+    if tel then incr pops;
     if not settled.(u) then begin
       settled.(u) <- true;
       if u = stop then finished := true
-      else
+      else begin
+        if tel then relaxations := !relaxations + Graph.degree g u;
         Graph.iter_neighbors g u (fun v ->
             if not settled.(v) then begin
               let w = weight u v in
@@ -32,11 +58,16 @@ let run g ~weight ~src ~stop =
               if nd < dist.(v) then begin
                 dist.(v) <- nd;
                 parent.(v) <- u;
-                Heap.push heap nd v
+                Heap.push heap nd v;
+                if tel then incr pushes
               end
             end)
+      end
     end
   done;
+  if tel then
+    flush_counters ~relaxations:!relaxations ~pushes:!pushes ~pops:!pops
+      ~early:!finished;
   { dist; parent }
 
 (* Flat core over a CSR adjacency ([Graph.to_csr] layout): the edge
@@ -44,15 +75,9 @@ let run g ~weight ~src ~stop =
    single [int -> float] lookup — in the RiskRoute hot path that lookup
    is two float-array reads and a fused multiply-add, with no hashing,
    no list traversal and no great-circle trigonometry. *)
-let run_flat ~n ~off ~tgt ~weight ~src ~stop =
-  if src < 0 || src >= n then invalid_arg "Dijkstra: source out of range";
-  let dist = Array.make n infinity in
-  let parent = Array.make n (-1) in
-  let settled = Array.make n false in
-  let heap = Heap.create ~capacity:(max 16 n) () in
-  dist.(src) <- 0.0;
-  Heap.push heap 0.0 src;
-  let finished = ref false in
+(* The disabled-mode loop: no telemetry code at all, so routing with
+   telemetry off pays nothing inside the kernel. *)
+let flat_loop ~off ~tgt ~weight ~stop ~dist ~parent ~settled ~heap ~finished =
   while (not !finished) && not (Heap.is_empty heap) do
     let d = Heap.min_key heap in
     let u = Heap.min_elt heap in
@@ -79,7 +104,57 @@ let run_flat ~n ~off ~tgt ~weight ~src ~stop =
           end
         done
     end
+  done
+
+(* Same loop with kernel counters tallied into stack-local refs; chosen
+   once per run when telemetry is enabled, flushed once at the end. *)
+let flat_loop_counted ~off ~tgt ~weight ~stop ~dist ~parent ~settled ~heap
+    ~finished =
+  let relaxations = ref 0 and pushes = ref 1 and pops = ref 0 in
+  while (not !finished) && not (Heap.is_empty heap) do
+    let d = Heap.min_key heap in
+    let u = Heap.min_elt heap in
+    Heap.drop_min heap;
+    incr pops;
+    if not settled.(u) then begin
+      settled.(u) <- true;
+      if u = stop then finished := true
+      else begin
+        let lo = Array.unsafe_get off u and hi = Array.unsafe_get off (u + 1) in
+        relaxations := !relaxations + (hi - lo);
+        for k = lo to hi - 1 do
+          let v = Array.unsafe_get tgt k in
+          if not (Array.unsafe_get settled v) then begin
+            let w = weight k in
+            if w < 0.0 then invalid_arg "Dijkstra: negative edge weight";
+            let nd = d +. w in
+            if nd < Array.unsafe_get dist v then begin
+              Array.unsafe_set dist v nd;
+              Array.unsafe_set parent v u;
+              Heap.push heap nd v;
+              incr pushes
+            end
+          end
+        done
+      end
+    end
   done;
+  flush_counters ~relaxations:!relaxations ~pushes:!pushes ~pops:!pops
+    ~early:!finished
+
+let run_flat ~n ~off ~tgt ~weight ~src ~stop =
+  if src < 0 || src >= n then invalid_arg "Dijkstra: source out of range";
+  let dist = Array.make n infinity in
+  let parent = Array.make n (-1) in
+  let settled = Array.make n false in
+  let heap = Heap.create ~capacity:(max 16 n) () in
+  dist.(src) <- 0.0;
+  Heap.push heap 0.0 src;
+  let finished = ref false in
+  if Rr_obs.enabled () then
+    flat_loop_counted ~off ~tgt ~weight ~stop ~dist ~parent ~settled ~heap
+      ~finished
+  else flat_loop ~off ~tgt ~weight ~stop ~dist ~parent ~settled ~heap ~finished;
   { dist; parent }
 
 let single_source g ~weight ~src = run g ~weight ~src ~stop:(-1)

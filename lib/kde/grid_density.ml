@@ -7,7 +7,19 @@ let default_rows = 250
 
 let default_cols = 580
 
+let c_fits = Rr_obs.Counter.make "kde.grid_fits"
+
+let c_events = Rr_obs.Counter.make "kde.events_deposited"
+
+let h_sweep = Rr_obs.Histogram.make "kde.sweep_seconds"
+
 let fit ?(rows = default_rows) ?(cols = default_cols) ~bandwidth events =
+ Rr_obs.with_span "kde.grid_fit" @@ fun () ->
+  let tel = Rr_obs.enabled () in
+  if tel then begin
+    Rr_obs.Counter.incr c_fits;
+    Rr_obs.Counter.add c_events (Array.length events)
+  end;
   if bandwidth <= 0.0 then invalid_arg "Grid_density.fit: non-positive bandwidth";
   if Array.length events = 0 then invalid_arg "Grid_density.fit: no events";
   let box = Rr_geo.Bbox.conus in
@@ -57,8 +69,18 @@ let fit ?(rows = default_rows) ?(cols = default_cols) ~bandwidth events =
       done
     done
   in
+  (* Per-sweep timing: one observation per contiguous source-row sweep
+     (the whole grid sequentially, or each chunk on the pool). *)
+  let timed_scatter dst lo hi =
+    if tel then begin
+      let t0 = Rr_obs.Clock.monotonic () in
+      scatter dst lo hi;
+      Rr_obs.Histogram.observe h_sweep (Rr_obs.Clock.monotonic () -. t0)
+    end
+    else scatter dst lo hi
+  in
   let domains = Rr_util.Parallel.domain_count () in
-  if domains <= 1 then scatter out 0 (rows - 1)
+  if domains <= 1 then timed_scatter out 0 (rows - 1)
   else begin
     (* Source-row chunks scatter into private grids (their output
        neighbourhoods overlap by the kernel radius), merged in chunk
@@ -71,7 +93,7 @@ let fit ?(rows = default_rows) ?(cols = default_cols) ~bandwidth events =
         (fun c ->
           let lo = c * rows / chunks and hi = ((c + 1) * rows / chunks) - 1 in
           let dst = Rr_geo.Grid.create box ~rows ~cols in
-          scatter dst lo hi;
+          timed_scatter dst lo hi;
           dst)
         (Array.init chunks (fun c -> c))
     in

@@ -1,0 +1,621 @@
+(* Rr_obs — zero-dependency observability for the RiskRoute engine.
+
+   Design contract (see DESIGN.md "Telemetry architecture"):
+
+   - Disabled mode is near-free: every recording entry point is a single
+     branch on one global flag and allocates nothing. Hot kernels are
+     expected to tally into local ints and flush once per call.
+   - Counters and histograms are *sharded per domain*: each domain that
+     records gets a private shard (created on first use via DLS and
+     registered under the metric's mutex), so pool workers never contend.
+     Draining merges shards with order-independent operations (int sums,
+     bucket sums, min/max), so merged counters are deterministic at any
+     pool size; only the float [sum] of a histogram depends on shard
+     order.
+   - Spans form a tree: a DLS-held "current span" id is the parent of
+     any span opened on that domain, and [Span.current]/[Span.with_parent]
+     let the domain pool carry the submitting span across the queue.
+   - A registry owns the metric namespace and the span buffer; the
+     [default] registry backs the process-wide dump, private registries
+     back golden tests. Exposition (JSON / Prometheus text) sorts every
+     section, so output is reproducible given deterministic inputs. *)
+
+(* --- enable flag --- *)
+
+let flag = Atomic.make false
+
+let enabled () = Atomic.get flag
+
+let set_enabled b = Atomic.set flag b
+
+(* --- clock --- *)
+
+module Clock = struct
+  (* Wall time (not CPU time: multicore runs must report elapsed time).
+     [monotonic] additionally never goes backwards, which keeps span
+     durations non-negative across gettimeofday adjustments. The source
+     is swappable so exposition tests can run against a fixed clock. *)
+  let default_source = Unix.gettimeofday
+
+  let source = Atomic.make default_source
+
+  let last = Atomic.make neg_infinity
+
+  let now () = (Atomic.get source) ()
+
+  let rec monotonic () =
+    let t = now () in
+    let prev = Atomic.get last in
+    if t >= prev then
+      if Atomic.compare_and_set last prev t then t else monotonic ()
+    else prev
+
+  let set_source f =
+    Atomic.set last neg_infinity;
+    Atomic.set source f
+
+  let reset_source () = set_source default_source
+end
+
+(* --- histogram buckets ---
+
+   Fixed powers-of-two boundaries: bucket [i] covers (2^(i-21), 2^(i-20)]
+   for i in 0..40 (values <= 2^-20 land in bucket 0), bucket 41 is the
+   +Inf overflow. Fixed boundaries make shard merging a plain int-array
+   sum. *)
+
+let bucket_count = 42
+
+let bucket_bound i = ldexp 1.0 (i - 20)
+
+let bucket_index v =
+  if v <= bucket_bound 0 then 0
+  else begin
+    let m, e = Float.frexp v in
+    let e = if m = 0.5 then e - 1 else e in
+    let i = e + 20 in
+    if i < 0 then 0 else if i > bucket_count - 1 then bucket_count - 1 else i
+  end
+
+(* --- metric and registry types --- *)
+
+type counter = {
+  c_lock : Mutex.t;
+  c_shards : int ref list ref;
+  c_key : int ref Domain.DLS.key;
+}
+
+type gauge = { g_cell : int Atomic.t }
+
+type hshard = {
+  mutable hs_count : int;
+  mutable hs_sum : float;
+  mutable hs_min : float;
+  mutable hs_max : float;
+  hs_buckets : int array;
+}
+
+type histogram = {
+  h_lock : Mutex.t;
+  h_shards : hshard list ref;
+  h_key : hshard Domain.DLS.key;
+}
+
+type span = {
+  sp_id : int;
+  sp_parent : int;
+  sp_name : string;
+  sp_start : float; (* seconds since registry creation *)
+  sp_dur : float;
+}
+
+type sshard = { mutable ss_spans : span list }
+
+type registry = {
+  r_lock : Mutex.t;
+  r_counters : (string, counter) Hashtbl.t;
+  r_gauges : (string, gauge) Hashtbl.t;
+  r_histograms : (string, histogram) Hashtbl.t;
+  r_meta : (string, string) Hashtbl.t;
+  r_span_shards : sshard list ref;
+  r_span_key : sshard Domain.DLS.key;
+  r_next_span : int Atomic.t;
+  r_created : float;
+}
+
+module Registry = struct
+  type t = registry
+
+  let create () =
+    let lock = Mutex.create () in
+    let span_shards = ref [] in
+    let span_key =
+      Domain.DLS.new_key (fun () ->
+          let s = { ss_spans = [] } in
+          Mutex.lock lock;
+          span_shards := s :: !span_shards;
+          Mutex.unlock lock;
+          s)
+    in
+    {
+      r_lock = lock;
+      r_counters = Hashtbl.create 32;
+      r_gauges = Hashtbl.create 8;
+      r_histograms = Hashtbl.create 16;
+      r_meta = Hashtbl.create 8;
+      r_span_shards = span_shards;
+      r_span_key = span_key;
+      r_next_span = Atomic.make 1;
+      r_created = Clock.now ();
+    }
+
+  let default = create ()
+end
+
+(* --- counters --- *)
+
+module Counter = struct
+  type t = counter
+
+  (* Get-or-create: a metric name is a single process-wide series, so
+     independent modules (and tests) naming the same counter share it. *)
+  let make ?(registry = Registry.default) name =
+    Mutex.lock registry.r_lock;
+    let t =
+      match Hashtbl.find_opt registry.r_counters name with
+      | Some c -> c
+      | None ->
+        let lock = Mutex.create () in
+        let shards = ref [] in
+        let key =
+          Domain.DLS.new_key (fun () ->
+              let r = ref 0 in
+              Mutex.lock lock;
+              shards := r :: !shards;
+              Mutex.unlock lock;
+              r)
+        in
+        let c = { c_lock = lock; c_shards = shards; c_key = key } in
+        Hashtbl.add registry.r_counters name c;
+        c
+    in
+    Mutex.unlock registry.r_lock;
+    t
+
+  let add t n =
+    if enabled () then begin
+      let s = Domain.DLS.get t.c_key in
+      s := !s + n
+    end
+
+  let incr t = add t 1
+
+  let value t =
+    Mutex.lock t.c_lock;
+    let v = List.fold_left (fun acc r -> acc + !r) 0 !(t.c_shards) in
+    Mutex.unlock t.c_lock;
+    v
+
+  let reset t =
+    Mutex.lock t.c_lock;
+    List.iter (fun r -> r := 0) !(t.c_shards);
+    Mutex.unlock t.c_lock
+end
+
+(* --- gauges --- *)
+
+module Gauge = struct
+  type t = gauge
+
+  let make ?(registry = Registry.default) name =
+    Mutex.lock registry.r_lock;
+    let t =
+      match Hashtbl.find_opt registry.r_gauges name with
+      | Some g -> g
+      | None ->
+        let g = { g_cell = Atomic.make 0 } in
+        Hashtbl.add registry.r_gauges name g;
+        g
+    in
+    Mutex.unlock registry.r_lock;
+    t
+
+  let set t v = if enabled () then Atomic.set t.g_cell v
+
+  let value t = Atomic.get t.g_cell
+end
+
+(* --- histograms --- *)
+
+module Histogram = struct
+  type t = histogram
+
+  type snapshot = {
+    count : int;
+    sum : float;
+    vmin : float;
+    vmax : float;
+    buckets : int array;
+  }
+
+  let make ?(registry = Registry.default) name =
+    Mutex.lock registry.r_lock;
+    let t =
+      match Hashtbl.find_opt registry.r_histograms name with
+      | Some h -> h
+      | None ->
+        let lock = Mutex.create () in
+        let shards = ref [] in
+        let key =
+          Domain.DLS.new_key (fun () ->
+              let s =
+                {
+                  hs_count = 0;
+                  hs_sum = 0.0;
+                  hs_min = infinity;
+                  hs_max = neg_infinity;
+                  hs_buckets = Array.make bucket_count 0;
+                }
+              in
+              Mutex.lock lock;
+              shards := s :: !shards;
+              Mutex.unlock lock;
+              s)
+        in
+        let h = { h_lock = lock; h_shards = shards; h_key = key } in
+        Hashtbl.add registry.r_histograms name h;
+        h
+    in
+    Mutex.unlock registry.r_lock;
+    t
+
+  let observe t v =
+    if enabled () then begin
+      let s = Domain.DLS.get t.h_key in
+      s.hs_count <- s.hs_count + 1;
+      s.hs_sum <- s.hs_sum +. v;
+      if v < s.hs_min then s.hs_min <- v;
+      if v > s.hs_max then s.hs_max <- v;
+      let i = bucket_index v in
+      s.hs_buckets.(i) <- s.hs_buckets.(i) + 1
+    end
+
+  let snapshot t =
+    Mutex.lock t.h_lock;
+    let snap =
+      List.fold_left
+        (fun acc s ->
+          Array.iteri
+            (fun i n -> acc.buckets.(i) <- acc.buckets.(i) + n)
+            s.hs_buckets;
+          {
+            acc with
+            count = acc.count + s.hs_count;
+            sum = acc.sum +. s.hs_sum;
+            vmin = Float.min acc.vmin s.hs_min;
+            vmax = Float.max acc.vmax s.hs_max;
+          })
+        {
+          count = 0;
+          sum = 0.0;
+          vmin = infinity;
+          vmax = neg_infinity;
+          buckets = Array.make bucket_count 0;
+        }
+        !(t.h_shards)
+    in
+    Mutex.unlock t.h_lock;
+    snap
+
+  let reset t =
+    Mutex.lock t.h_lock;
+    List.iter
+      (fun s ->
+        s.hs_count <- 0;
+        s.hs_sum <- 0.0;
+        s.hs_min <- infinity;
+        s.hs_max <- neg_infinity;
+        Array.fill s.hs_buckets 0 bucket_count 0)
+      !(t.h_shards);
+    Mutex.unlock t.h_lock
+end
+
+(* --- spans --- *)
+
+(* The current span id of each domain; 0 is the root (no parent). Shared
+   across registries: span *identity* is per registry, nesting context is
+   per domain. *)
+let cur_key = Domain.DLS.new_key (fun () -> 0)
+
+let push_span registry sp =
+  let s = Domain.DLS.get registry.r_span_key in
+  s.ss_spans <- sp :: s.ss_spans
+
+let with_span ?(registry = Registry.default) name f =
+  if not (enabled ()) then f ()
+  else begin
+    let parent = Domain.DLS.get cur_key in
+    let id = Atomic.fetch_and_add registry.r_next_span 1 in
+    Domain.DLS.set cur_key id;
+    let t0 = Clock.monotonic () in
+    Fun.protect
+      ~finally:(fun () ->
+        let dur = Clock.monotonic () -. t0 in
+        Domain.DLS.set cur_key parent;
+        push_span registry
+          {
+            sp_id = id;
+            sp_parent = parent;
+            sp_name = name;
+            sp_start = t0 -. registry.r_created;
+            sp_dur = dur;
+          })
+      f
+  end
+
+module Span = struct
+  type ctx = int
+
+  let none = 0
+
+  (* Capture on the submitting domain, replay around each pool task:
+     spans opened inside the task then attribute to the submitter. *)
+  let current () = if enabled () then Domain.DLS.get cur_key else none
+
+  let with_parent parent f =
+    if not (enabled ()) then f ()
+    else begin
+      let old = Domain.DLS.get cur_key in
+      Domain.DLS.set cur_key parent;
+      Fun.protect ~finally:(fun () -> Domain.DLS.set cur_key old) f
+    end
+end
+
+let spans ?(registry = Registry.default) () =
+  Mutex.lock registry.r_lock;
+  let all =
+    List.concat_map (fun s -> s.ss_spans) !(registry.r_span_shards)
+  in
+  Mutex.unlock registry.r_lock;
+  List.sort (fun a b -> compare a.sp_id b.sp_id) all
+
+(* --- meta --- *)
+
+let set_meta ?(registry = Registry.default) k v =
+  Mutex.lock registry.r_lock;
+  Hashtbl.replace registry.r_meta k v;
+  Mutex.unlock registry.r_lock
+
+(* --- reset (tests): zero every value, keep registrations --- *)
+
+let reset ?(registry = Registry.default) () =
+  Mutex.lock registry.r_lock;
+  let counters = Hashtbl.fold (fun _ c acc -> c :: acc) registry.r_counters [] in
+  let hists = Hashtbl.fold (fun _ h acc -> h :: acc) registry.r_histograms [] in
+  Hashtbl.iter (fun _ g -> Atomic.set g.g_cell 0) registry.r_gauges;
+  List.iter (fun s -> s.ss_spans <- []) !(registry.r_span_shards);
+  Atomic.set registry.r_next_span 1;
+  Mutex.unlock registry.r_lock;
+  List.iter Counter.reset counters;
+  List.iter Histogram.reset hists
+
+(* --- exposition --- *)
+
+let sorted_names tbl =
+  List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) tbl [])
+
+let json_escape b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 32 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+(* JSON has no Infinity/NaN; non-finite values (empty histogram min/max)
+   are clamped to 0. Integral floats keep a trailing ".0" so the field
+   stays a float in typed consumers. *)
+let fnum v =
+  if not (Float.is_finite v) then "0.0"
+  else if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.1f" v
+  else Printf.sprintf "%.9g" v
+
+let to_json ?(registry = Registry.default) () =
+  let b = Buffer.create 2048 in
+  let add = Buffer.add_string b in
+  let key name =
+    add "\"";
+    json_escape b name;
+    add "\""
+  in
+  let section ?(last = false) name body =
+    add "  ";
+    key name;
+    add ": ";
+    body ();
+    if last then add "\n" else add ",\n"
+  in
+  let obj names emit =
+    if names = [] then add "{}"
+    else begin
+      add "{\n";
+      List.iteri
+        (fun i name ->
+          add "    ";
+          key name;
+          add ": ";
+          emit name;
+          if i < List.length names - 1 then add ",";
+          add "\n")
+        names;
+      add "  }"
+    end
+  in
+  add "{\n  \"schema\": 1,\n";
+  Mutex.lock registry.r_lock;
+  let meta =
+    List.sort compare
+      (Hashtbl.fold (fun k v acc -> (k, v) :: acc) registry.r_meta [])
+  in
+  Mutex.unlock registry.r_lock;
+  section "meta" (fun () ->
+      obj (List.map fst meta) (fun name ->
+          add "\"";
+          json_escape b (List.assoc name meta);
+          add "\""));
+  section "counters" (fun () ->
+      obj (sorted_names registry.r_counters) (fun name ->
+          add
+            (string_of_int
+               (Counter.value (Hashtbl.find registry.r_counters name)))));
+  section "gauges" (fun () ->
+      obj (sorted_names registry.r_gauges) (fun name ->
+          add
+            (string_of_int
+               (Gauge.value (Hashtbl.find registry.r_gauges name)))));
+  section "histograms" (fun () ->
+      obj (sorted_names registry.r_histograms) (fun name ->
+          let s = Histogram.snapshot (Hashtbl.find registry.r_histograms name) in
+          add
+            (Printf.sprintf "{\"count\": %d, \"sum\": %s, \"min\": %s, \"max\": %s, \"buckets\": ["
+               s.Histogram.count (fnum s.Histogram.sum)
+               (fnum s.Histogram.vmin) (fnum s.Histogram.vmax));
+          let first = ref true in
+          Array.iteri
+            (fun i n ->
+              if n > 0 then begin
+                if not !first then add ", ";
+                first := false;
+                add (Printf.sprintf "[%s, %d]" (fnum (bucket_bound i)) n)
+              end)
+            s.Histogram.buckets;
+          add "]}"));
+  section ~last:true "spans" (fun () ->
+      let sps = spans ~registry () in
+      if sps = [] then add "[]"
+      else begin
+        add "[\n";
+        List.iteri
+          (fun i sp ->
+            add
+              (Printf.sprintf
+                 "    {\"id\": %d, \"parent\": %d, \"name\": " sp.sp_id
+                 sp.sp_parent);
+            add "\"";
+            json_escape b sp.sp_name;
+            add "\"";
+            add
+              (Printf.sprintf ", \"start\": %s, \"dur\": %s}"
+                 (fnum sp.sp_start) (fnum sp.sp_dur));
+            if i < List.length sps - 1 then add ",";
+            add "\n")
+          sps;
+        add "  ]"
+      end);
+  add "}\n";
+  Buffer.contents b
+
+let prom_name name =
+  let b = Buffer.create (String.length name + 10) in
+  Buffer.add_string b "riskroute_";
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> Buffer.add_char b c
+      | _ -> Buffer.add_char b '_')
+    name;
+  Buffer.contents b
+
+let to_prometheus ?(registry = Registry.default) () =
+  let b = Buffer.create 2048 in
+  let add = Buffer.add_string b in
+  List.iter
+    (fun name ->
+      let n = prom_name name in
+      add (Printf.sprintf "# TYPE %s counter\n%s %d\n" n n
+             (Counter.value (Hashtbl.find registry.r_counters name))))
+    (sorted_names registry.r_counters);
+  List.iter
+    (fun name ->
+      let n = prom_name name in
+      add (Printf.sprintf "# TYPE %s gauge\n%s %d\n" n n
+             (Gauge.value (Hashtbl.find registry.r_gauges name))))
+    (sorted_names registry.r_gauges);
+  List.iter
+    (fun name ->
+      let n = prom_name name in
+      let s = Histogram.snapshot (Hashtbl.find registry.r_histograms name) in
+      add (Printf.sprintf "# TYPE %s histogram\n" n);
+      (* Sparse buckets: only boundaries where the cumulative count
+         advances, plus +Inf. *)
+      let cumulative = ref 0 in
+      Array.iteri
+        (fun i cnt ->
+          if cnt > 0 && i < bucket_count - 1 then begin
+            cumulative := !cumulative + cnt;
+            add
+              (Printf.sprintf "%s_bucket{le=\"%g\"} %d\n" n (bucket_bound i)
+                 !cumulative)
+          end)
+        s.Histogram.buckets;
+      add (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" n s.Histogram.count);
+      add (Printf.sprintf "%s_sum %g\n" n s.Histogram.sum);
+      add (Printf.sprintf "%s_count %d\n" n s.Histogram.count))
+    (sorted_names registry.r_histograms);
+  Buffer.contents b
+
+(* --- exit dump ---
+
+   RISKROUTE_TELEMETRY=<spec> (environment) or [enable_dump spec]
+   (CLI/bench --telemetry) turn recording on and dump the default
+   registry when the process exits. Spec: "-" / "stderr" / "1" / "true"
+   / "on" write JSON to stderr (stdout stays clean for program output);
+   anything else is a file path, with a ".prom" suffix selecting
+   Prometheus text format instead of JSON. *)
+
+let dump_dest = ref None
+
+let enable_dump spec =
+  set_enabled true;
+  dump_dest := Some spec
+
+let write_dump spec =
+  let to_stderr =
+    match spec with
+    | "-" | "stderr" | "1" | "true" | "on" -> true
+    | _ -> false
+  in
+  let text =
+    if (not to_stderr) && Filename.check_suffix spec ".prom" then
+      to_prometheus ()
+    else to_json ()
+  in
+  if to_stderr then begin
+    output_string stderr text;
+    flush stderr
+  end
+  else begin
+    let oc = open_out spec in
+    output_string oc text;
+    close_out oc
+  end
+
+let () =
+  (match Sys.getenv_opt "RISKROUTE_TELEMETRY" with
+  | Some v when String.trim v <> "" -> enable_dump (String.trim v)
+  | Some _ | None -> ());
+  at_exit (fun () ->
+      match !dump_dest with
+      | None -> ()
+      | Some spec -> (
+        try write_dump spec
+        with e ->
+          Printf.eprintf "riskroute: telemetry dump to %S failed: %s\n%!" spec
+            (Printexc.to_string e)))

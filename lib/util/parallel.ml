@@ -16,15 +16,43 @@ type pool = {
   mutable workers : unit Domain.t array;
 }
 
+(* Telemetry series (recorded only while Rr_obs is enabled). *)
+let c_tasks = Rr_obs.Counter.make "parallel.tasks"
+
+let c_batches = Rr_obs.Counter.make "parallel.batches"
+
+let c_pool_spawns = Rr_obs.Counter.make "parallel.pool_spawns"
+
+let c_env_invalid = Rr_obs.Counter.make "parallel.env_invalid"
+
+let g_pool_size = Rr_obs.Gauge.make "parallel.pool_size"
+
+let h_batch = Rr_obs.Histogram.make "parallel.batch_seconds"
+
 let env_var = "RISKROUTE_DOMAINS"
 
+let env_warned = ref false
+
+(* An unset or empty variable is silently ignored; anything else that
+   does not parse as a positive integer bumps the warning counter and
+   states (once) which pool size is actually used. *)
 let env_count () =
   match Sys.getenv_opt env_var with
   | None -> None
+  | Some s when String.trim s = "" -> None
   | Some s -> (
     match int_of_string_opt (String.trim s) with
     | Some k when k >= 1 -> Some k
-    | Some _ | None -> None)
+    | Some _ | None ->
+      Rr_obs.Counter.incr c_env_invalid;
+      if not !env_warned then begin
+        env_warned := true;
+        Printf.eprintf
+          "riskroute: ignoring invalid %s=%S (want a positive integer); using %d domains\n%!"
+          env_var s
+          (max 1 (Domain.recommended_domain_count ()))
+      end;
+      None)
 
 (* [requested] overrides the environment (tests switch pool sizes at
    runtime); resolution order: set_domain_count > RISKROUTE_DOMAINS >
@@ -92,21 +120,30 @@ let ensure_pool size =
     pool.workers <- Array.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker pool));
     current := Some pool;
     current_size := size;
+    Rr_obs.Counter.incr c_pool_spawns;
+    Rr_obs.Gauge.set g_pool_size size;
+    Rr_obs.set_meta "domains" (string_of_int size);
     pool
 
 (* Push a batch, then help drain the queue until every batch task has
    finished. Helping may execute tasks of other (nested) batches; that is
    deliberate. The first exception of the batch is re-raised here. *)
 let run_batch pool (bodies : (unit -> unit) array) =
+  let tel = Rr_obs.enabled () in
+  let t0 = if tel then Rr_obs.Clock.monotonic () else 0.0 in
+  (* Tasks executed on worker domains inherit the submitting span as
+     parent, so span trees survive the queue hand-off. *)
+  let parent = Rr_obs.Span.current () in
   let remaining = ref (Array.length bodies) in
   let batch_done = Condition.create () in
   let error = ref None in
   let wrap f () =
-    (try f ()
+    (try Rr_obs.Span.with_parent parent f
      with e ->
        Mutex.lock pool.mutex;
        if !error = None then error := Some e;
        Mutex.unlock pool.mutex);
+    Rr_obs.Counter.incr c_tasks;
     Mutex.lock pool.mutex;
     decr remaining;
     if !remaining = 0 then Condition.broadcast batch_done;
@@ -134,6 +171,10 @@ let run_batch pool (bodies : (unit -> unit) array) =
         done;
         Mutex.unlock pool.mutex
   done;
+  if tel then begin
+    Rr_obs.Counter.incr c_batches;
+    Rr_obs.Histogram.observe h_batch (Rr_obs.Clock.monotonic () -. t0)
+  end;
   match !error with Some e -> raise e | None -> ()
 
 let default_chunks size n = min n (4 * size)

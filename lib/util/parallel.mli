@@ -13,6 +13,13 @@
     size or on scheduling. Task functions must not mutate shared state
     (the sweeps in this repo only read immutable environment arrays). *)
 
+val env_count : unit -> int option
+(** The pool size requested by [RISKROUTE_DOMAINS], if any. Unset or
+    empty returns [None] silently; a value that is not a positive
+    integer returns [None], bumps the [parallel.env_invalid] telemetry
+    counter, and prints a one-line stderr note (once per process)
+    stating the pool size actually used. *)
+
 val domain_count : unit -> int
 (** The pool size parallel entry points will use. *)
 

@@ -1,0 +1,276 @@
+(* The telemetry subsystem: sharded-metric merge determinism across pool
+   sizes, span nesting (including across the domain pool), the disabled
+   mode being a true no-op, and golden exposition formats. *)
+
+open Riskroute
+module Parallel = Rr_util.Parallel
+
+let with_domains k f =
+  let old = Parallel.domain_count () in
+  Parallel.set_domain_count k;
+  Fun.protect ~finally:(fun () -> Parallel.set_domain_count old) f
+
+(* Every test that records telemetry runs under this guard so a failure
+   cannot leave recording enabled for later tests. *)
+let with_telemetry f =
+  Rr_obs.set_enabled true;
+  Fun.protect ~finally:(fun () -> Rr_obs.set_enabled false) f
+
+let pool_sizes = [ 1; 2; 4 ]
+
+(* --- merge determinism --- *)
+
+let test_counter_merge_deterministic () =
+  with_telemetry @@ fun () ->
+  let c = Rr_obs.Counter.make "test.obs.counter_merge" in
+  List.iter
+    (fun k ->
+      with_domains k (fun () ->
+          Rr_obs.Counter.reset c;
+          Parallel.parallel_for 1000 (fun _ -> Rr_obs.Counter.incr c);
+          Alcotest.(check int)
+            (Printf.sprintf "1000 increments at pool size %d" k)
+            1000 (Rr_obs.Counter.value c)))
+    pool_sizes
+
+let test_histogram_merge_deterministic () =
+  with_telemetry @@ fun () ->
+  let h = Rr_obs.Histogram.make "test.obs.hist_merge" in
+  let observe_all () =
+    Rr_obs.Histogram.reset h;
+    (* A fixed multiset of values; which domain observes which must not
+       matter for count/min/max/buckets. *)
+    Parallel.parallel_for 512 (fun i ->
+        Rr_obs.Histogram.observe h (Float.ldexp 1.0 ((i mod 9) - 4)));
+    Rr_obs.Histogram.snapshot h
+  in
+  let snaps = List.map (fun k -> with_domains k observe_all) pool_sizes in
+  match snaps with
+  | base :: rest ->
+    List.iteri
+      (fun i s ->
+        let k = List.nth pool_sizes (i + 1) in
+        Alcotest.(check int) (Printf.sprintf "count at %d domains" k)
+          base.Rr_obs.Histogram.count s.Rr_obs.Histogram.count;
+        Alcotest.(check (float 0.0)) (Printf.sprintf "min at %d domains" k)
+          base.Rr_obs.Histogram.vmin s.Rr_obs.Histogram.vmin;
+        Alcotest.(check (float 0.0)) (Printf.sprintf "max at %d domains" k)
+          base.Rr_obs.Histogram.vmax s.Rr_obs.Histogram.vmax;
+        Alcotest.(check (array int)) (Printf.sprintf "buckets at %d domains" k)
+          base.Rr_obs.Histogram.buckets s.Rr_obs.Histogram.buckets)
+      rest
+  | [] -> ()
+
+(* --- spans --- *)
+
+let test_span_nesting () =
+  with_telemetry @@ fun () ->
+  let r = Rr_obs.Registry.create () in
+  Rr_obs.with_span ~registry:r "outer" (fun () ->
+      Rr_obs.with_span ~registry:r "inner" (fun () -> ()));
+  match Rr_obs.spans ~registry:r () with
+  | [ a; b ] ->
+    let outer, inner =
+      if a.Rr_obs.sp_name = "outer" then (a, b) else (b, a)
+    in
+    Alcotest.(check string) "outer name" "outer" outer.Rr_obs.sp_name;
+    Alcotest.(check int) "outer is a root span" 0 outer.Rr_obs.sp_parent;
+    Alcotest.(check int) "inner parents to outer" outer.Rr_obs.sp_id
+      inner.Rr_obs.sp_parent
+  | sps -> Alcotest.failf "expected 2 spans, got %d" (List.length sps)
+
+let test_span_pool_attribution () =
+  with_telemetry @@ fun () ->
+  with_domains 4 @@ fun () ->
+  let r = Rr_obs.Registry.create () in
+  Rr_obs.with_span ~registry:r "submit" (fun () ->
+      Parallel.parallel_for 64 (fun _ ->
+          Rr_obs.with_span ~registry:r "task" (fun () -> ())));
+  let sps = Rr_obs.spans ~registry:r () in
+  let submit =
+    List.find (fun sp -> sp.Rr_obs.sp_name = "submit") sps
+  in
+  let tasks = List.filter (fun sp -> sp.Rr_obs.sp_name = "task") sps in
+  Alcotest.(check int) "one span per task body" 64 (List.length tasks);
+  List.iter
+    (fun sp ->
+      Alcotest.(check int) "task span parents to submitting span"
+        submit.Rr_obs.sp_id sp.Rr_obs.sp_parent)
+    tasks
+
+(* --- disabled mode --- *)
+
+let test_disabled_is_noop () =
+  Rr_obs.set_enabled false;
+  let r = Rr_obs.Registry.create () in
+  let c = Rr_obs.Counter.make ~registry:r "test.obs.off_counter" in
+  let g = Rr_obs.Gauge.make ~registry:r "test.obs.off_gauge" in
+  let h = Rr_obs.Histogram.make ~registry:r "test.obs.off_hist" in
+  Rr_obs.Counter.add c 5;
+  Rr_obs.Gauge.set g 9;
+  Rr_obs.Histogram.observe h 1.5;
+  let v = Rr_obs.with_span ~registry:r "off" (fun () -> 17) in
+  Alcotest.(check int) "with_span passes the value through" 17 v;
+  Alcotest.(check int) "counter untouched" 0 (Rr_obs.Counter.value c);
+  Alcotest.(check int) "gauge untouched" 0 (Rr_obs.Gauge.value g);
+  Alcotest.(check int) "histogram untouched" 0
+    (Rr_obs.Histogram.snapshot h).Rr_obs.Histogram.count;
+  Alcotest.(check int) "no spans recorded" 0
+    (List.length (Rr_obs.spans ~registry:r ()))
+
+(* --- golden exposition --- *)
+
+(* A registry with a pinned clock and fixed contents, so both exposition
+   formats can be compared byte for byte. *)
+let golden_registry () =
+  Rr_obs.Clock.set_source (fun () -> 42.0);
+  let r = Rr_obs.Registry.create () in
+  let c = Rr_obs.Counter.make ~registry:r "alpha.count" in
+  let g = Rr_obs.Gauge.make ~registry:r "beta.gauge" in
+  let h = Rr_obs.Histogram.make ~registry:r "gamma.seconds" in
+  Rr_obs.Counter.add c 7;
+  Rr_obs.Gauge.set g 4;
+  List.iter (Rr_obs.Histogram.observe h) [ 0.25; 0.5; 2.0 ];
+  Rr_obs.set_meta ~registry:r "host" "golden";
+  Rr_obs.with_span ~registry:r "root.op" (fun () -> ());
+  r
+
+let with_golden f =
+  with_telemetry @@ fun () ->
+  Fun.protect ~finally:Rr_obs.Clock.reset_source (fun () ->
+      f (golden_registry ()))
+
+let golden_json =
+  "{\n\
+  \  \"schema\": 1,\n\
+  \  \"meta\": {\n\
+  \    \"host\": \"golden\"\n\
+  \  },\n\
+  \  \"counters\": {\n\
+  \    \"alpha.count\": 7\n\
+  \  },\n\
+  \  \"gauges\": {\n\
+  \    \"beta.gauge\": 4\n\
+  \  },\n\
+  \  \"histograms\": {\n\
+  \    \"gamma.seconds\": {\"count\": 3, \"sum\": 2.75, \"min\": 0.25, \
+   \"max\": 2.0, \"buckets\": [[0.25, 1], [0.5, 1], [2.0, 1]]}\n\
+  \  },\n\
+  \  \"spans\": [\n\
+  \    {\"id\": 1, \"parent\": 0, \"name\": \"root.op\", \"start\": 0.0, \
+   \"dur\": 0.0}\n\
+  \  ]\n\
+   }\n"
+
+let golden_prom =
+  "# TYPE riskroute_alpha_count counter\n\
+   riskroute_alpha_count 7\n\
+   # TYPE riskroute_beta_gauge gauge\n\
+   riskroute_beta_gauge 4\n\
+   # TYPE riskroute_gamma_seconds histogram\n\
+   riskroute_gamma_seconds_bucket{le=\"0.25\"} 1\n\
+   riskroute_gamma_seconds_bucket{le=\"0.5\"} 2\n\
+   riskroute_gamma_seconds_bucket{le=\"2\"} 3\n\
+   riskroute_gamma_seconds_bucket{le=\"+Inf\"} 3\n\
+   riskroute_gamma_seconds_sum 2.75\n\
+   riskroute_gamma_seconds_count 3\n"
+
+let test_golden_json () =
+  with_golden (fun r ->
+      Alcotest.(check string) "JSON exposition" golden_json
+        (Rr_obs.to_json ~registry:r ()))
+
+let test_golden_prometheus () =
+  with_golden (fun r ->
+      Alcotest.(check string) "Prometheus exposition" golden_prom
+        (Rr_obs.to_prometheus ~registry:r ()))
+
+(* --- engine integration --- *)
+
+let coord lat lon = Rr_geo.Coord.make ~lat ~lon
+
+let small_env () =
+  let coords =
+    [|
+      coord 29.76 (-95.37); coord 30.27 (-89.09); coord 29.95 (-90.07);
+      coord 30.69 (-88.04); coord 30.33 (-81.66); coord 32.08 (-81.09);
+      coord 33.75 (-84.39); coord 35.15 (-90.05);
+    |]
+  in
+  let n = Array.length coords in
+  let graph =
+    Rr_graph.Graph.of_edges n
+      [ (0, 1); (1, 2); (2, 3); (3, 4); (4, 5); (5, 6); (6, 7); (0, 7); (2, 6) ]
+  in
+  let impact = Array.init n (fun i -> 0.01 +. (0.02 *. float_of_int i)) in
+  let historical = Array.init n (fun i -> 1e-6 *. float_of_int (i + 1)) in
+  let forecast = Array.make n 0.0 in
+  Env.make ~graph ~coords ~impact ~historical ~forecast ()
+
+let test_engine_counters_flow () =
+  with_telemetry @@ fun () ->
+  (* Pool size >= 2: at 1 domain the sweeps take the sequential path,
+     which legitimately records no parallel.tasks. *)
+  with_domains 2 @@ fun () ->
+  let relax = Rr_obs.Counter.make "dijkstra.relaxations" in
+  let scored = Rr_obs.Counter.make "augment.candidates_scored" in
+  let tasks = Rr_obs.Counter.make "parallel.tasks" in
+  let r0 = Rr_obs.Counter.value relax
+  and s0 = Rr_obs.Counter.value scored
+  and t0 = Rr_obs.Counter.value tasks in
+  let env = small_env () in
+  ignore (Augment.greedy ~k:1 env);
+  Alcotest.(check bool) "dijkstra.relaxations advanced" true
+    (Rr_obs.Counter.value relax > r0);
+  Alcotest.(check bool) "augment.candidates_scored advanced" true
+    (Rr_obs.Counter.value scored > s0);
+  Alcotest.(check bool) "parallel.tasks advanced" true
+    (Rr_obs.Counter.value tasks > t0)
+
+let test_results_unchanged_by_telemetry () =
+  let env = small_env () in
+  let compute () =
+    let picks =
+      List.map
+        (fun (p : Augment.pick) -> (p.Augment.u, p.Augment.v, p.Augment.total_after))
+        (Augment.greedy ~k:2 env)
+    in
+    let r = Ratios.intradomain ~pair_cap:40 env in
+    (picks, r.Ratios.risk_reduction, r.Ratios.distance_increase)
+  in
+  Rr_obs.set_enabled false;
+  let off = compute () in
+  let on = with_telemetry compute in
+  Alcotest.(check bool) "telemetry on/off results identical" true (off = on)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "merge",
+        [
+          Alcotest.test_case "counter deterministic across pool sizes" `Quick
+            test_counter_merge_deterministic;
+          Alcotest.test_case "histogram deterministic across pool sizes" `Quick
+            test_histogram_merge_deterministic;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "nesting" `Quick test_span_nesting;
+          Alcotest.test_case "pool parent attribution" `Quick
+            test_span_pool_attribution;
+        ] );
+      ( "disabled",
+        [ Alcotest.test_case "recording is a no-op" `Quick test_disabled_is_noop ] );
+      ( "golden",
+        [
+          Alcotest.test_case "json format" `Quick test_golden_json;
+          Alcotest.test_case "prometheus format" `Quick test_golden_prometheus;
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "engine counters flow" `Quick
+            test_engine_counters_flow;
+          Alcotest.test_case "results unchanged by telemetry" `Quick
+            test_results_unchanged_by_telemetry;
+        ] );
+    ]

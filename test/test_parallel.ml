@@ -66,6 +66,47 @@ let test_exception_propagates () =
         (Failure "boom") (fun () ->
           Parallel.parallel_for 100 (fun i -> if i = 57 then failwith "boom")))
 
+(* --- RISKROUTE_DOMAINS parsing --- *)
+
+let env_var = "RISKROUTE_DOMAINS"
+
+(* [Unix.putenv] cannot unset; "" is documented to behave as unset. *)
+let with_env value f =
+  let old = Option.value (Sys.getenv_opt env_var) ~default:"" in
+  Unix.putenv env_var value;
+  Fun.protect ~finally:(fun () -> Unix.putenv env_var old) f
+
+let test_env_count_valid () =
+  with_env " 4 " (fun () ->
+      Alcotest.(check (option int)) "surrounding whitespace accepted"
+        (Some 4) (Parallel.env_count ()))
+
+let test_env_count_empty_silent () =
+  Rr_obs.set_enabled true;
+  Fun.protect ~finally:(fun () -> Rr_obs.set_enabled false) @@ fun () ->
+  let c = Rr_obs.Counter.make "parallel.env_invalid" in
+  let before = Rr_obs.Counter.value c in
+  with_env "" (fun () ->
+      Alcotest.(check (option int)) "empty is unset" None (Parallel.env_count ()));
+  with_env "   " (fun () ->
+      Alcotest.(check (option int)) "blank is unset" None (Parallel.env_count ()));
+  Alcotest.(check int) "no warning for unset" before (Rr_obs.Counter.value c)
+
+let test_env_count_invalid () =
+  Rr_obs.set_enabled true;
+  Fun.protect ~finally:(fun () -> Rr_obs.set_enabled false) @@ fun () ->
+  let c = Rr_obs.Counter.make "parallel.env_invalid" in
+  let before = Rr_obs.Counter.value c in
+  List.iter
+    (fun bad ->
+      with_env bad (fun () ->
+          Alcotest.(check (option int))
+            (Printf.sprintf "%S rejected" bad)
+            None (Parallel.env_count ())))
+    [ "0"; "-3"; "garbage" ];
+  Alcotest.(check int) "each rejection counted" (before + 3)
+    (Rr_obs.Counter.value c)
+
 (* --- sweep determinism across pool sizes --- *)
 
 (* A 14-node topology with parallel risk/distance trade-offs: a coastal
@@ -178,6 +219,15 @@ let () =
             test_nested_no_deadlock;
           Alcotest.test_case "exceptions propagate" `Quick
             test_exception_propagates;
+        ] );
+      ( "env",
+        [
+          Alcotest.test_case "valid RISKROUTE_DOMAINS" `Quick
+            test_env_count_valid;
+          Alcotest.test_case "unset/blank is silent" `Quick
+            test_env_count_empty_silent;
+          Alcotest.test_case "invalid values warn and count" `Quick
+            test_env_count_invalid;
         ] );
       ( "determinism",
         [
