@@ -4,58 +4,63 @@
      main.exe                 run every table/figure, then the Bechamel suite
      main.exe <id> [<id>...]  run selected experiments (table1..fig13)
      main.exe bechamel        run only the Bechamel microbenchmark suite
-     main.exe json [file]     write Bechamel timings as JSON (default BENCH.json)
+     main.exe json [file] [--label L] [--reps N] [--warmups N]
+                              run the statistics suite (N warmed repetitions
+                              per kernel, mean/p50/p95 + GC deltas) and write
+                              it as JSON (default BENCH.json, or
+                              BENCH_<label>.json with --label)
      main.exe list            list experiment ids
 
    [--telemetry <file|->] anywhere on the command line enables the
-   Rr_obs engine telemetry dump (same semantics as the CLI flag and
-   RISKROUTE_TELEMETRY). *)
+   Rr_obs engine telemetry dump; [--trace <file>] writes a Chrome
+   trace-event JSON of the span tree on exit (same semantics as the CLI
+   flags and RISKROUTE_TELEMETRY / RISKROUTE_TRACE). *)
 
 open Bechamel
 open Toolkit
 
-(* --- Bechamel microbenchmarks: one per table/figure kernel --- *)
+(* --- kernels: one named thunk per table/figure hot path ---
 
-let dijkstra_tests () =
+   The same list backs both harnesses: the Bechamel suite (OLS
+   throughput estimates for humans) and the statistics suite (recorded
+   repetitions for BENCH_*.json baselines and `riskroute
+   bench-compare`). *)
+
+let dijkstra_kernels () =
   let zoo = Rr_topology.Zoo.shared () in
   let level3 = Option.get (Rr_topology.Zoo.find zoo "Level3") in
   let env = Riskroute.Env.of_net level3 in
   let n = Riskroute.Env.node_count env in
   [
-    Test.make ~name:"table2/riskroute-pair-level3"
-      (Staged.stage (fun () ->
-           ignore (Riskroute.Router.riskroute env ~src:0 ~dst:(n - 1))));
-    Test.make ~name:"table2/shortest-pair-level3"
-      (Staged.stage (fun () ->
-           ignore (Riskroute.Router.shortest env ~src:0 ~dst:(n - 1))));
+    ( "table2/riskroute-pair-level3",
+      fun () -> ignore (Riskroute.Router.riskroute env ~src:0 ~dst:(n - 1)) );
+    ( "table2/shortest-pair-level3",
+      fun () -> ignore (Riskroute.Router.shortest env ~src:0 ~dst:(n - 1)) );
   ]
 
-let kde_tests () =
+let kde_kernels () =
   let catalog = Rr_disaster.Catalog.generate ~scale:0.02 () in
   let events = Rr_disaster.Catalog.coords catalog Rr_disaster.Event.Fema_storm in
   let density = Rr_kde.Density.fit ~bandwidth:24.38 events in
   let point = Rr_geo.Coord.make ~lat:39.0 ~lon:(-95.0) in
   [
-    Test.make ~name:"table1/kde-exact-eval"
-      (Staged.stage (fun () -> ignore (Rr_kde.Density.eval density point)));
-    Test.make ~name:"fig4/kde-grid-fit"
-      (Staged.stage (fun () ->
-           ignore (Rr_kde.Grid_density.fit ~rows:60 ~cols:140 ~bandwidth:24.38 events)));
-    Test.make ~name:"table1/cv-bandwidth-select"
-      (Staged.stage (fun () ->
-           ignore
-             (Rr_kde.Bandwidth.select ~max_events:150
-                ~candidates:[| 10.0; 30.0; 90.0 |] events)));
+    ("table1/kde-exact-eval", fun () -> ignore (Rr_kde.Density.eval density point));
+    ( "fig4/kde-grid-fit",
+      fun () ->
+        ignore
+          (Rr_kde.Grid_density.fit ~rows:60 ~cols:140 ~bandwidth:24.38 events) );
+    ( "table1/cv-bandwidth-select",
+      fun () ->
+        ignore
+          (Rr_kde.Bandwidth.select ~max_events:150
+             ~candidates:[| 10.0; 30.0; 90.0 |] events) );
   ]
 
-let forecast_tests () =
+let forecast_kernels () =
   let text = List.nth (Rr_forecast.Track.advisory_texts Rr_forecast.Track.sandy) 40 in
-  [
-    Test.make ~name:"fig5/advisory-parse"
-      (Staged.stage (fun () -> ignore (Rr_forecast.Parse.advisory text)));
-  ]
+  [ ("fig5/advisory-parse", fun () -> ignore (Rr_forecast.Parse.advisory text)) ]
 
-let census_tests () =
+let census_kernels () =
   let blocks = Rr_census.Synthetic.generate ~blocks:5_000 () in
   let zoo = Rr_topology.Zoo.shared () in
   let att = Option.get (Rr_topology.Zoo.find zoo "AT&T") in
@@ -64,72 +69,68 @@ let census_tests () =
       att.Rr_topology.Net.pops
   in
   [
-    Test.make ~name:"fig3/nn-assignment-5k-blocks"
-      (Staged.stage (fun () ->
-           ignore (Rr_census.Assignment.fractions ~sites blocks)));
+    ( "fig3/nn-assignment-5k-blocks",
+      fun () -> ignore (Rr_census.Assignment.fractions ~sites blocks) );
   ]
 
-let augment_tests () =
+let augment_kernels () =
   let zoo = Rr_topology.Zoo.shared () in
   let att = Option.get (Rr_topology.Zoo.find zoo "AT&T") in
   let env = Riskroute.Env.of_net att in
   [
-    Test.make ~name:"fig9/greedy-one-link-att"
-      (Staged.stage (fun () -> ignore (Riskroute.Augment.greedy ~k:1 env)));
-    Test.make ~name:"fig10/total-bit-risk-att"
-      (Staged.stage (fun () -> ignore (Riskroute.Augment.total_bit_risk env)));
+    ("fig9/greedy-one-link-att", fun () -> ignore (Riskroute.Augment.greedy ~k:1 env));
+    ( "fig10/total-bit-risk-att",
+      fun () -> ignore (Riskroute.Augment.total_bit_risk env) );
   ]
 
-let ratio_tests () =
+let ratio_kernels () =
   let zoo = Rr_topology.Zoo.shared () in
   let att = Option.get (Rr_topology.Zoo.find zoo "AT&T") in
   let env = Riskroute.Env.of_net att in
   let advisory = List.nth (Rr_forecast.Track.advisories Rr_forecast.Track.sandy) 50 in
   [
-    Test.make ~name:"table2/intradomain-ratios-att"
-      (Staged.stage (fun () ->
-           ignore (Riskroute.Ratios.intradomain ~pair_cap:200 env)));
-    Test.make ~name:"fig12/advisory-env-refresh"
-      (Staged.stage (fun () ->
-           ignore (Riskroute.Env.with_advisory env (Some advisory))));
+    ( "table2/intradomain-ratios-att",
+      fun () -> ignore (Riskroute.Ratios.intradomain ~pair_cap:200 env) );
+    ( "fig12/advisory-env-refresh",
+      fun () -> ignore (Riskroute.Env.with_advisory env (Some advisory)) );
   ]
 
-let gml_tests () =
+let gml_kernels () =
   let zoo = Rr_topology.Zoo.shared () in
   let att = Option.get (Rr_topology.Zoo.find zoo "AT&T") in
   let text = Rr_gml.Printer.to_string (Rr_topology.Gml_io.to_gml att) in
-  [
-    Test.make ~name:"fig1/gml-parse-att"
-      (Staged.stage (fun () -> ignore (Rr_gml.Parser.parse text)));
-  ]
+  [ ("fig1/gml-parse-att", fun () -> ignore (Rr_gml.Parser.parse text)) ]
 
-let extension_tests () =
+let extension_kernels () =
   let zoo = Rr_topology.Zoo.shared () in
   let att = Option.get (Rr_topology.Zoo.find zoo "AT&T") in
   let env = Riskroute.Env.of_net att in
   let n = Riskroute.Env.node_count env in
   [
-    Test.make ~name:"abl-pareto/frontier-att"
-      (Staged.stage (fun () ->
-           ignore (Riskroute.Pareto.frontier ~k:8 env ~src:0 ~dst:(n - 1))));
-    Test.make ~name:"abl-backup/plan-att"
-      (Staged.stage (fun () ->
-           ignore (Riskroute.Backup.plan env ~src:0 ~dst:(n - 1))));
-    Test.make ~name:"abl-ospf/weights-att"
-      (Staged.stage (fun () -> ignore (Riskroute.Ospf.link_weights env)));
-    Test.make ~name:"abl-outage/50-scenarios-att"
-      (Staged.stage (fun () ->
-           ignore (Riskroute.Outagesim.run ~scenario_count:50 ~pair_cap:50 env)));
-    Test.make ~name:"fig1/geojson-export-att"
-      (Staged.stage (fun () ->
-           ignore
-             (Rr_geo.Geojson.feature_collection
-                (Rr_topology.Geo_export.net_features att))));
+    ( "abl-pareto/frontier-att",
+      fun () -> ignore (Riskroute.Pareto.frontier ~k:8 env ~src:0 ~dst:(n - 1)) );
+    ( "abl-backup/plan-att",
+      fun () -> ignore (Riskroute.Backup.plan env ~src:0 ~dst:(n - 1)) );
+    ("abl-ospf/weights-att", fun () -> ignore (Riskroute.Ospf.link_weights env));
+    ( "abl-outage/50-scenarios-att",
+      fun () ->
+        ignore (Riskroute.Outagesim.run ~scenario_count:50 ~pair_cap:50 env) );
+    ( "fig1/geojson-export-att",
+      fun () ->
+        ignore
+          (Rr_geo.Geojson.feature_collection
+             (Rr_topology.Geo_export.net_features att)) );
   ]
 
+let kernels () =
+  dijkstra_kernels () @ kde_kernels () @ forecast_kernels () @ census_kernels ()
+  @ augment_kernels () @ ratio_kernels () @ gml_kernels ()
+  @ extension_kernels ()
+
+(* --- Bechamel microbenchmark suite --- *)
+
 let bechamel_suite () =
-  dijkstra_tests () @ kde_tests () @ forecast_tests () @ census_tests ()
-  @ augment_tests () @ ratio_tests () @ gml_tests () @ extension_tests ()
+  List.map (fun (name, f) -> Test.make ~name (Staged.stage f)) (kernels ())
 
 let bechamel_estimates () =
   let tests = Test.make_grouped ~name:"riskroute" ~fmt:"%s/%s" (bechamel_suite ()) in
@@ -194,57 +195,120 @@ let git_rev () =
     else head
   with _ -> "unknown"
 
-(* Machine-readable timings for CI trend tracking and cross-machine
-   comparison (perf dashboards read this, humans read [run_bechamel]).
-   The [meta] block (schema 2) carries everything needed to compare
-   BENCH_*.json files across PRs and machines. *)
-let bench_schema = 2
+(* --- statistics suite: BENCH_*.json for the regression sentinel ---
 
-let run_json file =
-  let rows = bechamel_estimates () in
-  let oc = open_out file in
-  Printf.fprintf oc
-    "{\n  \"meta\": {\"schema\": %d, \"domains\": %d, \"git_rev\": %S, \"hostname\": %S},\n  \"results\": [\n"
-    bench_schema
-    (Rr_util.Parallel.domain_count ())
-    (git_rev ())
-    (Unix.gethostname ());
-  List.iteri
-    (fun i (name, est) ->
-      Printf.fprintf oc "    {\"name\": %S, \"ns_per_run\": %.2f}%s\n" name est
-        (if i < List.length rows - 1 then "," else ""))
-    rows;
-  output_string oc "  ]\n}\n";
-  close_out oc;
-  Printf.printf "wrote %s (%d results)\n" file (List.length rows)
+   Each kernel runs [warmups] unrecorded then [reps] recorded times;
+   mean/p50/p95/min/max and per-run GC deltas are stored per kernel (see
+   Rr_perf.Harness). The meta block is self-describing — OCaml version,
+   word size, the RISKROUTE_DOMAINS value and the pool size actually
+   resolved — so baselines recorded on different machines stay
+   comparable (and comparably *incomparable*: bench-compare can say why
+   two files should not be trusted against each other). *)
+
+let run_json ~reps ~warmups file =
+  let results = Rr_perf.Harness.measure ~warmups ~reps (kernels ()) in
+  let meta =
+    {
+      Rr_perf.Benchfile.schema = Rr_perf.Benchfile.schema;
+      domains = Rr_util.Parallel.domain_count ();
+      git_rev = git_rev ();
+      hostname = Unix.gethostname ();
+      ocaml_version = Sys.ocaml_version;
+      word_size = Sys.word_size;
+      riskroute_domains =
+        Option.value (Sys.getenv_opt "RISKROUTE_DOMAINS") ~default:"";
+      reps;
+      warmups;
+    }
+  in
+  Rr_perf.Benchfile.write file { Rr_perf.Benchfile.meta; results };
+  Printf.printf "wrote %s (%d kernels, %d reps each)\n" file
+    (List.length results) reps
+
+(* json subcommand arguments: positional FILE plus --label/--reps/--warmups
+   in any order. --label L names the file BENCH_<L>.json unless an
+   explicit FILE was also given. *)
+let parse_json_args rest =
+  let file = ref None
+  and label = ref None
+  and reps = ref 10
+  and warmups = ref 3 in
+  let int_arg name v =
+    match int_of_string_opt v with
+    | Some k when k >= 0 -> k
+    | Some _ | None ->
+      Printf.eprintf "bench: %s wants a non-negative integer, got %S\n%!" name v;
+      exit 2
+  in
+  let rec go = function
+    | [] -> ()
+    | "--label" :: v :: rest ->
+      label := Some v;
+      go rest
+    | "--reps" :: v :: rest ->
+      reps := max 1 (int_arg "--reps" v);
+      go rest
+    | "--warmups" :: v :: rest ->
+      warmups := int_arg "--warmups" v;
+      go rest
+    | arg :: _ when String.length arg > 2 && String.sub arg 0 2 = "--" ->
+      Printf.eprintf "bench: unknown json option %s\n%!" arg;
+      exit 2
+    | arg :: rest ->
+      file := Some arg;
+      go rest
+  in
+  go rest;
+  let file =
+    match (!file, !label) with
+    | Some f, _ -> f
+    | None, Some l -> Printf.sprintf "BENCH_%s.json" l
+    | None, None -> "BENCH.json"
+  in
+  (file, !reps, !warmups)
 
 let ppf = Format.std_formatter
 
-(* Pull "--telemetry <spec>" (or "--telemetry=<spec>") out of argv before
-   experiment-id dispatch; the harness has no cmdliner front end. *)
-let extract_telemetry argv =
+(* Pull "--telemetry <spec>" and "--trace <path>" (or the "=" forms) out
+   of argv before experiment-id dispatch; the harness has no cmdliner
+   front end. *)
+let extract_obs_flags argv =
+  let prefixed prefix arg =
+    let l = String.length prefix in
+    if String.length arg > l && String.sub arg 0 l = prefix then
+      Some (String.sub arg l (String.length arg - l))
+    else None
+  in
   let rec go acc = function
     | [] -> List.rev acc
     | "--telemetry" :: spec :: rest ->
       Rr_obs.enable_dump spec;
       go acc rest
-    | arg :: rest when String.length arg > 12 && String.sub arg 0 12 = "--telemetry=" ->
-      Rr_obs.enable_dump (String.sub arg 12 (String.length arg - 12));
+    | "--trace" :: path :: rest ->
+      Rr_obs.enable_trace path;
       go acc rest
-    | arg :: rest -> go (arg :: acc) rest
+    | arg :: rest -> (
+      match (prefixed "--telemetry=" arg, prefixed "--trace=" arg) with
+      | Some spec, _ ->
+        Rr_obs.enable_dump spec;
+        go acc rest
+      | None, Some path ->
+        Rr_obs.enable_trace path;
+        go acc rest
+      | None, None -> go (arg :: acc) rest)
   in
   go [] argv
 
 let () =
-  match extract_telemetry (Array.to_list Sys.argv) with
+  match extract_obs_flags (Array.to_list Sys.argv) with
   | [] | _ :: [] ->
     Rr_experiments.Report.run_all ppf;
     Format.pp_print_flush ppf ();
     run_bechamel ()
   | _ :: [ "bechamel" ] -> run_bechamel ()
   | _ :: "json" :: rest ->
-    let file = match rest with [ f ] -> f | _ -> "BENCH.json" in
-    run_json file
+    let file, reps, warmups = parse_json_args rest in
+    run_json ~reps ~warmups file
   | _ :: [ "list" ] ->
     List.iter print_endline (Rr_experiments.Report.ids ())
   | _ :: "csv" :: rest ->
@@ -258,7 +322,10 @@ let () =
         | Some e ->
           Format.fprintf ppf "@.=== %s: %s ===@." (String.uppercase_ascii e.Rr_experiments.Report.id)
             e.Rr_experiments.Report.title;
-          e.Rr_experiments.Report.run ppf
+          (* run_timed, not e.run: selected experiments get the same
+             "report.<id>" span as run_all, so traces and telemetry
+             attribute their work either way. *)
+          Rr_experiments.Report.run_timed e ppf
         | None ->
           Format.fprintf ppf "unknown experiment %S (try: %s)@." id
             (String.concat " " (Rr_experiments.Report.ids ())))

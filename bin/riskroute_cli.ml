@@ -36,16 +36,29 @@ let telemetry_arg =
   in
   Arg.(value & opt (some string) None & info [ "telemetry" ] ~docv:"FILE" ~doc)
 
-(* Every subcommand takes --telemetry: observability must not require
-   knowing in advance which entry point will be slow. *)
-let setup verbose telemetry =
+let trace_arg =
+  let doc =
+    "Record the span tree and write it as Chrome trace-event JSON to $(docv) \
+     on exit; load it in chrome://tracing or https://ui.perfetto.dev. Each \
+     pool domain gets its own track. Setting RISKROUTE_TRACE=<path> in the \
+     environment is equivalent, and --telemetry composes with it (the trace \
+     never writes to stderr)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+(* Every subcommand takes --telemetry and --trace: observability must
+   not require knowing in advance which entry point will be slow. *)
+let setup verbose telemetry trace =
   setup_logs verbose;
+  (match trace with None -> () | Some path -> Rr_obs.enable_trace path);
   match telemetry with
   | None -> ()
   | Some spec ->
     Rr_obs.enable_dump spec;
     Rr_obs.set_meta "domains"
       (string_of_int (Rr_util.Parallel.domain_count ()))
+
+let setup_term = Term.(const setup $ verbose_arg $ telemetry_arg $ trace_arg)
 
 let net_arg =
   let doc = "Network name (e.g. Level3, AT&T, Telepak)." in
@@ -80,8 +93,7 @@ let or_die = function
 (* --- networks --- *)
 
 let networks_cmd =
-  let run verbose telemetry =
-    setup verbose telemetry;
+  let run () =
     let zoo = Rr_topology.Zoo.shared () in
     Format.printf "Tier-1 networks:@.";
     List.iter
@@ -94,7 +106,7 @@ let networks_cmd =
   in
   Cmd.v
     (Cmd.info "networks" ~doc:"List the 23-network corpus.")
-    Term.(const run $ verbose_arg $ telemetry_arg)
+    Term.(const run $ setup_term)
 
 (* --- route --- *)
 
@@ -114,8 +126,7 @@ let route_cmd =
   let tick_arg =
     Arg.(value & opt int 40 & info [ "tick" ] ~doc:"Advisory index for --storm.")
   in
-  let run verbose telemetry name src dst lambda_h storm tick =
-    setup verbose telemetry;
+  let run () name src dst lambda_h storm tick =
     let net = or_die (find_net name) in
     let params = Riskroute.Params.with_lambda_h lambda_h Riskroute.Params.default in
     let advisory =
@@ -154,7 +165,7 @@ let route_cmd =
     (Cmd.info "route"
        ~doc:"Compare RiskRoute and shortest-path routes between two PoPs.")
     Term.(
-      const run $ verbose_arg $ telemetry_arg $ net_arg $ src_arg $ dst_arg $ lambda_h_arg
+      const run $ setup_term $ net_arg $ src_arg $ dst_arg $ lambda_h_arg
       $ storm_opt $ tick_arg)
 
 (* --- ratios --- *)
@@ -163,8 +174,7 @@ let ratios_cmd =
   let pair_cap_arg =
     Arg.(value & opt int 6000 & info [ "pair-cap" ] ~doc:"Max sampled pairs.")
   in
-  let run verbose telemetry name lambda_h pair_cap =
-    setup verbose telemetry;
+  let run () name lambda_h pair_cap =
     let net = or_die (find_net name) in
     let params = Riskroute.Params.with_lambda_h lambda_h Riskroute.Params.default in
     let env = Riskroute.Env.of_net ~params net in
@@ -176,7 +186,7 @@ let ratios_cmd =
   in
   Cmd.v
     (Cmd.info "ratios" ~doc:"Intradomain risk/distance ratios (Eqs. 5-6).")
-    Term.(const run $ verbose_arg $ telemetry_arg $ net_arg $ lambda_h_arg $ pair_cap_arg)
+    Term.(const run $ setup_term $ net_arg $ lambda_h_arg $ pair_cap_arg)
 
 (* --- provision --- *)
 
@@ -184,8 +194,7 @@ let provision_cmd =
   let k_arg =
     Arg.(value & opt int 5 & info [ "k" ] ~doc:"Number of links to suggest.")
   in
-  let run verbose telemetry name k =
-    setup verbose telemetry;
+  let run () name k =
     let net = or_die (find_net name) in
     let env = Riskroute.Env.of_net net in
     let picks = Riskroute.Augment.greedy ~k env in
@@ -200,13 +209,12 @@ let provision_cmd =
   in
   Cmd.v
     (Cmd.info "provision" ~doc:"Suggest risk-reducing additional links (Eq. 4).")
-    Term.(const run $ verbose_arg $ telemetry_arg $ net_arg $ k_arg)
+    Term.(const run $ setup_term $ net_arg $ k_arg)
 
 (* --- peers --- *)
 
 let peers_cmd =
-  let run verbose telemetry =
-    setup verbose telemetry;
+  let run () =
     let merged, env = Riskroute.Interdomain.shared () in
     List.iter
       (fun (r : Riskroute.Peer_advisor.recommendation) ->
@@ -217,13 +225,12 @@ let peers_cmd =
   in
   Cmd.v
     (Cmd.info "peers" ~doc:"Recommend new peerings for regional networks.")
-    Term.(const run $ verbose_arg $ telemetry_arg)
+    Term.(const run $ setup_term)
 
 (* --- forecast --- *)
 
 let forecast_cmd =
-  let run verbose telemetry storm_name =
-    setup verbose telemetry;
+  let run () storm_name =
     let storm = or_die (find_storm storm_name) in
     let advisories = Rr_forecast.Track.advisories storm in
     Format.printf "Hurricane %s: %d advisories@." storm.Rr_forecast.Track.name
@@ -235,7 +242,7 @@ let forecast_cmd =
   in
   Cmd.v
     (Cmd.info "forecast" ~doc:"Parse and list a storm's advisory sequence.")
-    Term.(const run $ verbose_arg $ telemetry_arg $ storm_arg)
+    Term.(const run $ setup_term $ storm_arg)
 
 (* --- export-gml --- *)
 
@@ -243,8 +250,7 @@ let export_gml_cmd =
   let out_arg =
     Arg.(required & opt (some string) None & info [ "o"; "output" ] ~doc:"Output file.")
   in
-  let run verbose telemetry name path =
-    setup verbose telemetry;
+  let run () name path =
     let net = or_die (find_net name) in
     Rr_topology.Gml_io.to_file path net;
     Format.printf "wrote %s (%d PoPs, %d links) to %s@." name
@@ -254,7 +260,7 @@ let export_gml_cmd =
   in
   Cmd.v
     (Cmd.info "export-gml" ~doc:"Export a network as Topology Zoo GML.")
-    Term.(const run $ verbose_arg $ telemetry_arg $ net_arg $ out_arg)
+    Term.(const run $ setup_term $ net_arg $ out_arg)
 
 (* --- simulate --- *)
 
@@ -269,8 +275,7 @@ let simulate_cmd =
     Arg.(value & opt string "hurricane"
          & info [ "kind" ] ~doc:"Strike kind: hurricane, tornado or storm.")
   in
-  let run verbose telemetry name scenarios radius kind =
-    setup verbose telemetry;
+  let run () name scenarios radius kind =
     let net = or_die (find_net name) in
     let kind =
       match String.lowercase_ascii kind with
@@ -293,7 +298,7 @@ let simulate_cmd =
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Monte Carlo outage simulation of static routes.")
-    Term.(const run $ verbose_arg $ telemetry_arg $ net_arg $ scenarios_arg $ radius_arg $ kind_arg)
+    Term.(const run $ setup_term $ net_arg $ scenarios_arg $ radius_arg $ kind_arg)
 
 (* --- backup --- *)
 
@@ -304,8 +309,7 @@ let backup_cmd =
   let dst_arg =
     Arg.(required & opt (some string) None & info [ "to" ] ~doc:"Destination city.")
   in
-  let run verbose telemetry name src dst =
-    setup verbose telemetry;
+  let run () name src dst =
     let net = or_die (find_net name) in
     let env = Riskroute.Env.of_net net in
     let pop_id city =
@@ -344,7 +348,7 @@ let backup_cmd =
   in
   Cmd.v
     (Cmd.info "backup" ~doc:"Pre-compute fast-reroute repair paths for a flow.")
-    Term.(const run $ verbose_arg $ telemetry_arg $ net_arg $ src_arg $ dst_arg)
+    Term.(const run $ setup_term $ net_arg $ src_arg $ dst_arg)
 
 (* --- pareto --- *)
 
@@ -355,8 +359,7 @@ let pareto_cmd =
   let dst_arg =
     Arg.(required & opt (some string) None & info [ "to" ] ~doc:"Destination city.")
   in
-  let run verbose telemetry name src dst =
-    setup verbose telemetry;
+  let run () name src dst =
     let net = or_die (find_net name) in
     let env = Riskroute.Env.of_net net in
     let pop_id city =
@@ -384,7 +387,7 @@ let pareto_cmd =
   in
   Cmd.v
     (Cmd.info "pareto" ~doc:"Distance/risk trade-off curve between two PoPs.")
-    Term.(const run $ verbose_arg $ telemetry_arg $ net_arg $ src_arg $ dst_arg)
+    Term.(const run $ setup_term $ net_arg $ src_arg $ dst_arg)
 
 (* --- export-geojson --- *)
 
@@ -392,15 +395,14 @@ let export_geojson_cmd =
   let out_arg =
     Arg.(required & opt (some string) None & info [ "o"; "output" ] ~doc:"Output file.")
   in
-  let run verbose telemetry name path =
-    setup verbose telemetry;
+  let run () name path =
     let net = or_die (find_net name) in
     Rr_topology.Geo_export.to_file path net;
     Format.printf "wrote %s as GeoJSON to %s@." name path
   in
   Cmd.v
     (Cmd.info "export-geojson" ~doc:"Export a network map as GeoJSON.")
-    Term.(const run $ verbose_arg $ telemetry_arg $ net_arg $ out_arg)
+    Term.(const run $ setup_term $ net_arg $ out_arg)
 
 (* --- shared-risk --- *)
 
@@ -408,8 +410,7 @@ let shared_risk_cmd =
   let other_arg =
     Arg.(required & opt (some string) None & info [ "with" ] ~doc:"Second network.")
   in
-  let run verbose telemetry name other =
-    setup verbose telemetry;
+  let run () name other =
     let a = or_die (find_net name) and b = or_die (find_net other) in
     let riskmap = Rr_disaster.Riskmap.shared () in
     let corr = Riskroute.Shared_risk.exposure_correlation ~riskmap a b in
@@ -424,7 +425,7 @@ let shared_risk_cmd =
   in
   Cmd.v
     (Cmd.info "shared-risk" ~doc:"Shared disaster exposure of two networks.")
-    Term.(const run $ verbose_arg $ telemetry_arg $ net_arg $ other_arg)
+    Term.(const run $ setup_term $ net_arg $ other_arg)
 
 (* --- availability --- *)
 
@@ -432,8 +433,7 @@ let availability_cmd =
   let mttr_arg =
     Arg.(value & opt float 12.0 & info [ "mttr" ] ~doc:"Mean time to repair, hours.")
   in
-  let run verbose telemetry name mttr =
-    setup verbose telemetry;
+  let run () name mttr =
     let net = or_die (find_net name) in
     let env = Riskroute.Env.of_net net in
     let a = Riskroute.Availability.run ~mttr_hours:mttr env in
@@ -453,7 +453,7 @@ let availability_cmd =
   in
   Cmd.v
     (Cmd.info "availability" ~doc:"Achieved availability (nines) per routing posture.")
-    Term.(const run $ verbose_arg $ telemetry_arg $ net_arg $ mttr_arg)
+    Term.(const run $ setup_term $ net_arg $ mttr_arg)
 
 (* --- report --- *)
 
@@ -462,8 +462,7 @@ let report_cmd =
     Arg.(value & pos 0 string "all" & info [] ~docv:"EXPERIMENT"
            ~doc:"Experiment id (table1..fig13) or 'all'.")
   in
-  let run verbose telemetry exp =
-    setup verbose telemetry;
+  let run () exp =
     let ppf = Format.std_formatter in
     (if String.equal exp "all" then Rr_experiments.Report.run_all ppf
      else
@@ -478,7 +477,62 @@ let report_cmd =
   in
   Cmd.v
     (Cmd.info "report" ~doc:"Reproduce a paper table or figure.")
-    Term.(const run $ verbose_arg $ telemetry_arg $ exp_arg)
+    Term.(const run $ setup_term $ exp_arg)
+
+(* --- bench-compare --- *)
+
+let bench_compare_cmd =
+  let baseline_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"BASELINE" ~doc:"Baseline BENCH_*.json (the reference).")
+  in
+  let current_arg =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"CURRENT" ~doc:"Current BENCH_*.json (the candidate).")
+  in
+  let threshold_arg =
+    let doc =
+      "Base noise threshold tau: a kernel regresses when its current p50 \
+       exceeds baseline p50 by more than tau plus the baseline's own \
+       measured spread (p95/p50 - 1, capped at 0.5)."
+    in
+    Arg.(value & opt float 0.25 & info [ "threshold" ] ~docv:"TAU" ~doc)
+  in
+  let run () baseline current tau_base =
+    let load path =
+      match Rr_perf.Benchfile.read path with
+      | Ok f -> f
+      | Error msg -> or_die (Error msg)
+    in
+    let base = load baseline and cur = load current in
+    let warn_meta what get =
+      let b = get base.Rr_perf.Benchfile.meta
+      and c = get cur.Rr_perf.Benchfile.meta in
+      if b <> c && b <> "" && c <> "" then
+        Printf.eprintf
+          "riskroute: warning: %s differs (baseline %s, current %s); \
+           timings may not be comparable\n%!"
+          what b c
+    in
+    warn_meta "pool size" (fun m -> string_of_int m.Rr_perf.Benchfile.domains);
+    warn_meta "hostname" (fun m -> m.Rr_perf.Benchfile.hostname);
+    warn_meta "OCaml version" (fun m -> m.Rr_perf.Benchfile.ocaml_version);
+    warn_meta "word size" (fun m -> string_of_int m.Rr_perf.Benchfile.word_size);
+    let rows = Rr_perf.Compare.run ~tau_base base cur in
+    Rr_perf.Compare.pp_table Format.std_formatter rows;
+    Format.pp_print_flush Format.std_formatter ();
+    if Rr_perf.Compare.any_regression rows then exit 3
+  in
+  Cmd.v
+    (Cmd.info "bench-compare"
+       ~doc:
+         "Compare two bench JSON files kernel by kernel; exit 3 when any \
+          kernel regressed past its noise threshold.")
+    Term.(const run $ setup_term $ baseline_arg $ current_arg $ threshold_arg)
 
 let main_cmd =
   let doc = "RiskRoute: mitigate network outage threats (CoNEXT'13 reproduction)." in
@@ -488,6 +542,7 @@ let main_cmd =
       networks_cmd; route_cmd; ratios_cmd; provision_cmd; peers_cmd;
       forecast_cmd; export_gml_cmd; report_cmd; simulate_cmd; backup_cmd;
       pareto_cmd; export_geojson_cmd; shared_risk_cmd; availability_cmd;
+      bench_compare_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

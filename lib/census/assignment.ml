@@ -28,7 +28,7 @@ let nearest_index sites point =
 let c_blocks = Rr_obs.Counter.make "census.blocks_assigned"
 
 let populations ~sites blocks =
- Rr_obs.with_span "census.assign" @@ fun () ->
+ Rr_obs.with_kernel "census.assign" @@ fun () ->
   Rr_obs.Counter.add c_blocks (Array.length blocks);
   (* The nearest-site search per block is independent and dominates the
      cost, so it fans out across the domain pool; the population totals

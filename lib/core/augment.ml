@@ -169,7 +169,7 @@ let candidates ?(max_candidates = 400) ?(reduction_threshold = 0.5) env =
   |> List.map snd
 
 let greedy ?(k = 1) ?max_candidates ?reduction_threshold env =
- Rr_obs.with_span "augment.greedy" @@ fun () ->
+ Rr_obs.with_kernel "augment.greedy" @@ fun () ->
   let weight = risk_weight env in
   let graph = Rr_graph.Graph.copy (Env.graph env) in
   let m = ref (all_pairs_arcs env ~arc_weight:(risk_arc_weight env)) in

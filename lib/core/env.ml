@@ -67,7 +67,7 @@ let compute_arc_risk node_risk arc_tgt =
 
 let make ?(params = Params.default) ~graph ~coords ~impact ~historical
     ?forecast () =
-  Rr_obs.with_span "env.make" (fun () ->
+  Rr_obs.with_kernel "env.make" (fun () ->
       let tel = Rr_obs.enabled () in
       let t0 = if tel then Rr_obs.Clock.monotonic () else 0.0 in
       Params.validate params;
@@ -115,7 +115,7 @@ let forecast_of_advisory params coords advisory =
     coords
 
 let of_net ?(params = Params.default) ?riskmap ?advisory (net : Rr_topology.Net.t) =
-  Rr_obs.with_span "env.of_net" (fun () ->
+  Rr_obs.with_kernel "env.of_net" (fun () ->
       let riskmap =
         match riskmap with Some r -> r | None -> Rr_disaster.Riskmap.shared ()
       in

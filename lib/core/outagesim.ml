@@ -55,7 +55,7 @@ let reactive_survives env ~failed ~src ~dst =
 
 let run ?rng ?(scenario_count = 200) ?(pair_cap = 200) ?(radius_miles = 80.0)
     ?(kind = Rr_disaster.Event.Fema_hurricane) env =
- Rr_obs.with_span "outagesim.run" @@ fun () ->
+ Rr_obs.with_kernel "outagesim.run" @@ fun () ->
   Rr_obs.Counter.add c_scenarios scenario_count;
   let rng = match rng with Some r -> r | None -> Prng.create 0x0D15A57EL in
   let n = Env.node_count env in

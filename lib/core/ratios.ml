@@ -79,7 +79,7 @@ let accumulate routed ~diagonal_share =
   end
 
 let intradomain ?(pair_cap = default_cap) ?(seed = 0x4A71_05L) env =
- Rr_obs.with_span "ratios.intradomain" @@ fun () ->
+ Rr_obs.with_kernel "ratios.intradomain" @@ fun () ->
   let n = Env.node_count env in
   let rng = Prng.create seed in
   let pairs = Sampling.pair_indices rng ~n ~cap:pair_cap in

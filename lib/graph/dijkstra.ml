@@ -17,6 +17,8 @@ let c_heap_pops = Rr_obs.Counter.make "dijkstra.heap_pops"
 
 let c_early_stops = Rr_obs.Counter.make "dijkstra.early_stops"
 
+let c_gc_minor_words = Rr_obs.Counter.make "dijkstra.gc_minor_words"
+
 let flush_counters ~relaxations ~pushes ~pops ~early =
   Rr_obs.Counter.incr c_runs;
   Rr_obs.Counter.add c_relaxations relaxations;
@@ -151,9 +153,16 @@ let run_flat ~n ~off ~tgt ~weight ~src ~stop =
   dist.(src) <- 0.0;
   Heap.push heap 0.0 src;
   let finished = ref false in
-  if Rr_obs.enabled () then
+  if Rr_obs.enabled () then begin
+    (* [Gc.minor_words] is domain-local and allocation-free, so the
+       counted path can afford a per-run allocation delta: a run that
+       starts boxing floats again shows up here before it shows up as
+       wall-clock. *)
+    let gc0 = Gc.minor_words () in
     flat_loop_counted ~off ~tgt ~weight ~stop ~dist ~parent ~settled ~heap
-      ~finished
+      ~finished;
+    Rr_obs.Counter.add c_gc_minor_words (int_of_float (Gc.minor_words () -. gc0))
+  end
   else flat_loop ~off ~tgt ~weight ~stop ~dist ~parent ~settled ~heap ~finished;
   { dist; parent }
 

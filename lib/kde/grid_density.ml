@@ -14,7 +14,7 @@ let c_events = Rr_obs.Counter.make "kde.events_deposited"
 let h_sweep = Rr_obs.Histogram.make "kde.sweep_seconds"
 
 let fit ?(rows = default_rows) ?(cols = default_cols) ~bandwidth events =
- Rr_obs.with_span "kde.grid_fit" @@ fun () ->
+ Rr_obs.with_kernel "kde.grid_fit" @@ fun () ->
   let tel = Rr_obs.enabled () in
   if tel then begin
     Rr_obs.Counter.incr c_fits;

@@ -107,6 +107,7 @@ type span = {
   sp_name : string;
   sp_start : float; (* seconds since registry creation *)
   sp_dur : float;
+  sp_domain : int; (* id of the domain that executed the span *)
 }
 
 type sshard = { mutable ss_spans : span list }
@@ -280,6 +281,32 @@ module Histogram = struct
       s.hs_buckets.(i) <- s.hs_buckets.(i) + 1
     end
 
+  (* Bucket-rank quantile: the upper bound of the bucket holding the
+     nearest-rank sample, clamped into [min, max] so single-sample and
+     extreme quantiles report an actually-observed value. Depends only
+     on count/min/max/buckets, so it is order-independent across shard
+     merges (deterministic at any pool size). NaN on an empty
+     histogram; exposition clamps that to 0. *)
+  let quantile (s : snapshot) q =
+    if s.count = 0 then Float.nan
+    else begin
+      let rank = int_of_float (Float.ceil (q *. float_of_int s.count)) in
+      let rank = if rank < 1 then 1 else if rank > s.count then s.count else rank in
+      let cum = ref 0 in
+      let idx = ref (bucket_count - 1) in
+      (try
+         Array.iteri
+           (fun i n ->
+             cum := !cum + n;
+             if !cum >= rank then begin
+               idx := i;
+               raise Exit
+             end)
+           s.buckets
+       with Exit -> ());
+      Float.max s.vmin (Float.min s.vmax (bucket_bound !idx))
+    end
+
   let snapshot t =
     Mutex.lock t.h_lock;
     let snap =
@@ -349,6 +376,7 @@ let with_span ?(registry = Registry.default) name f =
             sp_name = name;
             sp_start = t0 -. registry.r_created;
             sp_dur = dur;
+            sp_domain = (Domain.self () :> int);
           })
       f
   end
@@ -378,6 +406,66 @@ let spans ?(registry = Registry.default) () =
   in
   Mutex.unlock registry.r_lock;
   List.sort (fun a b -> compare a.sp_id b.sp_id) all
+
+(* --- domain labels (trace tracks) --- *)
+
+(* Human-readable names for trace tracks: the pool registers its workers,
+   the initial domain is labelled at module load. Unlabelled domains fall
+   back to "domain-<id>" in the trace. Process-global, not per registry:
+   a domain's identity does not depend on which registry recorded it. *)
+let label_lock = Mutex.create ()
+
+let domain_labels : (int, string) Hashtbl.t = Hashtbl.create 8
+
+let set_domain_label name =
+  Mutex.lock label_lock;
+  Hashtbl.replace domain_labels (Domain.self () :> int) name;
+  Mutex.unlock label_lock
+
+let domain_label id =
+  Mutex.lock label_lock;
+  let l = Hashtbl.find_opt domain_labels id in
+  Mutex.unlock label_lock;
+  match l with Some l -> l | None -> Printf.sprintf "domain-%d" id
+
+let () = set_domain_label "main"
+
+(* --- kernel wrapper: span + GC delta --- *)
+
+(* [with_kernel name f] is [with_span name f] plus a [Gc.quick_stat]
+   delta: allocation pressure of every instrumented kernel lands in
+   counters ([<name>.gc_minor_words], [<name>.gc_major_words],
+   [<name>.gc_minor_collections], [<name>.gc_major_collections]) and the
+   post-run heap size in gauge [<name>.gc_heap_words]. In OCaml 5
+   [quick_stat] reads the calling domain, so for kernels that fan out
+   the delta covers the submitting domain only — still enough to see an
+   allocation regression, which shows up on every domain alike. *)
+let with_kernel ?registry name f =
+  if not (enabled ()) then f ()
+  else begin
+    let s0 = Gc.quick_stat () in
+    (* [quick_stat.minor_words] is only refreshed at minor collections;
+       [Gc.minor_words] reads the live allocation pointer, so short
+       kernels that never trigger a collection still report their
+       allocations. *)
+    let mw0 = Gc.minor_words () in
+    Fun.protect
+      ~finally:(fun () ->
+        let s1 = Gc.quick_stat () in
+        let count suffix v =
+          if v > 0 then Counter.add (Counter.make ?registry (name ^ suffix)) v
+        in
+        count ".gc_minor_words" (int_of_float (Gc.minor_words () -. mw0));
+        count ".gc_major_words"
+          (int_of_float (s1.Gc.major_words -. s0.Gc.major_words));
+        count ".gc_minor_collections"
+          (s1.Gc.minor_collections - s0.Gc.minor_collections);
+        count ".gc_major_collections"
+          (s1.Gc.major_collections - s0.Gc.major_collections);
+        Gauge.set (Gauge.make ?registry (name ^ ".gc_heap_words"))
+          s1.Gc.heap_words)
+      (fun () -> with_span ?registry name f)
+  end
 
 (* --- meta --- *)
 
@@ -484,9 +572,14 @@ let to_json ?(registry = Registry.default) () =
       obj (sorted_names registry.r_histograms) (fun name ->
           let s = Histogram.snapshot (Hashtbl.find registry.r_histograms name) in
           add
-            (Printf.sprintf "{\"count\": %d, \"sum\": %s, \"min\": %s, \"max\": %s, \"buckets\": ["
+            (Printf.sprintf
+               "{\"count\": %d, \"sum\": %s, \"min\": %s, \"max\": %s, \
+                \"p50\": %s, \"p90\": %s, \"p99\": %s, \"buckets\": ["
                s.Histogram.count (fnum s.Histogram.sum)
-               (fnum s.Histogram.vmin) (fnum s.Histogram.vmax));
+               (fnum s.Histogram.vmin) (fnum s.Histogram.vmax)
+               (fnum (Histogram.quantile s 0.50))
+               (fnum (Histogram.quantile s 0.90))
+               (fnum (Histogram.quantile s 0.99)));
           let first = ref true in
           Array.iteri
             (fun i n ->
@@ -512,8 +605,8 @@ let to_json ?(registry = Registry.default) () =
             json_escape b sp.sp_name;
             add "\"";
             add
-              (Printf.sprintf ", \"start\": %s, \"dur\": %s}"
-                 (fnum sp.sp_start) (fnum sp.sp_dur));
+              (Printf.sprintf ", \"start\": %s, \"dur\": %s, \"domain\": %d}"
+                 (fnum sp.sp_start) (fnum sp.sp_dur) sp.sp_domain);
             if i < List.length sps - 1 then add ",";
             add "\n")
           sps;
@@ -571,6 +664,87 @@ let to_prometheus ?(registry = Registry.default) () =
     (sorted_names registry.r_histograms);
   Buffer.contents b
 
+(* --- trace exposition (Chrome trace-event JSON) ---
+
+   Serializes the completed span trees as a Chrome/Perfetto-loadable
+   trace (chrome://tracing, https://ui.perfetto.dev). Mapping:
+
+   - every span becomes one complete ("ph": "X") event; ts/dur are
+     microseconds since registry creation;
+   - the domain that executed a span is its track ("tid"), so a
+     multicore run shows one lane per pool domain, with lanes named via
+     "thread_name" metadata events ("main", "pool-worker-<i>");
+   - span identity and parentage ride in "args" ({"id", "parent"}), and
+     every parent link that crosses domains (a Parallel hand-off)
+     additionally becomes a flow-event pair ("ph": "s"/"f", bound by
+     the child span id), so the arrows survive in the trace viewer.
+
+   Events are ordered by span id, so the output is reproducible given
+   deterministic spans. *)
+
+let us v = Printf.sprintf "%.3f" (v *. 1e6)
+
+let to_trace ?(registry = Registry.default) () =
+  let sps = spans ~registry () in
+  let b = Buffer.create 4096 in
+  let add = Buffer.add_string b in
+  let first = ref true in
+  let event s =
+    if not !first then add ",\n";
+    first := false;
+    add "    ";
+    add s
+  in
+  add "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [\n";
+  event
+    "{\"ph\": \"M\", \"pid\": 1, \"tid\": 0, \"name\": \"process_name\", \
+     \"args\": {\"name\": \"riskroute\"}}";
+  let domains =
+    List.sort_uniq compare (List.map (fun sp -> sp.sp_domain) sps)
+  in
+  List.iter
+    (fun d ->
+      let name = Buffer.create 16 in
+      json_escape name (domain_label d);
+      event
+        (Printf.sprintf
+           "{\"ph\": \"M\", \"pid\": 1, \"tid\": %d, \"name\": \
+            \"thread_name\", \"args\": {\"name\": \"%s\"}}"
+           d (Buffer.contents name)))
+    domains;
+  let by_id = Hashtbl.create (List.length sps) in
+  List.iter (fun sp -> Hashtbl.replace by_id sp.sp_id sp) sps;
+  List.iter
+    (fun sp ->
+      let name = Buffer.create 32 in
+      json_escape name sp.sp_name;
+      event
+        (Printf.sprintf
+           "{\"ph\": \"X\", \"pid\": 1, \"tid\": %d, \"ts\": %s, \"dur\": \
+            %s, \"name\": \"%s\", \"cat\": \"riskroute\", \"args\": \
+            {\"id\": %d, \"parent\": %d}}"
+           sp.sp_domain (us sp.sp_start) (us sp.sp_dur)
+           (Buffer.contents name) sp.sp_id sp.sp_parent);
+      match Hashtbl.find_opt by_id sp.sp_parent with
+      | Some parent when parent.sp_domain <> sp.sp_domain ->
+        (* Cross-domain hand-off: draw a flow arrow from the parent's
+           slice to the child's, bound by the child span id. *)
+        event
+          (Printf.sprintf
+             "{\"ph\": \"s\", \"pid\": 1, \"tid\": %d, \"ts\": %s, \"id\": \
+              %d, \"name\": \"handoff\", \"cat\": \"riskroute\"}"
+             parent.sp_domain (us parent.sp_start) sp.sp_id);
+        event
+          (Printf.sprintf
+             "{\"ph\": \"f\", \"bp\": \"e\", \"pid\": 1, \"tid\": %d, \
+              \"ts\": %s, \"id\": %d, \"name\": \"handoff\", \"cat\": \
+              \"riskroute\"}"
+             sp.sp_domain (us sp.sp_start) sp.sp_id)
+      | Some _ | None -> ())
+    sps;
+  add "\n  ]\n}\n";
+  Buffer.contents b
+
 (* --- exit dump ---
 
    RISKROUTE_TELEMETRY=<spec> (environment) or [enable_dump spec]
@@ -578,13 +752,74 @@ let to_prometheus ?(registry = Registry.default) () =
    registry when the process exits. Spec: "-" / "stderr" / "1" / "true"
    / "on" write JSON to stderr (stdout stays clean for program output);
    anything else is a file path, with a ".prom" suffix selecting
-   Prometheus text format instead of JSON. *)
+   Prometheus text format instead of JSON.
+
+   RISKROUTE_TRACE=<path> (environment) or [enable_trace path]
+   (CLI/bench --trace) additionally write the Chrome trace-event JSON to
+   [path] on exit. The trace always goes to a file of its own, never to
+   stderr, so it composes with "--telemetry -" without interleaving. *)
 
 let dump_dest = ref None
 
+let trace_dest = ref None
+
+let c_path_invalid = Counter.make "obs.dump_path_invalid"
+
+let stderr_spec = function
+  | "-" | "stderr" | "1" | "true" | "on" -> true
+  | _ -> false
+
+(* Validate an output path when the dump is armed, not when the process
+   exits: an unwritable directory otherwise only surfaces as a confusing
+   exit-time failure after minutes of work. One clear stderr warning and
+   a counter bump, mirroring the invalid RISKROUTE_DOMAINS handling; the
+   dump stays armed so a path that becomes writable still works. *)
+let validate_dump_path ~what spec =
+  let writable path =
+    try
+      Unix.access path [ Unix.W_OK ];
+      true
+    with Unix.Unix_error _ -> false
+  in
+  let ok =
+    stderr_spec spec
+    ||
+    let dir = Filename.dirname spec in
+    (try Sys.is_directory dir with Sys_error _ -> false)
+    && writable dir
+    && ((not (Sys.file_exists spec)) || writable spec)
+  in
+  if not ok then begin
+    Counter.incr c_path_invalid;
+    Printf.eprintf
+      "riskroute: %s output path %S is not writable (missing or read-only \
+       directory?); the exit dump will likely fail\n%!"
+      what spec
+  end;
+  ok
+
 let enable_dump spec =
   set_enabled true;
+  ignore (validate_dump_path ~what:"telemetry" spec);
   dump_dest := Some spec
+
+let enable_trace path =
+  set_enabled true;
+  if stderr_spec path then begin
+    Counter.incr c_path_invalid;
+    Printf.eprintf
+      "riskroute: trace output needs a file path, not %S; tracing disabled\n%!"
+      path
+  end
+  else begin
+    ignore (validate_dump_path ~what:"trace" path);
+    trace_dest := Some path
+  end
+
+let write_trace path =
+  let oc = open_out path in
+  output_string oc (to_trace ());
+  close_out oc
 
 let write_dump spec =
   let to_stderr =
@@ -607,11 +842,29 @@ let write_dump spec =
     close_out oc
   end
 
+(* Tests: disarm both exit dumps without touching the enabled flag. *)
+let disarm_dumps () =
+  dump_dest := None;
+  trace_dest := None
+
 let () =
   (match Sys.getenv_opt "RISKROUTE_TELEMETRY" with
   | Some v when String.trim v <> "" -> enable_dump (String.trim v)
   | Some _ | None -> ());
+  (match Sys.getenv_opt "RISKROUTE_TRACE" with
+  | Some v when String.trim v <> "" -> enable_trace (String.trim v)
+  | Some _ | None -> ());
   at_exit (fun () ->
+      (* Trace first, then metrics: each write is a single buffered file
+         or stderr write, so "--trace f.json --telemetry -" never
+         interleaves on stderr. *)
+      (match !trace_dest with
+      | None -> ()
+      | Some path -> (
+        try write_trace path
+        with e ->
+          Printf.eprintf "riskroute: trace dump to %S failed: %s\n%!" path
+            (Printexc.to_string e)));
       match !dump_dest with
       | None -> ()
       | Some spec -> (

@@ -1,0 +1,49 @@
+(** BENCH_*.json files: the machine-readable benchmark format written
+    by [bench/main.exe json] and read by [riskroute bench-compare].
+
+    Schema 3 is statistics-aware: each kernel row carries mean/p50/p95
+    over N repetitions plus per-run GC allocation deltas, and the meta
+    block is self-describing (OCaml version, word size, resolved pool
+    size) so baselines stay comparable across machines. Schema-2 files
+    (single Bechamel OLS estimate per kernel) are still readable: the
+    one estimate stands in for every statistic. *)
+
+type meta = {
+  schema : int;
+  domains : int;  (** resolved pool size the run actually used *)
+  git_rev : string;
+  hostname : string;
+  ocaml_version : string;
+  word_size : int;
+  riskroute_domains : string;  (** raw RISKROUTE_DOMAINS value, "" if unset *)
+  reps : int;
+  warmups : int;
+}
+
+type result = {
+  name : string;
+  reps : int;
+  mean_ns : float;
+  p50_ns : float;
+  p95_ns : float;
+  min_ns : float;
+  max_ns : float;
+  gc_minor_words : float;  (** mean minor words allocated per run *)
+  gc_major_words : float;
+}
+
+type file = { meta : meta; results : result list }
+
+val schema : int
+(** The schema this module writes (3). *)
+
+val to_json_string : file -> string
+
+val of_json_string : string -> (file, string) Stdlib.result
+
+val write : string -> file -> unit
+
+val read : string -> (file, string) Stdlib.result
+(** [read path] loads and parses; IO errors become [Error]. *)
+
+val find : file -> string -> result option

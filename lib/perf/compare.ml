@@ -1,0 +1,101 @@
+type verdict = Regressed | Improved | Within | Added | Removed
+
+type row = {
+  name : string;
+  base_p50 : float;
+  cur_p50 : float;
+  ratio : float;
+  tau : float;
+  verdict : verdict;
+}
+
+(* A kernel's noise band: flat allowance plus the baseline's own
+   measured spread (p95 over p50), capped so one pathological baseline
+   repetition cannot disable the gate for that kernel. *)
+let kernel_tau ~tau_base (base : Benchfile.result) =
+  let spread =
+    if base.Benchfile.p50_ns > 0.0 then
+      Float.max 0.0 ((base.Benchfile.p95_ns /. base.Benchfile.p50_ns) -. 1.0)
+    else 0.0
+  in
+  tau_base +. Float.min 0.5 spread
+
+let run ?(tau_base = 0.25) (baseline : Benchfile.file)
+    (current : Benchfile.file) =
+  let names =
+    List.sort_uniq compare
+      (List.map (fun r -> r.Benchfile.name) baseline.Benchfile.results
+      @ List.map (fun r -> r.Benchfile.name) current.Benchfile.results)
+  in
+  let rows =
+    List.map
+      (fun name ->
+        match (Benchfile.find baseline name, Benchfile.find current name) with
+        | Some b, Some c ->
+          let tau = kernel_tau ~tau_base b in
+          let base_p50 = b.Benchfile.p50_ns
+          and cur_p50 = c.Benchfile.p50_ns in
+          let ratio =
+            if base_p50 > 0.0 then cur_p50 /. base_p50 else Float.nan
+          in
+          let verdict =
+            if Float.is_nan ratio then Within
+            else if ratio > 1.0 +. tau then Regressed
+            else if ratio < 1.0 /. (1.0 +. tau) then Improved
+            else Within
+          in
+          { name; base_p50; cur_p50; ratio; tau; verdict }
+        | None, Some c ->
+          {
+            name;
+            base_p50 = Float.nan;
+            cur_p50 = c.Benchfile.p50_ns;
+            ratio = Float.nan;
+            tau = tau_base;
+            verdict = Added;
+          }
+        | Some b, None ->
+          {
+            name;
+            base_p50 = b.Benchfile.p50_ns;
+            cur_p50 = Float.nan;
+            ratio = Float.nan;
+            tau = tau_base;
+            verdict = Removed;
+          }
+        | None, None -> assert false)
+      names
+  in
+  let weight r = match r.verdict with Regressed -> 0 | _ -> 1 in
+  List.stable_sort (fun a b -> compare (weight a) (weight b)) rows
+
+let any_regression rows = List.exists (fun r -> r.verdict = Regressed) rows
+
+let pp_ns ppf v =
+  if Float.is_nan v then Format.fprintf ppf "%10s" "-"
+  else if v >= 1e9 then Format.fprintf ppf "%8.2f s" (v /. 1e9)
+  else if v >= 1e6 then Format.fprintf ppf "%7.2f ms" (v /. 1e6)
+  else if v >= 1e3 then Format.fprintf ppf "%7.2f us" (v /. 1e3)
+  else Format.fprintf ppf "%7.0f ns" v
+
+let verdict_name = function
+  | Regressed -> "REGRESSED"
+  | Improved -> "improved"
+  | Within -> "ok"
+  | Added -> "added"
+  | Removed -> "removed"
+
+let pp_table ppf rows =
+  Format.fprintf ppf "%-44s %10s %10s %7s %6s  %s@." "kernel" "baseline"
+    "current" "ratio" "tau" "verdict";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-44s %a %a %7s %6.2f  %s@." r.name pp_ns r.base_p50
+        pp_ns r.cur_p50
+        (if Float.is_nan r.ratio then "-"
+         else Printf.sprintf "%.2fx" r.ratio)
+        r.tau (verdict_name r.verdict))
+    rows;
+  let n = List.length (List.filter (fun r -> r.verdict = Regressed) rows) in
+  if n > 0 then Format.fprintf ppf "%d kernel(s) regressed@." n
+  else Format.fprintf ppf "no regressions@."

@@ -1,0 +1,33 @@
+(** The benchmark regression sentinel behind [riskroute bench-compare].
+
+    Threshold model, per kernel [k]:
+
+      tau_k = tau_base + min(0.5, p95/p50 - 1 of the baseline)
+
+    i.e. a flat noise allowance everyone gets, widened by the spread the
+    baseline itself measured — a jittery kernel earns a wider band, a
+    stable microkernel gets a tight one. A kernel regresses when
+    [current.p50 > baseline.p50 * (1 + tau_k)] and improves when
+    [current.p50 < baseline.p50 / (1 + tau_k)]. Kernels present on only
+    one side are reported but never fail the gate. *)
+
+type verdict = Regressed | Improved | Within | Added | Removed
+
+type row = {
+  name : string;
+  base_p50 : float;  (** ns; nan when [Added] *)
+  cur_p50 : float;  (** ns; nan when [Removed] *)
+  ratio : float;  (** cur/base; nan when either side is missing *)
+  tau : float;  (** the threshold this kernel was judged against *)
+  verdict : verdict;
+}
+
+val run : ?tau_base:float -> Benchfile.file -> Benchfile.file -> row list
+(** [run baseline current] compares two bench files kernel by kernel;
+    [tau_base] defaults to 0.25. Rows come back sorted by name,
+    regressions first. *)
+
+val any_regression : row list -> bool
+
+val pp_table : Format.formatter -> row list -> unit
+(** Render the regression table (one row per kernel). *)

@@ -1,0 +1,48 @@
+let quantile samples q =
+  let n = Array.length samples in
+  if n = 0 then Float.nan
+  else begin
+    let sorted = Array.copy samples in
+    Array.sort compare sorted;
+    let rank = int_of_float (Float.ceil (q *. float_of_int n)) in
+    let rank = if rank < 1 then 1 else if rank > n then n else rank in
+    sorted.(rank - 1)
+  end
+
+let mean samples =
+  let n = Array.length samples in
+  if n = 0 then Float.nan
+  else Array.fold_left ( +. ) 0.0 samples /. float_of_int n
+
+let measure ?(warmups = 3) ?(reps = 10) kernels =
+  let reps = max 1 reps in
+  List.map
+    (fun (name, f) ->
+      for _ = 1 to warmups do
+        f ()
+      done;
+      let ns = Array.make reps 0.0 in
+      let minor = Array.make reps 0.0 in
+      let major = Array.make reps 0.0 in
+      for i = 0 to reps - 1 do
+        let g0 = Gc.quick_stat () in
+        let t0 = Rr_obs.Clock.monotonic () in
+        f ();
+        let t1 = Rr_obs.Clock.monotonic () in
+        let g1 = Gc.quick_stat () in
+        ns.(i) <- (t1 -. t0) *. 1e9;
+        minor.(i) <- g1.Gc.minor_words -. g0.Gc.minor_words;
+        major.(i) <- g1.Gc.major_words -. g0.Gc.major_words
+      done;
+      {
+        Benchfile.name;
+        reps;
+        mean_ns = mean ns;
+        p50_ns = quantile ns 0.50;
+        p95_ns = quantile ns 0.95;
+        min_ns = quantile ns 0.0;
+        max_ns = quantile ns 1.0;
+        gc_minor_words = mean minor;
+        gc_major_words = mean major;
+      })
+    kernels

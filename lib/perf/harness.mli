@@ -1,0 +1,20 @@
+(** Repetition-based measurement for the bench harness.
+
+    Unlike a throughput estimator, this records every repetition so the
+    stored statistics are real order statistics (p50/p95 of actual
+    runs), plus per-run GC deltas — an allocation regression shows up
+    even when wall-clock hides it behind noise. *)
+
+val measure :
+  ?warmups:int ->
+  ?reps:int ->
+  (string * (unit -> unit)) list ->
+  Benchfile.result list
+(** [measure kernels] runs each named kernel [warmups] times unrecorded
+    (default 3), then [reps] recorded times (default 10, floored at 1),
+    timing each repetition with the telemetry wall clock and capturing
+    [Gc.quick_stat] deltas. Results keep the input order. *)
+
+val quantile : float array -> float -> float
+(** Nearest-rank quantile of a sample array (sorted internally);
+    [nan] on an empty array. Exposed for the tests. *)

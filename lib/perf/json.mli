@@ -1,0 +1,29 @@
+(** Minimal JSON reader for the performance tooling.
+
+    The repo is zero-dependency by policy, so the bench baseline files
+    and trace output are parsed with this small recursive-descent
+    parser rather than an external library. It accepts everything the
+    repo's own writers emit (and standard JSON generally); it does not
+    aim to be a validator of exotic inputs. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Parse a complete JSON document; [Error msg] carries a byte offset. *)
+
+val member : string -> t -> t option
+(** Field lookup in an [Obj]; [None] on missing field or non-object. *)
+
+val to_num : t -> float option
+
+val to_int : t -> int option
+
+val to_str : t -> string option
+
+val to_arr : t -> t list option

@@ -117,7 +117,12 @@ let ensure_pool size =
         workers = [||];
       }
     in
-    pool.workers <- Array.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker pool));
+    pool.workers <-
+      Array.init (size - 1) (fun i ->
+          Domain.spawn (fun () ->
+              (* Label the worker's trace track before it takes work. *)
+              Rr_obs.set_domain_label (Printf.sprintf "pool-worker-%d" (i + 1));
+              worker pool));
     current := Some pool;
     current_size := size;
     Rr_obs.Counter.incr c_pool_spawns;
@@ -137,8 +142,14 @@ let run_batch pool (bodies : (unit -> unit) array) =
   let remaining = ref (Array.length bodies) in
   let batch_done = Condition.create () in
   let error = ref None in
+  (* Each task body runs under a "parallel.task" span so trace export
+     shows where wall-clock goes on every pool domain; the span parents
+     to the submitting span, so the tree (and the trace's hand-off
+     arrows) survive the queue. A no-op when telemetry is off. *)
   let wrap f () =
-    (try Rr_obs.Span.with_parent parent f
+    (try
+       Rr_obs.Span.with_parent parent (fun () ->
+           Rr_obs.with_span "parallel.task" f)
      with e ->
        Mutex.lock pool.mutex;
        if !error = None then error := Some e;

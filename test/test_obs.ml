@@ -79,24 +79,39 @@ let test_span_nesting () =
       inner.Rr_obs.sp_parent
   | sps -> Alcotest.failf "expected 2 spans, got %d" (List.length sps)
 
+(* Spans opened inside pool tasks chain to the submitting span through
+   the pool's own "parallel.task" span (recorded in the default
+   registry): task -> parallel.task -> submit. *)
 let test_span_pool_attribution () =
   with_telemetry @@ fun () ->
   with_domains 4 @@ fun () ->
+  Rr_obs.reset ();
   let r = Rr_obs.Registry.create () in
   Rr_obs.with_span ~registry:r "submit" (fun () ->
       Parallel.parallel_for 64 (fun _ ->
           Rr_obs.with_span ~registry:r "task" (fun () -> ())));
   let sps = Rr_obs.spans ~registry:r () in
-  let submit =
-    List.find (fun sp -> sp.Rr_obs.sp_name = "submit") sps
-  in
+  let submit = List.find (fun sp -> sp.Rr_obs.sp_name = "submit") sps in
   let tasks = List.filter (fun sp -> sp.Rr_obs.sp_name = "task") sps in
+  let pool_spans =
+    List.filter
+      (fun sp -> sp.Rr_obs.sp_name = "parallel.task")
+      (Rr_obs.spans ())
+  in
+  let pool_ids = List.map (fun sp -> sp.Rr_obs.sp_id) pool_spans in
   Alcotest.(check int) "one span per task body" 64 (List.length tasks);
+  Alcotest.(check bool) "pool recorded its task spans" true
+    (pool_spans <> []);
   List.iter
     (fun sp ->
-      Alcotest.(check int) "task span parents to submitting span"
+      Alcotest.(check bool) "task span parents to a pool task span" true
+        (List.mem sp.Rr_obs.sp_parent pool_ids))
+    tasks;
+  List.iter
+    (fun sp ->
+      Alcotest.(check int) "pool task span parents to submitting span"
         submit.Rr_obs.sp_id sp.Rr_obs.sp_parent)
-    tasks
+    pool_spans
 
 (* --- disabled mode --- *)
 
@@ -154,11 +169,12 @@ let golden_json =
   \  },\n\
   \  \"histograms\": {\n\
   \    \"gamma.seconds\": {\"count\": 3, \"sum\": 2.75, \"min\": 0.25, \
-   \"max\": 2.0, \"buckets\": [[0.25, 1], [0.5, 1], [2.0, 1]]}\n\
+   \"max\": 2.0, \"p50\": 0.5, \"p90\": 2.0, \"p99\": 2.0, \"buckets\": \
+   [[0.25, 1], [0.5, 1], [2.0, 1]]}\n\
   \  },\n\
   \  \"spans\": [\n\
   \    {\"id\": 1, \"parent\": 0, \"name\": \"root.op\", \"start\": 0.0, \
-   \"dur\": 0.0}\n\
+   \"dur\": 0.0, \"domain\": 0}\n\
   \  ]\n\
    }\n"
 
@@ -184,6 +200,195 @@ let test_golden_prometheus () =
   with_golden (fun r ->
       Alcotest.(check string) "Prometheus exposition" golden_prom
         (Rr_obs.to_prometheus ~registry:r ()))
+
+(* --- quantiles --- *)
+
+let test_quantile_empty () =
+  with_telemetry @@ fun () ->
+  let r = Rr_obs.Registry.create () in
+  let h = Rr_obs.Histogram.make ~registry:r "test.obs.q_empty" in
+  let s = Rr_obs.Histogram.snapshot h in
+  List.iter
+    (fun q ->
+      Alcotest.(check bool)
+        (Printf.sprintf "q=%.2f of an empty histogram is NaN" q)
+        true
+        (Float.is_nan (Rr_obs.Histogram.quantile s q)))
+    [ 0.0; 0.5; 0.99 ]
+
+let test_quantile_single_sample () =
+  with_telemetry @@ fun () ->
+  let h = Rr_obs.Histogram.make "test.obs.q_single" in
+  Rr_obs.Histogram.reset h;
+  Rr_obs.Histogram.observe h 3.0;
+  let s = Rr_obs.Histogram.snapshot h in
+  (* The bucket bound above 3.0 is 4.0; clamping into [min, max] must
+     bring every quantile back to the one observed value. *)
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "q=%.2f of a single sample is that sample" q)
+        3.0
+        (Rr_obs.Histogram.quantile s q))
+    [ 0.0; 0.5; 0.9; 0.99; 1.0 ]
+
+let test_quantile_pool_deterministic () =
+  with_telemetry @@ fun () ->
+  let h = Rr_obs.Histogram.make "test.obs.q_pool" in
+  let observe_all () =
+    Rr_obs.Histogram.reset h;
+    Parallel.parallel_for 512 (fun i ->
+        Rr_obs.Histogram.observe h (Float.ldexp 1.0 ((i mod 9) - 4)));
+    let s = Rr_obs.Histogram.snapshot h in
+    ( Rr_obs.Histogram.quantile s 0.5,
+      Rr_obs.Histogram.quantile s 0.9,
+      Rr_obs.Histogram.quantile s 0.99 )
+  in
+  let qs = List.map (fun k -> with_domains k observe_all) pool_sizes in
+  match qs with
+  | base :: rest ->
+    List.iteri
+      (fun i q ->
+        let k = List.nth pool_sizes (i + 1) in
+        Alcotest.(check bool)
+          (Printf.sprintf "p50/p90/p99 at %d domains match 1 domain" k)
+          true (q = base))
+      rest
+  | [] -> ()
+
+let test_merge_with_empty_shard () =
+  with_telemetry @@ fun () ->
+  with_domains 4 @@ fun () ->
+  let h = Rr_obs.Histogram.make "test.obs.q_empty_shard" in
+  (* Touch the histogram from the pool, then reset: worker shards still
+     exist but hold nothing. *)
+  Parallel.parallel_for 64 (fun _ -> Rr_obs.Histogram.observe h 1.0);
+  Rr_obs.Histogram.reset h;
+  (* Record only on the submitting domain; the merge must ignore the
+     empty shards (their min/max sentinels must not leak through). *)
+  List.iter (Rr_obs.Histogram.observe h) [ 0.5; 1.0; 4.0 ];
+  let s = Rr_obs.Histogram.snapshot h in
+  Alcotest.(check int) "count" 3 s.Rr_obs.Histogram.count;
+  Alcotest.(check (float 0.0)) "min" 0.5 s.Rr_obs.Histogram.vmin;
+  Alcotest.(check (float 0.0)) "max" 4.0 s.Rr_obs.Histogram.vmax;
+  Alcotest.(check (float 0.0)) "p50" 1.0 (Rr_obs.Histogram.quantile s 0.5)
+
+(* --- kernel wrapper --- *)
+
+let test_with_kernel_gc_counters () =
+  with_telemetry @@ fun () ->
+  let r = Rr_obs.Registry.create () in
+  let sink = ref [||] in
+  let v =
+    Rr_obs.with_kernel ~registry:r "kern" (fun () ->
+        (* Small arrays stay on the minor heap, so the delta is visible
+           in kern.gc_minor_words. *)
+        for _ = 1 to 100 do
+          sink := Array.make 100 0.0
+        done;
+        11)
+  in
+  Alcotest.(check int) "with_kernel passes the value through" 11 v;
+  ignore !sink;
+  let minor =
+    Rr_obs.Counter.value
+      (Rr_obs.Counter.make ~registry:r "kern.gc_minor_words")
+  in
+  Alcotest.(check bool) "minor allocation recorded" true (minor > 0);
+  Alcotest.(check bool) "heap gauge recorded" true
+    (Rr_obs.Gauge.value (Rr_obs.Gauge.make ~registry:r "kern.gc_heap_words")
+    > 0);
+  match Rr_obs.spans ~registry:r () with
+  | [ sp ] ->
+    Alcotest.(check string) "kernel span recorded" "kern" sp.Rr_obs.sp_name
+  | sps -> Alcotest.failf "expected 1 span, got %d" (List.length sps)
+
+(* --- trace exposition --- *)
+
+let golden_trace =
+  "{\n\
+  \  \"displayTimeUnit\": \"ms\",\n\
+  \  \"traceEvents\": [\n\
+  \    {\"ph\": \"M\", \"pid\": 1, \"tid\": 0, \"name\": \"process_name\", \
+   \"args\": {\"name\": \"riskroute\"}},\n\
+  \    {\"ph\": \"M\", \"pid\": 1, \"tid\": 0, \"name\": \"thread_name\", \
+   \"args\": {\"name\": \"main\"}},\n\
+  \    {\"ph\": \"X\", \"pid\": 1, \"tid\": 0, \"ts\": 0.000, \"dur\": \
+   0.000, \"name\": \"root.op\", \"cat\": \"riskroute\", \"args\": {\"id\": \
+   1, \"parent\": 0}}\n\
+  \  ]\n\
+   }\n"
+
+let test_golden_trace () =
+  with_golden (fun r ->
+      Alcotest.(check string) "trace exposition" golden_trace
+        (Rr_obs.to_trace ~registry:r ()))
+
+(* A span tree that crosses a real domain boundary: the trace must grow
+   a second track and a flow-event pair for the hand-off. Parsed with
+   the same reader bench-compare uses, so this also pins "the trace is
+   valid JSON". *)
+let test_trace_two_tracks () =
+  with_telemetry @@ fun () ->
+  let r = Rr_obs.Registry.create () in
+  Rr_obs.with_span ~registry:r "submit" (fun () ->
+      let parent = Rr_obs.Span.current () in
+      Domain.join
+        (Domain.spawn (fun () ->
+             Rr_obs.Span.with_parent parent (fun () ->
+                 Rr_obs.with_span ~registry:r "task" (fun () -> ())))));
+  let trace = Rr_obs.to_trace ~registry:r () in
+  match Rr_perf.Json.parse trace with
+  | Error e -> Alcotest.failf "trace is not valid JSON: %s" e
+  | Ok j ->
+    let events =
+      match
+        Option.bind (Rr_perf.Json.member "traceEvents" j) Rr_perf.Json.to_arr
+      with
+      | Some evs -> evs
+      | None -> Alcotest.fail "trace has no traceEvents array"
+    in
+    let ph e = Option.bind (Rr_perf.Json.member "ph" e) Rr_perf.Json.to_str in
+    let tid e =
+      Option.bind (Rr_perf.Json.member "tid" e) Rr_perf.Json.to_int
+    in
+    List.iter
+      (fun e ->
+        if ph e = None || tid e = None then
+          Alcotest.fail "trace event missing ph/tid")
+      events;
+    let tracks =
+      List.sort_uniq compare
+        (List.filter_map tid (List.filter (fun e -> ph e = Some "X") events))
+    in
+    Alcotest.(check bool) "at least two domain tracks" true
+      (List.length tracks >= 2);
+    let count p = List.length (List.filter (fun e -> ph e = Some p) events) in
+    Alcotest.(check int) "one flow start for the hand-off" 1 (count "s");
+    Alcotest.(check int) "one flow finish for the hand-off" 1 (count "f")
+
+(* --- dump path validation --- *)
+
+let test_dump_path_validation () =
+  with_telemetry @@ fun () ->
+  Fun.protect ~finally:Rr_obs.disarm_dumps @@ fun () ->
+  let c = Rr_obs.Counter.make "obs.dump_path_invalid" in
+  let v0 = Rr_obs.Counter.value c in
+  (* Missing directory: one warning, one counter bump, dump stays armed. *)
+  Rr_obs.enable_dump "/nonexistent-riskroute-dir/metrics.json";
+  Alcotest.(check int) "invalid telemetry path counted" (v0 + 1)
+    (Rr_obs.Counter.value c);
+  (* stderr specs are fine for the telemetry dump... *)
+  Rr_obs.enable_dump "-";
+  Alcotest.(check int) "stderr telemetry spec accepted" (v0 + 1)
+    (Rr_obs.Counter.value c);
+  (* ...but a trace needs an actual file. *)
+  Rr_obs.enable_trace "-";
+  Alcotest.(check int) "stderr trace spec rejected" (v0 + 2)
+    (Rr_obs.Counter.value c);
+  Rr_obs.enable_trace "/nonexistent-riskroute-dir/trace.json";
+  Alcotest.(check int) "invalid trace path counted" (v0 + 3)
+    (Rr_obs.Counter.value c)
 
 (* --- engine integration --- *)
 
@@ -265,6 +470,33 @@ let () =
         [
           Alcotest.test_case "json format" `Quick test_golden_json;
           Alcotest.test_case "prometheus format" `Quick test_golden_prometheus;
+        ] );
+      ( "quantiles",
+        [
+          Alcotest.test_case "empty histogram is NaN" `Quick
+            test_quantile_empty;
+          Alcotest.test_case "single sample" `Quick
+            test_quantile_single_sample;
+          Alcotest.test_case "deterministic across pool sizes" `Quick
+            test_quantile_pool_deterministic;
+          Alcotest.test_case "merge ignores empty shards" `Quick
+            test_merge_with_empty_shard;
+        ] );
+      ( "kernel",
+        [
+          Alcotest.test_case "gc counters captured" `Quick
+            test_with_kernel_gc_counters;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "golden format" `Quick test_golden_trace;
+          Alcotest.test_case "two tracks and hand-off flows" `Quick
+            test_trace_two_tracks;
+        ] );
+      ( "dump",
+        [
+          Alcotest.test_case "output path validation" `Quick
+            test_dump_path_validation;
         ] );
       ( "integration",
         [
