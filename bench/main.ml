@@ -9,6 +9,9 @@
                               per kernel, mean/p50/p95 + GC deltas) and write
                               it as JSON (default BENCH.json, or
                               BENCH_<label>.json with --label)
+     main.exe report-twice    run the full report twice in one process and
+                              verify the warm pass is byte-identical and
+                              actually served from the engine caches
      main.exe list            list experiment ids
 
    [--telemetry <file|->] anywhere on the command line enables the
@@ -26,10 +29,14 @@ open Toolkit
    repetitions for BENCH_*.json baselines and `riskroute
    bench-compare`). *)
 
+let ctx () = Rr_engine.Context.shared ()
+
+let net_env name =
+  let ctx = ctx () in
+  Rr_engine.Context.env ctx (Rr_engine.Context.require_net ctx name)
+
 let dijkstra_kernels () =
-  let zoo = Rr_topology.Zoo.shared () in
-  let level3 = Option.get (Rr_topology.Zoo.find zoo "Level3") in
-  let env = Riskroute.Env.of_net level3 in
+  let env = net_env "Level3" in
   let n = Riskroute.Env.node_count env in
   [
     ( "table2/riskroute-pair-level3",
@@ -62,8 +69,7 @@ let forecast_kernels () =
 
 let census_kernels () =
   let blocks = Rr_census.Synthetic.generate ~blocks:5_000 () in
-  let zoo = Rr_topology.Zoo.shared () in
-  let att = Option.get (Rr_topology.Zoo.find zoo "AT&T") in
+  let att = Rr_engine.Context.require_net (ctx ()) "AT&T" in
   let sites =
     Array.map (fun (p : Rr_topology.Pop.t) -> p.Rr_topology.Pop.coord)
       att.Rr_topology.Net.pops
@@ -74,9 +80,7 @@ let census_kernels () =
   ]
 
 let augment_kernels () =
-  let zoo = Rr_topology.Zoo.shared () in
-  let att = Option.get (Rr_topology.Zoo.find zoo "AT&T") in
-  let env = Riskroute.Env.of_net att in
+  let env = net_env "AT&T" in
   [
     ("fig9/greedy-one-link-att", fun () -> ignore (Riskroute.Augment.greedy ~k:1 env));
     ( "fig10/total-bit-risk-att",
@@ -84,9 +88,7 @@ let augment_kernels () =
   ]
 
 let ratio_kernels () =
-  let zoo = Rr_topology.Zoo.shared () in
-  let att = Option.get (Rr_topology.Zoo.find zoo "AT&T") in
-  let env = Riskroute.Env.of_net att in
+  let env = net_env "AT&T" in
   let advisory = List.nth (Rr_forecast.Track.advisories Rr_forecast.Track.sandy) 50 in
   [
     ( "table2/intradomain-ratios-att",
@@ -96,15 +98,13 @@ let ratio_kernels () =
   ]
 
 let gml_kernels () =
-  let zoo = Rr_topology.Zoo.shared () in
-  let att = Option.get (Rr_topology.Zoo.find zoo "AT&T") in
+  let att = Rr_engine.Context.require_net (ctx ()) "AT&T" in
   let text = Rr_gml.Printer.to_string (Rr_topology.Gml_io.to_gml att) in
   [ ("fig1/gml-parse-att", fun () -> ignore (Rr_gml.Parser.parse text)) ]
 
 let extension_kernels () =
-  let zoo = Rr_topology.Zoo.shared () in
-  let att = Option.get (Rr_topology.Zoo.find zoo "AT&T") in
-  let env = Riskroute.Env.of_net att in
+  let att = Rr_engine.Context.require_net (ctx ()) "AT&T" in
+  let env = Rr_engine.Context.env (ctx ()) att in
   let n = Riskroute.Env.node_count env in
   [
     ( "abl-pareto/frontier-att",
@@ -205,8 +205,14 @@ let git_rev () =
    comparable (and comparably *incomparable*: bench-compare can say why
    two files should not be trusted against each other). *)
 
+let cache_totals (s : Rr_engine.Context.stats) =
+  (s.env_hits + s.tree_hits, s.env_misses + s.tree_misses)
+
 let run_json ~reps ~warmups file =
+  let ctx = ctx () in
+  let h0, m0 = cache_totals (Rr_engine.Context.stats ctx) in
   let results = Rr_perf.Harness.measure ~warmups ~reps (kernels ()) in
+  let h1, m1 = cache_totals (Rr_engine.Context.stats ctx) in
   let meta =
     {
       Rr_perf.Benchfile.schema = Rr_perf.Benchfile.schema;
@@ -219,6 +225,8 @@ let run_json ~reps ~warmups file =
         Option.value (Sys.getenv_opt "RISKROUTE_DOMAINS") ~default:"";
       reps;
       warmups;
+      cache_hits = h1 - h0;
+      cache_misses = m1 - m0;
     }
   in
   Rr_perf.Benchfile.write file { Rr_perf.Benchfile.meta; results };
@@ -269,6 +277,58 @@ let parse_json_args rest =
 
 let ppf = Format.std_formatter
 
+(* --- report-twice: the cache-correctness gate CI runs ---
+
+   Two full report passes in one process over the same shared context.
+   The warm pass must (a) be byte-identical to the cold pass once the
+   wall-clock timing lines are stripped, and (b) actually hit the engine
+   caches — otherwise the context is not memoising and the exercise is
+   vacuous. Exits non-zero on either failure. *)
+
+let contains_completed_in line =
+  let needle = " completed in " in
+  let nl = String.length needle and ll = String.length line in
+  let rec go i = i + nl <= ll && (String.sub line i nl = needle || go (i + 1)) in
+  String.length line > 0 && line.[0] = '[' && go 0
+
+let strip_timing text =
+  String.split_on_char '\n' text
+  |> List.filter (fun l -> not (contains_completed_in l))
+  |> String.concat "\n"
+
+let run_report_twice () =
+  let ctx = ctx () in
+  let capture () =
+    let b = Buffer.create 65536 in
+    let bppf = Format.formatter_of_buffer b in
+    Rr_experiments.Report.run_all ctx bppf;
+    Format.pp_print_flush bppf ();
+    Buffer.contents b
+  in
+  let cold = capture () in
+  let s0 = Rr_engine.Context.stats ctx in
+  let warm = capture () in
+  let s1 = Rr_engine.Context.stats ctx in
+  let env_hits = s1.env_hits - s0.env_hits
+  and tree_hits = s1.tree_hits - s0.tree_hits
+  and env_misses = s1.env_misses - s0.env_misses in
+  Printf.printf
+    "report-twice: cold %d bytes, warm %d bytes\n\
+     warm pass: env cache %d hits / %d misses, tree cache %d hits\n"
+    (String.length cold) (String.length warm) env_hits env_misses tree_hits;
+  let identical = String.equal (strip_timing cold) (strip_timing warm) in
+  Printf.printf "outputs (timing lines stripped): %s\n"
+    (if identical then "byte-identical" else "DIFFER");
+  if not identical then exit 1;
+  if env_hits = 0 || tree_hits = 0 then begin
+    Printf.eprintf
+      "report-twice: warm pass missed the engine caches (env hits %d, tree \
+       hits %d)\n%!"
+      env_hits tree_hits;
+    exit 1
+  end;
+  print_endline "report-twice: OK"
+
 (* Pull "--telemetry <spec>" and "--trace <path>" (or the "=" forms) out
    of argv before experiment-id dispatch; the harness has no cmdliner
    front end. *)
@@ -302,20 +362,22 @@ let extract_obs_flags argv =
 let () =
   match extract_obs_flags (Array.to_list Sys.argv) with
   | [] | _ :: [] ->
-    Rr_experiments.Report.run_all ppf;
+    Rr_experiments.Report.run_all (ctx ()) ppf;
     Format.pp_print_flush ppf ();
     run_bechamel ()
   | _ :: [ "bechamel" ] -> run_bechamel ()
   | _ :: "json" :: rest ->
     let file, reps, warmups = parse_json_args rest in
     run_json ~reps ~warmups file
+  | _ :: [ "report-twice" ] -> run_report_twice ()
   | _ :: [ "list" ] ->
     List.iter print_endline (Rr_experiments.Report.ids ())
   | _ :: "csv" :: rest ->
     let dir = match rest with [ d ] -> d | _ -> "plots" in
-    let files = Rr_experiments.Csv_export.write_all dir in
+    let files = Rr_experiments.Csv_export.write_all (ctx ()) dir in
     List.iter (fun f -> Printf.printf "wrote %s\n" f) files
   | _ :: ids ->
+    let ok = ref true in
     List.iter
       (fun id ->
         match Rr_experiments.Report.find id with
@@ -325,9 +387,11 @@ let () =
           (* run_timed, not e.run: selected experiments get the same
              "report.<id>" span as run_all, so traces and telemetry
              attribute their work either way. *)
-          Rr_experiments.Report.run_timed e ppf
+          Rr_experiments.Report.run_timed e (ctx ()) ppf
         | None ->
-          Format.fprintf ppf "unknown experiment %S (try: %s)@." id
+          ok := false;
+          Printf.eprintf "unknown experiment %S (try: %s)\n%!" id
             (String.concat " " (Rr_experiments.Report.ids ())))
       ids;
-    Format.pp_print_flush ppf ()
+    Format.pp_print_flush ppf ();
+    if not !ok then exit 1

@@ -72,8 +72,10 @@ let storm_arg =
   let doc = "Storm name: irene, katrina or sandy." in
   Arg.(value & opt string "sandy" & info [ "storm" ] ~doc)
 
+let ctx () = Rr_engine.Context.shared ()
+
 let find_net name =
-  match Rr_topology.Zoo.find (Rr_topology.Zoo.shared ()) name with
+  match Rr_engine.Context.net (ctx ()) name with
   | Some net -> Ok net
   | None ->
     Error
@@ -94,7 +96,7 @@ let or_die = function
 
 let networks_cmd =
   let run () =
-    let zoo = Rr_topology.Zoo.shared () in
+    let zoo = Rr_engine.Context.zoo (ctx ()) in
     Format.printf "Tier-1 networks:@.";
     List.iter
       (fun net -> Format.printf "  %a@." Rr_topology.Net.pp_summary net)
@@ -139,7 +141,7 @@ let route_cmd =
           else advisories.(tick))
         storm
     in
-    let env = Riskroute.Env.of_net ~params ?advisory net in
+    let env = Rr_engine.Context.env ~params ?advisory (ctx ()) net in
     let src_id = or_die (match Rr_topology.Net.find_pop net ~city:src with
       | Some i -> Ok i
       | None -> Error (Printf.sprintf "no %s PoP in %s" src name)) in
@@ -177,8 +179,13 @@ let ratios_cmd =
   let run () name lambda_h pair_cap =
     let net = or_die (find_net name) in
     let params = Riskroute.Params.with_lambda_h lambda_h Riskroute.Params.default in
-    let env = Riskroute.Env.of_net ~params net in
-    let r = Riskroute.Ratios.intradomain ~pair_cap env in
+    let ctx = ctx () in
+    let env = Rr_engine.Context.env ~params ctx net in
+    let r =
+      Riskroute.Ratios.intradomain ~pair_cap
+        ~trees:(Rr_engine.Context.dist_trees ctx env)
+        env
+    in
     Format.printf
       "%s (lambda_h = %.0e): risk reduction %.3f, distance increase %.3f (%d pairs)@."
       name lambda_h r.Riskroute.Ratios.risk_reduction
@@ -196,8 +203,14 @@ let provision_cmd =
   in
   let run () name k =
     let net = or_die (find_net name) in
-    let env = Riskroute.Env.of_net net in
-    let picks = Riskroute.Augment.greedy ~k env in
+    let ctx = ctx () in
+    let env = Rr_engine.Context.env ctx net in
+    let picks =
+      Riskroute.Augment.greedy ~k
+        ~dist_trees:(Rr_engine.Context.dist_trees ctx env)
+        ~risk_trees:(Rr_engine.Context.risk_trees ctx env)
+        env
+    in
     Format.printf "Best %d additional links for %s:@." (List.length picks) name;
     List.iteri
       (fun i (p : Riskroute.Augment.pick) ->
@@ -215,7 +228,7 @@ let provision_cmd =
 
 let peers_cmd =
   let run () =
-    let merged, env = Riskroute.Interdomain.shared () in
+    let merged, env = Rr_engine.Context.interdomain (ctx ()) in
     List.iter
       (fun (r : Riskroute.Peer_advisor.recommendation) ->
         Format.printf "%-18s -> peer with %-18s (%.1f%% lower bit-risk)@."
@@ -284,7 +297,7 @@ let simulate_cmd =
       | "storm" -> Rr_disaster.Event.Fema_storm
       | other -> or_die (Error (Printf.sprintf "unknown strike kind %S" other))
     in
-    let env = Riskroute.Env.of_net net in
+    let env = Rr_engine.Context.env (ctx ()) net in
     let r =
       Riskroute.Outagesim.run ~scenario_count:scenarios ~radius_miles:radius ~kind env
     in
@@ -311,7 +324,7 @@ let backup_cmd =
   in
   let run () name src dst =
     let net = or_die (find_net name) in
-    let env = Riskroute.Env.of_net net in
+    let env = Rr_engine.Context.env (ctx ()) net in
     let pop_id city =
       or_die
         (match Rr_topology.Net.find_pop net ~city with
@@ -361,7 +374,7 @@ let pareto_cmd =
   in
   let run () name src dst =
     let net = or_die (find_net name) in
-    let env = Riskroute.Env.of_net net in
+    let env = Rr_engine.Context.env (ctx ()) net in
     let pop_id city =
       or_die
         (match Rr_topology.Net.find_pop net ~city with
@@ -412,7 +425,7 @@ let shared_risk_cmd =
   in
   let run () name other =
     let a = or_die (find_net name) and b = or_die (find_net other) in
-    let riskmap = Rr_disaster.Riskmap.shared () in
+    let riskmap = Rr_engine.Context.riskmap (ctx ()) in
     let corr = Riskroute.Shared_risk.exposure_correlation ~riskmap a b in
     let j =
       Riskroute.Shared_risk.joint_outage ~kind:Rr_disaster.Event.Fema_hurricane a b
@@ -435,7 +448,7 @@ let availability_cmd =
   in
   let run () name mttr =
     let net = or_die (find_net name) in
-    let env = Riskroute.Env.of_net net in
+    let env = Rr_engine.Context.env (ctx ()) net in
     let a = Riskroute.Availability.run ~mttr_hours:mttr env in
     Format.printf
       "%s (%.1f strikes/year, %.0f h MTTR):@." name
@@ -464,10 +477,10 @@ let report_cmd =
   in
   let run () exp =
     let ppf = Format.std_formatter in
-    (if String.equal exp "all" then Rr_experiments.Report.run_all ppf
+    (if String.equal exp "all" then Rr_experiments.Report.run_all (ctx ()) ppf
      else
        match Rr_experiments.Report.find exp with
-       | Some e -> Rr_experiments.Report.run_timed e ppf
+       | Some e -> Rr_experiments.Report.run_timed e (ctx ()) ppf
        | None ->
          or_die
            (Error

@@ -50,14 +50,26 @@ let risk_arc_weight env =
   let miles = Env.arc_miles env and risk = Env.arc_risk env in
   fun k -> Array.unsafe_get miles k +. (kappa *. Array.unsafe_get risk k)
 
+(* All-pairs rows from a caller-supplied tree provider (an engine cache)
+   when given, else computed fresh. Cached [dist] arrays may be aliased
+   as matrix rows: the greedy relaxation copies rows before mutating
+   them, and everything else only reads. *)
+let all_pairs_rows ?trees env ~arc_weight =
+  match trees with
+  | None -> all_pairs_arcs env ~arc_weight
+  | Some f ->
+    let n = Env.node_count env in
+    Parallel.map_array (fun src -> (f src).Rr_graph.Dijkstra.dist) (node_ids n)
+
 (* Pair-indexed mean-kappa weight, for arcs that are not in the graph
    yet (candidate links). *)
 let risk_weight env =
   let kappa = Env.mean_kappa env in
   fun u v -> Env.edge_weight env ~kappa u v
 
-let total_bit_risk env =
-  matrix_total (all_pairs_arcs env ~arc_weight:(risk_arc_weight env))
+let total_bit_risk ?risk_trees env =
+  matrix_total
+    (all_pairs_rows ?trees:risk_trees env ~arc_weight:(risk_arc_weight env))
 
 (* Total after adding (u, v), via the single-edge insertion identity —
    computed without materialising the relaxed matrix. Accumulation runs
@@ -146,12 +158,15 @@ let relax_through_tracked m ~u ~v ~wuv ~wvu =
   in
   (Array.map fst relaxed, Array.map snd relaxed)
 
-let candidates ?(max_candidates = 400) ?(reduction_threshold = 0.5) env =
+let candidates ?(max_candidates = 400) ?(reduction_threshold = 0.5) ?dist_trees
+    env =
  Rr_obs.with_span "augment.candidates" @@ fun () ->
   let graph = Env.graph env in
   let n = Rr_graph.Graph.node_count graph in
   let miles = Env.arc_miles env in
-  let dist_matrix = all_pairs_arcs env ~arc_weight:(fun k -> miles.(k)) in
+  let dist_matrix =
+    all_pairs_rows ?trees:dist_trees env ~arc_weight:(fun k -> miles.(k))
+  in
   let scored = ref [] in
   for u = 0 to n - 1 do
     for v = u + 1 to n - 1 do
@@ -168,14 +183,19 @@ let candidates ?(max_candidates = 400) ?(reduction_threshold = 0.5) env =
   |> Rr_util.Listx.take max_candidates
   |> List.map snd
 
-let greedy ?(k = 1) ?max_candidates ?reduction_threshold env =
+let greedy ?(k = 1) ?max_candidates ?reduction_threshold ?dist_trees ?risk_trees
+    env =
  Rr_obs.with_kernel "augment.greedy" @@ fun () ->
   let weight = risk_weight env in
   let graph = Rr_graph.Graph.copy (Env.graph env) in
-  let m = ref (all_pairs_arcs env ~arc_weight:(risk_arc_weight env)) in
+  let m =
+    ref (all_pairs_rows ?trees:risk_trees env ~arc_weight:(risk_arc_weight env))
+  in
   let n = Array.length !m in
   let original = matrix_total !m in
-  let pool = Array.of_list (candidates ?max_candidates ?reduction_threshold env) in
+  let pool =
+    Array.of_list (candidates ?max_candidates ?reduction_threshold ?dist_trees env)
+  in
   Rr_obs.Gauge.set g_pool (Array.length pool);
   (* Relaxation only lowers finite entries, so connectivity observed on
      the initial matrix licenses the fast scoring path for every round. *)

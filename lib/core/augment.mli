@@ -25,12 +25,14 @@ type pick = {
   fraction : float;      (** [total_after / original total], <= 1 *)
 }
 
-val total_bit_risk : Env.t -> float
+val total_bit_risk :
+  ?risk_trees:(int -> Rr_graph.Dijkstra.tree) -> Env.t -> float
 (** Sum over ordered connected pairs of the minimum (mean-kappa) bit-risk
     miles — Eq. 4's objective for the current topology. *)
 
 val candidates :
-  ?max_candidates:int -> ?reduction_threshold:float -> Env.t -> (int * int) list
+  ?max_candidates:int -> ?reduction_threshold:float ->
+  ?dist_trees:(int -> Rr_graph.Dijkstra.tree) -> Env.t -> (int * int) list
 (** The pruned candidate set [E_C], ranked by the bit-miles reduction of
     the endpoints (largest first) and truncated to [max_candidates]
     (default 400). [reduction_threshold] (default 0.5, the paper's value)
@@ -38,8 +40,17 @@ val candidates :
     [threshold x] the current bit-miles between its endpoints. *)
 
 val greedy :
-  ?k:int -> ?max_candidates:int -> ?reduction_threshold:float -> Env.t ->
+  ?k:int -> ?max_candidates:int -> ?reduction_threshold:float ->
+  ?dist_trees:(int -> Rr_graph.Dijkstra.tree) ->
+  ?risk_trees:(int -> Rr_graph.Dijkstra.tree) -> Env.t ->
   pick list
 (** The best [k] (default 1) additional links, greedily: the i-th pick is
     evaluated on the topology including picks 1..i-1. Returns fewer than
-    [k] picks when candidates run out. *)
+    [k] picks when candidates run out.
+
+    The [*_trees] providers (see [Rr_engine.Context.dist_trees] /
+    [risk_trees]) replace the initial all-pairs Dijkstra sweeps with
+    cached trees; they must be bitwise-identical to fresh runs under the
+    pure-miles and {!risk_arc_weight} arc weights respectively. Cached
+    rows are never mutated — the greedy relaxation copies rows before
+    improving them. *)

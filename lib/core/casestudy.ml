@@ -22,15 +22,16 @@ let strided stride items =
 let series_of_ticks ~network ~storm_name ~scope_fraction points =
   { network; storm = storm_name; scope_fraction; points }
 
-let tier1 ?params ?(pair_cap = 1500) ?(tick_stride = 1)
+let tier1 ?params ?(pair_cap = 1500) ?(tick_stride = 1) ?base ?trees_for
     ~(storm : Rr_forecast.Track.storm) net =
   let advisories = Rr_forecast.Track.advisories storm in
-  let base = Env.of_net ?params net in
+  let base = match base with Some e -> e | None -> Env.of_net ?params net in
   let points =
     List.mapi
       (fun tick advisory ->
         let env = Env.with_advisory base (Some advisory) in
-        let r = Ratios.intradomain ~pair_cap env in
+        let trees = Option.map (fun f -> f env) trees_for in
+        let r = Ratios.intradomain ~pair_cap ?trees env in
         {
           tick;
           label = advisory.Rr_forecast.Advisory.issued;
@@ -47,7 +48,7 @@ let tier1 ?params ?(pair_cap = 1500) ?(tick_stride = 1)
     ~scope_fraction:(Rr_forecast.Riskfield.scope_fraction advisories net)
     points
 
-let regional ?params ?(pair_cap = 800) ?(tick_stride = 1)
+let regional ?params ?(pair_cap = 800) ?(tick_stride = 1) ?trees_for
     ~(storm : Rr_forecast.Track.storm) ~merged ~base_env regional =
   let advisories = Rr_forecast.Track.advisories storm in
   let net = net_of_merged merged regional in
@@ -62,7 +63,8 @@ let regional ?params ?(pair_cap = 800) ?(tick_stride = 1)
     List.mapi
       (fun tick advisory ->
         let env = Env.with_advisory base_env (Some advisory) in
-        let r = Ratios.between ~pair_cap env ~sources ~dests in
+        let trees = Option.map (fun f -> f env) trees_for in
+        let r = Ratios.between ~pair_cap ?trees env ~sources ~dests in
         {
           tick;
           label = advisory.Rr_forecast.Advisory.issued;

@@ -26,17 +26,25 @@ val tier1 :
   ?params:Params.t ->
   ?pair_cap:int ->
   ?tick_stride:int ->
+  ?base:Env.t ->
+  ?trees_for:(Env.t -> int -> Rr_graph.Dijkstra.tree) ->
   storm:Rr_forecast.Track.storm ->
   Rr_topology.Net.t ->
   series
 (** Intradomain series for one Tier-1 network (Fig. 12). [pair_cap]
     (default 1500) bounds sampled pairs per tick; [tick_stride] (default
-    1) evaluates every n-th advisory. *)
+    1) evaluates every n-th advisory. [base], when given, replaces the
+    internally-built [Env.of_net] (e.g. an engine-cached environment);
+    [trees_for] supplies cached geographic shortest-path trees for each
+    per-tick environment (see [Rr_engine.Context.dist_trees] — distance
+    trees are advisory-independent, so one cache line serves every
+    tick). *)
 
 val regional :
   ?params:Params.t ->
   ?pair_cap:int ->
   ?tick_stride:int ->
+  ?trees_for:(Env.t -> int -> Rr_graph.Dijkstra.tree) ->
   storm:Rr_forecast.Track.storm ->
   merged:Interdomain.t ->
   base_env:Env.t ->

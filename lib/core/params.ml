@@ -15,13 +15,26 @@ let default =
     rho_hurricane = 100.0;
   }
 
-let with_lambda_h lambda_h t = { t with lambda_h }
-
-let with_lambda_f lambda_f t = { t with lambda_f }
-
 let validate t =
   if t.lambda_h <= 0.0 then invalid_arg "Params: lambda_h must be positive";
   if t.lambda_f <= 0.0 then invalid_arg "Params: lambda_f must be positive";
   if t.risk_scale <= 0.0 then invalid_arg "Params: risk_scale must be positive";
   if t.rho_tropical < 0.0 || t.rho_hurricane < t.rho_tropical then
     invalid_arg "Params: need 0 <= rho_tropical <= rho_hurricane"
+
+let make ?(lambda_h = default.lambda_h) ?(lambda_f = default.lambda_f)
+    ?(risk_scale = default.risk_scale) ?(rho_tropical = default.rho_tropical)
+    ?(rho_hurricane = default.rho_hurricane) () =
+  let t = { lambda_h; lambda_f; risk_scale; rho_tropical; rho_hurricane } in
+  validate t;
+  t
+
+let with_lambda_h lambda_h t =
+  let t = { t with lambda_h } in
+  validate t;
+  t
+
+let with_lambda_f lambda_f t =
+  let t = { t with lambda_f } in
+  validate t;
+  t

@@ -19,8 +19,20 @@ val default : t
     Section 7 values); risk_scale = 3000 (calibrated so Tier-1 ratios land
     in the paper's Table 2 regime — see EXPERIMENTS.md). *)
 
+val make :
+  ?lambda_h:float ->
+  ?lambda_f:float ->
+  ?risk_scale:float ->
+  ?rho_tropical:float ->
+  ?rho_hurricane:float ->
+  unit ->
+  t
+(** {!default} with the given overrides, validated eagerly. *)
+
 val with_lambda_h : float -> t -> t
 val with_lambda_f : float -> t -> t
+(** Setters validate eagerly: an invalid weight raises
+    [Invalid_argument] here rather than at {!Env} construction. *)
 
 val validate : t -> unit
 (** Raises [Invalid_argument] on non-positive weights. *)

@@ -18,7 +18,7 @@ let h_sweep = Rr_obs.Histogram.make "ratios.sweep_seconds"
    on both endpoints). Per-pair results are computed independently on
    the domain pool and consumed in pair order, so downstream
    accumulation is bit-identical at any pool size. *)
-let pair_routes env pairs =
+let pair_routes ?trees env pairs =
  Rr_obs.with_span "ratios.pair_routes" @@ fun () ->
   let tel = Rr_obs.enabled () in
   let t0 = if tel then Rr_obs.Clock.monotonic () else 0.0 in
@@ -32,9 +32,12 @@ let pair_routes env pairs =
       end)
     pairs;
   let sources = Array.of_list (List.rev !sources) in
-  let trees =
-    Parallel.map_array (fun src -> Router.shortest_tree env ~src) sources
+  let tree_for =
+    match trees with
+    | Some f -> f
+    | None -> fun src -> Router.shortest_tree env ~src
   in
+  let trees = Parallel.map_array tree_for sources in
   let routed =
     Parallel.map_array
       (fun (src, dst) ->
@@ -78,19 +81,19 @@ let accumulate routed ~diagonal_share =
     }
   end
 
-let intradomain ?(pair_cap = default_cap) ?(seed = 0x4A71_05L) env =
+let intradomain ?(pair_cap = default_cap) ?(seed = 0x4A71_05L) ?trees env =
  Rr_obs.with_kernel "ratios.intradomain" @@ fun () ->
   let n = Env.node_count env in
   let rng = Prng.create seed in
   let pairs = Sampling.pair_indices rng ~n ~cap:pair_cap in
   let diagonal_share = if n = 0 then 0.0 else 1.0 /. float_of_int n in
-  accumulate (pair_routes env pairs) ~diagonal_share
+  accumulate (pair_routes ?trees env pairs) ~diagonal_share
 
-let weighted ?(pair_cap = default_cap) ?(seed = 0x4A71_05L) ~weight env =
+let weighted ?(pair_cap = default_cap) ?(seed = 0x4A71_05L) ?trees ~weight env =
   let n = Env.node_count env in
   let rng = Prng.create seed in
   let pairs = Sampling.pair_indices rng ~n ~cap:pair_cap in
-  let routed = pair_routes env pairs in
+  let routed = pair_routes ?trees env pairs in
   let risk_sum = ref 0.0 and dist_sum = ref 0.0 in
   let weight_sum = ref 0.0 and count = ref 0 in
   Array.iteri
@@ -115,7 +118,8 @@ let weighted ?(pair_cap = default_cap) ?(seed = 0x4A71_05L) ~weight env =
       pairs = !count;
     }
 
-let between ?(pair_cap = default_cap) ?(seed = 0x4A71_05L) env ~sources ~dests =
+let between ?(pair_cap = default_cap) ?(seed = 0x4A71_05L) ?trees env ~sources
+    ~dests =
   let ns = Array.length sources and nd = Array.length dests in
   if ns = 0 || nd = 0 then
     { risk_reduction = 0.0; distance_increase = 0.0; pairs = 0 }
@@ -155,5 +159,5 @@ let between ?(pair_cap = default_cap) ?(seed = 0x4A71_05L) env ~sources ~dests =
         0 sources
     in
     let diagonal_share = float_of_int overlap /. float_of_int total in
-    accumulate (pair_routes env pairs) ~diagonal_share
+    accumulate (pair_routes ?trees env pairs) ~diagonal_share
   end

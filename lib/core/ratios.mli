@@ -17,20 +17,26 @@ type result = {
   pairs : int;  (** pairs actually evaluated *)
 }
 
-val intradomain : ?pair_cap:int -> ?seed:int64 -> Env.t -> result
+val intradomain :
+  ?pair_cap:int -> ?seed:int64 -> ?trees:(int -> Rr_graph.Dijkstra.tree) ->
+  Env.t -> result
 (** Eqs. 5-6 over all ordered PoP pairs of one network (capped to
-    [pair_cap], default 20,000). *)
+    [pair_cap], default 20,000). [trees], when given, supplies the
+    geographic shortest-path tree per source in place of
+    {!Router.shortest_tree} — callers with a cache (see
+    [Rr_engine.Context.dist_trees]) avoid recomputing identical trees;
+    supplied trees must be bitwise-identical to the defaults. *)
 
 val between :
-  ?pair_cap:int -> ?seed:int64 -> Env.t -> sources:int array ->
-  dests:int array -> result
+  ?pair_cap:int -> ?seed:int64 -> ?trees:(int -> Rr_graph.Dijkstra.tree) ->
+  Env.t -> sources:int array -> dests:int array -> result
 (** Same ratios restricted to given source and destination node sets —
     the interdomain evaluation of Sec. 7 (regional PoPs as sources, all
     regional PoPs as destinations). *)
 
 val weighted :
-  ?pair_cap:int -> ?seed:int64 -> weight:(int -> int -> float) -> Env.t ->
-  result
+  ?pair_cap:int -> ?seed:int64 -> ?trees:(int -> Rr_graph.Dijkstra.tree) ->
+  weight:(int -> int -> float) -> Env.t -> result
 (** Traffic-weighted variant (the Sec. 5 extension "impact ... influenced
     by traffic flows"): per-pair ratios are averaged with weight
     [weight i j] (e.g. a {!Rr_topology.Traffic} gravity demand) instead

@@ -1,0 +1,269 @@
+type stats = {
+  env_hits : int;
+  env_misses : int;
+  tree_hits : int;
+  tree_misses : int;
+  tree_evictions : int;
+}
+
+type t = {
+  zoo : Rr_topology.Zoo.t;
+  uses_shared_zoo : bool;
+  riskmap : Rr_disaster.Riskmap.t Lazy.t;
+  catalog : Rr_disaster.Catalog.t Lazy.t;
+  blocks : Rr_census.Block.t array Lazy.t;
+  lock : Mutex.t;
+  envs : (string, Riskroute.Env.t) Hashtbl.t;
+  trees : Rr_graph.Dijkstra.tree Lru.t;
+  (* Fingerprint memos, keyed by physical identity: zoo networks and the
+     geometry arrays shared by [Env.with_advisory] / [with_params]
+     derivatives are long-lived, so a short bounded assoc list suffices. *)
+  mutable net_memo : (Rr_topology.Net.t * string) list;
+  mutable geo_memo : (float array * string) list;
+  mutable risk_memo : (Riskroute.Env.t * string) list;
+  mutable interdomain : (Riskroute.Interdomain.t * Riskroute.Env.t) option;
+  mutable env_hits : int;
+  mutable env_misses : int;
+  mutable tree_hits : int;
+  mutable tree_misses : int;
+  mutable tree_evictions : int;
+}
+
+let c_env_hit = Rr_obs.Counter.make "engine.cache.env_hit"
+let c_env_miss = Rr_obs.Counter.make "engine.cache.env_miss"
+let c_tree_hit = Rr_obs.Counter.make "engine.cache.tree_hit"
+let c_tree_miss = Rr_obs.Counter.make "engine.cache.tree_miss"
+let c_tree_evict = Rr_obs.Counter.make "engine.cache.tree_evictions"
+
+let default_tree_cache_cap = 4096
+
+let tree_cache_cap_from_env () =
+  match Sys.getenv_opt "RISKROUTE_TREE_CACHE" with
+  | None -> None
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 0 -> Some n
+    | _ -> None)
+
+let create ?zoo ?tree_cache_cap () =
+  let uses_shared_zoo = Option.is_none zoo in
+  let zoo = match zoo with Some z -> z | None -> Rr_topology.Zoo.shared () in
+  let cap =
+    match tree_cache_cap with
+    | Some c ->
+      if c < 0 then invalid_arg "Context.create: negative tree_cache_cap";
+      c
+    | None -> Option.value (tree_cache_cap_from_env ()) ~default:default_tree_cache_cap
+  in
+  {
+    zoo;
+    uses_shared_zoo;
+    riskmap = lazy (Rr_disaster.Riskmap.shared ());
+    catalog = lazy (Rr_disaster.Catalog.shared ());
+    blocks = lazy (Rr_census.Synthetic.shared ());
+    lock = Mutex.create ();
+    envs = Hashtbl.create 64;
+    trees = Lru.create ~capacity:cap;
+    net_memo = [];
+    geo_memo = [];
+    risk_memo = [];
+    interdomain = None;
+    env_hits = 0;
+    env_misses = 0;
+    tree_hits = 0;
+    tree_misses = 0;
+    tree_evictions = 0;
+  }
+
+let shared_ctx = lazy (create ())
+let shared () = Lazy.force shared_ctx
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let zoo t = t.zoo
+let riskmap t = Lazy.force t.riskmap
+let catalog t = Lazy.force t.catalog
+let census_blocks t = Lazy.force t.blocks
+
+let net t name = Rr_topology.Zoo.find t.zoo name
+
+let require_net t name =
+  match net t name with
+  | Some n -> n
+  | None ->
+    let known =
+      List.map
+        (fun (n : Rr_topology.Net.t) -> n.name)
+        (Rr_topology.Zoo.all_nets t.zoo)
+    in
+    failwith
+      (Printf.sprintf "unknown network %S (try: %s)" name
+         (String.concat ", " known))
+
+let nets t (selection : Spec.networks) =
+  match selection with
+  | Spec.Tier1s -> t.zoo.tier1s
+  | Spec.Regionals -> t.zoo.regionals
+  | Spec.All_networks -> Rr_topology.Zoo.all_nets t.zoo
+  | Spec.Named names -> List.map (require_net t) names
+  | Spec.Interdomain ->
+    invalid_arg "Context.nets: Interdomain selects the merged graph"
+
+let memo_cap = 64
+
+let bounded_memo_add memo entry =
+  let memo = entry :: memo in
+  if List.length memo > memo_cap then List.filteri (fun i _ -> i < memo_cap) memo
+  else memo
+
+let net_fp t n =
+  match with_lock t (fun () -> List.find_opt (fun (m, _) -> m == n) t.net_memo) with
+  | Some (_, fp) -> fp
+  | None ->
+    let fp = Fingerprint.net n in
+    with_lock t (fun () -> t.net_memo <- bounded_memo_add t.net_memo (n, fp));
+    fp
+
+let geometry_fp t env_ =
+  let miles = Riskroute.Env.arc_miles env_ in
+  match
+    with_lock t (fun () -> List.find_opt (fun (m, _) -> m == miles) t.geo_memo)
+  with
+  | Some (_, fp) -> fp
+  | None ->
+    let fp = Fingerprint.env_geometry env_ in
+    with_lock t (fun () -> t.geo_memo <- bounded_memo_add t.geo_memo (miles, fp));
+    fp
+
+let risk_fp t env_ =
+  match
+    with_lock t (fun () -> List.find_opt (fun (e, _) -> e == env_) t.risk_memo)
+  with
+  | Some (_, fp) -> fp
+  | None ->
+    let fp = Fingerprint.env_risk env_ in
+    with_lock t (fun () -> t.risk_memo <- bounded_memo_add t.risk_memo (env_, fp));
+    fp
+
+let env ?(params = Riskroute.Params.default) ?advisory t n =
+  let key =
+    Fingerprint.combine
+      [ net_fp t n; Fingerprint.params params; Fingerprint.advisory advisory ]
+  in
+  match
+    with_lock t (fun () ->
+        match Hashtbl.find_opt t.envs key with
+        | Some e ->
+          t.env_hits <- t.env_hits + 1;
+          Some e
+        | None -> None)
+  with
+  | Some e ->
+    Rr_obs.Counter.incr c_env_hit;
+    e
+  | None ->
+    let built =
+      Riskroute.Env.of_net ~params ~riskmap:(riskmap t) ?advisory n
+    in
+    Rr_obs.Counter.incr c_env_miss;
+    with_lock t (fun () ->
+        t.env_misses <- t.env_misses + 1;
+        match Hashtbl.find_opt t.envs key with
+        | Some e -> e (* concurrent build of the same key; results identical *)
+        | None ->
+          Hashtbl.replace t.envs key built;
+          built)
+
+let interdomain t =
+  match with_lock t (fun () -> t.interdomain) with
+  | Some v -> v
+  | None ->
+    let v =
+      if t.uses_shared_zoo then Riskroute.Interdomain.shared ()
+      else
+        let merged = Riskroute.Interdomain.merge t.zoo.peering in
+        (merged, Riskroute.Interdomain.env ~riskmap:(riskmap t) merged)
+    in
+    with_lock t (fun () ->
+        match t.interdomain with
+        | Some v -> v
+        | None ->
+          t.interdomain <- Some v;
+          v)
+
+let cached_tree t ~key ~compute =
+  match
+    with_lock t (fun () ->
+        match Lru.find t.trees key with
+        | Some tr ->
+          t.tree_hits <- t.tree_hits + 1;
+          Some tr
+        | None -> None)
+  with
+  | Some tr ->
+    Rr_obs.Counter.incr c_tree_hit;
+    tr
+  | None ->
+    let tr = compute () in
+    Rr_obs.Counter.incr c_tree_miss;
+    let evicted = ref 0 in
+    let result =
+      with_lock t (fun () ->
+          t.tree_misses <- t.tree_misses + 1;
+          match Lru.find t.trees key with
+          | Some existing -> existing
+          | None ->
+            let ev = Lru.add t.trees key tr in
+            t.tree_evictions <- t.tree_evictions + ev;
+            evicted := ev;
+            tr)
+    in
+    if !evicted > 0 then Rr_obs.Counter.add c_tree_evict !evicted;
+    result
+
+let dist_trees t env_ =
+  let fp = geometry_fp t env_ in
+  let n = Riskroute.Env.node_count env_ in
+  let off = Riskroute.Env.arc_off env_
+  and tgt = Riskroute.Env.arc_tgt env_
+  and miles = Riskroute.Env.arc_miles env_ in
+  fun src ->
+    cached_tree t
+      ~key:(fp ^ ":d:" ^ string_of_int src)
+      ~compute:(fun () ->
+        Rr_graph.Dijkstra.single_source_flat ~n ~off ~tgt
+          ~weight:(fun k -> Array.unsafe_get miles k)
+          ~src)
+
+let risk_trees t env_ =
+  let fp = risk_fp t env_ in
+  let n = Riskroute.Env.node_count env_ in
+  let off = Riskroute.Env.arc_off env_
+  and tgt = Riskroute.Env.arc_tgt env_
+  and miles = Riskroute.Env.arc_miles env_
+  and risk = Riskroute.Env.arc_risk env_ in
+  let kappa = Riskroute.Env.mean_kappa env_ in
+  fun src ->
+    cached_tree t
+      ~key:(fp ^ ":r:" ^ string_of_int src)
+      ~compute:(fun () ->
+        Rr_graph.Dijkstra.single_source_flat ~n ~off ~tgt
+          ~weight:(fun k ->
+            Array.unsafe_get miles k +. (kappa *. Array.unsafe_get risk k))
+          ~src)
+
+let stats t =
+  with_lock t (fun () ->
+      {
+        env_hits = t.env_hits;
+        env_misses = t.env_misses;
+        tree_hits = t.tree_hits;
+        tree_misses = t.tree_misses;
+        tree_evictions = t.tree_evictions;
+      })
+
+let tree_cache_length t = with_lock t (fun () -> Lru.length t.trees)
+let tree_cache_capacity t = Lru.capacity t.trees
+let env_cache_length t = with_lock t (fun () -> Hashtbl.length t.envs)

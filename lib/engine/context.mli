@@ -1,0 +1,102 @@
+(** The engine context: shared corpus plus content-addressed caches for
+    the expensive derived artifacts.
+
+    A context owns one network zoo, one historical riskmap, one disaster
+    catalogue and one census, and memoises
+
+    - {!Riskroute.Env} builds, keyed by (network, params, advisory)
+      fingerprints — every experiment asking for the same environment
+      gets the same physically-shared value;
+    - Dijkstra shortest-path trees, keyed by (environment fingerprint,
+      source, weight mode) in a bounded LRU — lambda sweeps and advisory
+      ticks share pure-distance trees because those depend only on the
+      network geometry.
+
+    All cache operations are thread-safe: lookups and insertions happen
+    under a context-private lock while artifact construction runs
+    outside it, so concurrent misses at worst compute the same
+    deterministic value twice. Cache traffic is visible as
+    [engine.cache.*] counters in the {!Rr_obs} registry and, always, via
+    {!stats}. *)
+
+type t
+
+type stats = {
+  env_hits : int;
+  env_misses : int;
+  tree_hits : int;
+  tree_misses : int;
+  tree_evictions : int;
+}
+
+val default_tree_cache_cap : int
+(** 4096 trees, overridable per-context or via the
+    [RISKROUTE_TREE_CACHE] environment variable. *)
+
+val create : ?zoo:Rr_topology.Zoo.t -> ?tree_cache_cap:int -> unit -> t
+(** A fresh context (empty caches). [zoo] defaults to
+    {!Rr_topology.Zoo.shared}; riskmap, catalogue and census are the
+    shared singletons, forced lazily. *)
+
+val shared : unit -> t
+(** The process-wide context over the shared corpus, built once — what
+    the CLI, report runner and benchmarks use. *)
+
+(** {1 Corpus} *)
+
+val zoo : t -> Rr_topology.Zoo.t
+val riskmap : t -> Rr_disaster.Riskmap.t
+val catalog : t -> Rr_disaster.Catalog.t
+val census_blocks : t -> Rr_census.Block.t array
+
+val net : t -> string -> Rr_topology.Net.t option
+(** Case-insensitive {!Rr_topology.Zoo.find}. *)
+
+val require_net : t -> string -> Rr_topology.Net.t
+(** Raises [Failure] with the known names when absent. *)
+
+val nets : t -> Spec.networks -> Rr_topology.Net.t list
+(** Resolve a spec's network selection; raises [Invalid_argument] for
+    {!Spec.Interdomain} (use {!interdomain}) and [Failure] for unknown
+    {!Spec.Named} entries. *)
+
+val interdomain : t -> Riskroute.Interdomain.t * Riskroute.Env.t
+(** Merged multi-ISP graph and its default-parameter environment,
+    memoised per context (and shared with
+    {!Riskroute.Interdomain.shared} when the context uses the shared
+    corpus). *)
+
+(** {1 Cached artifacts} *)
+
+val env :
+  ?params:Riskroute.Params.t ->
+  ?advisory:Rr_forecast.Advisory.t ->
+  t ->
+  Rr_topology.Net.t ->
+  Riskroute.Env.t
+(** The environment for (net, params, advisory), built on first use and
+    content-addressed thereafter. *)
+
+val dist_trees : t -> Riskroute.Env.t -> int -> Rr_graph.Dijkstra.tree
+(** [dist_trees ctx env src] is the pure bit-miles shortest-path tree
+    from [src], bitwise-identical to {!Riskroute.Router.shortest_tree}.
+    Keyed by the environment's {e geometry} fingerprint, so environments
+    differing only in params or advisory share entries. Partially apply
+    ([let trees = dist_trees ctx env in ...]) to pay the fingerprint
+    once per sweep. *)
+
+val risk_trees : t -> Riskroute.Env.t -> int -> Rr_graph.Dijkstra.tree
+(** Mean-kappa risk-weighted tree from [src], bitwise-identical to a
+    {!Rr_graph.Dijkstra.single_source_flat} run under
+    {!Riskroute.Augment.risk_arc_weight}. Keyed by the environment's
+    risk fingerprint. *)
+
+(** {1 Introspection} *)
+
+val stats : t -> stats
+(** Plain-integer cache totals, maintained whether or not telemetry is
+    enabled (the [engine.cache.*] counters only record when it is). *)
+
+val tree_cache_length : t -> int
+val tree_cache_capacity : t -> int
+val env_cache_length : t -> int

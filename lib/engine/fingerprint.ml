@@ -1,0 +1,98 @@
+type t = string
+
+(* Canonical encodings: every field is written with an unambiguous,
+   length-prefixed binary form so that distinct structures can never
+   serialise to the same byte string. Floats go through their IEEE-754
+   bit patterns — the caches must treat 1e5 and 1e5 +. ulp as different
+   keys, because the derived artifacts differ bitwise. *)
+
+let add_int buf i =
+  Buffer.add_int64_le buf (Int64.of_int i)
+
+let add_float buf f =
+  Buffer.add_int64_le buf (Int64.bits_of_float f)
+
+let add_string buf s =
+  add_int buf (String.length s);
+  Buffer.add_string buf s
+
+let add_float_array buf a =
+  add_int buf (Array.length a);
+  Array.iter (add_float buf) a
+
+let add_int_array buf a =
+  add_int buf (Array.length a);
+  Array.iter (add_int buf) a
+
+let digest buf = Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let params (p : Riskroute.Params.t) =
+  let buf = Buffer.create 64 in
+  add_string buf "params";
+  add_float buf p.lambda_h;
+  add_float buf p.lambda_f;
+  add_float buf p.risk_scale;
+  add_float buf p.rho_tropical;
+  add_float buf p.rho_hurricane;
+  digest buf
+
+let advisory (a : Rr_forecast.Advisory.t option) =
+  let buf = Buffer.create 128 in
+  (match a with
+  | None -> add_string buf "advisory:none"
+  | Some a ->
+    add_string buf "advisory";
+    add_string buf a.storm;
+    add_int buf a.number;
+    add_string buf a.issued;
+    add_float buf (Rr_geo.Coord.lat a.center);
+    add_float buf (Rr_geo.Coord.lon a.center);
+    add_float buf a.hurricane_radius_miles;
+    add_float buf a.tropical_radius_miles);
+  digest buf
+
+let net (n : Rr_topology.Net.t) =
+  let buf = Buffer.create 4096 in
+  add_string buf "net";
+  add_string buf n.name;
+  add_int buf (match n.tier with Rr_topology.Net.Tier1 -> 0 | Regional -> 1);
+  add_int buf (List.length n.states);
+  List.iter (add_string buf) n.states;
+  add_int buf (Array.length n.pops);
+  Array.iter
+    (fun (p : Rr_topology.Pop.t) ->
+      add_float buf (Rr_geo.Coord.lat p.coord);
+      add_float buf (Rr_geo.Coord.lon p.coord))
+    n.pops;
+  let edges = Rr_graph.Graph.edges n.graph in
+  add_int buf (List.length edges);
+  List.iter
+    (fun (u, v) ->
+      add_int buf u;
+      add_int buf v)
+    edges;
+  digest buf
+
+let env_geometry env =
+  let buf = Buffer.create 65536 in
+  add_string buf "env-geometry";
+  add_int buf (Riskroute.Env.node_count env);
+  add_int_array buf (Riskroute.Env.arc_off env);
+  add_int_array buf (Riskroute.Env.arc_tgt env);
+  add_float_array buf (Riskroute.Env.arc_miles env);
+  digest buf
+
+let env_risk env =
+  let buf = Buffer.create 65536 in
+  add_string buf "env-risk";
+  add_string buf (env_geometry env);
+  add_float_array buf (Riskroute.Env.arc_risk env);
+  add_float buf (Riskroute.Env.mean_kappa env);
+  digest buf
+
+let combine parts =
+  let buf = Buffer.create 256 in
+  add_string buf "combine";
+  add_int buf (List.length parts);
+  List.iter (add_string buf) parts;
+  digest buf

@@ -1,0 +1,33 @@
+(** Content-addressed keys for the engine's artifact caches.
+
+    A fingerprint is the MD5 hex digest of a canonical byte encoding of
+    the value: floats are serialised via their IEEE-754 bit patterns, so
+    two values collide only when they would produce bitwise-identical
+    derived artifacts. The encodings are length-prefixed throughout, so
+    concatenated fields cannot alias each other. *)
+
+type t = string
+(** 32-char lowercase hex digest. *)
+
+val params : Riskroute.Params.t -> t
+(** All five parameter fields. *)
+
+val advisory : Rr_forecast.Advisory.t option -> t
+(** Storm name, advisory number, issue time, centre, both wind radii;
+    [None] has its own distinguished digest. *)
+
+val net : Rr_topology.Net.t -> t
+(** Name, tier, state footprint, PoP coordinates, and edge list — the
+    inputs that determine an {!Riskroute.Env} up to params/advisory. *)
+
+val env_geometry : Riskroute.Env.t -> t
+(** Node count, CSR offsets/targets and per-arc miles — everything a
+    pure-distance shortest-path tree depends on. Environments derived
+    via [with_advisory] / [with_params] share this fingerprint. *)
+
+val env_risk : Riskroute.Env.t -> t
+(** {!env_geometry} plus per-arc risk terms and the mean-impact kappa —
+    everything a risk-weighted shortest-path tree depends on. *)
+
+val combine : t list -> t
+(** Digest of the (length-prefixed) concatenation — a composite key. *)

@@ -1,0 +1,72 @@
+(* Hashtbl over an intrusive doubly-linked recency list: O(1) find,
+   promote, insert and evict. The list head is most-recently used. *)
+
+type 'a node = {
+  key : string;
+  value : 'a;
+  mutable prev : 'a node option;
+  mutable next : 'a node option;
+}
+
+type 'a t = {
+  capacity : int;
+  table : (string, 'a node) Hashtbl.t;
+  mutable head : 'a node option;
+  mutable tail : 'a node option;
+}
+
+let create ~capacity =
+  if capacity < 0 then invalid_arg "Lru.create: negative capacity";
+  { capacity; table = Hashtbl.create (max 16 capacity); head = None; tail = None }
+
+let capacity t = t.capacity
+
+let length t = Hashtbl.length t.table
+
+let unlink t node =
+  (match node.prev with
+  | Some p -> p.next <- node.next
+  | None -> t.head <- node.next);
+  (match node.next with
+  | Some n -> n.prev <- node.prev
+  | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.next <- t.head;
+  (match t.head with Some h -> h.prev <- Some node | None -> t.tail <- Some node);
+  t.head <- Some node
+
+let find t key =
+  match Hashtbl.find_opt t.table key with
+  | None -> None
+  | Some node ->
+    unlink t node;
+    push_front t node;
+    Some node.value
+
+let mem t key = Hashtbl.mem t.table key
+
+let evict_tail t =
+  match t.tail with
+  | None -> ()
+  | Some node ->
+    unlink t node;
+    Hashtbl.remove t.table node.key
+
+let add t key value =
+  (match Hashtbl.find_opt t.table key with
+  | Some old ->
+    unlink t old;
+    Hashtbl.remove t.table key
+  | None -> ());
+  let node = { key; value; prev = None; next = None } in
+  Hashtbl.replace t.table key node;
+  push_front t node;
+  let evicted = ref 0 in
+  while Hashtbl.length t.table > t.capacity do
+    evict_tail t;
+    incr evicted
+  done;
+  !evicted

@@ -1,0 +1,23 @@
+(** A bounded least-recently-used cache with string keys.
+
+    Plain single-threaded structure — callers (see {!Context}) serialise
+    access under their own lock. Capacity 0 disables storage entirely
+    (every [add] evicts immediately). *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** Raises [Invalid_argument] on negative capacity. *)
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+
+val find : 'a t -> string -> 'a option
+(** Marks the entry most-recently used on a hit. *)
+
+val add : 'a t -> string -> 'a -> int
+(** Insert (or refresh) a binding and return how many entries were
+    evicted to stay within capacity. *)
+
+val mem : 'a t -> string -> bool
+(** Membership without touching recency. *)

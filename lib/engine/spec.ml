@@ -1,0 +1,43 @@
+type networks =
+  | Tier1s
+  | Regionals
+  | All_networks
+  | Named of string list
+  | Interdomain
+
+type t = {
+  networks : networks;
+  params : Riskroute.Params.t;
+  pair_cap : int option;
+  k : int option;
+  tick_stride : int option;
+  max_events : int option;
+  advisory : Rr_forecast.Advisory.t option;
+  storm : Rr_forecast.Track.storm option;
+}
+
+let default =
+  {
+    networks = All_networks;
+    params = Riskroute.Params.default;
+    pair_cap = None;
+    k = None;
+    tick_stride = None;
+    max_events = None;
+    advisory = None;
+    storm = None;
+  }
+
+let make ?(networks = All_networks) ?(params = Riskroute.Params.default)
+    ?pair_cap ?k ?tick_stride ?max_events ?advisory ?storm () =
+  { networks; params; pair_cap; k; tick_stride; max_events; advisory; storm }
+
+let pair_cap ~default t = Option.value t.pair_cap ~default
+let k ~default t = Option.value t.k ~default
+let tick_stride ~default t = Option.value t.tick_stride ~default
+let max_events ~default t = Option.value t.max_events ~default
+
+let storm_exn t =
+  match t.storm with
+  | Some s -> s
+  | None -> invalid_arg "Spec.storm_exn: spec carries no storm"

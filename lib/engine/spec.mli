@@ -1,0 +1,48 @@
+(** A declarative description of one experiment run.
+
+    Experiment modules expose [compute : Context.t -> Spec.t -> result]
+    and read everything configurable — which networks, routing params,
+    sampling caps, provisioning budget, storm forecast — from the spec,
+    so the fig*/table* pipeline is data-driven rather than hand-rolled
+    per module. Fields an experiment does not use are simply ignored. *)
+
+type networks =
+  | Tier1s
+  | Regionals
+  | All_networks
+  | Named of string list  (** case-insensitive {!Rr_topology.Zoo.find} names *)
+  | Interdomain
+
+type t = {
+  networks : networks;
+  params : Riskroute.Params.t;
+  pair_cap : int option;      (** sampled source/destination pairs *)
+  k : int option;             (** provisioning budget (links to add) *)
+  tick_stride : int option;   (** advisory subsampling for case studies *)
+  max_events : int option;    (** historical event cap (Table 1) *)
+  advisory : Rr_forecast.Advisory.t option;
+  storm : Rr_forecast.Track.storm option;
+}
+
+val default : t
+(** All networks, default params, every option unset. *)
+
+val make :
+  ?networks:networks ->
+  ?params:Riskroute.Params.t ->
+  ?pair_cap:int ->
+  ?k:int ->
+  ?tick_stride:int ->
+  ?max_events:int ->
+  ?advisory:Rr_forecast.Advisory.t ->
+  ?storm:Rr_forecast.Track.storm ->
+  unit ->
+  t
+
+val pair_cap : default:int -> t -> int
+val k : default:int -> t -> int
+val tick_stride : default:int -> t -> int
+val max_events : default:int -> t -> int
+
+val storm_exn : t -> Rr_forecast.Track.storm
+(** Raises [Invalid_argument] when the spec carries no storm. *)

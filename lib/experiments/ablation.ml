@@ -1,11 +1,9 @@
-let zoo () = Rr_topology.Zoo.shared ()
-
-let net name =
-  match Rr_topology.Zoo.find (zoo ()) name with
+let net ctx name =
+  match Rr_engine.Context.net ctx name with
   | Some net -> net
   | None -> failwith ("Ablation: unknown network " ^ name)
 
-let run_scale ppf =
+let run_scale ctx ppf =
   Format.fprintf ppf
     "Ablation: risk_scale sensitivity (lambda_h = 1e5, intradomain ratios)@.";
   Format.fprintf ppf "%-12s %10s %10s %10s@." "Network" "scale" "risk rr" "dist dr";
@@ -14,20 +12,24 @@ let run_scale ppf =
       List.iter
         (fun scale ->
           let params = { Riskroute.Params.default with Riskroute.Params.risk_scale = scale } in
-          let env = Riskroute.Env.of_net ~params (net name) in
-          let r = Riskroute.Ratios.intradomain ~pair_cap:2000 env in
+          let env = Rr_engine.Context.env ~params ctx (net ctx name) in
+          let r =
+            Riskroute.Ratios.intradomain ~pair_cap:2000
+              ~trees:(Rr_engine.Context.dist_trees ctx env)
+              env
+          in
           Format.fprintf ppf "%-12s %10.0f %10.3f %10.3f@." name scale
             r.Riskroute.Ratios.risk_reduction r.Riskroute.Ratios.distance_increase)
         [ 1000.0; 3000.0; 10000.0 ])
     [ "AT&T"; "Level3" ]
 
-let run_impact ppf =
+let run_impact ctx ppf =
   Format.fprintf ppf
     "Ablation: outage-impact factor (census kappa_ij vs uniform impact)@.";
   List.iter
     (fun name ->
-      let n = net name in
-      let census = Riskroute.Env.of_net n in
+      let n = net ctx name in
+      let census = Rr_engine.Context.env ctx n in
       let size = Riskroute.Env.node_count census in
       let uniform =
         Riskroute.Env.make
@@ -37,29 +39,41 @@ let run_impact ppf =
           ~historical:(Riskroute.Env.historical census)
           ()
       in
-      let rc = Riskroute.Ratios.intradomain ~pair_cap:2000 census in
-      let ru = Riskroute.Ratios.intradomain ~pair_cap:2000 uniform in
+      let rc =
+        Riskroute.Ratios.intradomain ~pair_cap:2000
+          ~trees:(Rr_engine.Context.dist_trees ctx census)
+          census
+      in
+      let ru =
+        Riskroute.Ratios.intradomain ~pair_cap:2000
+          ~trees:(Rr_engine.Context.dist_trees ctx uniform)
+          uniform
+      in
       Format.fprintf ppf
         "%-12s census kappa: rr=%.3f dr=%.3f | uniform: rr=%.3f dr=%.3f@." name
         rc.Riskroute.Ratios.risk_reduction rc.Riskroute.Ratios.distance_increase
         ru.Riskroute.Ratios.risk_reduction ru.Riskroute.Ratios.distance_increase)
     [ "AT&T"; "Sprint" ]
 
-let run_candidates ppf =
+let run_candidates ctx ppf =
   Format.fprintf ppf
     "Ablation: candidate-link pruning threshold (Sec. 6.3 footnote)@.";
   Format.fprintf ppf "%-12s %10s %12s %22s@." "Network" "threshold" "candidates"
     "bit-risk after 5 links";
   List.iter
     (fun name ->
-      let env = Riskroute.Env.of_net (net name) in
+      let env = Rr_engine.Context.env ctx (net ctx name) in
+      let dist_trees = Rr_engine.Context.dist_trees ctx env in
+      let risk_trees = Rr_engine.Context.risk_trees ctx env in
       List.iter
         (fun threshold ->
           let candidates =
-            Riskroute.Augment.candidates ~reduction_threshold:threshold env
+            Riskroute.Augment.candidates ~reduction_threshold:threshold
+              ~dist_trees env
           in
           let picks =
-            Riskroute.Augment.greedy ~k:5 ~reduction_threshold:threshold env
+            Riskroute.Augment.greedy ~k:5 ~reduction_threshold:threshold
+              ~dist_trees ~risk_trees env
           in
           let final =
             match List.rev picks with
@@ -71,7 +85,7 @@ let run_candidates ppf =
         [ 0.3; 0.5; 0.7 ])
     [ "Sprint"; "Teliasonera" ]
 
-let run_kde ppf =
+let run_kde _ctx ppf =
   Format.fprintf ppf "Ablation: rasterised vs exact KDE (storm catalogue)@.";
   let catalog = Rr_disaster.Catalog.generate ~scale:0.05 () in
   let events = Rr_disaster.Catalog.coords catalog Rr_disaster.Event.Fema_storm in
@@ -96,14 +110,14 @@ let run_kde ppf =
         (List.length rel_errors))
     [ 24.38; 71.56; 298.82 ]
 
-let run_outage ppf =
+let run_outage ctx ppf =
   Format.fprintf ppf
     "Extension: Monte Carlo outage simulation (static routes under strikes)@.";
   Format.fprintf ppf "%-12s %-14s %10s %10s %10s %10s@." "Network" "Strike kind"
     "shortest" "riskroute" "reactive" "endpoints";
   List.iter
     (fun name ->
-      let env = Riskroute.Env.of_net (net name) in
+      let env = Rr_engine.Context.env ctx (net ctx name) in
       List.iter
         (fun kind ->
           let r = Riskroute.Outagesim.run ~scenario_count:150 ~pair_cap:150 ~kind env in
@@ -116,10 +130,10 @@ let run_outage ppf =
         [ Rr_disaster.Event.Fema_hurricane; Rr_disaster.Event.Fema_tornado ])
     [ "AT&T"; "Sprint"; "Level3" ]
 
-let run_seasonal ppf =
+let run_seasonal ctx ppf =
   Format.fprintf ppf "Extension: seasonal risk surfaces (annual vs season)@.";
-  let catalog = Rr_disaster.Catalog.shared () in
-  let annual = Rr_disaster.Riskmap.shared () in
+  let catalog = Rr_engine.Context.catalog ctx in
+  let annual = Rr_engine.Context.riskmap ctx in
   let hurricane_season = Rr_disaster.Riskmap.build_seasonal ~months:[ 8; 9; 10 ] catalog in
   let winter = Rr_disaster.Riskmap.build_seasonal ~months:[ 12; 1; 2 ] catalog in
   let probe name =
@@ -137,24 +151,24 @@ let run_seasonal ppf =
         (Rr_disaster.Riskmap.risk_at winter coord))
     [ "New Orleans"; "Oklahoma City"; "Los Angeles"; "Chicago" ]
 
-let run_ospf ppf =
+let run_ospf ctx ppf =
   Format.fprintf ppf
     "Extension: OSPF link-weight export fidelity (Sec. 3.1 deployment path)@.";
   Format.fprintf ppf "%-18s %12s %12s@." "Network" "exact match" "risk gap";
   List.iter
     (fun n ->
-      let env = Riskroute.Env.of_net n in
+      let env = Rr_engine.Context.env ctx n in
       let f = Riskroute.Ospf.fidelity ~pair_cap:1000 env in
       Format.fprintf ppf "%-18s %11.1f%% %12.4f@." n.Rr_topology.Net.name
         (100.0 *. f.Riskroute.Ospf.exact_match)
         f.Riskroute.Ospf.risk_gap)
-    (zoo ()).Rr_topology.Zoo.tier1s
+    (Rr_engine.Context.zoo ctx).Rr_topology.Zoo.tier1s
 
-let run_backup ppf =
+let run_backup ctx ppf =
   Format.fprintf ppf
     "Extension: backup-path plans (IP fast reroute, Sec. 3.1)@.";
-  let n = net "AT&T" in
-  let env = Riskroute.Env.of_net n in
+  let n = net ctx "AT&T" in
+  let env = Rr_engine.Context.env ctx n in
   let size = Riskroute.Env.node_count env in
   let coverage_sum = ref 0.0 and stretch_sum = ref 0.0 and count = ref 0 in
   for src = 0 to size - 1 do
@@ -173,10 +187,10 @@ let run_backup ppf =
     (100.0 *. !coverage_sum /. float_of_int !count)
     (!stretch_sum /. float_of_int !count)
 
-let run_bgp ppf =
+let run_bgp ctx ppf =
   Format.fprintf ppf
     "Extension: valley-free BGP policy routing vs the Sec. 6.2 bounds@.";
-  let merged, env = Riskroute.Interdomain.shared () in
+  let merged, env = Rr_engine.Context.interdomain ctx in
   let peering = Riskroute.Interdomain.peering merged in
   let nets = peering.Rr_topology.Peering.nets in
   let rng = Rr_util.Prng.create 0xB9_9BL in
@@ -220,14 +234,14 @@ let run_bgp ppf =
     (100.0 *. (f !upper_sum -. f !policy_sum)
     /. Float.max 1e-9 (f !upper_sum -. f !lower_sum))
 
-let run_availability ppf =
+let run_availability ctx ppf =
   Format.fprintf ppf
     "Extension: achieved availability under the catalogue strike rate@.";
   Format.fprintf ppf "%-12s %-12s %22s %22s %12s@." "Network" "Posture"
     "availability" "downtime (min/yr)" "nines";
   List.iter
     (fun name ->
-      let env = Riskroute.Env.of_net (net name) in
+      let env = Rr_engine.Context.env ctx (net ctx name) in
       let a = Riskroute.Availability.run env in
       List.iter
         (fun (posture, value) ->
@@ -242,14 +256,14 @@ let run_availability ppf =
         ])
     [ "AT&T"; "Sprint" ]
 
-let run_traffic ppf =
+let run_traffic ctx ppf =
   Format.fprintf ppf "Extension: gravity traffic matrix and weighted ratios@.";
   List.iter
     (fun name ->
-      let n = net name in
+      let n = net ctx name in
       let populations = Rr_census.Service.shared_fractions n in
       let tm = Rr_topology.Traffic.gravity ~populations n in
-      let env = Riskroute.Env.of_net n in
+      let env = Rr_engine.Context.env ctx n in
       Format.fprintf ppf "%s (%.0f Gbps offered):@." name
         (Rr_topology.Traffic.total tm);
       List.iter
@@ -258,9 +272,10 @@ let run_traffic ppf =
             (Rr_topology.Net.pop n i).Rr_topology.Pop.name
             (Rr_topology.Net.pop n j).Rr_topology.Pop.name v)
         (Rr_topology.Traffic.top_flows tm 3);
-      let uniform = Riskroute.Ratios.intradomain ~pair_cap:2000 env in
+      let trees = Rr_engine.Context.dist_trees ctx env in
+      let uniform = Riskroute.Ratios.intradomain ~pair_cap:2000 ~trees env in
       let weighted =
-        Riskroute.Ratios.weighted ~pair_cap:2000
+        Riskroute.Ratios.weighted ~pair_cap:2000 ~trees
           ~weight:(fun i j -> Rr_topology.Traffic.demand tm i j)
           env
       in
@@ -272,12 +287,12 @@ let run_traffic ppf =
         weighted.Riskroute.Ratios.distance_increase)
     [ "Sprint"; "Tinet" ]
 
-let run_mrc ppf =
+let run_mrc ctx ppf =
   Format.fprintf ppf
     "Extension: multiple routing configurations (Kvalbein et al. via Sec. 3.1)@.";
   List.iter
     (fun name ->
-      let env = Riskroute.Env.of_net (net name) in
+      let env = Rr_engine.Context.env ctx (net ctx name) in
       let mrc = Riskroute.Mrc.build env in
       let n = Riskroute.Env.node_count env in
       (* how many single-node failures are recoverable for a probe flow set *)
@@ -300,11 +315,11 @@ let run_mrc ppf =
         !recovered !total)
     [ "AT&T"; "Sprint"; "Teliasonera" ]
 
-let run_sla ppf =
+let run_sla ctx ppf =
   Format.fprintf ppf
     "Extension: SLA-constrained RiskRoute (LARAC, Sec. 6.4)@.";
-  let n = net "Level3" in
-  let env = Riskroute.Env.of_net n in
+  let n = net ctx "Level3" in
+  let env = Rr_engine.Context.env ctx n in
   match
     (Rr_topology.Net.find_pop n ~city:"Houston", Rr_topology.Net.find_pop n ~city:"Boston")
   with
@@ -325,11 +340,11 @@ let run_sla ppf =
       [ 1.0; 1.05; 1.1; 1.2; 1.5; 2.0 ]
   | _ -> Format.fprintf ppf "Level3 lacks the probe PoPs in this synthesis@."
 
-let run_pareto ppf =
+let run_pareto ctx ppf =
   Format.fprintf ppf
     "Extension: distance/risk Pareto frontier (SLA trade-off, Sec. 8)@.";
-  let n = net "Level3" in
-  let env = Riskroute.Env.of_net n in
+  let n = net ctx "Level3" in
+  let env = Rr_engine.Context.env ctx n in
   let pairs = [ ("Houston", "Boston"); ("Miami", "Seattle"); ("New Orleans", "Chicago") ] in
   List.iter
     (fun (a, b) ->

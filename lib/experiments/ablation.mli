@@ -5,54 +5,54 @@
     [abl-kde], [abl-outage], [abl-seasonal], [abl-ospf], [abl-backup] and
     [abl-pareto]. *)
 
-val run_scale : Format.formatter -> unit
+val run_scale : Rr_engine.Context.t -> Format.formatter -> unit
 (** Sensitivity of the Table 2 ratios to the density-to-likelihood
     calibration constant [risk_scale]. *)
 
-val run_impact : Format.formatter -> unit
+val run_impact : Rr_engine.Context.t -> Format.formatter -> unit
 (** Role of the outage-impact factor: census-derived [kappa_ij = c_i + c_j]
     versus uniform impact. *)
 
-val run_candidates : Format.formatter -> unit
+val run_candidates : Rr_engine.Context.t -> Format.formatter -> unit
 (** Sweep of the Sec. 6.3 candidate-link pruning threshold (the paper's
     ">50% bit-miles reduction" rule). *)
 
-val run_kde : Format.formatter -> unit
+val run_kde : Rr_engine.Context.t -> Format.formatter -> unit
 (** Rasterised versus exact KDE: accuracy at the gazetteer cities. *)
 
-val run_outage : Format.formatter -> unit
+val run_outage : Rr_engine.Context.t -> Format.formatter -> unit
 (** Monte Carlo outage simulation: survival of static shortest-path
     routes versus static RiskRoute routes under disaster strikes. *)
 
-val run_seasonal : Format.formatter -> unit
+val run_seasonal : Rr_engine.Context.t -> Format.formatter -> unit
 (** Seasonal risk surfaces: hurricane-season versus winter risk at probe
     cities. *)
 
-val run_ospf : Format.formatter -> unit
+val run_ospf : Rr_engine.Context.t -> Format.formatter -> unit
 (** Fidelity of OSPF link-weight export per Tier-1 network. *)
 
-val run_backup : Format.formatter -> unit
+val run_backup : Rr_engine.Context.t -> Format.formatter -> unit
 (** IP-fast-reroute style backup coverage and stretch. *)
 
-val run_pareto : Format.formatter -> unit
+val run_pareto : Rr_engine.Context.t -> Format.formatter -> unit
 (** Distance/risk Pareto frontiers for headline city pairs. *)
 
-val run_bgp : Format.formatter -> unit
+val run_bgp : Rr_engine.Context.t -> Format.formatter -> unit
 (** Valley-free (policy-compliant) interdomain routing versus the
     paper's upper/lower bounds ([abl-bgp]). *)
 
-val run_availability : Format.formatter -> unit
+val run_availability : Rr_engine.Context.t -> Format.formatter -> unit
 (** Achieved availability ("nines") per routing posture under the
     catalogue's strike rate ([abl-availability]). *)
 
-val run_traffic : Format.formatter -> unit
+val run_traffic : Rr_engine.Context.t -> Format.formatter -> unit
 (** Gravity traffic matrix and traffic-weighted ratios
     ([abl-traffic]). *)
 
-val run_mrc : Format.formatter -> unit
+val run_mrc : Rr_engine.Context.t -> Format.formatter -> unit
 (** Multiple-routing-configurations recovery with RiskRoute weights
     ([abl-mrc]). *)
 
-val run_sla : Format.formatter -> unit
+val run_sla : Rr_engine.Context.t -> Format.formatter -> unit
 (** Latency-budgeted minimum-risk routing (LARAC): risk achievable as the
     SLA budget loosens ([abl-sla]). *)

@@ -10,7 +10,7 @@ let field s =
 
 let row oc cells = output_string oc (String.concat "," (List.map field cells) ^ "\n")
 
-let write_table2 path =
+let write_table2 ctx path =
   with_out path (fun oc ->
       row oc [ "network"; "pops"; "rr_1e5"; "dr_1e5"; "rr_1e6"; "dr_1e6" ];
       List.iter
@@ -23,9 +23,9 @@ let write_table2 path =
               Printf.sprintf "%.4f" r.Table2.rr_1e6;
               Printf.sprintf "%.4f" r.Table2.dr_1e6;
             ])
-        (Table2.compute ()))
+        (Table2.compute ctx Table2.default_spec))
 
-let write_fig8 path =
+let write_fig8 ctx path =
   with_out path (fun oc ->
       row oc [ "network"; "distance_ratio"; "risk_ratio"; "pairs" ];
       List.iter
@@ -37,9 +37,9 @@ let write_fig8 path =
               Printf.sprintf "%.4f" p.Fig8.result.Riskroute.Ratios.risk_reduction;
               string_of_int p.Fig8.result.Riskroute.Ratios.pairs;
             ])
-        (Fig8.compute ()))
+        (Fig8.compute ctx Fig8.default_spec))
 
-let write_fig10 path =
+let write_fig10 ctx path =
   with_out path (fun oc ->
       row oc [ "network"; "links_added"; "fraction_of_original_bit_risk" ];
       List.iter
@@ -49,7 +49,7 @@ let write_fig10 path =
               row oc
                 [ c.Fig10.network; string_of_int (i + 1); Printf.sprintf "%.4f" fraction ])
             c.Fig10.fractions)
-        (Fig10.compute ()))
+        (Fig10.compute ctx Fig10.default_spec))
 
 let write_series path series =
   with_out path (fun oc ->
@@ -72,11 +72,13 @@ let write_series path series =
             s.Riskroute.Casestudy.points)
         series)
 
-let write_fig12 path storm = write_series path (Fig12.compute storm)
+let write_fig12 ctx path storm =
+  write_series path (Fig12.compute ctx (Fig12.default_spec storm))
 
-let write_fig13 path storm = write_series path (Fig13.compute storm)
+let write_fig13 ctx path storm =
+  write_series path (Fig13.compute ctx (Fig13.default_spec storm))
 
-let write_all dir =
+let write_all ctx dir =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
   let out name = Filename.concat dir name in
   let written = ref [] in
@@ -85,13 +87,13 @@ let write_all dir =
     write path;
     written := path :: !written
   in
-  emit "table2.csv" write_table2;
-  emit "fig8.csv" write_fig8;
-  emit "fig10.csv" write_fig10;
+  emit "table2.csv" (write_table2 ctx);
+  emit "fig8.csv" (write_fig8 ctx);
+  emit "fig10.csv" (write_fig10 ctx);
   List.iter
     (fun storm ->
       let slug = String.lowercase_ascii storm.Rr_forecast.Track.name in
-      emit (Printf.sprintf "fig12_%s.csv" slug) (fun p -> write_fig12 p storm);
-      emit (Printf.sprintf "fig13_%s.csv" slug) (fun p -> write_fig13 p storm))
+      emit (Printf.sprintf "fig12_%s.csv" slug) (fun p -> write_fig12 ctx p storm);
+      emit (Printf.sprintf "fig13_%s.csv" slug) (fun p -> write_fig13 ctx p storm))
     Rr_forecast.Track.all;
   List.rev !written

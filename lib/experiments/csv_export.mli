@@ -1,28 +1,28 @@
 (** CSV emission of the figure data series.
 
     The bench harness prints paper-shaped text; plotting tools want the
-    underlying series. [write_all dir] regenerates one CSV per plotted
+    underlying series. [write_all ctx dir] regenerates one CSV per plotted
     figure/table (table2.csv, fig8.csv, fig10.csv,
     fig12_<storm>.csv, fig13_<storm>.csv) with stable headers, ready for
     gnuplot / matplotlib. *)
 
-val write_table2 : string -> unit
-(** [write_table2 path] — columns: network, pops, rr_1e5, dr_1e5,
+val write_table2 : Rr_engine.Context.t -> string -> unit
+(** [write_table2 ctx path] — columns: network, pops, rr_1e5, dr_1e5,
     rr_1e6, dr_1e6. *)
 
-val write_fig8 : string -> unit
+val write_fig8 : Rr_engine.Context.t -> string -> unit
 (** Columns: network, distance_ratio, risk_ratio, pairs. *)
 
-val write_fig10 : string -> unit
+val write_fig10 : Rr_engine.Context.t -> string -> unit
 (** Long format: network, links_added, fraction. *)
 
-val write_fig12 : string -> Rr_forecast.Track.storm -> unit
+val write_fig12 : Rr_engine.Context.t -> string -> Rr_forecast.Track.storm -> unit
 (** Long format: network, tick, issued, risk_reduction,
     distance_increase, pops_in_scope. *)
 
-val write_fig13 : string -> Rr_forecast.Track.storm -> unit
+val write_fig13 : Rr_engine.Context.t -> string -> Rr_forecast.Track.storm -> unit
 (** Same columns as {!write_fig12}, interdomain. *)
 
-val write_all : string -> string list
+val write_all : Rr_engine.Context.t -> string -> string list
 (** Write every series into the directory (created if missing); returns
     the file paths written. *)

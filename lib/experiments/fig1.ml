@@ -1,8 +1,8 @@
-let tier1_pop_total () =
-  Rr_topology.Zoo.tier1_pop_total (Rr_topology.Zoo.shared ())
+let tier1_pop_total ctx =
+  Rr_topology.Zoo.tier1_pop_total (Rr_engine.Context.zoo ctx)
 
-let regional_pop_total () =
-  Rr_topology.Zoo.regional_pop_total (Rr_topology.Zoo.shared ())
+let regional_pop_total ctx =
+  Rr_topology.Zoo.regional_pop_total (Rr_engine.Context.zoo ctx)
 
 let pop_map nets =
   let grid = Rr_geo.Grid.create Rr_geo.Bbox.conus ~rows:60 ~cols:144 in
@@ -15,13 +15,13 @@ let pop_map nets =
     nets;
   Rr_geo.Grid.render_ascii ~width:72 ~height:20 grid
 
-let run ppf =
-  let zoo = Rr_topology.Zoo.shared () in
+let run ctx ppf =
+  let zoo = Rr_engine.Context.zoo ctx in
   Format.fprintf ppf "Fig 1: network data sets@.";
   Format.fprintf ppf
     "Tier-1 infrastructure: %d networks, %d PoPs (paper: 7 networks, 354 PoPs)@."
     (List.length zoo.Rr_topology.Zoo.tier1s)
-    (tier1_pop_total ());
+    (tier1_pop_total ctx);
   List.iter
     (fun net -> Format.fprintf ppf "  %a@." Rr_topology.Net.pp_summary net)
     zoo.Rr_topology.Zoo.tier1s;
@@ -29,9 +29,9 @@ let run ppf =
   Format.fprintf ppf
     "Regional infrastructure: %d networks, %d PoPs (paper: 16 networks, 455 PoPs)@."
     (List.length zoo.Rr_topology.Zoo.regionals)
-    (regional_pop_total ());
+    (regional_pop_total ctx);
   List.iter
     (fun net -> Format.fprintf ppf "  %a@." Rr_topology.Net.pp_summary net)
     zoo.Rr_topology.Zoo.regionals;
-  Format.fprintf ppf "Regional PoP density map:@.%s@."
+  Format.fprintf ppf "Regional PoP density map:@.%s@,"
     (pop_map zoo.Rr_topology.Zoo.regionals)

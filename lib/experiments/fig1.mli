@@ -2,10 +2,10 @@
     (PoP locations and links), rendered as ASCII density maps plus
     corpus summary statistics. *)
 
-val run : Format.formatter -> unit
+val run : Rr_engine.Context.t -> Format.formatter -> unit
 
-val tier1_pop_total : unit -> int
+val tier1_pop_total : Rr_engine.Context.t -> int
 (** 354 in the paper. *)
 
-val regional_pop_total : unit -> int
+val regional_pop_total : Rr_engine.Context.t -> int
 (** 455 in the paper. *)

@@ -3,23 +3,30 @@ type curve = {
   fractions : float array;
 }
 
-let compute ?(max_links = 8) () =
-  let zoo = Rr_topology.Zoo.shared () in
+let default_spec = Rr_engine.Spec.make ~networks:Rr_engine.Spec.Tier1s ~k:8 ()
+
+let compute ctx (spec : Rr_engine.Spec.t) =
+  let max_links = Rr_engine.Spec.k ~default:8 spec in
   List.map
     (fun net ->
-      let env = Riskroute.Env.of_net net in
-      let picks = Riskroute.Augment.greedy ~k:max_links env in
+      let env = Rr_engine.Context.env ctx net in
+      let picks =
+        Riskroute.Augment.greedy ~k:max_links
+          ~dist_trees:(Rr_engine.Context.dist_trees ctx env)
+          ~risk_trees:(Rr_engine.Context.risk_trees ctx env)
+          env
+      in
       {
         network = net.Rr_topology.Net.name;
         fractions =
           Array.of_list
             (List.map (fun (p : Riskroute.Augment.pick) -> p.Riskroute.Augment.fraction) picks);
       })
-    zoo.Rr_topology.Zoo.tier1s
+    (Rr_engine.Context.nets ctx spec.networks)
 
-let run ppf =
+let run ctx ppf =
   Format.fprintf ppf "Fig 10: fraction of original bit-risk miles vs links added@.";
-  let curves = compute () in
+  let curves = compute ctx default_spec in
   Format.fprintf ppf "%-18s" "Network";
   for k = 1 to 8 do
     Format.fprintf ppf " %6s" (Printf.sprintf "+%d" k)

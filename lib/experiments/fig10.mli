@@ -7,6 +7,9 @@ type curve = {
   fractions : float array;  (** index k-1 = after k added links *)
 }
 
-val compute : ?max_links:int -> unit -> curve list
+val default_spec : Rr_engine.Spec.t
+(** Tier-1 networks, [k] = 8 links. *)
 
-val run : Format.formatter -> unit
+val compute : Rr_engine.Context.t -> Rr_engine.Spec.t -> curve list
+
+val run : Rr_engine.Context.t -> Format.formatter -> unit

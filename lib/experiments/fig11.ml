@@ -1,8 +1,10 @@
-let compute ?pair_cap () =
-  let merged, env = Riskroute.Interdomain.shared () in
-  Riskroute.Peer_advisor.recommend_all ?pair_cap merged env
+let default_spec = Rr_engine.Spec.make ~networks:Rr_engine.Spec.Interdomain ()
 
-let run ppf =
+let compute ctx (spec : Rr_engine.Spec.t) =
+  let merged, env = Rr_engine.Context.interdomain ctx in
+  Riskroute.Peer_advisor.recommend_all ?pair_cap:spec.pair_cap merged env
+
+let run ctx ppf =
   Format.fprintf ppf
     "Fig 11: best additional peering relationship per regional network@.";
   Format.fprintf ppf "%-18s %-18s %14s@." "Regional" "Recommended peer"
@@ -12,4 +14,4 @@ let run ppf =
       Format.fprintf ppf "%-18s %-18s %13.1f%%@."
         r.Riskroute.Peer_advisor.regional r.Riskroute.Peer_advisor.peer
         (100.0 *. r.Riskroute.Peer_advisor.improvement))
-    (compute ())
+    (compute ctx default_spec)

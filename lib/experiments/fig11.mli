@@ -1,6 +1,10 @@
 (** Fig. 11: best additional peering relationship for each regional
     network (dotted red links in the paper's figure). *)
 
-val compute : ?pair_cap:int -> unit -> Riskroute.Peer_advisor.recommendation list
+val default_spec : Rr_engine.Spec.t
 
-val run : Format.formatter -> unit
+val compute :
+  Rr_engine.Context.t -> Rr_engine.Spec.t ->
+  Riskroute.Peer_advisor.recommendation list
+
+val run : Rr_engine.Context.t -> Format.formatter -> unit

@@ -1,8 +1,18 @@
-let compute ?(pair_cap = 1000) ?(tick_stride = 4) storm =
-  let zoo = Rr_topology.Zoo.shared () in
+let default_spec storm =
+  Rr_engine.Spec.make ~networks:Rr_engine.Spec.Tier1s ~pair_cap:1000
+    ~tick_stride:4 ~storm ()
+
+let compute ctx (spec : Rr_engine.Spec.t) =
+  let storm = Rr_engine.Spec.storm_exn spec in
+  let pair_cap = Rr_engine.Spec.pair_cap ~default:1000 spec in
+  let tick_stride = Rr_engine.Spec.tick_stride ~default:4 spec in
+  let trees_for env = Rr_engine.Context.dist_trees ctx env in
   List.map
-    (fun net -> Riskroute.Casestudy.tier1 ~pair_cap ~tick_stride ~storm net)
-    zoo.Rr_topology.Zoo.tier1s
+    (fun net ->
+      Riskroute.Casestudy.tier1 ~pair_cap ~tick_stride
+        ~base:(Rr_engine.Context.env ctx net)
+        ~trees_for ~storm net)
+    (Rr_engine.Context.nets ctx spec.networks)
 
 let pp_series ppf (series : Riskroute.Casestudy.series list) =
   match series with
@@ -26,10 +36,10 @@ let pp_series ppf (series : Riskroute.Casestudy.series list) =
           (100.0 *. s.Riskroute.Casestudy.scope_fraction))
       series
 
-let run ppf =
+let run ctx ppf =
   Format.fprintf ppf "Fig 12: Tier-1 case studies (risk-reduction ratio per advisory)@.";
   List.iter
     (fun storm ->
       Format.fprintf ppf "-- Hurricane %s --@." storm.Rr_forecast.Track.name;
-      pp_series ppf (compute storm))
+      pp_series ppf (compute ctx (default_spec storm)))
     Rr_forecast.Track.all

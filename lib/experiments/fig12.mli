@@ -1,12 +1,17 @@
 (** Fig. 12: Tier-1 intradomain risk-reduction time series during
     Hurricanes Irene, Katrina and Sandy. *)
 
+val default_spec : Rr_forecast.Track.storm -> Rr_engine.Spec.t
+(** Tier-1s, pair_cap 1000, stride 4. *)
+
 val compute :
-  ?pair_cap:int -> ?tick_stride:int -> Rr_forecast.Track.storm ->
-  Riskroute.Casestudy.series list
-(** One series per Tier-1 network (defaults: pair_cap 1000, stride 4). *)
+  Rr_engine.Context.t -> Rr_engine.Spec.t -> Riskroute.Casestudy.series list
+(** One series per selected network; raises [Invalid_argument] when the
+    spec carries no storm. Per-tick geographic trees come from the
+    context cache (distance trees are advisory-independent, so every
+    tick hits after the first). *)
 
 val pp_series : Format.formatter -> Riskroute.Casestudy.series list -> unit
 (** Tabular rendering shared with {!Fig13}. *)
 
-val run : Format.formatter -> unit
+val run : Rr_engine.Context.t -> Format.formatter -> unit

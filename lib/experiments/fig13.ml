@@ -1,5 +1,13 @@
-let compute ?(pair_cap = 300) ?(tick_stride = 6) storm =
-  let merged, base_env = Riskroute.Interdomain.shared () in
+let default_spec storm =
+  Rr_engine.Spec.make ~networks:Rr_engine.Spec.Interdomain ~pair_cap:300
+    ~tick_stride:6 ~storm ()
+
+let compute ctx (spec : Rr_engine.Spec.t) =
+  let storm = Rr_engine.Spec.storm_exn spec in
+  let pair_cap = Rr_engine.Spec.pair_cap ~default:300 spec in
+  let tick_stride = Rr_engine.Spec.tick_stride ~default:6 spec in
+  let merged, base_env = Rr_engine.Context.interdomain ctx in
+  let trees_for env = Rr_engine.Context.dist_trees ctx env in
   let peering = Riskroute.Interdomain.peering merged in
   let nets = peering.Rr_topology.Peering.nets in
   let advisories = Rr_forecast.Track.advisories storm in
@@ -11,18 +19,18 @@ let compute ?(pair_cap = 300) ?(tick_stride = 6) storm =
         let fraction = Rr_forecast.Riskfield.scope_fraction advisories nets.(i) in
         if fraction > 0.2 then
           Some
-            (Riskroute.Casestudy.regional ~pair_cap ~tick_stride ~storm ~merged
-               ~base_env i)
+            (Riskroute.Casestudy.regional ~pair_cap ~tick_stride ~trees_for
+               ~storm ~merged ~base_env i)
         else None)
     (Rr_util.Listx.range 0 (Array.length nets))
 
-let run ppf =
+let run ctx ppf =
   Format.fprintf ppf
     "Fig 13: regional interdomain case studies (>20%% of PoPs in scope)@.";
   List.iter
     (fun storm ->
       Format.fprintf ppf "-- Hurricane %s --@." storm.Rr_forecast.Track.name;
-      match compute storm with
+      match compute ctx (default_spec storm) with
       | [] -> Format.fprintf ppf "  (no regional network above the 20%% scope filter)@."
       | series -> Fig12.pp_series ppf series)
     Rr_forecast.Track.all

@@ -2,10 +2,12 @@
     three hurricanes, restricted (as in Sec. 7.3.1) to regional networks
     with more than 20% of their PoPs in the event's scope. *)
 
-val compute :
-  ?pair_cap:int -> ?tick_stride:int -> Rr_forecast.Track.storm ->
-  Riskroute.Casestudy.series list
-(** Defaults: pair_cap 300, stride 6 (the merged graph makes per-tick
+val default_spec : Rr_forecast.Track.storm -> Rr_engine.Spec.t
+(** Interdomain, pair_cap 300, stride 6 (the merged graph makes per-tick
     evaluation expensive; see EXPERIMENTS.md). *)
 
-val run : Format.formatter -> unit
+val compute :
+  Rr_engine.Context.t -> Rr_engine.Spec.t -> Riskroute.Casestudy.series list
+(** Raises [Invalid_argument] when the spec carries no storm. *)
+
+val run : Rr_engine.Context.t -> Format.formatter -> unit

@@ -1,11 +1,11 @@
-let edge_count () =
-  let zoo = Rr_topology.Zoo.shared () in
+let edge_count ctx =
+  let zoo = Rr_engine.Context.zoo ctx in
   List.length zoo.Rr_topology.Zoo.peering.Rr_topology.Peering.edges
 
-let run ppf =
-  let zoo = Rr_topology.Zoo.shared () in
+let run ctx ppf =
+  let zoo = Rr_engine.Context.zoo ctx in
   let peering = zoo.Rr_topology.Zoo.peering in
   Format.fprintf ppf "Fig 2: AS connectivity between all %d networks (%d peerings)@."
     (Rr_topology.Peering.net_count peering)
-    (edge_count ());
+    (edge_count ctx);
   Rr_topology.Peering.pp ppf peering

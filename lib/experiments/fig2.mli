@@ -1,5 +1,5 @@
 (** Fig. 2: AS-level connectivity between the 23 networks. *)
 
-val run : Format.formatter -> unit
+val run : Rr_engine.Context.t -> Format.formatter -> unit
 
-val edge_count : unit -> int
+val edge_count : Rr_engine.Context.t -> int

@@ -1,5 +1,5 @@
-let run ppf =
-  let blocks = Rr_census.Synthetic.shared () in
+let run ctx ppf =
+  let blocks = Rr_engine.Context.census_blocks ctx in
   Format.fprintf ppf
     "Fig 3 (left): population density of the continental United States@.";
   Format.fprintf ppf "census blocks: %d (paper: 215,932), total population %.0f@."
@@ -7,8 +7,7 @@ let run ppf =
     (Rr_census.Block.total_population blocks);
   let grid = Rr_census.Synthetic.heat_grid blocks ~rows:100 ~cols:240 in
   Format.fprintf ppf "%s@," (Rr_geo.Grid.render_ascii ~width:72 ~height:20 grid);
-  let zoo = Rr_topology.Zoo.shared () in
-  match Rr_topology.Zoo.find zoo "Teliasonera" with
+  match Rr_engine.Context.net ctx "Teliasonera" with
   | None -> Format.fprintf ppf "Teliasonera network missing@."
   | Some net ->
     Format.fprintf ppf

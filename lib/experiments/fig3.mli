@@ -2,4 +2,4 @@
     nearest-neighbour population assignment for the Teliasonera
     network. *)
 
-val run : Format.formatter -> unit
+val run : Rr_engine.Context.t -> Format.formatter -> unit

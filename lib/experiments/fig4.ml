@@ -22,8 +22,8 @@ let region_of_kind = function
     ( "east of the Rockies (lon > -104)",
       Rr_geo.Bbox.make ~min_lat:24.5 ~max_lat:49.5 ~min_lon:(-104.0) ~max_lon:(-66.5) )
 
-let concentrations () =
-  let riskmap = Rr_disaster.Riskmap.shared () in
+let concentrations ctx =
+  let riskmap = Rr_engine.Context.riskmap ctx in
   List.map
     (fun kind ->
       let density = Rr_disaster.Riskmap.kind_density riskmap kind in
@@ -38,10 +38,10 @@ let concentrations () =
 
 let labels = [ "(A)"; "(B)"; "(C)"; "(D)"; "(E)" ]
 
-let run ppf =
+let run ctx ppf =
   Format.fprintf ppf
     "Fig 4: bandwidth-optimised kernel density estimates, 1970-2010@.";
-  let riskmap = Rr_disaster.Riskmap.shared () in
+  let riskmap = Rr_engine.Context.riskmap ctx in
   List.iteri
     (fun i kind ->
       let density = Rr_disaster.Riskmap.kind_density riskmap kind in
@@ -59,4 +59,4 @@ let run ppf =
       Format.fprintf ppf "  %-18s %5.1f%% of mass in %s@."
         (Rr_disaster.Event.kind_name c.kind)
         (100.0 *. c.mass_share) c.region)
-    (concentrations ())
+    (concentrations ctx)

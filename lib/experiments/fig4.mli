@@ -9,9 +9,9 @@ type concentration = {
   mass_share : float;    (** fraction of density mass inside that region *)
 }
 
-val concentrations : unit -> concentration list
+val concentrations : Rr_engine.Context.t -> concentration list
 (** Quantitative check of the geography: hurricanes on the Gulf/Atlantic
     coast, tornadoes/storms in the central plains, earthquakes in the
     West. *)
 
-val run : Format.formatter -> unit
+val run : Rr_engine.Context.t -> Format.formatter -> unit

@@ -2,7 +2,7 @@
    from 7 PM 8/20 those are advisory indices 38, 48 and 61. *)
 let paper_ticks = [ 38; 48; 61 ]
 
-let run ppf =
+let run _ctx ppf =
   let storm = Rr_forecast.Track.irene in
   let advisories = Array.of_list (Rr_forecast.Track.advisories storm) in
   Format.fprintf ppf

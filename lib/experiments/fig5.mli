@@ -1,4 +1,4 @@
 (** Fig. 5: geo-spatial disaster forecast for Hurricane Irene at three
     advisory times (parsed centre + tropical / hurricane wind radii). *)
 
-val run : Format.formatter -> unit
+val run : Rr_engine.Context.t -> Format.formatter -> unit

@@ -1,5 +1,5 @@
-let tier1_pops_in_hurricane_scope storm =
-  let zoo = Rr_topology.Zoo.shared () in
+let tier1_pops_in_hurricane_scope ctx storm =
+  let zoo = Rr_engine.Context.zoo ctx in
   let advisories = Rr_forecast.Track.advisories storm in
   List.fold_left
     (fun acc net ->
@@ -34,14 +34,14 @@ let scope_map storm =
 
 let paper_counts = [ ("IRENE", 86); ("KATRINA", 8); ("SANDY", 115) ]
 
-let run ppf =
+let run ctx ppf =
   Format.fprintf ppf "Fig 6: final geo-spatial scope of the three hurricanes@.";
   List.iter
     (fun storm ->
       let name = storm.Rr_forecast.Track.name in
       Format.fprintf ppf "Hurricane %s (%d advisories):@.%s@," name
         storm.Rr_forecast.Track.advisory_count (scope_map storm);
-      let count = tier1_pops_in_hurricane_scope storm in
+      let count = tier1_pops_in_hurricane_scope ctx storm in
       let paper =
         match List.assoc_opt name paper_counts with Some c -> c | None -> 0
       in

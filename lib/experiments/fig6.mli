@@ -1,8 +1,8 @@
 (** Fig. 6: final geographic scope of Irene, Katrina and Sandy (union of
     per-advisory wind discs), with the Sec. 7.3 PoP exposure counts. *)
 
-val tier1_pops_in_hurricane_scope : Rr_forecast.Track.storm -> int
+val tier1_pops_in_hurricane_scope : Rr_engine.Context.t -> Rr_forecast.Track.storm -> int
 (** Tier-1 PoPs ever inside hurricane-force winds (paper: Irene 86,
     Katrina 8, Sandy 115). *)
 
-val run : Format.formatter -> unit
+val run : Rr_engine.Context.t -> Format.formatter -> unit

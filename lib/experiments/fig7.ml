@@ -4,10 +4,13 @@ type comparison = {
   riskroute : Riskroute.Router.route;
 }
 
-let level3 () =
-  match Rr_topology.Zoo.find (Rr_topology.Zoo.shared ()) "Level3" with
-  | Some net -> net
-  | None -> failwith "Fig7: Level3 missing from the Zoo"
+let default_spec =
+  Rr_engine.Spec.make ~networks:(Rr_engine.Spec.Named [ "Level3" ]) ()
+
+let subject ctx (spec : Rr_engine.Spec.t) =
+  match Rr_engine.Context.nets ctx spec.networks with
+  | net :: _ -> net
+  | [] -> failwith "Fig7: spec selects no network"
 
 let endpoints net =
   match
@@ -17,13 +20,13 @@ let endpoints net =
   | Some h, Some b -> (h, b)
   | _ -> failwith "Fig7: Level3 map lacks a Houston or Boston PoP"
 
-let compute () =
-  let net = level3 () in
+let compute ctx spec =
+  let net = subject ctx spec in
   let src, dst = endpoints net in
   List.map
     (fun lambda_h ->
       let params = Riskroute.Params.with_lambda_h lambda_h Riskroute.Params.default in
-      let env = Riskroute.Env.of_net ~params net in
+      let env = Rr_engine.Context.env ~params ctx net in
       let get = function
         | Some route -> route
         | None -> failwith "Fig7: Houston and Boston are disconnected"
@@ -45,8 +48,8 @@ let pp_route ppf net (route : Riskroute.Router.route) =
     (String.concat " -> " names)
     route.Riskroute.Router.bit_miles route.Riskroute.Router.bit_risk_miles
 
-let run ppf =
-  let net = level3 () in
+let run ctx ppf =
+  let net = subject ctx default_spec in
   Format.fprintf ppf
     "Fig 7: Level3 routing between Houston, TX and Boston, MA@.";
   List.iter
@@ -54,4 +57,4 @@ let run ppf =
       Format.fprintf ppf "lambda_h = %.0e@." c.lambda_h;
       Format.fprintf ppf "  shortest : %a@." (fun ppf -> pp_route ppf net) c.shortest;
       Format.fprintf ppf "  riskroute: %a@." (fun ppf -> pp_route ppf net) c.riskroute)
-    (compute ())
+    (compute ctx default_spec)

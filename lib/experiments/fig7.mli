@@ -7,8 +7,11 @@ type comparison = {
   riskroute : Riskroute.Router.route;
 }
 
-val compute : unit -> comparison list
-(** Raises [Failure] if the shared Level3 map lacks Houston or Boston
-    PoPs or they are disconnected. *)
+val default_spec : Rr_engine.Spec.t
+(** The Level3 network. *)
 
-val run : Format.formatter -> unit
+val compute : Rr_engine.Context.t -> Rr_engine.Spec.t -> comparison list
+(** Raises [Failure] if the selected map lacks Houston or Boston PoPs or
+    they are disconnected. Environments come from the context cache. *)
+
+val run : Rr_engine.Context.t -> Format.formatter -> unit

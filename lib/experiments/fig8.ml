@@ -3,8 +3,15 @@ type point = {
   result : Riskroute.Ratios.result;
 }
 
-let compute_uncached ?(pair_cap = 1200) () =
-  let merged, env = Riskroute.Interdomain.shared () in
+let default_pair_cap = 1200
+
+let default_spec =
+  Rr_engine.Spec.make ~networks:Rr_engine.Spec.Interdomain
+    ~pair_cap:default_pair_cap ()
+
+let compute_uncached ctx ~pair_cap =
+  let merged, env = Rr_engine.Context.interdomain ctx in
+  let trees = Rr_engine.Context.dist_trees ctx env in
   let peering = Riskroute.Interdomain.peering merged in
   let nets = peering.Rr_topology.Peering.nets in
   let dests = Riskroute.Interdomain.regional_nodes merged in
@@ -14,21 +21,26 @@ let compute_uncached ?(pair_cap = 1200) () =
       | Rr_topology.Net.Tier1 -> None
       | Rr_topology.Net.Regional ->
         let sources = Riskroute.Interdomain.net_nodes merged i in
-        let result = Riskroute.Ratios.between ~pair_cap env ~sources ~dests in
+        let result = Riskroute.Ratios.between ~pair_cap ~trees env ~sources ~dests in
         Some { network = nets.(i).Rr_topology.Net.name; result })
     (Rr_util.Listx.range 0 (Array.length nets))
 
-let cache : (int, point list) Hashtbl.t = Hashtbl.create 4
+(* Table 3 re-reads Fig 8's points, so results are memoised per
+   (context, pair_cap) — contexts compared physically. *)
+let cache : ((Rr_engine.Context.t * int) * point list) list ref = ref []
 
-let compute ?(pair_cap = 1200) () =
-  match Hashtbl.find_opt cache pair_cap with
-  | Some points -> points
+let compute ctx (spec : Rr_engine.Spec.t) =
+  let pair_cap = Rr_engine.Spec.pair_cap ~default:default_pair_cap spec in
+  match
+    List.find_opt (fun ((c, cap), _) -> c == ctx && cap = pair_cap) !cache
+  with
+  | Some (_, points) -> points
   | None ->
-    let points = compute_uncached ~pair_cap () in
-    Hashtbl.add cache pair_cap points;
+    let points = compute_uncached ctx ~pair_cap in
+    cache := ((ctx, pair_cap), points) :: !cache;
     points
 
-let run ppf =
+let run ctx ppf =
   Format.fprintf ppf
     "Fig 8: interdomain RiskRoute — regional networks, lambda_h = 1e5@.";
   Format.fprintf ppf "%-18s %14s %14s %8s@." "Network" "Distance ratio"
@@ -38,4 +50,4 @@ let run ppf =
       Format.fprintf ppf "%-18s %14.3f %14.3f %8d@." p.network
         p.result.Riskroute.Ratios.distance_increase
         p.result.Riskroute.Ratios.risk_reduction p.result.Riskroute.Ratios.pairs)
-    (compute ())
+    (compute ctx default_spec)

@@ -10,8 +10,11 @@ type point = {
   result : Riskroute.Ratios.result;
 }
 
-val compute : ?pair_cap:int -> unit -> point list
-(** [pair_cap] (default 1200) bounds sampled pairs per network. Results
-    for the shared Zoo; memoised (Table 3 reuses them). *)
+val default_spec : Rr_engine.Spec.t
+(** Interdomain selection, pair_cap 1200 (per network). *)
 
-val run : Format.formatter -> unit
+val compute : Rr_engine.Context.t -> Rr_engine.Spec.t -> point list
+(** Memoised per (context, pair_cap) — Table 3 reuses the points.
+    Shortest-path trees come from the context cache. *)
+
+val run : Rr_engine.Context.t -> Format.formatter -> unit

@@ -5,27 +5,32 @@ type suggestion = {
 
 let networks = [ "Level3"; "AT&T"; "Tinet" ]
 
-let compute ?(k = 10) () =
-  let zoo = Rr_topology.Zoo.shared () in
-  List.filter_map
-    (fun name ->
-      match Rr_topology.Zoo.find zoo name with
-      | None -> None
-      | Some net ->
-        let env = Riskroute.Env.of_net net in
-        let picks = Riskroute.Augment.greedy ~k env in
-        let links =
-          List.map
-            (fun (p : Riskroute.Augment.pick) ->
-              ( (Rr_topology.Net.pop net p.Riskroute.Augment.u).Rr_topology.Pop.name,
-                (Rr_topology.Net.pop net p.Riskroute.Augment.v).Rr_topology.Pop.name,
-                p.Riskroute.Augment.fraction ))
-            picks
-        in
-        Some { network = name; links })
-    networks
+let default_spec =
+  Rr_engine.Spec.make ~networks:(Rr_engine.Spec.Named networks) ~k:10 ()
 
-let run ppf =
+let compute ctx (spec : Rr_engine.Spec.t) =
+  let k = Rr_engine.Spec.k ~default:10 spec in
+  List.map
+    (fun net ->
+      let env = Rr_engine.Context.env ctx net in
+      let picks =
+        Riskroute.Augment.greedy ~k
+          ~dist_trees:(Rr_engine.Context.dist_trees ctx env)
+          ~risk_trees:(Rr_engine.Context.risk_trees ctx env)
+          env
+      in
+      let links =
+        List.map
+          (fun (p : Riskroute.Augment.pick) ->
+            ( (Rr_topology.Net.pop net p.Riskroute.Augment.u).Rr_topology.Pop.name,
+              (Rr_topology.Net.pop net p.Riskroute.Augment.v).Rr_topology.Pop.name,
+              p.Riskroute.Augment.fraction ))
+          picks
+      in
+      { network = net.Rr_topology.Net.name; links })
+    (Rr_engine.Context.nets ctx spec.networks)
+
+let run ctx ppf =
   Format.fprintf ppf
     "Fig 9: ten best additional links per network (greedy RiskRoute)@.";
   List.iter
@@ -37,4 +42,4 @@ let run ppf =
             "  %2d. %-22s -- %-22s (bit-risk at %.3f of original)@." (i + 1) a b
             fraction)
         s.links)
-    (compute ())
+    (compute ctx default_spec)

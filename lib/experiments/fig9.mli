@@ -8,7 +8,12 @@ type suggestion = {
           adding this and all previous links) *)
 }
 
-val compute : ?k:int -> unit -> suggestion list
-(** Default [k] = 10 links per network, as in the paper. *)
+val default_spec : Rr_engine.Spec.t
+(** Level3, AT&T and Tinet; [k] = 10 links per network, as in the
+    paper. *)
 
-val run : Format.formatter -> unit
+val compute : Rr_engine.Context.t -> Rr_engine.Spec.t -> suggestion list
+(** Environments and initial all-pairs trees come from the context
+    cache. *)
+
+val run : Rr_engine.Context.t -> Format.formatter -> unit

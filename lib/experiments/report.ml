@@ -1,7 +1,7 @@
 type experiment = {
   id : string;
   title : string;
-  run : Format.formatter -> unit;
+  run : Rr_engine.Context.t -> Format.formatter -> unit;
 }
 
 let all =
@@ -47,17 +47,17 @@ let ids () = List.map (fun e -> e.id) all
 (* Every experiment runs under a "report.<id>" span, so a telemetry dump
    attributes engine counters and nested spans (env builds, sweeps) to
    the experiment that caused them. *)
-let run_timed e ppf =
-  Rr_obs.with_span ("report." ^ e.id) (fun () -> e.run ppf)
+let run_timed e ctx ppf =
+  Rr_obs.with_span ("report." ^ e.id) (fun () -> e.run ctx ppf)
 
-let run_all ppf =
+let run_all ctx ppf =
   List.iter
     (fun e ->
       Format.fprintf ppf "@.=== %s: %s ===@." (String.uppercase_ascii e.id) e.title;
       (* Wall time, not [Sys.time]: CPU seconds overstate multicore runs
          by roughly the pool size. *)
       let t0 = Rr_obs.Clock.monotonic () in
-      run_timed e ppf;
+      run_timed e ctx ppf;
       Format.fprintf ppf "[%s completed in %.1fs]@." e.id
         (Rr_obs.Clock.monotonic () -. t0))
     all

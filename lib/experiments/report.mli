@@ -6,7 +6,7 @@
 type experiment = {
   id : string;          (** e.g. ["table2"], ["fig12"] *)
   title : string;
-  run : Format.formatter -> unit;
+  run : Rr_engine.Context.t -> Format.formatter -> unit;
 }
 
 val all : experiment list
@@ -18,10 +18,12 @@ val find : string -> experiment option
 
 val ids : unit -> string list
 
-val run_timed : experiment -> Format.formatter -> unit
+val run_timed : experiment -> Rr_engine.Context.t -> Format.formatter -> unit
 (** Run one experiment under a ["report.<id>"] telemetry span, so engine
     counters and nested spans recorded during the run attribute to it. *)
 
-val run_all : Format.formatter -> unit
-(** Run everything, separated by headers, with per-experiment wall-clock
-    timing lines. *)
+val run_all : Rr_engine.Context.t -> Format.formatter -> unit
+(** Run everything against one shared context, separated by headers,
+    with per-experiment wall-clock timing lines. Sharing the context is
+    what lets later experiments reuse environments and trees built by
+    earlier ones ([engine.cache.*] counters record the traffic). *)

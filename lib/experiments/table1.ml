@@ -5,10 +5,13 @@ type row = {
   paper_bandwidth : float;
 }
 
-let compute ?catalog ?(max_events = 25_000) () =
+let default_spec = Rr_engine.Spec.make ~max_events:25_000 ()
+
+let compute ?catalog ctx (spec : Rr_engine.Spec.t) =
   let catalog =
-    match catalog with Some c -> c | None -> Rr_disaster.Catalog.shared ()
+    match catalog with Some c -> c | None -> Rr_engine.Context.catalog ctx
   in
+  let max_events = Rr_engine.Spec.max_events ~default:25_000 spec in
   List.map
     (fun kind ->
       let events = Rr_disaster.Catalog.coords catalog kind in
@@ -23,7 +26,7 @@ let compute ?catalog ?(max_events = 25_000) () =
       })
     Rr_disaster.Event.all_kinds
 
-let run ppf =
+let run ctx ppf =
   Format.fprintf ppf
     "Table 1: trained kernel density bandwidths (FEMA and NOAA data)@.";
   Format.fprintf ppf "%-18s %10s %18s %18s@." "Event Type" "Entries"
@@ -33,4 +36,4 @@ let run ppf =
       Format.fprintf ppf "%-18s %10d %18.2f %18.2f@."
         (Rr_disaster.Event.kind_name row.kind)
         row.entries row.bandwidth row.paper_bandwidth)
-    (compute ())
+    (compute ctx default_spec)

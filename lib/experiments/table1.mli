@@ -8,13 +8,18 @@ type row = {
   paper_bandwidth : float;  (** the value reported in the paper *)
 }
 
-val compute :
-  ?catalog:Rr_disaster.Catalog.t -> ?max_events:int -> unit -> row list
-(** Runs 5-fold CV per catalogue with the rasterised scorer.
-    [max_events] (default 25,000) caps the events entering CV: the three
-    smaller catalogues run at full size, and the subsampling of storm and
-    wind compresses their bandwidth gap slightly (documented in
-    EXPERIMENTS.md). *)
+val default_spec : Rr_engine.Spec.t
+(** [max_events] = 25,000. *)
 
-val run : Format.formatter -> unit
+val compute :
+  ?catalog:Rr_disaster.Catalog.t -> Rr_engine.Context.t -> Rr_engine.Spec.t ->
+  row list
+(** Runs 5-fold CV per catalogue with the rasterised scorer. [catalog]
+    overrides the context's shared catalogue (tests use a small
+    synthetic one). [Spec.max_events] (default 25,000) caps the events
+    entering CV: the three smaller catalogues run at full size, and the
+    subsampling of storm and wind compresses their bandwidth gap
+    slightly (documented in EXPERIMENTS.md). *)
+
+val run : Rr_engine.Context.t -> Format.formatter -> unit
 (** Print the table, paper values alongside. *)

@@ -18,16 +18,21 @@ let paper =
     ("Teliasonera", (0.223, 0.068, 0.336, 0.226));
   ]
 
-let compute ?(pair_cap = 6000) () =
-  let zoo = Rr_topology.Zoo.shared () in
+let default_spec =
+  Rr_engine.Spec.make ~networks:Rr_engine.Spec.Tier1s ~pair_cap:6000 ()
+
+let compute ctx (spec : Rr_engine.Spec.t) =
+  let pair_cap = Rr_engine.Spec.pair_cap ~default:6000 spec in
   List.map
     (fun net ->
       let ratios lambda_h =
         let params =
           Riskroute.Params.with_lambda_h lambda_h Riskroute.Params.default
         in
-        let env = Riskroute.Env.of_net ~params net in
-        Riskroute.Ratios.intradomain ~pair_cap env
+        let env = Rr_engine.Context.env ~params ctx net in
+        Riskroute.Ratios.intradomain ~pair_cap
+          ~trees:(Rr_engine.Context.dist_trees ctx env)
+          env
       in
       let r5 = ratios 1e5 and r6 = ratios 1e6 in
       {
@@ -38,9 +43,9 @@ let compute ?(pair_cap = 6000) () =
         rr_1e6 = r6.Riskroute.Ratios.risk_reduction;
         dr_1e6 = r6.Riskroute.Ratios.distance_increase;
       })
-    zoo.Rr_topology.Zoo.tier1s
+    (Rr_engine.Context.nets ctx spec.networks)
 
-let run ppf =
+let run ctx ppf =
   Format.fprintf ppf
     "Table 2: Tier-1 bit-risk to bit-miles trade-off (ours | paper)@.";
   Format.fprintf ppf "%-18s %6s | %-27s | %-27s@." "Network" "#PoPs"
@@ -56,4 +61,4 @@ let run ppf =
         "%-18s %6d | %.3f %.3f (paper %.3f %.3f) | %.3f %.3f (paper %.3f %.3f)@."
         row.network row.pops row.rr_1e5 row.dr_1e5 prr5 pdr5 row.rr_1e6
         row.dr_1e6 prr6 pdr6)
-    (compute ())
+    (compute ctx default_spec)

@@ -13,7 +13,11 @@ type row = {
 val paper : (string * (float * float * float * float)) list
 (** The paper's (rr_1e5, dr_1e5, rr_1e6, dr_1e6) per network. *)
 
-val compute : ?pair_cap:int -> unit -> row list
-(** Ratios over the shared Zoo Tier-1s ([pair_cap] default 6000). *)
+val default_spec : Rr_engine.Spec.t
+(** Tier-1s, pair_cap 6000. *)
 
-val run : Format.formatter -> unit
+val compute : Rr_engine.Context.t -> Rr_engine.Spec.t -> row list
+(** The lambda sweep reuses context-cached geographic trees — geometry
+    is independent of lambda, so both columns share them. *)
+
+val run : Rr_engine.Context.t -> Format.formatter -> unit

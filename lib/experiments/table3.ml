@@ -8,9 +8,11 @@ let paper =
     ("Number of Peers", (0.155, 0.002));
   ]
 
-let compute ?pair_cap () =
-  let zoo = Rr_topology.Zoo.shared () in
-  let points = Fig8.compute ?pair_cap () in
+let default_spec = Fig8.default_spec
+
+let compute ctx spec =
+  let zoo = Rr_engine.Context.zoo ctx in
+  let points = Fig8.compute ctx spec in
   let results =
     List.filter_map
       (fun (p : Fig8.point) ->
@@ -21,9 +23,9 @@ let compute ?pair_cap () =
   in
   Riskroute.Characteristics.table ~results
     ~peering:zoo.Rr_topology.Zoo.peering
-    ~riskmap:(Rr_disaster.Riskmap.shared ())
+    ~riskmap:(Rr_engine.Context.riskmap ctx)
 
-let run ppf =
+let run ctx ppf =
   Format.fprintf ppf
     "Table 3: regional R^2 of network characteristics vs interdomain ratios@.";
   Format.fprintf ppf "%-22s %22s %22s@." "Characteristic"
@@ -39,4 +41,4 @@ let run ppf =
       Format.fprintf ppf "%-22s %10.3f | %8.3f %10.3f | %8.3f@." cname
         row.Riskroute.Characteristics.r2_risk pr
         row.Riskroute.Characteristics.r2_distance pd)
-    (compute ())
+    (compute ctx default_spec)

@@ -4,6 +4,10 @@
 val paper : (string * (float * float)) list
 (** Paper's (risk-ratio R^2, distance-ratio R^2) per characteristic. *)
 
-val compute : ?pair_cap:int -> unit -> Riskroute.Characteristics.row list
+val default_spec : Rr_engine.Spec.t
+(** Same as {!Fig8.default_spec} — the points are shared. *)
 
-val run : Format.formatter -> unit
+val compute :
+  Rr_engine.Context.t -> Rr_engine.Spec.t -> Riskroute.Characteristics.row list
+
+val run : Rr_engine.Context.t -> Format.formatter -> unit

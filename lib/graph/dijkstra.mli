@@ -8,6 +8,11 @@ type tree = {
   dist : float array;  (** [infinity] for unreachable nodes *)
   parent : int array;  (** [-1] for the source and unreachable nodes *)
 }
+(** Trees are write-once: no function in this library mutates a
+    returned tree, so callers may share them freely — the engine's
+    tree cache ([Rr_engine.Context]) hands the same physical tree to
+    every consumer, and [Augment] aliases [dist] arrays as all-pairs
+    matrix rows. Anyone relaxing a cached row must copy it first. *)
 
 val single_source : Graph.t -> weight:(int -> int -> float) -> src:int -> tree
 (** Full shortest-path tree from [src]. *)

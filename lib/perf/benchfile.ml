@@ -8,6 +8,8 @@ type meta = {
   riskroute_domains : string;
   reps : int;
   warmups : int;
+  cache_hits : int;   (* engine.cache.* hits observed during the run *)
+  cache_misses : int;
 }
 
 type result = {
@@ -24,7 +26,7 @@ type result = {
 
 type file = { meta : meta; results : result list }
 
-let schema = 3
+let schema = 4
 
 let escape s =
   let b = Buffer.create (String.length s + 2) in
@@ -47,11 +49,12 @@ let to_json_string f =
     "{\n\
     \  \"meta\": {\"schema\": %d, \"domains\": %d, \"git_rev\": \"%s\", \
      \"hostname\": \"%s\", \"ocaml_version\": \"%s\", \"word_size\": %d, \
-     \"riskroute_domains\": \"%s\", \"reps\": %d, \"warmups\": %d},\n\
+     \"riskroute_domains\": \"%s\", \"reps\": %d, \"warmups\": %d, \
+     \"cache_hits\": %d, \"cache_misses\": %d},\n\
     \  \"results\": [\n"
     m.schema m.domains (escape m.git_rev) (escape m.hostname)
     (escape m.ocaml_version) m.word_size (escape m.riskroute_domains) m.reps
-    m.warmups;
+    m.warmups m.cache_hits m.cache_misses;
   List.iteri
     (fun i r ->
       Printf.bprintf b
@@ -136,6 +139,8 @@ let of_json_string text =
   let* riskroute_domains = str ~default:"" meta_j "riskroute_domains" in
   let* reps = num ~default:1.0 meta_j "reps" in
   let* warmups = num ~default:0.0 meta_j "warmups" in
+  let* cache_hits = num ~default:0.0 meta_j "cache_hits" in
+  let* cache_misses = num ~default:0.0 meta_j "cache_misses" in
   let* rows =
     match Option.bind (Json.member "results" j) Json.to_arr with
     | Some l -> Ok l
@@ -162,6 +167,8 @@ let of_json_string text =
           riskroute_domains;
           reps = int_of_float reps;
           warmups = int_of_float warmups;
+          cache_hits = int_of_float cache_hits;
+          cache_misses = int_of_float cache_misses;
         };
       results = List.rev results;
     }

@@ -1,12 +1,13 @@
 (** BENCH_*.json files: the machine-readable benchmark format written
     by [bench/main.exe json] and read by [riskroute bench-compare].
 
-    Schema 3 is statistics-aware: each kernel row carries mean/p50/p95
+    Schema 4 is statistics-aware: each kernel row carries mean/p50/p95
     over N repetitions plus per-run GC allocation deltas, and the meta
     block is self-describing (OCaml version, word size, resolved pool
-    size) so baselines stay comparable across machines. Schema-2 files
-    (single Bechamel OLS estimate per kernel) are still readable: the
-    one estimate stands in for every statistic. *)
+    size, engine cache hit/miss totals) so baselines stay comparable
+    across machines. Older files remain readable: schema-3 metas default
+    the cache totals to 0, and schema-2 files (single Bechamel OLS
+    estimate per kernel) reuse the one estimate for every statistic. *)
 
 type meta = {
   schema : int;
@@ -18,6 +19,10 @@ type meta = {
   riskroute_domains : string;  (** raw RISKROUTE_DOMAINS value, "" if unset *)
   reps : int;
   warmups : int;
+  cache_hits : int;
+      (** total engine artifact-cache hits ([engine.cache.env_hit] +
+          [engine.cache.tree_hit]) observed over the recorded run *)
+  cache_misses : int;  (** same, for [engine.cache.*_miss] *)
 }
 
 type result = {
@@ -35,7 +40,7 @@ type result = {
 type file = { meta : meta; results : result list }
 
 val schema : int
-(** The schema this module writes (3). *)
+(** The schema this module writes (4). *)
 
 val to_json_string : file -> string
 

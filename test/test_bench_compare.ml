@@ -106,6 +106,8 @@ let meta =
     riskroute_domains = "4";
     reps = 10;
     warmups = 3;
+    cache_hits = 7;
+    cache_misses = 2;
   }
 
 let result name p50 p95 =

@@ -44,6 +44,28 @@ let test_params_with () =
   Alcotest.(check (float 1e-9)) "set f" 9.0 p.Params.lambda_f;
   Alcotest.(check (float 1e-9)) "h preserved" 7.0 p.Params.lambda_h
 
+let test_params_eager_validation () =
+  (* Setters and [make] reject bad values at construction, not at first
+     use downstream. *)
+  Alcotest.check_raises "with_lambda_h rejects zero"
+    (Invalid_argument "Params: lambda_h must be positive") (fun () ->
+      ignore (Params.with_lambda_h 0.0 Params.default));
+  Alcotest.check_raises "with_lambda_f rejects negatives"
+    (Invalid_argument "Params: lambda_f must be positive") (fun () ->
+      ignore (Params.with_lambda_f (-1.0) Params.default));
+  Alcotest.check_raises "make rejects bad rho order"
+    (Invalid_argument "Params: need 0 <= rho_tropical <= rho_hurricane")
+    (fun () -> ignore (Params.make ~rho_tropical:500.0 ()))
+
+let test_params_make () =
+  let p = Params.make ~lambda_h:2.0 ~lambda_f:3.0 () in
+  Alcotest.(check (float 1e-9)) "lambda_h" 2.0 p.Params.lambda_h;
+  Alcotest.(check (float 1e-9)) "lambda_f" 3.0 p.Params.lambda_f;
+  Alcotest.(check (float 1e-9)) "risk_scale defaulted"
+    Params.default.Params.risk_scale p.Params.risk_scale;
+  Alcotest.(check bool) "no-arg make is default" true
+    (Params.make () = Params.default)
+
 (* --- Env --- *)
 
 let test_env_length_validation () =
@@ -462,6 +484,8 @@ let () =
           Alcotest.test_case "defaults" `Quick test_params_default;
           Alcotest.test_case "validate" `Quick test_params_validate;
           Alcotest.test_case "with_*" `Quick test_params_with;
+          Alcotest.test_case "eager validation" `Quick test_params_eager_validation;
+          Alcotest.test_case "make" `Quick test_params_make;
         ] );
       ( "env",
         [

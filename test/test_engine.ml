@@ -1,0 +1,220 @@
+(* Engine context: fingerprints, bounded LRU, and cache correctness.
+
+   The load-bearing property is that cached artifacts are *bitwise*
+   indistinguishable from freshly-computed ones: a warm context must
+   produce byte-identical results to a cold one, and to the plain
+   uncached code path, at any pool size. *)
+
+module Context = Rr_engine.Context
+module Spec = Rr_engine.Spec
+module Fingerprint = Rr_engine.Fingerprint
+module Lru = Rr_engine.Lru
+open Riskroute
+
+let with_domains k f =
+  let old = Rr_util.Parallel.domain_count () in
+  Rr_util.Parallel.set_domain_count k;
+  Fun.protect ~finally:(fun () -> Rr_util.Parallel.set_domain_count old) f
+
+(* --- bounded LRU --- *)
+
+let test_lru_bound_and_eviction () =
+  let l = Lru.create ~capacity:3 in
+  Alcotest.(check int) "capacity" 3 (Lru.capacity l);
+  let evicted = ref 0 in
+  for i = 1 to 10 do
+    evicted := !evicted + Lru.add l (string_of_int i) i
+  done;
+  Alcotest.(check int) "bounded" 3 (Lru.length l);
+  Alcotest.(check int) "evictions counted" 7 !evicted;
+  (* Most-recent three survive. *)
+  Alcotest.(check bool) "10 kept" true (Lru.find l "10" = Some 10);
+  Alcotest.(check bool) "9 kept" true (Lru.find l "9" = Some 9);
+  Alcotest.(check bool) "8 kept" true (Lru.find l "8" = Some 8);
+  Alcotest.(check bool) "7 evicted" true (Lru.find l "7" = None)
+
+let test_lru_find_promotes () =
+  let l = Lru.create ~capacity:2 in
+  ignore (Lru.add l "a" 1);
+  ignore (Lru.add l "b" 2);
+  ignore (Lru.find l "a");
+  (* "a" is now most recent, so inserting "c" evicts "b". *)
+  ignore (Lru.add l "c" 3);
+  Alcotest.(check bool) "a survives" true (Lru.find l "a" = Some 1);
+  Alcotest.(check bool) "b evicted" true (Lru.find l "b" = None)
+
+let test_lru_bad_capacity () =
+  Alcotest.check_raises "negative capacity"
+    (Invalid_argument "Lru.create: negative capacity") (fun () ->
+      ignore (Lru.create ~capacity:(-1)))
+
+(* --- fingerprints --- *)
+
+let test_params_fingerprints_distinct () =
+  let base = Fingerprint.params Params.default in
+  Alcotest.(check bool) "structurally equal params share a fingerprint" true
+    (String.equal base (Fingerprint.params (Params.make ())));
+  Alcotest.(check bool) "lambda_h distinguishes" false
+    (String.equal base
+       (Fingerprint.params (Params.with_lambda_h 7.0 Params.default)));
+  Alcotest.(check bool) "lambda_f distinguishes" false
+    (String.equal base
+       (Fingerprint.params (Params.with_lambda_f 7.0 Params.default)))
+
+let test_advisory_fingerprints_distinct () =
+  let advisories = Rr_forecast.Track.advisories Rr_forecast.Track.sandy in
+  let a0 = List.nth advisories 0 and a1 = List.nth advisories 1 in
+  let none = Fingerprint.advisory None in
+  Alcotest.(check bool) "None vs Some" false
+    (String.equal none (Fingerprint.advisory (Some a0)));
+  Alcotest.(check bool) "different advisories differ" false
+    (String.equal (Fingerprint.advisory (Some a0))
+       (Fingerprint.advisory (Some a1)));
+  Alcotest.(check bool) "same advisory repeats" true
+    (String.equal (Fingerprint.advisory (Some a0))
+       (Fingerprint.advisory (Some a0)))
+
+(* --- env cache --- *)
+
+let test_env_cache_identity () =
+  let ctx = Context.create () in
+  let net = Context.require_net ctx "Sprint" in
+  let e1 = Context.env ctx net in
+  let e2 = Context.env ctx net in
+  Alcotest.(check bool) "same env physically shared" true (e1 == e2);
+  let stats = Context.stats ctx in
+  Alcotest.(check int) "one miss" 1 stats.Context.env_misses;
+  Alcotest.(check int) "one hit" 1 stats.Context.env_hits;
+  (* A structurally-equal params value still hits: keys are contents,
+     not physical identity. *)
+  let e3 = Context.env ~params:(Params.make ()) ctx net in
+  Alcotest.(check bool) "structural params hit" true (e1 == e3);
+  let e4 = Context.env ~params:(Params.with_lambda_h 7.0 Params.default) ctx net in
+  Alcotest.(check bool) "distinct params distinct env" true (e1 != e4)
+
+let test_tree_cache_eviction_bound () =
+  let ctx = Context.create ~tree_cache_cap:4 () in
+  let net = Context.require_net ctx "Sprint" in
+  let env = Context.env ctx net in
+  let trees = Context.dist_trees ctx env in
+  for src = 0 to 9 do
+    ignore (trees src)
+  done;
+  Alcotest.(check int) "length bounded" 4 (Context.tree_cache_length ctx);
+  Alcotest.(check int) "capacity recorded" 4 (Context.tree_cache_capacity ctx);
+  let stats = Context.stats ctx in
+  Alcotest.(check int) "ten misses" 10 stats.Context.tree_misses;
+  Alcotest.(check int) "six evictions" 6 stats.Context.tree_evictions;
+  (* Re-requesting the most recent source hits; the oldest misses again. *)
+  ignore (trees 9);
+  ignore (trees 0);
+  let stats = Context.stats ctx in
+  Alcotest.(check int) "recent hit" 1 stats.Context.tree_hits;
+  Alcotest.(check int) "evicted source recomputed" 11 stats.Context.tree_misses
+
+(* --- cache correctness: warm = cold = uncached, at any pool size --- *)
+
+(* Render every float with %h (hex, exact) so the comparison is bitwise,
+   not print-rounded. *)
+let render_result (r : Ratios.result) =
+  Printf.sprintf "rr=%h dr=%h pairs=%d" r.Ratios.risk_reduction
+    r.Ratios.distance_increase r.Ratios.pairs
+
+let render_picks picks =
+  String.concat ";"
+    (List.map
+       (fun (p : Augment.pick) ->
+         Printf.sprintf "%d-%d:%h:%h" p.Augment.u p.Augment.v
+           p.Augment.total_after p.Augment.fraction)
+       picks)
+
+let cached_snapshot ctx =
+  let net = Context.require_net ctx "Sprint" in
+  let env = Context.env ctx net in
+  let dist = Context.dist_trees ctx env in
+  let risk = Context.risk_trees ctx env in
+  let r = Ratios.intradomain ~pair_cap:300 ~trees:dist env in
+  let picks = Augment.greedy ~k:2 ~dist_trees:dist ~risk_trees:risk env in
+  render_result r ^ " | " ^ render_picks picks
+
+let uncached_snapshot zoo =
+  let net = Option.get (Rr_topology.Zoo.find zoo "Sprint") in
+  let env = Env.of_net net in
+  let r = Ratios.intradomain ~pair_cap:300 env in
+  let picks = Augment.greedy ~k:2 env in
+  render_result r ^ " | " ^ render_picks picks
+
+let test_warm_equals_cold_across_domains () =
+  List.iter
+    (fun domains ->
+      with_domains domains (fun () ->
+          let ctx = Context.create () in
+          let cold = cached_snapshot ctx in
+          let warm = cached_snapshot ctx in
+          Alcotest.(check string)
+            (Printf.sprintf "warm = cold at %d domains" domains)
+            cold warm;
+          let stats = Context.stats ctx in
+          Alcotest.(check bool)
+            (Printf.sprintf "warm pass hit env cache at %d domains" domains)
+            true
+            (stats.Context.env_hits > 0);
+          Alcotest.(check bool)
+            (Printf.sprintf "warm pass hit tree cache at %d domains" domains)
+            true
+            (stats.Context.tree_hits > 0);
+          let fresh = uncached_snapshot (Context.zoo ctx) in
+          Alcotest.(check string)
+            (Printf.sprintf "cached = uncached at %d domains" domains)
+            fresh cold))
+    [ 1; 2; 4 ]
+
+(* Distance trees depend only on geometry: environments differing in
+   params or advisory share tree-cache entries. *)
+let test_trees_shared_across_params () =
+  let ctx = Context.create () in
+  let net = Context.require_net ctx "Sprint" in
+  let e1 = Context.env ctx net in
+  ignore (Context.dist_trees ctx e1 0);
+  let misses = (Context.stats ctx).Context.tree_misses in
+  let e2 = Context.env ~params:(Params.with_lambda_h 7.0 Params.default) ctx net in
+  ignore (Context.dist_trees ctx e2 0);
+  let stats = Context.stats ctx in
+  Alcotest.(check int) "no new tree miss under different params" misses
+    stats.Context.tree_misses;
+  Alcotest.(check bool) "tree hit instead" true (stats.Context.tree_hits > 0)
+
+let test_spec_accessors () =
+  let s = Spec.make ~pair_cap:7 () in
+  Alcotest.(check int) "explicit" 7 (Spec.pair_cap ~default:99 s);
+  Alcotest.(check int) "defaulted" 99 (Spec.pair_cap ~default:99 Spec.default);
+  Alcotest.(check int) "k defaulted" 4 (Spec.k ~default:4 Spec.default)
+
+let () =
+  Alcotest.run "rr_engine"
+    [
+      ( "lru",
+        [
+          Alcotest.test_case "bound and eviction" `Quick test_lru_bound_and_eviction;
+          Alcotest.test_case "find promotes" `Quick test_lru_find_promotes;
+          Alcotest.test_case "bad capacity" `Quick test_lru_bad_capacity;
+        ] );
+      ( "fingerprints",
+        [
+          Alcotest.test_case "params" `Quick test_params_fingerprints_distinct;
+          Alcotest.test_case "advisories" `Quick test_advisory_fingerprints_distinct;
+        ] );
+      ( "caches",
+        [
+          Alcotest.test_case "env identity" `Quick test_env_cache_identity;
+          Alcotest.test_case "tree eviction bound" `Quick test_tree_cache_eviction_bound;
+          Alcotest.test_case "trees shared across params" `Quick
+            test_trees_shared_across_params;
+          Alcotest.test_case "spec accessors" `Quick test_spec_accessors;
+        ] );
+      ( "correctness",
+        [
+          Alcotest.test_case "warm = cold = uncached, domains 1/2/4" `Slow
+            test_warm_equals_cold_across_domains;
+        ] );
+    ]

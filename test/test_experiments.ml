@@ -2,6 +2,10 @@
    pipeline where possible (fast paths only; the expensive end-to-end
    checks live in test_integration.ml). *)
 
+let ctx = lazy (Rr_engine.Context.create ())
+
+let ctx () = Lazy.force ctx
+
 let buffer_run f =
   let buffer = Buffer.create 4096 in
   let ppf = Format.formatter_of_buffer buffer in
@@ -18,7 +22,10 @@ let contains needle haystack =
 
 let test_table1_small_catalog () =
   let catalog = Rr_disaster.Catalog.generate ~seed:3L ~scale:0.02 () in
-  let rows = Rr_experiments.Table1.compute ~catalog ~max_events:400 () in
+  let rows =
+    Rr_experiments.Table1.compute ~catalog (ctx ())
+      (Rr_engine.Spec.make ~max_events:400 ())
+  in
   Alcotest.(check int) "five rows" 5 (List.length rows);
   List.iter
     (fun (row : Rr_experiments.Table1.row) ->
@@ -31,7 +38,10 @@ let test_table1_small_catalog () =
 
 let test_table1_paper_column () =
   let catalog = Rr_disaster.Catalog.generate ~seed:3L ~scale:0.02 () in
-  let rows = Rr_experiments.Table1.compute ~catalog ~max_events:200 () in
+  let rows =
+    Rr_experiments.Table1.compute ~catalog (ctx ())
+      (Rr_engine.Spec.make ~max_events:200 ())
+  in
   List.iter
     (fun (row : Rr_experiments.Table1.row) ->
       Alcotest.(check (float 1e-9)) "paper value attached"
@@ -64,17 +74,17 @@ let test_table3_paper_values () =
 (* --- Fig 1 / Fig 2 dataset invariants --- *)
 
 let test_fig1_totals () =
-  Alcotest.(check int) "354 tier-1 PoPs" 354 (Rr_experiments.Fig1.tier1_pop_total ());
-  Alcotest.(check int) "455 regional PoPs" 455 (Rr_experiments.Fig1.regional_pop_total ())
+  Alcotest.(check int) "354 tier-1 PoPs" 354 (Rr_experiments.Fig1.tier1_pop_total (ctx ()));
+  Alcotest.(check int) "455 regional PoPs" 455 (Rr_experiments.Fig1.regional_pop_total (ctx ()))
 
 let test_fig2_edges () =
   (* tier-1 clique alone is 21 edges; regional multihoming adds more *)
-  Alcotest.(check bool) "at least the clique" true (Rr_experiments.Fig2.edge_count () > 21)
+  Alcotest.(check bool) "at least the clique" true (Rr_experiments.Fig2.edge_count (ctx ()) > 21)
 
 (* --- Fig 4 geography --- *)
 
 let test_fig4_concentrations () =
-  let concentrations = Rr_experiments.Fig4.concentrations () in
+  let concentrations = Rr_experiments.Fig4.concentrations (ctx ()) in
   Alcotest.(check int) "five kinds" 5 (List.length concentrations);
   List.iter
     (fun (c : Rr_experiments.Fig4.concentration) ->
@@ -88,7 +98,7 @@ let test_fig4_concentrations () =
 (* --- Fig 5 ticks --- *)
 
 let test_fig5_mentions_paper_times () =
-  let out = buffer_run Rr_experiments.Fig5.run in
+  let out = buffer_run (Rr_experiments.Fig5.run (ctx ())) in
   Alcotest.(check bool) "Irene header" true (contains "Irene" out);
   Alcotest.(check bool) "wind radii shown" true (contains "tropical-storm-force" out
                                                  || contains "TROPICAL-STORM-FORCE" out)
@@ -105,11 +115,17 @@ let test_fig10_fractions_bounded () =
             true
             (f > 0.0 && f <= 1.0 +. 1e-9))
         curve.Rr_experiments.Fig10.fractions)
-    (Rr_experiments.Fig10.compute ~max_links:3 ())
+    (Rr_experiments.Fig10.compute (ctx ())
+       (Rr_engine.Spec.make ~networks:Rr_experiments.Fig10.default_spec.networks
+          ~k:3 ()))
 
 let test_fig10_level3_flattest () =
   (* the paper's Fig. 10 story: dense Level3 gains least from added links *)
-  let curves = Rr_experiments.Fig10.compute ~max_links:3 () in
+  let curves =
+    Rr_experiments.Fig10.compute (ctx ())
+      (Rr_engine.Spec.make ~networks:Rr_experiments.Fig10.default_spec.networks
+         ~k:3 ())
+  in
   let final name =
     match
       List.find_opt
@@ -132,7 +148,7 @@ let test_fig10_level3_flattest () =
 
 let test_csv_table2 () =
   let path = Filename.temp_file "riskroute" ".csv" in
-  Rr_experiments.Csv_export.write_table2 path;
+  Rr_experiments.Csv_export.write_table2 (ctx ()) path;
   let ic = open_in path in
   let header = input_line ic in
   let lines = ref 0 in
@@ -149,7 +165,7 @@ let test_csv_table2 () =
 
 let test_csv_fig10 () =
   let path = Filename.temp_file "riskroute" ".csv" in
-  Rr_experiments.Csv_export.write_fig10 path;
+  Rr_experiments.Csv_export.write_fig10 (ctx ()) path;
   let ic = open_in path in
   let header = input_line ic in
   close_in ic;
@@ -163,8 +179,8 @@ let test_ablation_runners () =
       let out = buffer_run run in
       Alcotest.(check bool) (name ^ " non-empty") true (String.length out > 40))
     [
-      ("abl-kde", Rr_experiments.Ablation.run_kde);
-      ("abl-seasonal", Rr_experiments.Ablation.run_seasonal);
+      ("abl-kde", Rr_experiments.Ablation.run_kde (ctx ()));
+      ("abl-seasonal", Rr_experiments.Ablation.run_seasonal (ctx ()));
     ]
 
 let () =

@@ -60,7 +60,11 @@ let test_level3_low_ratio () =
 (* --- Fig 7 behaviour --- *)
 
 let test_fig7_risk_aversion_grows () =
-  let comparisons = Rr_experiments.Fig7.compute () in
+  let comparisons =
+    Rr_experiments.Fig7.compute
+      (Rr_engine.Context.shared ())
+      Rr_experiments.Fig7.default_spec
+  in
   Alcotest.(check int) "two lambda values" 2 (List.length comparisons);
   List.iter
     (fun (c : Rr_experiments.Fig7.comparison) ->
@@ -81,7 +85,10 @@ let test_fig7_risk_aversion_grows () =
 (* --- Fig 6 exposure counts --- *)
 
 let test_fig6_exposure_ordering () =
-  let count storm = Rr_experiments.Fig6.tier1_pops_in_hurricane_scope storm in
+  let count storm =
+    Rr_experiments.Fig6.tier1_pops_in_hurricane_scope
+      (Rr_engine.Context.shared ()) storm
+  in
   let irene = count Rr_forecast.Track.irene in
   let katrina = count Rr_forecast.Track.katrina in
   let sandy = count Rr_forecast.Track.sandy in
@@ -210,7 +217,7 @@ let test_report_registry () =
 let test_fig5_output () =
   let buffer = Buffer.create 1024 in
   let ppf = Format.formatter_of_buffer buffer in
-  Rr_experiments.Fig5.run ppf;
+  Rr_experiments.Fig5.run (Rr_engine.Context.shared ()) ppf;
   Format.pp_print_flush ppf ();
   let out = Buffer.contents buffer in
   let contains needle haystack =
