@@ -122,10 +122,54 @@ let extension_kernels () =
              (Rr_topology.Geo_export.net_features att)) );
   ]
 
+(* Goal-directed query kernels over continental-scale merged graphs.
+   Landmark preparation happens at setup so the timed region is the
+   query alone; each kernel routes the same deterministic pair set
+   through one runner. *)
+let query_pop_sizes = [ 1_000; 10_000; 50_000 ]
+
+let query_pairs = 4
+
+let query_pair_set ~n ~seed =
+  let rng = Rr_util.Prng.create seed in
+  Array.init query_pairs (fun _ ->
+      let src = Rr_util.Prng.int rng n in
+      let rec draw () =
+        let dst = Rr_util.Prng.int rng n in
+        if dst = src then draw () else dst
+      in
+      (src, draw ()))
+
+let query_kernels () =
+  let ctx = ctx () in
+  List.concat_map
+    (fun pops ->
+      let net = Rr_engine.Context.continental ctx ~pops in
+      let q = Rr_engine.Context.net_query ctx net in
+      Rr_graph.Query.prepare q;
+      let n = Rr_graph.Query.node_count q in
+      let miles = Rr_graph.Query.arc_miles q in
+      let weight k = Array.unsafe_get miles k in
+      let pairs = query_pair_set ~n ~seed:0xBE5C_0DEL in
+      let kernel runner =
+        fun () ->
+          Array.iter
+            (fun (src, dst) ->
+              ignore (Rr_graph.Query.run ~runner q ~weight ~src ~dst))
+            pairs
+      in
+      let label r = Printf.sprintf "query/%s-%dk" r (pops / 1000) in
+      [
+        (label "plain", kernel Rr_graph.Query.Plain);
+        (label "bidir", kernel Rr_graph.Query.Bidir);
+        (label "alt", kernel Rr_graph.Query.Alt);
+      ])
+    query_pop_sizes
+
 let kernels () =
   dijkstra_kernels () @ kde_kernels () @ forecast_kernels () @ census_kernels ()
   @ augment_kernels () @ ratio_kernels () @ gml_kernels ()
-  @ extension_kernels ()
+  @ extension_kernels () @ query_kernels ()
 
 (* --- Bechamel microbenchmark suite --- *)
 
@@ -227,6 +271,9 @@ let run_json ~reps ~warmups file =
       warmups;
       cache_hits = h1 - h0;
       cache_misses = m1 - m0;
+      tree_cache_cap = Rr_engine.Context.tree_cache_capacity ctx;
+      topology_pops =
+        String.concat "," (List.map string_of_int query_pop_sizes);
     }
   in
   Rr_perf.Benchfile.write file { Rr_perf.Benchfile.meta; results };
@@ -274,6 +321,182 @@ let parse_json_args rest =
     | None, None -> "BENCH.json"
   in
   (file, !reps, !warmups)
+
+(* --- continental-smoke: the large-topology correctness gate CI runs ---
+
+   Builds a continental merged net, routes a deterministic pair set
+   through all three query runners under both weight functions
+   (bit-miles, and bit-risk-miles with the population-proportional
+   impact proxy), and verifies that every runner returns bit-identical
+   (cost, path) while ALT settles strictly fewer nodes than plain on
+   every pair — and at least [min_ratio] times fewer in aggregate on
+   the bit-miles set, where the landmark bound is exact. The
+   settled-node counters are written as a JSON artifact. *)
+
+let run_continental_smoke ~pops ~pairs ~out =
+  let ctx = ctx () in
+  let net = Rr_engine.Context.continental ctx ~pops in
+  let q = Rr_engine.Context.net_query ctx net in
+  Rr_graph.Query.prepare q;
+  let n = Rr_graph.Query.node_count q in
+  let miles = Rr_graph.Query.arc_miles q in
+  let tgt = Rr_graph.Query.arc_tgt q in
+  let params = Riskroute.Params.default in
+  let node_risk =
+    Array.map
+      (fun r -> params.Riskroute.Params.lambda_h *. params.Riskroute.Params.risk_scale *. r)
+      (Rr_disaster.Riskmap.pop_risks (Rr_engine.Context.riskmap ctx) net)
+  in
+  let impact = Rr_topology.Net.population_fractions net in
+  let pair_set =
+    let rng = Rr_util.Prng.create 0x5040_CE55L in
+    Array.init pairs (fun _ ->
+        let src = Rr_util.Prng.int rng n in
+        let rec draw () =
+          let dst = Rr_util.Prng.int rng n in
+          if dst = src then draw () else dst
+        in
+        (src, draw ()))
+  in
+  let totals = Hashtbl.create 8 in
+  let bump key v =
+    Hashtbl.replace totals key (v + Option.value (Hashtbl.find_opt totals key) ~default:0)
+  in
+  let failures = ref 0 in
+  let same_answer a b =
+    match (a, b) with
+    | Some (ca, pa), Some (cb, pb) ->
+      Int64.equal (Int64.bits_of_float ca) (Int64.bits_of_float cb) && pa = pb
+    | None, None -> true
+    | _ -> false
+  in
+  Array.iter
+    (fun (src, dst) ->
+      let kappa = impact.(src) +. impact.(dst) in
+      let weights =
+        [
+          ("miles", fun k -> Array.unsafe_get miles k);
+          ( "risk",
+            fun k ->
+              Array.unsafe_get miles k
+              +. (kappa *. Array.unsafe_get node_risk (Array.unsafe_get tgt k)) );
+        ]
+      in
+      List.iter
+        (fun (wname, weight) ->
+          let plain, _, s_plain =
+            Rr_graph.Query.run_stats ~runner:Rr_graph.Query.Plain q ~weight ~src ~dst
+          in
+          let bidir, _, s_bidir =
+            Rr_graph.Query.run_stats ~runner:Rr_graph.Query.Bidir q ~weight ~src ~dst
+          in
+          let alt, _, s_alt =
+            Rr_graph.Query.run_stats ~runner:Rr_graph.Query.Alt q ~weight ~src ~dst
+          in
+          bump ("plain." ^ wname) s_plain;
+          bump ("bidir." ^ wname) s_bidir;
+          bump ("alt." ^ wname) s_alt;
+          if plain = None then begin
+            incr failures;
+            Printf.eprintf "smoke: pair (%d, %d) disconnected under %s\n%!" src
+              dst wname
+          end;
+          if not (same_answer plain bidir) then begin
+            incr failures;
+            Printf.eprintf "smoke: bidir differs from plain on (%d, %d) %s\n%!"
+              src dst wname
+          end;
+          if not (same_answer plain alt) then begin
+            incr failures;
+            Printf.eprintf "smoke: alt differs from plain on (%d, %d) %s\n%!" src
+              dst wname
+          end;
+          if s_alt >= s_plain then begin
+            incr failures;
+            Printf.eprintf
+              "smoke: alt settled %d >= plain %d on (%d, %d) %s\n%!" s_alt
+              s_plain src dst wname
+          end)
+        weights)
+    pair_set;
+  let total key = Option.value (Hashtbl.find_opt totals key) ~default:0 in
+  let plain_total = total "plain.miles" + total "plain.risk" in
+  let alt_total = total "alt.miles" + total "alt.risk" in
+  let bidir_total = total "bidir.miles" + total "bidir.risk" in
+  let ratio_of p a = if a > 0 then float_of_int p /. float_of_int a else infinity in
+  (* The >= 5x aggregate gate applies to the bit-miles pair set — the
+     same weight the query/* bench kernels time. The landmark lower
+     bound is exact in that metric; under bit-risk-miles the kappa*risk
+     term loosens it, so the risk-set ratio is reported but only gated
+     per-pair (strictly fewer, above). *)
+  let miles_ratio = ratio_of (total "plain.miles") (total "alt.miles") in
+  let risk_ratio = ratio_of (total "plain.risk") (total "alt.risk") in
+  let min_ratio = 5.0 in
+  Printf.printf
+    "continental-smoke: %d PoPs, %d pairs x 2 weights x 3 runners\n\
+     settled totals: plain %d, bidir %d, alt %d\n\
+     plain/alt ratio: %.1fx on bit-miles (gate >= %.1fx), %.1fx on \
+     bit-risk-miles\n"
+    pops pairs plain_total bidir_total alt_total miles_ratio min_ratio
+    risk_ratio;
+  if miles_ratio < min_ratio then begin
+    incr failures;
+    Printf.eprintf "smoke: plain/alt miles ratio %.2f below %.1fx\n%!"
+      miles_ratio min_ratio
+  end;
+  (match out with
+  | None -> ()
+  | Some path ->
+    let b = Buffer.create 1024 in
+    Printf.bprintf b
+      "{\n  \"pops\": %d,\n  \"pairs\": %d,\n  \"landmarks\": %d,\n" pops pairs
+      (Array.length (Rr_graph.Query.landmark_sources q));
+    Printf.bprintf b "  \"miles_plain_alt_ratio\": %.3f,\n" miles_ratio;
+    Printf.bprintf b "  \"risk_plain_alt_ratio\": %.3f,\n  \"settled\": {\n"
+      risk_ratio;
+    let keys = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) totals []) in
+    List.iteri
+      (fun i k ->
+        Printf.bprintf b "    \"query.%s.settled\": %d%s\n" k (total k)
+          (if i < List.length keys - 1 then "," else ""))
+      keys;
+    Printf.bprintf b "  },\n  \"failures\": %d\n}\n" !failures;
+    let oc = open_out path in
+    output_string oc (Buffer.contents b);
+    close_out oc;
+    Printf.printf "wrote %s\n" path);
+  if !failures > 0 then begin
+    Printf.eprintf "continental-smoke: %d failure(s)\n%!" !failures;
+    exit 1
+  end;
+  print_endline "continental-smoke: OK"
+
+let parse_smoke_args rest =
+  let pops = ref 10_000 and pairs = ref 100 and out = ref None in
+  let int_arg name v =
+    match int_of_string_opt v with
+    | Some k when k > 0 -> k
+    | Some _ | None ->
+      Printf.eprintf "bench: %s wants a positive integer, got %S\n%!" name v;
+      exit 2
+  in
+  let rec go = function
+    | [] -> ()
+    | "--pops" :: v :: rest ->
+      pops := int_arg "--pops" v;
+      go rest
+    | "--pairs" :: v :: rest ->
+      pairs := int_arg "--pairs" v;
+      go rest
+    | "--out" :: v :: rest ->
+      out := Some v;
+      go rest
+    | arg :: _ ->
+      Printf.eprintf "bench: unknown continental-smoke option %s\n%!" arg;
+      exit 2
+  in
+  go rest;
+  (!pops, !pairs, !out)
 
 let ppf = Format.std_formatter
 
@@ -370,6 +593,9 @@ let () =
     let file, reps, warmups = parse_json_args rest in
     run_json ~reps ~warmups file
   | _ :: [ "report-twice" ] -> run_report_twice ()
+  | _ :: "continental-smoke" :: rest ->
+    let pops, pairs, out = parse_smoke_args rest in
+    run_continental_smoke ~pops ~pairs ~out
   | _ :: [ "list" ] ->
     List.iter print_endline (Rr_experiments.Report.ids ())
   | _ :: "csv" :: rest ->

@@ -104,13 +104,99 @@ let networks_cmd =
     Format.printf "Regional networks:@.";
     List.iter
       (fun net -> Format.printf "  %a@." Rr_topology.Net.pp_summary net)
-      zoo.Rr_topology.Zoo.regionals
+      zoo.Rr_topology.Zoo.regionals;
+    Format.printf
+      "Synthetic: continental-<pops> (merged CONUS graph built on demand, \
+       e.g. `riskroute route -n continental-10000`)@."
   in
   Cmd.v
     (Cmd.info "networks" ~doc:"List the 23-network corpus.")
     Term.(const run $ setup_term)
 
 (* --- route --- *)
+
+(* "continental-<pops>" selects the synthetic merged CONUS topology of
+   that size (built on demand, memoised in the shared context) instead
+   of a corpus network. Those graphs are routed through the point-to-
+   point query facade — no Env, whose dense distance matrix is
+   gigabytes at this scale. *)
+let continental_pops name =
+  let prefix = "continental-" in
+  let plen = String.length prefix in
+  if
+    String.length name > plen
+    && String.lowercase_ascii (String.sub name 0 plen) = prefix
+  then
+    match int_of_string_opt (String.sub name plen (String.length name - plen)) with
+    | Some pops when pops > 0 -> Some pops
+    | Some _ | None -> None
+  else None
+
+let route_continental ~pops ~src ~dst ~lambda_h =
+  let c = ctx () in
+  let net = Rr_engine.Context.continental c ~pops in
+  let q = Rr_engine.Context.net_query c net in
+  let pop_id city =
+    or_die
+      (match Rr_topology.Net.find_pop net ~city with
+      | Some i -> Ok i
+      | None ->
+        Error (Printf.sprintf "no %s PoP in continental-%d" city pops))
+  in
+  let src_id = pop_id src and dst_id = pop_id dst in
+  let miles = Rr_graph.Query.arc_miles q in
+  let tgt = Rr_graph.Query.arc_tgt q in
+  let off = Rr_graph.Query.arc_off q in
+  let params = Riskroute.Params.with_lambda_h lambda_h Riskroute.Params.default in
+  let node_risk =
+    Array.map
+      (fun r ->
+        params.Riskroute.Params.lambda_h *. params.Riskroute.Params.risk_scale *. r)
+      (Rr_disaster.Riskmap.pop_risks (Rr_engine.Context.riskmap c) net)
+  in
+  let impact = Rr_topology.Net.population_fractions net in
+  let kappa = impact.(src_id) +. impact.(dst_id) in
+  let w_miles k = Array.unsafe_get miles k in
+  let w_risk k =
+    Array.unsafe_get miles k
+    +. (kappa *. Array.unsafe_get node_risk (Array.unsafe_get tgt k))
+  in
+  Rr_graph.Query.prepare q;
+  let path_cost weight path =
+    let arc u v =
+      let rec scan k =
+        if k >= off.(u + 1) then or_die (Error "route: path arc missing")
+        else if tgt.(k) = v then k
+        else scan (k + 1)
+      in
+      scan off.(u)
+    in
+    let rec go acc = function
+      | u :: (v :: _ as rest) -> go (acc +. weight (arc u v)) rest
+      | _ -> acc
+    in
+    go 0.0 path
+  in
+  let describe label weight =
+    match Rr_graph.Query.run_stats q ~weight ~src:src_id ~dst:dst_id with
+    | None, _, _ ->
+      or_die (Error (Printf.sprintf "%s and %s are disconnected" src dst))
+    | Some (_, path), runner, settled ->
+      let names =
+        List.map (fun i -> (Rr_topology.Net.pop net i).Rr_topology.Pop.name) path
+      in
+      Format.printf
+        "%s (%.0f bit-miles, %.0f bit-risk-miles) [%s, %d settled]:@.  %s@."
+        label (path_cost w_miles path) (path_cost w_risk path)
+        (Rr_graph.Query.runner_name runner)
+        settled
+        (String.concat " -> " names)
+  in
+  Format.printf "continental-%d: %d PoPs, %d landmarks@." pops
+    (Rr_graph.Query.node_count q)
+    (Array.length (Rr_graph.Query.landmark_sources q));
+  describe "shortest " w_miles;
+  describe "riskroute" w_risk
 
 let route_cmd =
   let src_arg =
@@ -129,6 +215,9 @@ let route_cmd =
     Arg.(value & opt int 40 & info [ "tick" ] ~doc:"Advisory index for --storm.")
   in
   let run () name src dst lambda_h storm tick =
+    match continental_pops name with
+    | Some pops -> route_continental ~pops ~src ~dst ~lambda_h
+    | None ->
     let net = or_die (find_net name) in
     let params = Riskroute.Params.with_lambda_h lambda_h Riskroute.Params.default in
     let advisory =
@@ -142,6 +231,9 @@ let route_cmd =
         storm
     in
     let env = Rr_engine.Context.env ~params ?advisory (ctx ()) net in
+    (* Wires the env's query facade into the context's tree LRU so any
+       landmark preparation is cached across invocations in-process. *)
+    ignore (Rr_engine.Context.query (ctx ()) env);
     let src_id = or_die (match Rr_topology.Net.find_pop net ~city:src with
       | Some i -> Ok i
       | None -> Error (Printf.sprintf "no %s PoP in %s" src name)) in
@@ -149,7 +241,8 @@ let route_cmd =
       | Some i -> Ok i
       | None -> Error (Printf.sprintf "no %s PoP in %s" dst name)) in
     let describe label = function
-      | None -> Format.printf "%s: (disconnected)@." label
+      | None ->
+        or_die (Error (Printf.sprintf "%s and %s are disconnected" src dst))
       | Some (route : Riskroute.Router.route) ->
         let names =
           List.map
@@ -384,6 +477,8 @@ let pareto_cmd =
     let frontier =
       Riskroute.Pareto.frontier env ~src:(pop_id src) ~dst:(pop_id dst)
     in
+    if frontier = [] then
+      or_die (Error (Printf.sprintf "%s and %s are disconnected" src dst));
     Format.printf "%d non-dominated routes %s -> %s on %s:@."
       (List.length frontier) src dst name;
     List.iter
@@ -535,6 +630,13 @@ let bench_compare_cmd =
     warn_meta "hostname" (fun m -> m.Rr_perf.Benchfile.hostname);
     warn_meta "OCaml version" (fun m -> m.Rr_perf.Benchfile.ocaml_version);
     warn_meta "word size" (fun m -> string_of_int m.Rr_perf.Benchfile.word_size);
+    (* Schema-5 fields; older files read back as 0 / "" and the empty
+       guard above keeps them from warning against every new run. *)
+    warn_meta "tree cache capacity" (fun m ->
+        match m.Rr_perf.Benchfile.tree_cache_cap with
+        | 0 -> ""
+        | cap -> string_of_int cap);
+    warn_meta "topology PoP counts" (fun m -> m.Rr_perf.Benchfile.topology_pops);
     let rows = Rr_perf.Compare.run ~tau_base base cur in
     Rr_perf.Compare.pp_table Format.std_formatter rows;
     Format.pp_print_flush Format.std_formatter ();

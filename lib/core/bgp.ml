@@ -29,16 +29,27 @@ let lifted_dijkstra merged env ~weight ~src ~dst =
   let settled = Array.make size false in
   let heap = Rr_util.Heap.create ~capacity:(4 * n) () in
   let state node phase = (node * phases) + phase in
+  (* Goal direction rides along when the environment's query facade has
+     landmarks prepared: heap keys carry the landmark lower bound on the
+     remaining bit-miles (valid here too — valley-free constraints only
+     shrink the path set, and lifted weights dominate bit-miles), while
+     relaxations keep using the raw labels, so distances are unchanged. *)
+  let pot =
+    match Rr_graph.Query.potential (Env.query env) ~dst with
+    | Some f -> f
+    | None -> fun _ -> 0.0
+  in
   dist.(state src 0) <- 0.0;
-  Rr_util.Heap.push heap 0.0 (state src 0);
+  Rr_util.Heap.push heap (pot src) (state src 0);
   let best_dst = ref None in
   let continue = ref true in
   while !continue do
     match Rr_util.Heap.pop_min heap with
     | None -> continue := false
-    | Some (d, s) ->
+    | Some (_, s) ->
       if not settled.(s) then begin
         settled.(s) <- true;
+        let d = dist.(s) in
         let node = s / phases and phase = s mod phases in
         if node = dst then begin
           best_dst := Some s;
@@ -66,7 +77,7 @@ let lifted_dijkstra merged env ~weight ~src ~dst =
                   if nd < dist.(s') then begin
                     dist.(s') <- nd;
                     parent.(s') <- s;
-                    Rr_util.Heap.push heap nd s'
+                    Rr_util.Heap.push heap (nd +. pot next) s'
                   end
                 end)
       end

@@ -22,6 +22,7 @@ type t = {
   arc_tgt : int array;
   arc_miles : float array;
   arc_risk : float array;
+  query : Rr_graph.Query.t;
 }
 
 let c_builds = Rr_obs.Counter.make "env.builds"
@@ -85,6 +86,9 @@ let make ?(params = Params.default) ~graph ~coords ~impact ~historical
         Rr_obs.with_span "env.miles_matrix" (fun () -> compute_miles coords)
       in
       let arc_off, arc_tgt, arc_miles = compute_arcs graph miles n in
+      let query =
+        Rr_graph.Query.create ~n ~off:arc_off ~tgt:arc_tgt ~miles:arc_miles ()
+      in
       if tel then begin
         Rr_obs.Counter.incr c_builds;
         Rr_obs.Counter.add c_nodes n;
@@ -104,6 +108,7 @@ let make ?(params = Params.default) ~graph ~coords ~impact ~historical
         arc_tgt;
         arc_miles;
         arc_risk = compute_arc_risk node_risk arc_tgt;
+        query;
       })
 
 let forecast_of_advisory params coords advisory =
@@ -165,6 +170,7 @@ let with_graph t graph =
     arc_tgt;
     arc_miles;
     arc_risk = compute_arc_risk t.node_risk arc_tgt;
+    query = Rr_graph.Query.create ~n ~off:arc_off ~tgt:arc_tgt ~miles:arc_miles ();
   }
 
 let graph t = t.graph
@@ -204,3 +210,5 @@ let mean_kappa t =
 let edge_weight t ~kappa u v = link_miles t u v +. (kappa *. t.node_risk.(v))
 
 let distance_weight t u v = link_miles t u v
+
+let query t = t.query

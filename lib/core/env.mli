@@ -92,6 +92,12 @@ val arc_risk : t -> float array
 (** [node_risk] of the arc's target node (refreshed by
     {!with_forecast} / {!with_params}). *)
 
+val query : t -> Rr_graph.Query.t
+(** The environment's point-to-point query facade, wrapping the CSR
+    geometry above. Built once at construction; environments derived by
+    {!with_forecast} / {!with_advisory} / {!with_params} share it (and
+    hence share prepared landmarks), {!with_graph} rebuilds it. *)
+
 val kappa : t -> int -> int -> float
 (** Outage impact [kappa_ij = c_i + c_j]. *)
 

@@ -11,14 +11,14 @@ let route_of_path env path =
     bit_risk_miles = Metric.bit_risk_miles env path;
   }
 
+(* Single-pair queries go through the environment's query facade, which
+   picks plain / bidirectional / ALT per graph size while returning
+   answers bit-identical to [Dijkstra.single_pair_flat]. *)
 let riskroute env ~src ~dst =
   let kappa = Env.kappa env src dst in
   let miles = Env.arc_miles env and risk = Env.arc_risk env in
   let weight k = Array.unsafe_get miles k +. (kappa *. Array.unsafe_get risk k) in
-  match
-    Rr_graph.Dijkstra.single_pair_flat ~n:(Env.node_count env)
-      ~off:(Env.arc_off env) ~tgt:(Env.arc_tgt env) ~weight ~src ~dst
-  with
+  match Rr_graph.Query.run (Env.query env) ~weight ~src ~dst with
   | None -> None
   | Some (cost, path) ->
     Some { path; bit_miles = Metric.bit_miles env path; bit_risk_miles = cost }
@@ -47,8 +47,7 @@ let shortest_of_tree env tree ~src ~dst =
 let shortest env ~src ~dst =
   let miles = Env.arc_miles env in
   match
-    Rr_graph.Dijkstra.single_pair_flat ~n:(Env.node_count env)
-      ~off:(Env.arc_off env) ~tgt:(Env.arc_tgt env)
+    Rr_graph.Query.run (Env.query env)
       ~weight:(fun k -> Array.unsafe_get miles k)
       ~src ~dst
   with

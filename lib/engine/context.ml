@@ -21,6 +21,8 @@ type t = {
   mutable net_memo : (Rr_topology.Net.t * string) list;
   mutable geo_memo : (float array * string) list;
   mutable risk_memo : (Riskroute.Env.t * string) list;
+  mutable query_memo : (Rr_topology.Net.t * Rr_graph.Query.t) list;
+  mutable continentals : (int * Rr_topology.Net.t) list;
   mutable interdomain : (Riskroute.Interdomain.t * Riskroute.Env.t) option;
   mutable env_hits : int;
   mutable env_misses : int;
@@ -67,6 +69,8 @@ let create ?zoo ?tree_cache_cap () =
     net_memo = [];
     geo_memo = [];
     risk_memo = [];
+    query_memo = [];
+    continentals = [];
     interdomain = None;
     env_hits = 0;
     env_misses = 0;
@@ -253,6 +257,89 @@ let risk_trees t env_ =
           ~weight:(fun k ->
             Array.unsafe_get miles k +. (kappa *. Array.unsafe_get risk k))
           ~src)
+
+(* Wire an environment's query facade to the tree LRU: landmark
+   distance trees then live alongside every other cached tree for the
+   same geometry, so advisory ticks (which share the parent env's
+   geometry and facade) reuse them for free. *)
+let query t env_ =
+  let q = Riskroute.Env.query env_ in
+  Rr_graph.Query.set_tree_provider q (dist_trees t env_);
+  q
+
+(* Env-free facade for a network: continental graphs skip the dense
+   O(n^2) distance matrix entirely — per-arc miles are computed once per
+   undirected edge (mirrored through the reverse-CSR mate, matching the
+   dense path bitwise), so the same geometry fingerprint and tree-cache
+   namespace unify with any Env built over the same net. *)
+let build_net_query t (net : Rr_topology.Net.t) =
+  let n = Rr_topology.Net.pop_count net in
+  let off, tgt = Rr_graph.Graph.to_csr net.Rr_topology.Net.graph in
+  let mate = Rr_graph.Graph.csr_mates ~off ~tgt in
+  let miles = Array.make (Array.length tgt) 0.0 in
+  for u = 0 to n - 1 do
+    for k = off.(u) to off.(u + 1) - 1 do
+      let v = tgt.(k) in
+      if u < v then begin
+        let d =
+          Rr_geo.Distance.miles
+            (Rr_topology.Net.pop net u).Rr_topology.Pop.coord
+            (Rr_topology.Net.pop net v).Rr_topology.Pop.coord
+        in
+        miles.(k) <- d;
+        miles.(mate.(k)) <- d
+      end
+    done
+  done;
+  let q = Rr_graph.Query.create ~n ~off ~tgt ~miles () in
+  let fp = Fingerprint.geometry ~n ~off ~tgt ~miles in
+  Rr_graph.Query.set_tree_provider q (fun src ->
+      cached_tree t
+        ~key:(fp ^ ":d:" ^ string_of_int src)
+        ~compute:(fun () ->
+          Rr_graph.Dijkstra.single_source_flat ~n ~off ~tgt
+            ~weight:(fun k -> Array.unsafe_get miles k)
+            ~src));
+  q
+
+let net_query t net =
+  match
+    with_lock t (fun () ->
+        List.find_opt (fun (m, _) -> m == net) t.query_memo)
+  with
+  | Some (_, q) -> q
+  | None ->
+    let q = build_net_query t net in
+    with_lock t (fun () ->
+        match List.find_opt (fun (m, _) -> m == net) t.query_memo with
+        | Some (_, existing) -> existing
+        | None ->
+          t.query_memo <- bounded_memo_add t.query_memo (net, q);
+          q)
+
+let continental ?spec t ~pops =
+  match with_lock t (fun () -> List.assoc_opt pops t.continentals) with
+  | Some net -> net
+  | None ->
+    let spec =
+      match spec with
+      | Some s -> s
+      | None ->
+        Rr_topology.Builder.continental_defaults
+          ~name:(Printf.sprintf "continental-%d" pops)
+          ~pop_count:pops
+    in
+    let net =
+      Rr_topology.Builder.continental
+        ~rng:(Rr_util.Prng.create Rr_topology.Zoo.default_seed)
+        spec
+    in
+    with_lock t (fun () ->
+        match List.assoc_opt pops t.continentals with
+        | Some existing -> existing
+        | None ->
+          t.continentals <- (pops, net) :: t.continentals;
+          net)
 
 let stats t =
   with_lock t (fun () ->

@@ -91,6 +91,28 @@ val risk_trees : t -> Riskroute.Env.t -> int -> Rr_graph.Dijkstra.tree
     {!Riskroute.Augment.risk_arc_weight}. Keyed by the environment's
     risk fingerprint. *)
 
+val query : t -> Riskroute.Env.t -> Rr_graph.Query.t
+(** The environment's point-to-point query facade
+    ({!Riskroute.Env.query}) with its landmark distance-tree computation
+    routed through this context's tree LRU (same keys as
+    {!dist_trees}): ALT landmarks are cached per geometry fingerprint,
+    so advisory ticks that only perturb risk reuse them. *)
+
+val net_query : t -> Rr_topology.Net.t -> Rr_graph.Query.t
+(** A query facade straight over a network's CSR — no {!Riskroute.Env}
+    and no dense distance matrix, which is what makes 10k-50k-PoP
+    continental graphs routable (the dense matrix alone would be
+    gigabytes). Per-arc miles match an Env over the same net bitwise,
+    and the geometry fingerprint (hence the tree-cache namespace) is
+    shared. Memoised per context by physical identity. *)
+
+val continental :
+  ?spec:Rr_topology.Builder.continental_spec -> t -> pops:int ->
+  Rr_topology.Net.t
+(** The continental-scale merged net with [pops] PoPs
+    ({!Rr_topology.Builder.continental} at the zoo's default seed),
+    built once per context and memoised by size. *)
+
 (** {1 Introspection} *)
 
 val stats : t -> stats

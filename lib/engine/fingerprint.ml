@@ -73,14 +73,19 @@ let net (n : Rr_topology.Net.t) =
     edges;
   digest buf
 
-let env_geometry env =
+let geometry ~n ~off ~tgt ~miles =
   let buf = Buffer.create 65536 in
   add_string buf "env-geometry";
-  add_int buf (Riskroute.Env.node_count env);
-  add_int_array buf (Riskroute.Env.arc_off env);
-  add_int_array buf (Riskroute.Env.arc_tgt env);
-  add_float_array buf (Riskroute.Env.arc_miles env);
+  add_int buf n;
+  add_int_array buf off;
+  add_int_array buf tgt;
+  add_float_array buf miles;
   digest buf
+
+let env_geometry env =
+  geometry ~n:(Riskroute.Env.node_count env)
+    ~off:(Riskroute.Env.arc_off env) ~tgt:(Riskroute.Env.arc_tgt env)
+    ~miles:(Riskroute.Env.arc_miles env)
 
 let env_risk env =
   let buf = Buffer.create 65536 in

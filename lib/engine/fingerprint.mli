@@ -20,6 +20,13 @@ val net : Rr_topology.Net.t -> t
 (** Name, tier, state footprint, PoP coordinates, and edge list — the
     inputs that determine an {!Riskroute.Env} up to params/advisory. *)
 
+val geometry :
+  n:int -> off:int array -> tgt:int array -> miles:float array -> t
+(** Raw-CSR form of {!env_geometry}: an {!Riskroute.Env} whose CSR
+    equals these arrays digests identically, so tree-cache keys unify
+    whether the geometry came from an environment or was built
+    directly (continental nets bypass the dense distance matrix). *)
+
 val env_geometry : Riskroute.Env.t -> t
 (** Node count, CSR offsets/targets and per-arc miles — everything a
     pure-distance shortest-path tree depends on. Environments derived

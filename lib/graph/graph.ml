@@ -74,6 +74,30 @@ let to_csr t =
   done;
   (off, tgt)
 
+(* Reverse-CSR view: for an undirected CSR snapshot every arc (u, v) has
+   a unique mate (v, u); pairing them lets a backward traversal weigh the
+   reverse arc through the forward arc's index (asymmetric weights such
+   as target-node risk need this). Simple graphs guarantee the mate is
+   unique, so a linear probe of v's row finds it. *)
+let csr_mates ~off ~tgt =
+  let n = Array.length off - 1 in
+  let arcs = Array.length tgt in
+  let mate = Array.make arcs (-1) in
+  for u = 0 to n - 1 do
+    for k = off.(u) to off.(u + 1) - 1 do
+      if mate.(k) < 0 then begin
+        let v = tgt.(k) in
+        let j = ref off.(v) in
+        let hi = off.(v + 1) in
+        while !j < hi && (tgt.(!j) <> u || mate.(!j) >= 0) do incr j done;
+        if !j >= hi then invalid_arg "Graph.csr_mates: arc without mate";
+        mate.(k) <- !j;
+        mate.(!j) <- k
+      end
+    done
+  done;
+  mate
+
 let copy t = { t with adj = Array.copy t.adj }
 
 let of_edges n edge_list =

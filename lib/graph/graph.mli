@@ -43,6 +43,14 @@ val to_csr : t -> int array * int array
     equal-cost ties identically. The arrays are fresh snapshots: later
     mutations of the graph are not reflected. *)
 
+val csr_mates : off:int array -> tgt:int array -> int array
+(** Reverse-CSR view of a {!to_csr} snapshot: [mate.(k)] is the index of
+    the opposite arc [(v, u)] for arc [k = (u, v)]. Pairing is an
+    involution ([mate.(mate.(k)) = k]). Lets backward traversals weigh
+    the reverse graph through forward arc indices — needed because arc
+    weights are asymmetric (target-node risk). Raises
+    [Invalid_argument] if the arrays are not a simple undirected CSR. *)
+
 val copy : t -> t
 (** Independent deep copy. *)
 

@@ -1,0 +1,550 @@
+open Rr_util
+
+(* Point-to-point query facade over a CSR geometry.
+
+   Three runners share one per-domain workspace:
+
+   - Plain: the [Dijkstra.flat_loop] kernel verbatim (same push order,
+     same strict [nd < dist] test), so costs, paths and equal-cost
+     tie-breaks are bit-identical to [Dijkstra.single_pair_flat].
+   - Bidir: bidirectional Dijkstra; the backward search weighs reverse
+     arcs through the forward arc's index via the reverse-CSR mate
+     array (arc weights are asymmetric: target-node risk). The final
+     cost is recomputed as the left-fold of forward arc weights along
+     the reconstructed path, so it matches Plain bitwise.
+   - Alt: A* with landmark lower bounds (goal-directed). Landmarks are
+     pure bit-miles distance trees, which stay admissible for every
+     RiskRoute objective because risk only adds non-negative weight on
+     top of miles: w(k) >= miles(k) implies the triangle-inequality
+     bound still underestimates. Raw labels are the same left-folds
+     Plain computes, so settled distances are bit-identical.
+
+   Workspaces live in domain-local storage: the router is called from
+   inside [Parallel.map_array] sweeps, so each domain keeps its own
+   dist/parent/settled arrays, heaps and touched-node lists, restored
+   to pristine after every query by undoing only the touched entries. *)
+
+type runner = Plain | Bidir | Alt
+
+type landmarks = {
+  sources : int array;
+  trees : float array array;  (* trees.(i).(v) = bit-miles dist from sources.(i) *)
+}
+
+type t = {
+  n : int;
+  off : int array;
+  tgt : int array;
+  miles : float array;
+  mate : int array;
+  landmark_count : int;
+  lock : Mutex.t;
+  mutable tree_provider : (int -> Dijkstra.tree) option;
+  mutable landmarks : landmarks option;
+}
+
+let c_plain_runs = Rr_obs.Counter.make "query.plain.runs"
+let c_plain_settled = Rr_obs.Counter.make "query.plain.settled"
+let c_bidir_runs = Rr_obs.Counter.make "query.bidir.runs"
+let c_bidir_settled = Rr_obs.Counter.make "query.bidir.settled"
+let c_alt_runs = Rr_obs.Counter.make "query.alt.runs"
+let c_alt_settled = Rr_obs.Counter.make "query.alt.settled"
+let c_preps = Rr_obs.Counter.make "query.landmark_preps"
+
+let default_landmark_count = 16
+
+let create ?(landmark_count = default_landmark_count) ~n ~off ~tgt ~miles () =
+  if landmark_count < 1 then
+    invalid_arg "Query.create: landmark_count < 1";
+  if Array.length off <> n + 1 || Array.length miles <> Array.length tgt then
+    invalid_arg "Query.create: inconsistent CSR arrays";
+  {
+    n;
+    off;
+    tgt;
+    miles;
+    mate = Graph.csr_mates ~off ~tgt;
+    landmark_count;
+    lock = Mutex.create ();
+    tree_provider = None;
+    landmarks = None;
+  }
+
+let node_count t = t.n
+let arc_off t = t.off
+let arc_tgt t = t.tgt
+let arc_miles t = t.miles
+
+let set_tree_provider t provider =
+  Mutex.lock t.lock;
+  t.tree_provider <- Some provider;
+  Mutex.unlock t.lock
+
+(* ------------------------------------------------------------------ *)
+(* Per-domain workspace                                               *)
+
+type ws = {
+  mutable cap : int;
+  (* pristine between queries: infinity / -1 / false *)
+  mutable dist_f : float array;
+  mutable parent_f : int array;
+  mutable settled_f : bool array;
+  mutable dist_b : float array;
+  mutable parent_b : int array;
+  mutable settled_b : bool array;
+  heap_f : int Heap.t;
+  heap_b : int Heap.t;
+  (* every node whose label was written this query (duplicates fine) *)
+  mutable touched_f : int array;
+  mutable tf_len : int;
+  mutable touched_b : int array;
+  mutable tb_len : int;
+  (* potential memo, validated by a per-query stamp *)
+  mutable pi : float array;
+  mutable pi_stamp : int array;
+  mutable stamp : int;
+}
+
+let ws_key : ws Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      {
+        cap = 0;
+        dist_f = [||];
+        parent_f = [||];
+        settled_f = [||];
+        dist_b = [||];
+        parent_b = [||];
+        settled_b = [||];
+        heap_f = Heap.create ();
+        heap_b = Heap.create ();
+        touched_f = [||];
+        tf_len = 0;
+        touched_b = [||];
+        tb_len = 0;
+        pi = [||];
+        pi_stamp = [||];
+        stamp = 0;
+      })
+
+let get_ws n =
+  let ws = Domain.DLS.get ws_key in
+  if ws.cap < n then begin
+    ws.cap <- n;
+    ws.dist_f <- Array.make n infinity;
+    ws.parent_f <- Array.make n (-1);
+    ws.settled_f <- Array.make n false;
+    ws.dist_b <- Array.make n infinity;
+    ws.parent_b <- Array.make n (-1);
+    ws.settled_b <- Array.make n false;
+    if Array.length ws.touched_f = 0 then begin
+      ws.touched_f <- Array.make (max 16 n) 0;
+      ws.touched_b <- Array.make (max 16 n) 0
+    end;
+    ws.pi <- Array.make n 0.0;
+    ws.pi_stamp <- Array.make n 0;
+    ws.stamp <- 0;
+    Heap.ensure_capacity ws.heap_f (max 16 n);
+    Heap.ensure_capacity ws.heap_b (max 16 n)
+  end;
+  ws
+
+let touch_f ws v =
+  if ws.tf_len = Array.length ws.touched_f then begin
+    let a = Array.make (2 * ws.tf_len) 0 in
+    Array.blit ws.touched_f 0 a 0 ws.tf_len;
+    ws.touched_f <- a
+  end;
+  ws.touched_f.(ws.tf_len) <- v;
+  ws.tf_len <- ws.tf_len + 1
+
+let touch_b ws v =
+  if ws.tb_len = Array.length ws.touched_b then begin
+    let a = Array.make (2 * ws.tb_len) 0 in
+    Array.blit ws.touched_b 0 a 0 ws.tb_len;
+    ws.touched_b <- a
+  end;
+  ws.touched_b.(ws.tb_len) <- v;
+  ws.tb_len <- ws.tb_len + 1
+
+(* Undo only what this query wrote; cheaper than O(n) refills and keeps
+   the arrays pristine even when a run raises (negative weight). *)
+let reset_ws ws =
+  for i = 0 to ws.tf_len - 1 do
+    let v = ws.touched_f.(i) in
+    ws.dist_f.(v) <- infinity;
+    ws.parent_f.(v) <- -1;
+    ws.settled_f.(v) <- false
+  done;
+  ws.tf_len <- 0;
+  for i = 0 to ws.tb_len - 1 do
+    let v = ws.touched_b.(i) in
+    ws.dist_b.(v) <- infinity;
+    ws.parent_b.(v) <- -1;
+    ws.settled_b.(v) <- false
+  done;
+  ws.tb_len <- 0;
+  Heap.clear ws.heap_f;
+  Heap.clear ws.heap_b
+
+(* ------------------------------------------------------------------ *)
+(* Landmark preparation                                               *)
+
+let default_tree t src =
+  Dijkstra.single_source_flat ~n:t.n ~off:t.off ~tgt:t.tgt
+    ~weight:(fun k -> Array.unsafe_get t.miles k)
+    ~src
+
+let prepared t = t.landmarks <> None
+
+(* Farthest-point selection: seed with the node farthest from node 0,
+   then repeatedly add the node maximising the min bit-miles distance to
+   the chosen set. Unreachable nodes (infinite min-distance) win the
+   argmax, so extra components get their own landmark. Deterministic:
+   ties break towards the smaller id. *)
+let prepare t =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) @@ fun () ->
+  match t.landmarks with
+  | Some _ -> ()
+  | None ->
+    Rr_obs.Counter.incr c_preps;
+    let tree =
+      match t.tree_provider with
+      | Some f -> fun src -> (f src).Dijkstra.dist
+      | None -> fun src -> (default_tree t src).Dijkstra.dist
+    in
+    let count = max 1 (min t.landmark_count t.n) in
+    let sources = Array.make count 0 in
+    let trees = Array.make count [||] in
+    (* Seed: farthest reachable node from node 0 (node 0 itself when the
+       graph is a single node or has no finite eccentricity). *)
+    let d0 = tree 0 in
+    let seed = ref 0 and seed_d = ref neg_infinity in
+    for v = 0 to t.n - 1 do
+      let d = d0.(v) in
+      if Float.is_finite d && d > !seed_d then begin
+        seed_d := d;
+        seed := v
+      end
+    done;
+    sources.(0) <- !seed;
+    let mind = Array.make t.n infinity in
+    for i = 0 to count - 1 do
+      let di = tree sources.(i) in
+      trees.(i) <- di;
+      if i + 1 < count then begin
+        for v = 0 to t.n - 1 do
+          if di.(v) < mind.(v) then mind.(v) <- di.(v)
+        done;
+        let best = ref 0 and best_d = ref neg_infinity in
+        for v = 0 to t.n - 1 do
+          let d = mind.(v) in
+          if d > !best_d then begin
+            best_d := d;
+            best := v
+          end
+        done;
+        sources.(i + 1) <- !best
+      end
+    done;
+    t.landmarks <- Some { sources; trees }
+
+let landmark_sources t =
+  match t.landmarks with
+  | None -> [||]
+  | Some lm -> Array.copy lm.sources
+
+(* pi_t(v) = max_L |d_L(v) - d_L(t)|: a valid, consistent lower bound on
+   dist(v, t) in any metric where arc weights dominate bit-miles.
+   Landmark terms involving an unreachable endpoint are skipped (the
+   difference is infinite or NaN and bounds nothing). *)
+let potential t ~dst =
+  match t.landmarks with
+  | None -> None
+  | Some lm ->
+    let l = Array.length lm.sources in
+    let dt = Array.init l (fun i -> lm.trees.(i).(dst)) in
+    Some
+      (fun v ->
+        let p = ref 0.0 in
+        for i = 0 to l - 1 do
+          let a = Array.unsafe_get lm.trees.(i) v -. Array.unsafe_get dt i in
+          if Float.is_finite a then begin
+            let a = Float.abs a in
+            if a > !p then p := a
+          end
+        done;
+        !p)
+
+(* ------------------------------------------------------------------ *)
+(* Runners (src <> dst, both validated, workspace pristine on entry)  *)
+
+let build_path parent ~src ~dst =
+  let rec build acc v = if v = src then src :: acc else build (v :: acc) parent.(v) in
+  build [] dst
+
+let run_plain t ~weight ~src ~dst =
+  let ws = get_ws t.n in
+  let dist = ws.dist_f and parent = ws.parent_f and settled = ws.settled_f in
+  let heap = ws.heap_f in
+  let off = t.off and tgt = t.tgt in
+  let settles = ref 0 in
+  Fun.protect ~finally:(fun () -> reset_ws ws) @@ fun () ->
+  dist.(src) <- 0.0;
+  touch_f ws src;
+  Heap.push heap 0.0 src;
+  let finished = ref false in
+  while (not !finished) && not (Heap.is_empty heap) do
+    let d = Heap.min_key heap in
+    let u = Heap.min_elt heap in
+    Heap.drop_min heap;
+    if not settled.(u) then begin
+      settled.(u) <- true;
+      incr settles;
+      if u = dst then finished := true
+      else
+        for k = Array.unsafe_get off u to Array.unsafe_get off (u + 1) - 1 do
+          let v = Array.unsafe_get tgt k in
+          if not (Array.unsafe_get settled v) then begin
+            let w = weight k in
+            if w < 0.0 then invalid_arg "Dijkstra: negative edge weight";
+            let nd = d +. w in
+            if nd < Array.unsafe_get dist v then begin
+              Array.unsafe_set dist v nd;
+              Array.unsafe_set parent v u;
+              Heap.push heap nd v;
+              touch_f ws v
+            end
+          end
+        done
+    end
+  done;
+  let result =
+    if dist.(dst) = infinity then None
+    else Some (dist.(dst), build_path parent ~src ~dst)
+  in
+  (result, !settles)
+
+(* Arc index of (a, b); exists whenever b was reached from a. *)
+let find_arc t a b =
+  let j = ref t.off.(a) in
+  let hi = t.off.(a + 1) in
+  while !j < hi && t.tgt.(!j) <> b do incr j done;
+  if !j >= hi then invalid_arg "Query: path edge missing from CSR";
+  !j
+
+(* Left-fold of forward arc weights along [path] — the exact float
+   association the plain runner accumulates, so recomputed bidirectional
+   costs match it bitwise. *)
+let fold_path_cost t ~weight path =
+  let rec go acc = function
+    | a :: (b :: _ as rest) -> go (acc +. weight (find_arc t a b)) rest
+    | [ _ ] | [] -> acc
+  in
+  go 0.0 path
+
+let run_bidir t ~weight ~src ~dst =
+  let ws = get_ws t.n in
+  let dist_f = ws.dist_f and parent_f = ws.parent_f and settled_f = ws.settled_f in
+  let dist_b = ws.dist_b and parent_b = ws.parent_b and settled_b = ws.settled_b in
+  let heap_f = ws.heap_f and heap_b = ws.heap_b in
+  let off = t.off and tgt = t.tgt and mate = t.mate in
+  let settles = ref 0 in
+  Fun.protect ~finally:(fun () -> reset_ws ws) @@ fun () ->
+  dist_f.(src) <- 0.0;
+  touch_f ws src;
+  Heap.push heap_f 0.0 src;
+  dist_b.(dst) <- 0.0;
+  touch_b ws dst;
+  Heap.push heap_b 0.0 dst;
+  let mu = ref infinity and meet = ref (-1) in
+  let consider v total =
+    if total < !mu then begin
+      mu := total;
+      meet := v
+    end
+  in
+  let finished = ref false in
+  while not !finished do
+    let top_f = if Heap.is_empty heap_f then infinity else Heap.min_key heap_f in
+    let top_b = if Heap.is_empty heap_b then infinity else Heap.min_key heap_b in
+    (* Covers both-heaps-empty too: infinity >= mu for any mu. *)
+    if top_f +. top_b >= !mu then finished := true
+    else if top_f <= top_b then begin
+      let u = Heap.min_elt heap_f in
+      Heap.drop_min heap_f;
+      if not settled_f.(u) then begin
+        settled_f.(u) <- true;
+        incr settles;
+        let d = top_f in
+        for k = Array.unsafe_get off u to Array.unsafe_get off (u + 1) - 1 do
+          let v = Array.unsafe_get tgt k in
+          if not (Array.unsafe_get settled_f v) then begin
+            let w = weight k in
+            if w < 0.0 then invalid_arg "Dijkstra: negative edge weight";
+            let nd = d +. w in
+            if nd < Array.unsafe_get dist_f v then begin
+              Array.unsafe_set dist_f v nd;
+              Array.unsafe_set parent_f v u;
+              Heap.push heap_f nd v;
+              touch_f ws v;
+              let db = Array.unsafe_get dist_b v in
+              if db < infinity then consider v (nd +. db)
+            end
+          end
+        done
+      end
+    end
+    else begin
+      let u = Heap.min_elt heap_b in
+      Heap.drop_min heap_b;
+      if not settled_b.(u) then begin
+        settled_b.(u) <- true;
+        incr settles;
+        let d = top_b in
+        for k = Array.unsafe_get off u to Array.unsafe_get off (u + 1) - 1 do
+          let v = Array.unsafe_get tgt k in
+          if not (Array.unsafe_get settled_b v) then begin
+            (* reverse arc (v, u) costs what forward arc mate.(k) costs *)
+            let w = weight (Array.unsafe_get mate k) in
+            if w < 0.0 then invalid_arg "Dijkstra: negative edge weight";
+            let nd = d +. w in
+            if nd < Array.unsafe_get dist_b v then begin
+              Array.unsafe_set dist_b v nd;
+              Array.unsafe_set parent_b v u;
+              Heap.push heap_b nd v;
+              touch_b ws v;
+              let df = Array.unsafe_get dist_f v in
+              if df < infinity then consider v (df +. nd)
+            end
+          end
+        done
+      end
+    end
+  done;
+  let result =
+    if !meet < 0 then None
+    else begin
+      let forward = build_path parent_f ~src ~dst:!meet in
+      let rec extend acc v =
+        if v = dst then List.rev (v :: acc) else extend (v :: acc) parent_b.(v)
+      in
+      let path =
+        if !meet = dst then forward
+        else forward @ List.tl (extend [] !meet)
+      in
+      Some (fold_path_cost t ~weight path, path)
+    end
+  in
+  (result, !settles)
+
+let run_alt t ~weight ~pot ~src ~dst =
+  let ws = get_ws t.n in
+  let dist = ws.dist_f and parent = ws.parent_f and settled = ws.settled_f in
+  let heap = ws.heap_f in
+  let off = t.off and tgt = t.tgt in
+  ws.stamp <- ws.stamp + 1;
+  let stamp = ws.stamp in
+  let pi = ws.pi and pi_stamp = ws.pi_stamp in
+  let potential v =
+    if Array.unsafe_get pi_stamp v = stamp then Array.unsafe_get pi v
+    else begin
+      let p = pot v in
+      Array.unsafe_set pi v p;
+      Array.unsafe_set pi_stamp v stamp;
+      p
+    end
+  in
+  let settles = ref 0 in
+  Fun.protect ~finally:(fun () -> reset_ws ws) @@ fun () ->
+  dist.(src) <- 0.0;
+  touch_f ws src;
+  Heap.push heap (potential src) src;
+  let finished = ref false in
+  while (not !finished) && not (Heap.is_empty heap) do
+    let u = Heap.min_elt heap in
+    Heap.drop_min heap;
+    if not settled.(u) then begin
+      settled.(u) <- true;
+      incr settles;
+      if u = dst then finished := true
+      else begin
+        (* Raw label, not the heap key: keys carry the potential, labels
+           stay the same left-folds the plain runner accumulates. *)
+        let d = Array.unsafe_get dist u in
+        for k = Array.unsafe_get off u to Array.unsafe_get off (u + 1) - 1 do
+          let v = Array.unsafe_get tgt k in
+          if not (Array.unsafe_get settled v) then begin
+            let w = weight k in
+            if w < 0.0 then invalid_arg "Dijkstra: negative edge weight";
+            let nd = d +. w in
+            if nd < Array.unsafe_get dist v then begin
+              Array.unsafe_set dist v nd;
+              Array.unsafe_set parent v u;
+              Heap.push heap (nd +. potential v) v;
+              touch_f ws v
+            end
+          end
+        done
+      end
+    end
+  done;
+  let result =
+    if dist.(dst) = infinity then None
+    else Some (dist.(dst), build_path parent ~src ~dst)
+  in
+  (result, !settles)
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch                                                           *)
+
+(* Below [plain_threshold] the goal-directed machinery costs more than
+   it saves (landmark prep is [landmark_count] full sweeps); between the
+   thresholds bidirectional wins without preprocessing; past
+   [alt_threshold] the graph is big enough that landmark prep amortises
+   after a handful of queries. *)
+let plain_threshold = 1024
+let alt_threshold = 8192
+
+let choose t =
+  if t.n <= plain_threshold then Plain
+  else if prepared t then Alt
+  else if t.n <= alt_threshold then Bidir
+  else Alt
+
+let run_stats ?runner t ~weight ~src ~dst =
+  if src < 0 || src >= t.n then invalid_arg "Dijkstra: source out of range";
+  if dst < 0 || dst >= t.n then
+    invalid_arg "Dijkstra: destination out of range";
+  if src = dst then (Some (0.0, [ src ]), Plain, 0)
+  else begin
+    let r = match runner with Some r -> r | None -> choose t in
+    match r with
+    | Plain ->
+      let result, settles = run_plain t ~weight ~src ~dst in
+      Rr_obs.Counter.incr c_plain_runs;
+      Rr_obs.Counter.add c_plain_settled settles;
+      (result, Plain, settles)
+    | Bidir ->
+      let result, settles = run_bidir t ~weight ~src ~dst in
+      Rr_obs.Counter.incr c_bidir_runs;
+      Rr_obs.Counter.add c_bidir_settled settles;
+      (result, Bidir, settles)
+    | Alt ->
+      if not (prepared t) then prepare t;
+      let pot =
+        match potential t ~dst with
+        | Some f -> f
+        | None -> fun _ -> 0.0 (* unreachable: prepare always succeeds *)
+      in
+      let result, settles = run_alt t ~weight ~pot ~src ~dst in
+      Rr_obs.Counter.incr c_alt_runs;
+      Rr_obs.Counter.add c_alt_settled settles;
+      (result, Alt, settles)
+  end
+
+let run ?runner t ~weight ~src ~dst =
+  let result, _, _ = run_stats ?runner t ~weight ~src ~dst in
+  result
+
+let runner_name = function Plain -> "plain" | Bidir -> "bidir" | Alt -> "alt"

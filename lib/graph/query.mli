@@ -1,0 +1,103 @@
+(** Point-to-point shortest-path queries with goal direction.
+
+    A query object wraps one CSR geometry (offsets, targets, per-arc
+    bit-miles) and serves single-pair queries under any arc-weight
+    function that {e dominates} bit-miles ([weight k >= arc_miles k],
+    true of every RiskRoute objective: risk only adds non-negative
+    weight). Three runners are available:
+
+    - {e plain} — the {!Dijkstra.single_pair_flat} kernel;
+    - {e bidir} — bidirectional Dijkstra, expanding whichever frontier
+      has the smaller top key; the backward search weighs reverse arcs
+      through the forward arc index via {!Graph.csr_mates};
+    - {e alt} — A* with landmark lower bounds (ALT): ~16 landmarks
+      chosen by farthest-point selection over bit-miles, their full
+      distance trees reused across every weight function on the same
+      geometry.
+
+    All three return bit-identical (cost, path) answers: costs are the
+    same left-fold of arc weights the plain kernel accumulates, and
+    equal-cost tie-breaks follow the plain kernel's settle order.
+
+    Queries reuse per-domain scratch (distance/parent/settled arrays,
+    heaps) held in domain-local storage, so concurrent queries from a
+    {!Rr_util.Parallel} pool are safe and allocation stays flat across
+    repeated queries. *)
+
+type t
+
+type runner = Plain | Bidir | Alt
+
+val create :
+  ?landmark_count:int ->
+  n:int ->
+  off:int array ->
+  tgt:int array ->
+  miles:float array ->
+  unit ->
+  t
+(** Wrap a CSR geometry (see {!Graph.to_csr}); builds the reverse-CSR
+    mate table eagerly. [landmark_count] defaults to 16. The arrays are
+    borrowed, not copied — treat them as frozen. *)
+
+val node_count : t -> int
+val arc_off : t -> int array
+val arc_tgt : t -> int array
+val arc_miles : t -> float array
+
+val set_tree_provider : t -> (int -> Dijkstra.tree) -> unit
+(** Route landmark distance-tree computation through an external cache
+    (the engine's tree LRU): [prepare] will call the provider instead
+    of running its own sweeps, so landmark trees are shared with every
+    other consumer of the same geometry and survive in the LRU across
+    advisory ticks. The provider must return pure bit-miles trees
+    bit-identical to {!Dijkstra.single_source_flat} on this geometry. *)
+
+val prepare : t -> unit
+(** Select landmarks (farthest-point, deterministic) and compute their
+    distance trees. Idempotent and thread-safe; implied by the first
+    ALT query. *)
+
+val prepared : t -> bool
+
+val landmark_sources : t -> int array
+(** Chosen landmark node ids ([[||]] before {!prepare}). *)
+
+val potential : t -> dst:int -> (int -> float) option
+(** Landmark lower bound on the bit-miles distance to [dst] —
+    [max_L |d_L(v) - d_L(dst)|] — or [None] before {!prepare}. Valid
+    (and consistent) for any weight function dominating bit-miles, so
+    external goal-directed searches (e.g. the valley-free BGP lift) can
+    use it as an A* heuristic. *)
+
+val choose : t -> runner
+(** Selection policy: plain for small graphs (n <= 1024), ALT once
+    landmarks are prepared, bidirectional for mid-size unprepared
+    graphs, ALT (preparing on demand) past n = 8192. *)
+
+val run :
+  ?runner:runner ->
+  t ->
+  weight:(int -> float) ->
+  src:int ->
+  dst:int ->
+  (float * int list) option
+(** Cost and node path, [None] when disconnected — bit-identical to
+    {!Dijkstra.single_pair_flat} with the same arguments. [runner]
+    overrides {!choose}. Raises [Invalid_argument] on out-of-range
+    endpoints or a negative arc weight. *)
+
+val run_stats :
+  ?runner:runner ->
+  t ->
+  weight:(int -> float) ->
+  src:int ->
+  dst:int ->
+  (float * int list) option * runner * int
+(** Like {!run} but also reports which runner served the query and how
+    many nodes it settled (both frontiers combined for bidir; 0 for the
+    trivial [src = dst] query). Settled counts also feed the
+    [query.<runner>.settled] {!Rr_obs} counters. *)
+
+val runner_name : runner -> string
+(** ["plain"] / ["bidir"] / ["alt"]. *)

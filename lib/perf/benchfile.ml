@@ -10,6 +10,8 @@ type meta = {
   warmups : int;
   cache_hits : int;   (* engine.cache.* hits observed during the run *)
   cache_misses : int;
+  tree_cache_cap : int;   (* effective RISKROUTE_TREE_CACHE after validation *)
+  topology_pops : string; (* PoP counts of the large-topology kernels, comma-joined *)
 }
 
 type result = {
@@ -26,7 +28,7 @@ type result = {
 
 type file = { meta : meta; results : result list }
 
-let schema = 4
+let schema = 5
 
 let escape s =
   let b = Buffer.create (String.length s + 2) in
@@ -50,11 +52,13 @@ let to_json_string f =
     \  \"meta\": {\"schema\": %d, \"domains\": %d, \"git_rev\": \"%s\", \
      \"hostname\": \"%s\", \"ocaml_version\": \"%s\", \"word_size\": %d, \
      \"riskroute_domains\": \"%s\", \"reps\": %d, \"warmups\": %d, \
-     \"cache_hits\": %d, \"cache_misses\": %d},\n\
+     \"cache_hits\": %d, \"cache_misses\": %d, \"tree_cache_cap\": %d, \
+     \"topology_pops\": \"%s\"},\n\
     \  \"results\": [\n"
     m.schema m.domains (escape m.git_rev) (escape m.hostname)
     (escape m.ocaml_version) m.word_size (escape m.riskroute_domains) m.reps
-    m.warmups m.cache_hits m.cache_misses;
+    m.warmups m.cache_hits m.cache_misses m.tree_cache_cap
+    (escape m.topology_pops);
   List.iteri
     (fun i r ->
       Printf.bprintf b
@@ -141,6 +145,8 @@ let of_json_string text =
   let* warmups = num ~default:0.0 meta_j "warmups" in
   let* cache_hits = num ~default:0.0 meta_j "cache_hits" in
   let* cache_misses = num ~default:0.0 meta_j "cache_misses" in
+  let* tree_cache_cap = num ~default:0.0 meta_j "tree_cache_cap" in
+  let* topology_pops = str ~default:"" meta_j "topology_pops" in
   let* rows =
     match Option.bind (Json.member "results" j) Json.to_arr with
     | Some l -> Ok l
@@ -169,6 +175,8 @@ let of_json_string text =
           warmups = int_of_float warmups;
           cache_hits = int_of_float cache_hits;
           cache_misses = int_of_float cache_misses;
+          tree_cache_cap = int_of_float tree_cache_cap;
+          topology_pops;
         };
       results = List.rev results;
     }

@@ -1,13 +1,16 @@
 (** BENCH_*.json files: the machine-readable benchmark format written
     by [bench/main.exe json] and read by [riskroute bench-compare].
 
-    Schema 4 is statistics-aware: each kernel row carries mean/p50/p95
+    Schema 5 is statistics-aware: each kernel row carries mean/p50/p95
     over N repetitions plus per-run GC allocation deltas, and the meta
     block is self-describing (OCaml version, word size, resolved pool
-    size, engine cache hit/miss totals) so baselines stay comparable
-    across machines. Older files remain readable: schema-3 metas default
-    the cache totals to 0, and schema-2 files (single Bechamel OLS
-    estimate per kernel) reuse the one estimate for every statistic. *)
+    size, engine cache hit/miss totals, effective tree-LRU capacity and
+    the PoP counts of the large-topology query kernels) so baselines
+    stay comparable across machines. Older files remain readable:
+    schema-4 metas default the tree-cache/topology fields, schema-3
+    metas default the cache totals to 0, and schema-2 files (single
+    Bechamel OLS estimate per kernel) reuse the one estimate for every
+    statistic. *)
 
 type meta = {
   schema : int;
@@ -23,6 +26,12 @@ type meta = {
       (** total engine artifact-cache hits ([engine.cache.env_hit] +
           [engine.cache.tree_hit]) observed over the recorded run *)
   cache_misses : int;  (** same, for [engine.cache.*_miss] *)
+  tree_cache_cap : int;
+      (** effective tree-LRU capacity ([RISKROUTE_TREE_CACHE] after
+          validation) the run used; 0 in pre-5 files *)
+  topology_pops : string;
+      (** PoP counts of the large-topology query kernels, comma-joined
+          (e.g. ["1000,10000,50000"]); [""] in pre-5 files *)
 }
 
 type result = {
@@ -40,7 +49,7 @@ type result = {
 type file = { meta : meta; results : result list }
 
 val schema : int
-(** The schema this module writes (4). *)
+(** The schema this module writes (5). *)
 
 val to_json_string : file -> string
 

@@ -137,3 +137,255 @@ let build ~rng spec =
     done
   end;
   Net.make ~name:spec.name ~tier:spec.tier ~states:spec.states pops graph
+
+(* ------------------------------------------------------------------ *)
+(* Continental-scale generation                                       *)
+
+type continental_spec = {
+  name : string;
+  pop_count : int;
+  region_size : int;
+  cell_degrees : float;
+  mesh_fraction : float;
+  interconnects : int;
+  hub_links : int;
+}
+
+let continental_defaults ~name ~pop_count =
+  {
+    name;
+    pop_count;
+    region_size = 250;
+    cell_degrees = 5.0;
+    mesh_fraction = 0.35;
+    interconnects = 2;
+    hub_links = 12;
+  }
+
+(* A continental net is grown cell by cell over a geographic grid:
+   PoP counts are allocated to grid cells proportionally to the cells'
+   gazetteer population (largest remainder), each cell's sites are drawn
+   population-weighted within the cell, the sites are wired as regional
+   Mesh/Ring networks of at most [region_size] PoPs, and the regions are
+   stitched along a spanning tree of their centroids plus sampled
+   chords. Everything draws from the single [rng] in a fixed order, so
+   equal seeds give equal networks. *)
+let continental ~rng (spec : continental_spec) =
+  if spec.pop_count < 1 then invalid_arg "Builder.continental: pop_count < 1";
+  if spec.region_size < 1 then
+    invalid_arg "Builder.continental: region_size < 1";
+  if spec.interconnects < 1 then
+    invalid_arg "Builder.continental: interconnects < 1";
+  let pool = Rr_cities.Data.all in
+  (* Geographic grid cells, in deterministic (lat band, lon band) order;
+     per-cell city lists keep gazetteer order. *)
+  let cell_of (c : Rr_cities.Data.city) =
+    ( int_of_float (Float.floor (Rr_geo.Coord.lat c.coord /. spec.cell_degrees)),
+      int_of_float (Float.floor (Rr_geo.Coord.lon c.coord /. spec.cell_degrees))
+    )
+  in
+  let tbl = Hashtbl.create 64 in
+  Array.iter
+    (fun c ->
+      let k = cell_of c in
+      Hashtbl.replace tbl k
+        (c :: Option.value (Hashtbl.find_opt tbl k) ~default:[]))
+    pool;
+  let cell_keys = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) tbl []) in
+  let cell_pools =
+    Array.of_list
+      (List.map (fun k -> Array.of_list (List.rev (Hashtbl.find tbl k))) cell_keys)
+  in
+  let ncells = Array.length cell_pools in
+  (* Largest-remainder allocation of the PoP budget across cells,
+     proportional to cell population. *)
+  let cellpop =
+    Array.map
+      (fun cities ->
+        Arrayx.fsum
+          (Array.map
+             (fun (c : Rr_cities.Data.city) -> float_of_int c.population)
+             cities))
+      cell_pools
+  in
+  let total_pop = Arrayx.fsum cellpop in
+  let quota =
+    Array.map (fun w -> float_of_int spec.pop_count *. w /. total_pop) cellpop
+  in
+  let alloc = Array.map (fun q -> int_of_float (Float.floor q)) quota in
+  let assigned = Array.fold_left ( + ) 0 alloc in
+  let order =
+    List.sort
+      (fun a b ->
+        let fa = quota.(a) -. Float.floor quota.(a)
+        and fb = quota.(b) -. Float.floor quota.(b) in
+        if fa = fb then compare a b else Float.compare fb fa)
+      (Listx.range 0 ncells)
+  in
+  let rec top_up remaining = function
+    | [] -> if remaining > 0 then top_up remaining order
+    | i :: rest ->
+      if remaining > 0 then begin
+        alloc.(i) <- alloc.(i) + 1;
+        top_up (remaining - 1) rest
+      end
+  in
+  top_up (spec.pop_count - assigned) order;
+  (* Sites per cell, sliced into balanced regional chunks. *)
+  let pops_rev = ref [] in
+  let next_id = ref 0 in
+  let chunks = ref [] in
+  for i = 0 to ncells - 1 do
+    if alloc.(i) > 0 then begin
+      let sites = choose_sites rng cell_pools.(i) alloc.(i) in
+      let ids =
+        List.map
+          (fun (city_idx, metro_index) ->
+            let city = cell_pools.(i).(city_idx) in
+            let coord =
+              if metro_index = 1 then city.Rr_cities.Data.coord
+              else jitter rng city.Rr_cities.Data.coord
+            in
+            let id = !next_id in
+            incr next_id;
+            pops_rev :=
+              Pop.make ~id ~city:city.Rr_cities.Data.name
+                ~state:city.Rr_cities.Data.state ~metro_index coord
+              :: !pops_rev;
+            id)
+          sites
+      in
+      let m = List.length ids in
+      let nchunks = (m + spec.region_size - 1) / spec.region_size in
+      let ids = Array.of_list ids in
+      for c = 0 to nchunks - 1 do
+        let lo = c * m / nchunks and hi = (c + 1) * m / nchunks in
+        chunks := Array.sub ids lo (hi - lo) :: !chunks
+      done
+    end
+  done;
+  let chunks = Array.of_list (List.rev !chunks) in
+  let pops = Array.of_list (List.rev !pops_rev) in
+  let n = Array.length pops in
+  let coord i = pops.(i).Pop.coord in
+  let dist u v = Rr_geo.Distance.miles (coord u) (coord v) in
+  let graph = Rr_graph.Graph.create n in
+  (* Regional wiring: alternate Mesh (MST backbone) and Ring (angular
+     tour) flavours, plus nearest-neighbour chords sampled at
+     [mesh_fraction] — the same texture [build] gives zoo-size maps,
+     with k-NN standing in for the O(n^3) Gabriel construction. *)
+  let ring_region ids =
+    let m = Array.length ids in
+    let mean_lat =
+      Arrayx.fmean (Array.map (fun i -> Rr_geo.Coord.lat (coord i)) ids)
+    in
+    let mean_lon =
+      Arrayx.fmean (Array.map (fun i -> Rr_geo.Coord.lon (coord i)) ids)
+    in
+    let angle i =
+      atan2
+        (Rr_geo.Coord.lat (coord ids.(i)) -. mean_lat)
+        (Rr_geo.Coord.lon (coord ids.(i)) -. mean_lon)
+    in
+    let tour =
+      List.sort (fun a b -> Float.compare (angle a) (angle b)) (Listx.range 0 m)
+    in
+    match tour with
+    | [] | [ _ ] -> ()
+    | first :: _ ->
+      let rec link = function
+        | a :: (b :: _ as rest) ->
+          Rr_graph.Graph.add_edge graph ids.(a) ids.(b);
+          link rest
+        | [ last ] ->
+          if last <> first then Rr_graph.Graph.add_edge graph ids.(last) ids.(first)
+        | [] -> ()
+      in
+      link tour
+  in
+  Array.iteri
+    (fun ci ids ->
+      let m = Array.length ids in
+      if m >= 2 then begin
+        let ldist a b = dist ids.(a) ids.(b) in
+        if m >= 4 && ci land 1 = 1 then ring_region ids
+        else
+          List.iter
+            (fun (a, b) -> Rr_graph.Graph.add_edge graph ids.(a) ids.(b))
+            (Rr_graph.Graph.edges (Rr_graph.Spanner.mst ~n:m ~dist:ldist));
+        if m >= 3 then
+          List.iter
+            (fun (a, b) ->
+              if Prng.float rng 1.0 < spec.mesh_fraction then
+                Rr_graph.Graph.add_edge graph ids.(a) ids.(b))
+            (Rr_graph.Graph.edges (Rr_graph.Spanner.knn ~n:m ~dist:ldist ~k:3))
+      end)
+    chunks;
+  (* Stitch the regions: a spanning tree over region centroids plus
+     sampled nearest-neighbour chords; each selected region pair gets
+     its [interconnects] closest cross-region PoP pairs as links. *)
+  let nregions = Array.length chunks in
+  if nregions > 1 then begin
+    let centroid ids =
+      Rr_geo.Coord.make
+        ~lat:(Arrayx.fmean (Array.map (fun i -> Rr_geo.Coord.lat (coord i)) ids))
+        ~lon:(Arrayx.fmean (Array.map (fun i -> Rr_geo.Coord.lon (coord i)) ids))
+    in
+    let centroids = Array.map centroid chunks in
+    let cdist a b = Rr_geo.Distance.miles centroids.(a) centroids.(b) in
+    let connect_regions a b =
+      let pairs = ref [] in
+      Array.iter
+        (fun u -> Array.iter (fun v -> pairs := (dist u v, u, v) :: !pairs) chunks.(b))
+        chunks.(a);
+      let ranked =
+        List.sort
+          (fun (da, ua, va) (db, ub, vb) ->
+            if da = db then compare (ua, va) (ub, vb) else Float.compare da db)
+          !pairs
+      in
+      List.iter
+        (fun (_, u, v) -> Rr_graph.Graph.add_edge graph u v)
+        (Listx.take spec.interconnects ranked)
+    in
+    List.iter
+      (fun (a, b) -> connect_regions a b)
+      (Rr_graph.Graph.edges (Rr_graph.Spanner.mst ~n:nregions ~dist:cdist));
+    if nregions >= 3 then
+      List.iter
+        (fun (a, b) ->
+          if Prng.float rng 1.0 < spec.mesh_fraction then connect_regions a b)
+        (Rr_graph.Graph.edges (Rr_graph.Spanner.knn ~n:nregions ~dist:cdist ~k:2))
+  end;
+  (* Long-haul express links chaining the biggest distinct metros. *)
+  if spec.hub_links > 0 && n > 3 then begin
+    let seen = Hashtbl.create 64 in
+    let metros = ref [] in
+    Array.iter
+      (fun (p : Pop.t) ->
+        let key = (p.Pop.city, p.Pop.state) in
+        if not (Hashtbl.mem seen key) then begin
+          Hashtbl.add seen key ();
+          let w =
+            match Rr_cities.Query.by_name ~state:p.Pop.state p.Pop.city with
+            | Some c -> float_of_int c.Rr_cities.Data.population
+            | None -> 0.0
+          in
+          metros := (w, p.Pop.id) :: !metros
+        end)
+      pops;
+    let ranked =
+      List.sort
+        (fun (wa, ia) (wb, ib) ->
+          if wa = wb then compare ia ib else Float.compare wb wa)
+        !metros
+    in
+    let hubs =
+      Array.of_list (List.map snd (Listx.take (spec.hub_links + 1) ranked))
+    in
+    for i = 0 to Array.length hubs - 2 do
+      if hubs.(i) <> hubs.(i + 1) then
+        Rr_graph.Graph.add_edge graph hubs.(i) hubs.(i + 1)
+    done
+  end;
+  Net.make ~name:spec.name ~tier:Net.Tier1 pops graph

@@ -37,3 +37,34 @@ val build : rng:Rr_util.Prng.t -> spec -> Net.t
 (** Grow one network. The result is connected and has exactly
     [spec.pop_count] PoPs. Raises [Invalid_argument] when the state list
     selects no cities or [pop_count < 1]. *)
+
+type continental_spec = {
+  name : string;
+  pop_count : int;  (** total PoPs across the merged graph *)
+  region_size : int;
+      (** maximum PoPs per stitched regional network; the O(n^2)-ish
+          regional wiring runs per region, which is what keeps 10k-50k
+          PoP builds tractable *)
+  cell_degrees : float;
+      (** geographic grid granularity for allocating the PoP budget
+          (population-proportional, largest remainder) *)
+  mesh_fraction : float;
+      (** probability of keeping each non-backbone chord, regional and
+          inter-regional alike *)
+  interconnects : int;
+      (** closest cross-region PoP pairs linked per stitched region
+          pair *)
+  hub_links : int;  (** long-haul express links among the top metros *)
+}
+
+val continental_defaults : name:string -> pop_count:int -> continental_spec
+(** [region_size = 250], [cell_degrees = 5.0], [mesh_fraction = 0.35],
+    [interconnects = 2], [hub_links = 12]. *)
+
+val continental : rng:Rr_util.Prng.t -> continental_spec -> Net.t
+(** Grow a merged CONUS graph of [pop_count] PoPs: regional Mesh/Ring
+    networks of at most [region_size] PoPs each, stitched along a
+    spanning tree of region centroids (plus sampled chords), with hub
+    express links. Connected by construction, population-weighted site
+    selection, deterministic under the seed. Raises [Invalid_argument]
+    on non-positive [pop_count], [region_size] or [interconnects]. *)

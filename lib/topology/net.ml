@@ -54,6 +54,36 @@ let average_outdegree t =
 
 let is_connected t = Rr_graph.Component.is_connected t.graph
 
+(* Population-proportional impact proxy: each metro's gazetteer
+   population is split evenly across its PoPs, then normalised to a
+   distribution. Continental-scale graphs use this instead of the census
+   nearest-neighbour assignment, whose O(blocks x sites) cost is
+   prohibitive past a few thousand sites. *)
+let population_fractions t =
+  let counts = Hashtbl.create 64 in
+  Array.iter
+    (fun (p : Pop.t) ->
+      let key = (p.Pop.city, p.Pop.state) in
+      Hashtbl.replace counts key
+        (1 + Option.value (Hashtbl.find_opt counts key) ~default:0))
+    t.pops;
+  let raw =
+    Array.map
+      (fun (p : Pop.t) ->
+        match Rr_cities.Query.by_name ~state:p.Pop.state p.Pop.city with
+        | Some c ->
+          float_of_int c.Rr_cities.Data.population
+          /. float_of_int (Hashtbl.find counts (p.Pop.city, p.Pop.state))
+        | None -> 0.0)
+      t.pops
+  in
+  let total = Rr_util.Arrayx.fsum raw in
+  if total > 0.0 then Array.map (fun x -> x /. total) raw
+  else begin
+    let n = Array.length raw in
+    Array.make n (if n = 0 then 0.0 else 1.0 /. float_of_int n)
+  end
+
 let with_extra_links t links =
   let graph = Rr_graph.Graph.copy t.graph in
   List.iter (fun (u, v) -> Rr_graph.Graph.add_edge graph u v) links;

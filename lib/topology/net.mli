@@ -43,6 +43,13 @@ val average_outdegree : t -> float
 
 val is_connected : t -> bool
 
+val population_fractions : t -> float array
+(** Outage-impact proxy for graphs too large for the census
+    nearest-neighbour assignment: each metro's gazetteer population is
+    split evenly across the metro's PoPs and the result normalised to
+    sum to 1. PoPs of metros absent from the gazetteer weigh 0 (uniform
+    fallback when nothing resolves). *)
+
 val with_extra_links : t -> (int * int) list -> t
 (** Copy of the network with additional links installed (provisioning
     what-if analysis). *)

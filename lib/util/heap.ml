@@ -100,3 +100,16 @@ let pop_min h =
   end
 
 let clear h = h.size <- 0
+
+let ensure_capacity h cap =
+  let cur = Array.length h.keys in
+  if cap > cur then begin
+    let keys' = Array.make cap 0.0 in
+    Array.blit h.keys 0 keys' 0 h.size;
+    h.keys <- keys';
+    if Array.length h.vals > 0 then begin
+      let vals' = Array.make cap h.vals.(0) in
+      Array.blit h.vals 0 vals' 0 h.size;
+      h.vals <- vals'
+    end
+  end

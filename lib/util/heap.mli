@@ -34,3 +34,9 @@ val drop_min : 'a t -> unit
 
 val clear : 'a t -> unit
 (** Drop all entries, retaining allocated capacity. *)
+
+val ensure_capacity : 'a t -> int -> unit
+(** Grow the backing arrays to hold at least [cap] entries without
+    further reallocation. With {!clear} this lets a long-lived heap be
+    reused across queries allocation-free: size it to the graph once,
+    then pushes never trigger {e grow}. Never shrinks. *)

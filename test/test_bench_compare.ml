@@ -108,6 +108,8 @@ let meta =
     warmups = 3;
     cache_hits = 7;
     cache_misses = 2;
+    tree_cache_cap = 4096;
+    topology_pops = "1000,10000";
   }
 
 let result name p50 p95 =

@@ -184,6 +184,51 @@ let test_trees_shared_across_params () =
     stats.Context.tree_misses;
   Alcotest.(check bool) "tree hit instead" true (stats.Context.tree_hits > 0)
 
+(* --- query facades --- *)
+
+let test_net_query_memoised () =
+  let ctx = Context.create () in
+  let net = Context.require_net ctx "Sprint" in
+  let q1 = Context.net_query ctx net in
+  let q2 = Context.net_query ctx net in
+  Alcotest.(check bool) "same facade physically shared" true (q1 == q2);
+  Alcotest.(check int) "node count matches" (Rr_topology.Net.pop_count net)
+    (Rr_graph.Query.node_count q1)
+
+let test_landmark_trees_land_in_lru () =
+  let ctx = Context.create () in
+  let net = Context.require_net ctx "Sprint" in
+  let q = Context.net_query ctx net in
+  let before = (Context.stats ctx).Context.tree_misses in
+  Rr_graph.Query.prepare q;
+  let landmarks = Array.length (Rr_graph.Query.landmark_sources q) in
+  let stats = Context.stats ctx in
+  Alcotest.(check bool) "landmarks chosen" true (landmarks > 0);
+  Alcotest.(check int) "one LRU miss per landmark" (before + landmarks)
+    stats.Context.tree_misses;
+  Alcotest.(check bool) "trees live in the LRU" true
+    (Context.tree_cache_length ctx >= landmarks)
+
+let test_query_fingerprint_unified () =
+  (* The env-based and net-based facades share the tree-cache namespace:
+     a landmark tree prepared through one is a hit for the other. *)
+  let ctx = Context.create () in
+  let net = Context.require_net ctx "Sprint" in
+  let env = Context.env ctx net in
+  ignore (Context.query ctx env);
+  Rr_graph.Query.prepare (Riskroute.Env.query env);
+  let misses = (Context.stats ctx).Context.tree_misses in
+  let hits = (Context.stats ctx).Context.tree_hits in
+  let q = Context.net_query ctx net in
+  Rr_graph.Query.prepare q;
+  let stats = Context.stats ctx in
+  Alcotest.(check int) "no new misses through the net facade" misses
+    stats.Context.tree_misses;
+  Alcotest.(check bool) "hits instead" true (stats.Context.tree_hits > hits);
+  Alcotest.(check (array int)) "same landmark choice"
+    (Rr_graph.Query.landmark_sources (Riskroute.Env.query env))
+    (Rr_graph.Query.landmark_sources q)
+
 let test_spec_accessors () =
   let s = Spec.make ~pair_cap:7 () in
   Alcotest.(check int) "explicit" 7 (Spec.pair_cap ~default:99 s);
@@ -211,6 +256,11 @@ let () =
           Alcotest.test_case "trees shared across params" `Quick
             test_trees_shared_across_params;
           Alcotest.test_case "spec accessors" `Quick test_spec_accessors;
+          Alcotest.test_case "net query memoised" `Quick test_net_query_memoised;
+          Alcotest.test_case "landmark trees in LRU" `Quick
+            test_landmark_trees_land_in_lru;
+          Alcotest.test_case "query fingerprint unified" `Quick
+            test_query_fingerprint_unified;
         ] );
       ( "correctness",
         [

@@ -51,6 +51,25 @@ let test_graph_out_of_range () =
   Alcotest.check_raises "bad node" (Invalid_argument "Graph: node out of range")
     (fun () -> ignore (Graph.neighbors g 5))
 
+let test_csr_mates_involution () =
+  let g =
+    Graph.of_edges 6 [ (0, 1); (0, 2); (1, 2); (2, 3); (3, 4); (2, 4); (4, 5) ]
+  in
+  let off, tgt = Graph.to_csr g in
+  let mate = Graph.csr_mates ~off ~tgt in
+  Alcotest.(check int) "one mate per arc" (Array.length tgt)
+    (Array.length mate);
+  for u = 0 to Graph.node_count g - 1 do
+    for k = off.(u) to off.(u + 1) - 1 do
+      let m = mate.(k) in
+      Alcotest.(check int) "involution" k mate.(m);
+      (* The mate of u -> v is an arc out of v back to u. *)
+      Alcotest.(check int) "mate returns" u tgt.(m);
+      Alcotest.(check bool) "mate leaves v" true
+        (off.(tgt.(k)) <= m && m < off.(tgt.(k) + 1))
+    done
+  done
+
 (* --- Dijkstra --- *)
 
 let line_graph weights =
@@ -260,6 +279,8 @@ let () =
           Alcotest.test_case "edge listing" `Quick test_graph_edges_listing;
           Alcotest.test_case "copy independence" `Quick test_graph_copy_independent;
           Alcotest.test_case "out of range" `Quick test_graph_out_of_range;
+          Alcotest.test_case "csr mates involution" `Quick
+            test_csr_mates_involution;
         ] );
       ( "dijkstra",
         [

@@ -1,0 +1,298 @@
+(* Point-to-point query facade: every runner must return bit-identical
+   (cost, path) answers to the plain single-pair kernel, on any graph,
+   under any RiskRoute weight function, at any pool size. *)
+
+open Rr_graph
+module Parallel = Rr_util.Parallel
+
+let with_domains k f =
+  let old = Parallel.domain_count () in
+  Parallel.set_domain_count k;
+  Fun.protect ~finally:(fun () -> Parallel.set_domain_count old) f
+
+let builder_net ~seed ~pops =
+  let rng = Rr_util.Prng.create seed in
+  Rr_topology.Builder.build ~rng
+    {
+      (* The census service memoises impact vectors by network name, so
+         every (seed, size) needs its own. *)
+      Rr_topology.Builder.name = Printf.sprintf "QueryTest-%Ld-%d" seed pops;
+      tier = Rr_topology.Net.Regional;
+      states = [];
+      pop_count = pops;
+      style = Rr_topology.Builder.Mesh;
+      mesh_fraction = 0.3;
+      hub_links = 2;
+    }
+
+let query_of_env env =
+  let q = Riskroute.Env.query env in
+  (q, Query.arc_off q, Query.arc_tgt q, Query.arc_miles q)
+
+(* Both RiskRoute weight shapes: pure bit-miles, and bit-miles plus a
+   non-negative per-target term (what bit-risk-miles adds). *)
+let weights_of env tgt miles =
+  let n = Rr_graph.Graph.node_count (Riskroute.Env.graph env) in
+  let risk = Array.init n (fun i -> Riskroute.Env.node_risk env i) in
+  [
+    ("miles", fun k -> Array.unsafe_get miles k);
+    ( "risk",
+      fun k ->
+        Array.unsafe_get miles k
+        +. (0.5 *. Array.unsafe_get risk (Array.unsafe_get tgt k)) );
+  ]
+
+let same_answer a b =
+  match (a, b) with
+  | Some (ca, pa), Some (cb, pb) ->
+    Int64.equal (Int64.bits_of_float ca) (Int64.bits_of_float cb) && pa = pb
+  | None, None -> true
+  | _ -> false
+
+let check_pair ~what q ~off:_ ~tgt:_ ~weight ~reference ~src ~dst =
+  let expect = reference ~weight ~src ~dst in
+  List.iter
+    (fun runner ->
+      let got = Query.run ~runner q ~weight ~src ~dst in
+      if not (same_answer expect got) then
+        Alcotest.failf "%s: %s differs from plain kernel on (%d, %d)" what
+          (Query.runner_name runner) src dst)
+    [ Query.Plain; Query.Bidir; Query.Alt ]
+
+let test_plain_matches_flat () =
+  let net = builder_net ~seed:11L ~pops:40 in
+  let env = Riskroute.Env.of_net net in
+  let q, off, tgt, miles = query_of_env env in
+  let n = Query.node_count q in
+  let weight k = miles.(k) in
+  for src = 0 to min 9 (n - 1) do
+    let dst = n - 1 - src in
+    let expect = Dijkstra.single_pair_flat ~n ~off ~tgt ~weight ~src ~dst in
+    let got = Query.run ~runner:Query.Plain q ~weight ~src ~dst in
+    Alcotest.(check bool)
+      (Printf.sprintf "plain = flat on (%d, %d)" src dst)
+      true (same_answer expect got)
+  done
+
+let runners_agree =
+  QCheck.Test.make ~name:"bidir and alt agree with plain bitwise" ~count:12
+    QCheck.(triple small_nat small_nat small_nat)
+    (fun (a, b, c) ->
+      (* Clamp in the body: shrinkers may step outside generator
+         ranges, and Builder rejects pop_count < 1. *)
+      let seed = 1 + (a mod 1000)
+      and pops = 20 + (b mod 51)
+      and pool = 1 + (c mod 3) in
+      let net = builder_net ~seed:(Int64.of_int seed) ~pops in
+      let env = Riskroute.Env.of_net net in
+      let q, off, tgt, miles = query_of_env env in
+      let n = Query.node_count q in
+      Query.prepare q;
+      let reference ~weight ~src ~dst =
+        Dijkstra.single_pair_flat ~n ~off ~tgt ~weight ~src ~dst
+      in
+      let rng = Rr_util.Prng.create (Int64.of_int (seed * 7919)) in
+      let pairs =
+        Array.init 12 (fun _ ->
+            (Rr_util.Prng.int rng n, Rr_util.Prng.int rng n))
+      in
+      with_domains pool (fun () ->
+          List.iter
+            (fun (wname, weight) ->
+              ignore
+                (Parallel.map_array
+                   (fun (src, dst) ->
+                     check_pair ~what:wname q ~off ~tgt ~weight ~reference
+                       ~src ~dst)
+                   pairs))
+            (weights_of env tgt miles));
+      true)
+
+let runners_agree_under_advisory =
+  QCheck.Test.make ~name:"agreement holds under a storm advisory env"
+    ~count:4 QCheck.small_nat
+    (fun s ->
+      let seed = 1 + (s mod 100) in
+      let net = builder_net ~seed:(Int64.of_int seed) ~pops:30 in
+      let advisory =
+        List.nth
+          (Rr_forecast.Track.advisories
+             (Option.get (Rr_forecast.Track.find "sandy")))
+          20
+      in
+      let env = Riskroute.Env.of_net ~advisory net in
+      let q, off, tgt, miles = query_of_env env in
+      let n = Query.node_count q in
+      Query.prepare q;
+      let reference ~weight ~src ~dst =
+        Dijkstra.single_pair_flat ~n ~off ~tgt ~weight ~src ~dst
+      in
+      List.iter
+        (fun (wname, weight) ->
+          for src = 0 to 4 do
+            check_pair ~what:("advisory " ^ wname) q ~off ~tgt ~weight
+              ~reference ~src ~dst:(n - 1 - src)
+          done)
+        (weights_of env tgt miles);
+      true)
+
+let test_disconnected () =
+  (* Two components: 0-1 and 2-3. *)
+  let g = Graph.of_edges 4 [ (0, 1); (2, 3) ] in
+  let off, tgt = Graph.to_csr g in
+  let miles = Array.make (Array.length tgt) 1.0 in
+  let q = Query.create ~n:4 ~off ~tgt ~miles () in
+  Query.prepare q;
+  List.iter
+    (fun runner ->
+      Alcotest.(check bool)
+        (Query.runner_name runner ^ " disconnected")
+        true
+        (Query.run ~runner q ~weight:(fun k -> miles.(k)) ~src:0 ~dst:3
+        = None))
+    [ Query.Plain; Query.Bidir; Query.Alt ]
+
+let test_src_eq_dst_and_ranges () =
+  let net = builder_net ~seed:5L ~pops:20 in
+  let env = Riskroute.Env.of_net net in
+  let q, _, _, miles = query_of_env env in
+  let weight k = miles.(k) in
+  Alcotest.(check bool)
+    "src = dst" true
+    (Query.run q ~weight ~src:3 ~dst:3 = Some (0.0, [ 3 ]));
+  Alcotest.check_raises "bad src"
+    (Invalid_argument "Dijkstra: source out of range") (fun () ->
+      ignore (Query.run q ~weight ~src:(-1) ~dst:3));
+  Alcotest.check_raises "bad dst"
+    (Invalid_argument "Dijkstra: destination out of range") (fun () ->
+      ignore (Query.run q ~weight ~src:0 ~dst:99))
+
+let test_prepare_idempotent () =
+  let net = builder_net ~seed:7L ~pops:30 in
+  let env = Riskroute.Env.of_net net in
+  let q, _, _, _ = query_of_env env in
+  Alcotest.(check bool) "not prepared" false (Query.prepared q);
+  Alcotest.(check bool) "no potential yet" true
+    (Query.potential q ~dst:0 = None);
+  Alcotest.(check int) "no landmarks yet" 0
+    (Array.length (Query.landmark_sources q));
+  Query.prepare q;
+  let l1 = Query.landmark_sources q in
+  Query.prepare q;
+  let l2 = Query.landmark_sources q in
+  Alcotest.(check bool) "prepared" true (Query.prepared q);
+  Alcotest.(check bool) "landmarks stable" true (l1 = l2);
+  Alcotest.(check bool) "landmarks nonempty" true (Array.length l1 > 0)
+
+let test_potential_is_lower_bound () =
+  let net = builder_net ~seed:13L ~pops:40 in
+  let env = Riskroute.Env.of_net net in
+  let q, off, tgt, miles = query_of_env env in
+  let n = Query.node_count q in
+  Query.prepare q;
+  let dst = n - 1 in
+  let pot = Option.get (Query.potential q ~dst) in
+  (* d(v, dst) in the symmetric bit-miles metric via a sweep from dst. *)
+  let tree =
+    Dijkstra.single_source_flat ~n ~off ~tgt
+      ~weight:(fun k -> miles.(k))
+      ~src:dst
+  in
+  for v = 0 to n - 1 do
+    let d = tree.Dijkstra.dist.(v) in
+    if Float.is_finite d && pot v > d +. 1e-9 then
+      Alcotest.failf "potential %g exceeds true distance %g at node %d"
+        (pot v) d v
+  done;
+  Alcotest.(check (float 1e-12)) "zero at dst" 0.0 (pot dst)
+
+let test_choose_policy () =
+  let small = Query.create ~n:4 ~off:[| 0; 0; 0; 0; 0 |] ~tgt:[||]
+      ~miles:[||] () in
+  Alcotest.(check string) "small -> plain" "plain"
+    (Query.runner_name (Query.choose small));
+  let net = builder_net ~seed:3L ~pops:25 in
+  let env = Riskroute.Env.of_net net in
+  let q, _, _, _ = query_of_env env in
+  Query.prepare q;
+  Alcotest.(check string) "prepared small -> plain still" "plain"
+    (Query.runner_name (Query.choose q))
+
+let coord lat lon = Rr_geo.Coord.make ~lat ~lon
+
+let mini_peering () =
+  let mk name cities =
+    let pops =
+      Array.of_list
+        (List.mapi
+           (fun id (city, state, lat, lon) ->
+             Rr_topology.Pop.make ~id ~city ~state (coord lat lon))
+           cities)
+    in
+    let graph = Graph.of_edges (Array.length pops) [ (0, 1) ] in
+    Rr_topology.Net.make ~name ~tier:Rr_topology.Net.Regional pops graph
+  in
+  let a =
+    mk "NetA"
+      [ ("Houston", "TX", 29.76, -95.37); ("Dallas", "TX", 32.78, -96.80) ]
+  in
+  let b =
+    mk "NetB"
+      [ ("Dallas", "TX", 32.78, -96.80); ("Austin", "TX", 30.27, -97.74) ]
+  in
+  { Rr_topology.Peering.nets = [| a; b |]; edges = [ (0, 1) ] }
+
+let test_bgp_unchanged_by_prepare () =
+  (* The valley-free lift uses the landmark potential as an A* heuristic
+     when available; routes must be identical with and without it. *)
+  let merged = Riskroute.Interdomain.merge (mini_peering ()) in
+  let env =
+    Riskroute.Env.make
+      ~graph:(Riskroute.Interdomain.graph merged)
+      ~coords:
+        [|
+          coord 29.76 (-95.37);
+          coord 32.78 (-96.8);
+          coord 32.78 (-96.8);
+          coord 30.27 (-97.74);
+        |]
+      ~impact:(Array.make 4 0.25)
+      ~historical:(Array.make 4 1e-5) ()
+  in
+  let before = Riskroute.Bgp.shortest merged env ~src:0 ~dst:3 in
+  Query.prepare (Riskroute.Env.query env);
+  let after = Riskroute.Bgp.shortest merged env ~src:0 ~dst:3 in
+  match (before, after) with
+  | Some a, Some b ->
+    Alcotest.(check (list int)) "same path" a.Riskroute.Router.path
+      b.Riskroute.Router.path;
+    Alcotest.(check bool) "same cost" true
+      (Int64.equal
+         (Int64.bits_of_float a.Riskroute.Router.bit_miles)
+         (Int64.bits_of_float b.Riskroute.Router.bit_miles))
+  | _ -> Alcotest.fail "expected a route both times"
+
+let () =
+  Alcotest.run "query"
+    [
+      ( "runners",
+        [
+          Alcotest.test_case "plain = single_pair_flat" `Quick
+            test_plain_matches_flat;
+          QCheck_alcotest.to_alcotest runners_agree;
+          QCheck_alcotest.to_alcotest runners_agree_under_advisory;
+          Alcotest.test_case "disconnected" `Quick test_disconnected;
+          Alcotest.test_case "src = dst and ranges" `Quick
+            test_src_eq_dst_and_ranges;
+        ] );
+      ( "landmarks",
+        [
+          Alcotest.test_case "prepare idempotent" `Quick
+            test_prepare_idempotent;
+          Alcotest.test_case "potential lower-bounds distance" `Quick
+            test_potential_is_lower_bound;
+          Alcotest.test_case "choose policy" `Quick test_choose_policy;
+          Alcotest.test_case "bgp unchanged by prepare" `Quick
+            test_bgp_unchanged_by_prepare;
+        ] );
+    ]

@@ -87,6 +87,56 @@ let test_builder_validation () =
       ignore
         (Builder.build ~rng:(rng ()) { mesh_spec with Builder.states = [ "ZZ" ] }))
 
+(* --- continental builder --- *)
+
+let continental_spec =
+  {
+    (Builder.continental_defaults ~name:"TestContinental" ~pop_count:1200) with
+    Builder.region_size = 150;
+  }
+
+let test_continental_pop_count_and_connected () =
+  let net = Builder.continental ~rng:(rng ()) continental_spec in
+  Alcotest.(check int) "exact pop count" 1200 (Net.pop_count net);
+  Alcotest.(check bool) "connected" true (Net.is_connected net)
+
+let test_continental_deterministic () =
+  let a = Builder.continental ~rng:(rng ()) continental_spec in
+  let b = Builder.continental ~rng:(rng ()) continental_spec in
+  Alcotest.(check int) "same links" (Net.link_count a) (Net.link_count b);
+  Alcotest.(check bool) "same pops" true
+    (Array.for_all2
+       (fun (p : Pop.t) (q : Pop.t) ->
+         String.equal p.Pop.name q.Pop.name
+         && p.Pop.coord.Rr_geo.Coord.lat = q.Pop.coord.Rr_geo.Coord.lat)
+       a.Net.pops b.Net.pops)
+
+let test_continental_population_weighted () =
+  (* The PoP budget is allocated population-proportionally over grid
+     cells, so California must end up with far more PoPs than Wyoming. *)
+  let net = Builder.continental ~rng:(rng ()) continental_spec in
+  let count state =
+    Array.fold_left
+      (fun acc (p : Pop.t) -> if p.Pop.state = state then acc + 1 else acc)
+      0 net.Net.pops
+  in
+  Alcotest.(check bool) "CA dwarfs WY" true (count "CA" > 10 * max 1 (count "WY"))
+
+let test_continental_validation () =
+  Alcotest.check_raises "pop_count < 1"
+    (Invalid_argument "Builder.continental: pop_count < 1") (fun () ->
+      ignore
+        (Builder.continental ~rng:(rng ())
+           { continental_spec with Builder.pop_count = 0 }))
+
+let test_population_fractions () =
+  let net = Builder.continental ~rng:(rng ()) continental_spec in
+  let f = Net.population_fractions net in
+  Alcotest.(check int) "one per pop" (Net.pop_count net) (Array.length f);
+  Alcotest.(check bool) "non-negative" true (Array.for_all (fun x -> x >= 0.0) f);
+  let sum = Array.fold_left ( +. ) 0.0 f in
+  Alcotest.(check bool) "normalised" true (Float.abs (sum -. 1.0) < 1e-9)
+
 (* --- Net --- *)
 
 let test_net_accessors () =
@@ -242,6 +292,18 @@ let () =
           Alcotest.test_case "metro overflow" `Quick test_builder_metro_overflow;
           Alcotest.test_case "deterministic" `Quick test_builder_deterministic;
           Alcotest.test_case "validation" `Quick test_builder_validation;
+        ] );
+      ( "continental",
+        [
+          Alcotest.test_case "pop count and connected" `Quick
+            test_continental_pop_count_and_connected;
+          Alcotest.test_case "deterministic" `Quick
+            test_continental_deterministic;
+          Alcotest.test_case "population weighted" `Quick
+            test_continental_population_weighted;
+          Alcotest.test_case "validation" `Quick test_continental_validation;
+          Alcotest.test_case "population fractions" `Quick
+            test_population_fractions;
         ] );
       ( "net",
         [

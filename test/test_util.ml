@@ -119,6 +119,28 @@ let test_heap_clear () =
   Heap.clear h;
   Alcotest.(check int) "cleared" 0 (Heap.length h)
 
+let test_heap_ensure_capacity () =
+  let h = Heap.create () in
+  Heap.push h 2.0 20;
+  Heap.push h 1.0 10;
+  Heap.ensure_capacity h 1024;
+  (* Growth must preserve contents... *)
+  (match Heap.pop_min h with
+  | Some (k, 10) -> check_float "min survives growth" 1.0 k
+  | _ -> Alcotest.fail "expected 10 first");
+  Alcotest.(check int) "one left" 1 (Heap.length h);
+  (* ...and the clear + ensure_capacity reuse cycle must not shrink or
+     lose ordering. *)
+  Heap.clear h;
+  Heap.ensure_capacity h 8;
+  for i = 99 downto 0 do
+    Heap.push h (float_of_int i) i
+  done;
+  (match Heap.pop_min h with
+  | Some (_, 0) -> ()
+  | _ -> Alcotest.fail "expected 0 first after reuse");
+  Alcotest.(check int) "rest retained" 99 (Heap.length h)
+
 let test_heap_duplicate_keys () =
   let h = Heap.create () in
   Heap.push h 1.0 "a";
@@ -236,6 +258,7 @@ let () =
           Alcotest.test_case "ordering" `Quick test_heap_ordering;
           Alcotest.test_case "empty" `Quick test_heap_empty;
           Alcotest.test_case "clear" `Quick test_heap_clear;
+          Alcotest.test_case "ensure capacity" `Quick test_heap_ensure_capacity;
           Alcotest.test_case "duplicate keys" `Quick test_heap_duplicate_keys;
           QCheck_alcotest.to_alcotest heap_sort_property;
         ] );
