@@ -16,8 +16,10 @@
 
    [--telemetry <file|->] anywhere on the command line enables the
    Rr_obs engine telemetry dump; [--trace <file>] writes a Chrome
-   trace-event JSON of the span tree on exit (same semantics as the CLI
-   flags and RISKROUTE_TELEMETRY / RISKROUTE_TRACE). *)
+   trace-event JSON of the span tree on exit; [--live <port>] serves the
+   live observability plane for the duration of the run (same semantics
+   as the CLI flags and RISKROUTE_TELEMETRY / RISKROUTE_TRACE /
+   RISKROUTE_LIVE). *)
 
 open Bechamel
 open Toolkit
@@ -292,7 +294,7 @@ let parse_json_args rest =
     match int_of_string_opt v with
     | Some k when k >= 0 -> k
     | Some _ | None ->
-      Printf.eprintf "bench: %s wants a non-negative integer, got %S\n%!" name v;
+      Rr_obs.Log.errorf "bench: %s wants a non-negative integer, got %S" name v;
       exit 2
   in
   let rec go = function
@@ -307,7 +309,7 @@ let parse_json_args rest =
       warmups := int_arg "--warmups" v;
       go rest
     | arg :: _ when String.length arg > 2 && String.sub arg 0 2 = "--" ->
-      Printf.eprintf "bench: unknown json option %s\n%!" arg;
+      Rr_obs.Log.errorf "bench: unknown json option %s" arg;
       exit 2
     | arg :: rest ->
       file := Some arg;
@@ -398,23 +400,23 @@ let run_continental_smoke ~pops ~pairs ~out =
           bump ("alt." ^ wname) s_alt;
           if plain = None then begin
             incr failures;
-            Printf.eprintf "smoke: pair (%d, %d) disconnected under %s\n%!" src
+            Rr_obs.Log.errorf "smoke: pair (%d, %d) disconnected under %s" src
               dst wname
           end;
           if not (same_answer plain bidir) then begin
             incr failures;
-            Printf.eprintf "smoke: bidir differs from plain on (%d, %d) %s\n%!"
+            Rr_obs.Log.errorf "smoke: bidir differs from plain on (%d, %d) %s"
               src dst wname
           end;
           if not (same_answer plain alt) then begin
             incr failures;
-            Printf.eprintf "smoke: alt differs from plain on (%d, %d) %s\n%!" src
+            Rr_obs.Log.errorf "smoke: alt differs from plain on (%d, %d) %s" src
               dst wname
           end;
           if s_alt >= s_plain then begin
             incr failures;
-            Printf.eprintf
-              "smoke: alt settled %d >= plain %d on (%d, %d) %s\n%!" s_alt
+            Rr_obs.Log.errorf
+              "smoke: alt settled %d >= plain %d on (%d, %d) %s" s_alt
               s_plain src dst wname
           end)
         weights)
@@ -441,7 +443,7 @@ let run_continental_smoke ~pops ~pairs ~out =
     risk_ratio;
   if miles_ratio < min_ratio then begin
     incr failures;
-    Printf.eprintf "smoke: plain/alt miles ratio %.2f below %.1fx\n%!"
+    Rr_obs.Log.errorf "smoke: plain/alt miles ratio %.2f below %.1fx"
       miles_ratio min_ratio
   end;
   (match out with
@@ -466,7 +468,7 @@ let run_continental_smoke ~pops ~pairs ~out =
     close_out oc;
     Printf.printf "wrote %s\n" path);
   if !failures > 0 then begin
-    Printf.eprintf "continental-smoke: %d failure(s)\n%!" !failures;
+    Rr_obs.Log.errorf "continental-smoke: %d failure(s)" !failures;
     exit 1
   end;
   print_endline "continental-smoke: OK"
@@ -477,7 +479,7 @@ let parse_smoke_args rest =
     match int_of_string_opt v with
     | Some k when k > 0 -> k
     | Some _ | None ->
-      Printf.eprintf "bench: %s wants a positive integer, got %S\n%!" name v;
+      Rr_obs.Log.errorf "bench: %s wants a positive integer, got %S" name v;
       exit 2
   in
   let rec go = function
@@ -492,7 +494,7 @@ let parse_smoke_args rest =
       out := Some v;
       go rest
     | arg :: _ ->
-      Printf.eprintf "bench: unknown continental-smoke option %s\n%!" arg;
+      Rr_obs.Log.errorf "bench: unknown continental-smoke option %s" arg;
       exit 2
   in
   go rest;
@@ -544,17 +546,31 @@ let run_report_twice () =
     (if identical then "byte-identical" else "DIFFER");
   if not identical then exit 1;
   if env_hits = 0 || tree_hits = 0 then begin
-    Printf.eprintf
+    Rr_obs.Log.errorf
       "report-twice: warm pass missed the engine caches (env hits %d, tree \
-       hits %d)\n%!"
+       hits %d)"
       env_hits tree_hits;
     exit 1
   end;
   print_endline "report-twice: OK"
 
-(* Pull "--telemetry <spec>" and "--trace <path>" (or the "=" forms) out
-   of argv before experiment-id dispatch; the harness has no cmdliner
-   front end. *)
+(* Pull "--telemetry <spec>", "--trace <path>" and "--live <port>" (or
+   the "=" forms) out of argv before experiment-id dispatch; the harness
+   has no cmdliner front end. *)
+let start_live port_spec =
+  match int_of_string_opt (String.trim port_spec) with
+  | Some port when port >= 0 && port < 65536 -> (
+    match Rr_live.start ~port () with
+    | Ok bound ->
+      Rr_obs.Log.infof
+        "bench: live introspection listening on http://127.0.0.1:%d/" bound
+    | Error msg ->
+      Rr_obs.Log.errorf "bench: %s" msg;
+      exit 2)
+  | Some _ | None ->
+    Rr_obs.Log.errorf "bench: --live wants a port number, got %S" port_spec;
+    exit 2
+
 let extract_obs_flags argv =
   let prefixed prefix arg =
     let l = String.length prefix in
@@ -570,19 +586,32 @@ let extract_obs_flags argv =
     | "--trace" :: path :: rest ->
       Rr_obs.enable_trace path;
       go acc rest
+    | "--live" :: port :: rest ->
+      start_live port;
+      go acc rest
     | arg :: rest -> (
-      match (prefixed "--telemetry=" arg, prefixed "--trace=" arg) with
-      | Some spec, _ ->
+      match
+        ( prefixed "--telemetry=" arg,
+          prefixed "--trace=" arg,
+          prefixed "--live=" arg )
+      with
+      | Some spec, _, _ ->
         Rr_obs.enable_dump spec;
         go acc rest
-      | None, Some path ->
+      | None, Some path, _ ->
         Rr_obs.enable_trace path;
         go acc rest
-      | None, None -> go (arg :: acc) rest)
+      | None, None, Some port ->
+        start_live port;
+        go acc rest
+      | None, None, None -> go (arg :: acc) rest)
   in
   go [] argv
 
 let () =
+  Rr_live.set_stats_provider (fun () ->
+      Rr_engine.Context.stats_json (Rr_engine.Context.shared ()));
+  Rr_live.autostart_from_env ();
   match extract_obs_flags (Array.to_list Sys.argv) with
   | [] | _ :: [] ->
     Rr_experiments.Report.run_all (ctx ()) ppf;
@@ -616,7 +645,7 @@ let () =
           Rr_experiments.Report.run_timed e (ctx ()) ppf
         | None ->
           ok := false;
-          Printf.eprintf "unknown experiment %S (try: %s)\n%!" id
+          Rr_obs.Log.errorf "unknown experiment %S (try: %s)" id
             (String.concat " " (Rr_experiments.Report.ids ())))
       ids;
     Format.pp_print_flush ppf ();

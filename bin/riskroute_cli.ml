@@ -46,19 +46,44 @@ let trace_arg =
   in
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
 
-(* Every subcommand takes --telemetry and --trace: observability must
-   not require knowing in advance which entry point will be slow. *)
-let setup verbose telemetry trace =
+let live_arg =
+  let doc =
+    "Serve the live observability plane on 127.0.0.1:$(docv) for the \
+     duration of the run: GET /metrics (Prometheus), /healthz (liveness + \
+     span-stall watchdog), /stats (engine cache snapshot), /flight (recent \
+     events). Port 0 picks an ephemeral port. Setting RISKROUTE_LIVE=<port> \
+     in the environment is equivalent. Output is unchanged by serving."
+  in
+  Arg.(value & opt (some int) None & info [ "live" ] ~docv:"PORT" ~doc)
+
+(* Every subcommand takes --telemetry, --trace and --live: observability
+   must not require knowing in advance which entry point will be slow. *)
+let setup verbose telemetry trace live =
   setup_logs verbose;
   (match trace with None -> () | Some path -> Rr_obs.enable_trace path);
-  match telemetry with
+  (match telemetry with
   | None -> ()
   | Some spec ->
     Rr_obs.enable_dump spec;
     Rr_obs.set_meta "domains"
-      (string_of_int (Rr_util.Parallel.domain_count ()))
+      (string_of_int (Rr_util.Parallel.domain_count ())));
+  Rr_live.set_stats_provider (fun () ->
+      Rr_engine.Context.stats_json (Rr_engine.Context.shared ()));
+  (match live with
+  | None -> ()
+  | Some port -> (
+    match Rr_live.start ~port () with
+    | Ok bound ->
+      Rr_obs.Log.infof
+        "riskroute: live introspection listening on http://127.0.0.1:%d/"
+        bound
+    | Error msg ->
+      Rr_obs.Log.errorf "riskroute: %s" msg;
+      exit 1));
+  Rr_live.autostart_from_env ()
 
-let setup_term = Term.(const setup $ verbose_arg $ telemetry_arg $ trace_arg)
+let setup_term =
+  Term.(const setup $ verbose_arg $ telemetry_arg $ trace_arg $ live_arg)
 
 let net_arg =
   let doc = "Network name (e.g. Level3, AT&T, Telepak)." in
@@ -89,7 +114,7 @@ let find_storm name =
 let or_die = function
   | Ok v -> v
   | Error msg ->
-    prerr_endline ("riskroute: " ^ msg);
+    Rr_obs.Log.errorf "riskroute: %s" msg;
     exit 1
 
 (* --- networks --- *)
@@ -621,9 +646,9 @@ let bench_compare_cmd =
       let b = get base.Rr_perf.Benchfile.meta
       and c = get cur.Rr_perf.Benchfile.meta in
       if b <> c && b <> "" && c <> "" then
-        Printf.eprintf
+        Rr_obs.Log.warnf
           "riskroute: warning: %s differs (baseline %s, current %s); \
-           timings may not be comparable\n%!"
+           timings may not be comparable"
           what b c
     in
     warn_meta "pool size" (fun m -> string_of_int m.Rr_perf.Benchfile.domains);
@@ -660,4 +685,8 @@ let main_cmd =
       bench_compare_cmd;
     ]
 
-let () = exit (Cmd.eval main_cmd)
+(* [~catch:false]: let exceptions escape to the runtime's uncaught
+   handler, where Rr_obs writes the flight-recorder post-mortem dump
+   before the default backtrace — cmdliner's own catch would swallow
+   the crash upstream of it. *)
+let () = exit (Cmd.eval ~catch:false main_cmd)

@@ -224,7 +224,11 @@ let cached_tree t ~key ~compute =
             evicted := ev;
             tr)
     in
-    if !evicted > 0 then Rr_obs.Counter.add c_tree_evict !evicted;
+    if !evicted > 0 then begin
+      Rr_obs.Counter.add c_tree_evict !evicted;
+      Rr_obs.Flight.record ~kind:"evict" ~name:"engine.tree_lru"
+        ~detail:(Printf.sprintf "evicted=%d" !evicted) ()
+    end;
     result
 
 let dist_trees t env_ =
@@ -350,6 +354,30 @@ let stats t =
         tree_misses = t.tree_misses;
         tree_evictions = t.tree_evictions;
       })
+
+let stats_json t =
+  let s, env_len, tree_len =
+    with_lock t (fun () ->
+        ( {
+            env_hits = t.env_hits;
+            env_misses = t.env_misses;
+            tree_hits = t.tree_hits;
+            tree_misses = t.tree_misses;
+            tree_evictions = t.tree_evictions;
+          },
+          Hashtbl.length t.envs,
+          Lru.length t.trees ))
+  in
+  Printf.sprintf
+    "{\n\
+    \  \"schema\": 1,\n\
+    \  \"env\": {\"hits\": %d, \"misses\": %d, \"cache_length\": %d},\n\
+    \  \"tree\": {\"hits\": %d, \"misses\": %d, \"evictions\": %d, \
+     \"cache_length\": %d, \"cache_capacity\": %d}\n\
+     }\n"
+    s.env_hits s.env_misses env_len s.tree_hits s.tree_misses
+    s.tree_evictions tree_len
+    (Lru.capacity t.trees)
 
 let tree_cache_length t = with_lock t (fun () -> Lru.length t.trees)
 let tree_cache_capacity t = Lru.capacity t.trees

@@ -119,6 +119,12 @@ val stats : t -> stats
 (** Plain-integer cache totals, maintained whether or not telemetry is
     enabled (the [engine.cache.*] counters only record when it is). *)
 
+val stats_json : t -> string
+(** {!stats} plus cache occupancy as a JSON document — the body the
+    live plane's [/stats] endpoint serves once the CLI or bench harness
+    registers [fun () -> stats_json (shared ())] with
+    [Rr_live.set_stats_provider]. *)
+
 val tree_cache_length : t -> int
 val tree_cache_capacity : t -> int
 val env_cache_length : t -> int

@@ -57,6 +57,10 @@ module Clock = struct
   let reset_source () = set_source default_source
 end
 
+(* Process epoch: flight-recorder events and structured log records are
+   stamped relative to module load, like registry spans. *)
+let process_epoch = Clock.now ()
+
 (* --- histogram buckets ---
 
    Fixed powers-of-two boundaries: bucket [i] covers (2^(i-21), 2^(i-20)]
@@ -354,6 +358,322 @@ end
    per domain. *)
 let cur_key = Domain.DLS.new_key (fun () -> 0)
 
+(* --- JSON helpers (shared by exposition, flight recorder and log) --- *)
+
+let json_escape b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 32 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+(* JSON has no Infinity/NaN; non-finite values (empty histogram min/max)
+   are clamped to 0. Integral floats keep a trailing ".0" so the field
+   stays a float in typed consumers. *)
+let fnum v =
+  if not (Float.is_finite v) then "0.0"
+  else if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.1f" v
+  else Printf.sprintf "%.9g" v
+
+(* --- domain labels (trace tracks) --- *)
+
+(* Human-readable names for trace tracks: the pool registers its workers,
+   the initial domain is labelled at module load. Unlabelled domains fall
+   back to "domain-<id>" in the trace. Process-global, not per registry:
+   a domain's identity does not depend on which registry recorded it. *)
+let label_lock = Mutex.create ()
+
+let domain_labels : (int, string) Hashtbl.t = Hashtbl.create 8
+
+let set_domain_label name =
+  Mutex.lock label_lock;
+  Hashtbl.replace domain_labels (Domain.self () :> int) name;
+  Mutex.unlock label_lock
+
+let domain_label id =
+  Mutex.lock label_lock;
+  let l = Hashtbl.find_opt domain_labels id in
+  Mutex.unlock label_lock;
+  match l with Some l -> l | None -> Printf.sprintf "domain-%d" id
+
+let () = set_domain_label "main"
+
+(* --- open-span tracking (the live watchdog's view) ---
+
+   [with_span] additionally maintains a per-domain stack of the spans
+   that are currently *open*, so a live introspection endpoint can ask
+   "is anything stuck?" while the process runs. Writers are single-domain
+   and lock-free; [open_spans] reads racily but defensively (stale
+   entries are bounded by the depth it observed), which is fine for a
+   watchdog. Only maintained while recording is enabled. *)
+
+type oshard = {
+  os_domain : int;
+  mutable os_ids : int array;
+  mutable os_names : string array;
+  mutable os_starts : float array; (* absolute Clock.monotonic seconds *)
+  mutable os_depth : int;
+}
+
+let open_shards_lock = Mutex.create ()
+
+let open_shards : oshard list ref = ref []
+
+let open_key =
+  Domain.DLS.new_key (fun () ->
+      let s =
+        {
+          os_domain = (Domain.self () :> int);
+          os_ids = Array.make 8 0;
+          os_names = Array.make 8 "";
+          os_starts = Array.make 8 0.0;
+          os_depth = 0;
+        }
+      in
+      Mutex.lock open_shards_lock;
+      open_shards := s :: !open_shards;
+      Mutex.unlock open_shards_lock;
+      s)
+
+let open_push ~id ~name ~start =
+  let s = Domain.DLS.get open_key in
+  let d = s.os_depth in
+  if d >= Array.length s.os_ids then begin
+    let cap = 2 * Array.length s.os_ids in
+    let ids = Array.make cap 0
+    and names = Array.make cap ""
+    and starts = Array.make cap 0.0 in
+    Array.blit s.os_ids 0 ids 0 d;
+    Array.blit s.os_names 0 names 0 d;
+    Array.blit s.os_starts 0 starts 0 d;
+    s.os_ids <- ids;
+    s.os_names <- names;
+    s.os_starts <- starts
+  end;
+  s.os_ids.(d) <- id;
+  s.os_names.(d) <- name;
+  s.os_starts.(d) <- start;
+  s.os_depth <- d + 1
+
+let open_pop () =
+  let s = Domain.DLS.get open_key in
+  if s.os_depth > 0 then s.os_depth <- s.os_depth - 1
+
+type open_span = {
+  op_domain : int;
+  op_id : int;
+  op_name : string;
+  op_start : float; (* absolute Clock.monotonic seconds *)
+}
+
+let open_spans () =
+  Mutex.lock open_shards_lock;
+  let shards = !open_shards in
+  Mutex.unlock open_shards_lock;
+  let collect acc s =
+    let ids = s.os_ids and names = s.os_names and starts = s.os_starts in
+    let d =
+      min s.os_depth (min (Array.length ids) (min (Array.length names) (Array.length starts)))
+    in
+    let acc = ref acc in
+    for i = 0 to d - 1 do
+      acc :=
+        {
+          op_domain = s.os_domain;
+          op_id = ids.(i);
+          op_name = names.(i);
+          op_start = starts.(i);
+        }
+        :: !acc
+    done;
+    !acc
+  in
+  List.sort
+    (fun a b -> compare (a.op_start, a.op_id) (b.op_start, b.op_id))
+    (List.fold_left collect [] shards)
+
+(* --- flight recorder ---
+
+   An always-on, per-domain sharded ring of the most recent engine
+   events (span begin/end, cache evictions, warnings, GC major slices):
+   cheap enough to leave running in production, rich enough to explain
+   "what was the process doing just before it died". Unlike metrics, it
+   records regardless of the [enabled] flag — warnings and GC events
+   must survive into post-mortem dumps even when telemetry is off (span
+   events still require spans, hence recording, to exist).
+
+   Writers are lock-free (each domain owns its ring; slot stores are
+   pointer writes, so racy readers observe whole events); the shard list
+   itself is the only locked structure. Every event carries a globally
+   unique sequence number from one atomic counter, and [events] sorts by
+   it — the merge is order-independent across shards and deterministic
+   at any pool size. *)
+
+module Flight = struct
+  type event = {
+    ev_seq : int;
+    ev_time : float; (* seconds since process_epoch *)
+    ev_domain : int;
+    ev_kind : string;
+    ev_name : string;
+    ev_span : int;
+    ev_detail : string;
+  }
+
+  let null_event =
+    {
+      ev_seq = 0;
+      ev_time = 0.0;
+      ev_domain = 0;
+      ev_kind = "";
+      ev_name = "";
+      ev_span = 0;
+      ev_detail = "";
+    }
+
+  let default_capacity = 512
+
+  (* Per-domain ring slots; existing shards keep their arrays until
+     [reset], new shards pick the current value up. *)
+  let cap_cell = Atomic.make default_capacity
+
+  let capacity () = Atomic.get cap_cell
+
+  let set_capacity k =
+    if k < 0 then invalid_arg "Flight.set_capacity: need k >= 0";
+    Atomic.set cap_cell k
+
+  type fshard = {
+    fs_domain : int;
+    mutable fs_slots : event array;
+    mutable fs_count : int; (* events ever recorded into this shard *)
+  }
+
+  let shards_lock = Mutex.create ()
+
+  let shards : fshard list ref = ref []
+
+  let shard_key =
+    Domain.DLS.new_key (fun () ->
+        let s =
+          {
+            fs_domain = (Domain.self () :> int);
+            fs_slots = Array.make (capacity ()) null_event;
+            fs_count = 0;
+          }
+        in
+        Mutex.lock shards_lock;
+        shards := s :: !shards;
+        Mutex.unlock shards_lock;
+        s)
+
+  let seq = Atomic.make 1
+
+  let recorded () = Atomic.get seq - 1
+
+  let record ?time ?(name = "") ?span ?(detail = "") ~kind () =
+    let s = Domain.DLS.get shard_key in
+    let slots = s.fs_slots in
+    let cap = Array.length slots in
+    if cap > 0 then begin
+      let t = match time with Some t -> t | None -> Clock.monotonic () in
+      let span = match span with Some p -> p | None -> Domain.DLS.get cur_key in
+      let ev =
+        {
+          ev_seq = Atomic.fetch_and_add seq 1;
+          ev_time = t -. process_epoch;
+          ev_domain = s.fs_domain;
+          ev_kind = kind;
+          ev_name = name;
+          ev_span = span;
+          ev_detail = detail;
+        }
+      in
+      slots.(s.fs_count mod cap) <- ev;
+      s.fs_count <- s.fs_count + 1
+    end
+
+  (* Merged view: every retained event exactly once, ordered by sequence
+     number — independent of shard enumeration order. *)
+  let events () =
+    Mutex.lock shards_lock;
+    let all = !shards in
+    Mutex.unlock shards_lock;
+    let collect acc s =
+      Array.fold_left
+        (fun acc ev -> if ev.ev_seq > 0 then ev :: acc else acc)
+        acc s.fs_slots
+    in
+    List.sort
+      (fun a b -> compare a.ev_seq b.ev_seq)
+      (List.fold_left collect [] all)
+
+  (* Tests: empty every ring (and apply the current capacity), keep the
+     sequence counter monotone so merges stay deterministic. *)
+  let reset () =
+    Mutex.lock shards_lock;
+    List.iter
+      (fun s ->
+        s.fs_slots <- Array.make (capacity ()) null_event;
+        s.fs_count <- 0)
+      !shards;
+    Mutex.unlock shards_lock
+
+  let to_json () =
+    let evs = events () in
+    let b = Buffer.create 4096 in
+    let add = Buffer.add_string b in
+    add "{\n  \"schema\": 1,\n";
+    add (Printf.sprintf "  \"capacity\": %d,\n" (capacity ()));
+    add (Printf.sprintf "  \"recorded\": %d,\n" (recorded ()));
+    add (Printf.sprintf "  \"retained\": %d,\n" (List.length evs));
+    add "  \"events\": [";
+    List.iteri
+      (fun i ev ->
+        add (if i = 0 then "\n" else ",\n");
+        add
+          (Printf.sprintf
+             "    {\"seq\": %d, \"time\": %s, \"domain\": %d, \"label\": \""
+             ev.ev_seq (fnum ev.ev_time) ev.ev_domain);
+        json_escape b (domain_label ev.ev_domain);
+        add "\", \"kind\": \"";
+        json_escape b ev.ev_kind;
+        add "\", \"name\": \"";
+        json_escape b ev.ev_name;
+        add (Printf.sprintf "\", \"span\": %d, \"detail\": \"" ev.ev_span);
+        json_escape b ev.ev_detail;
+        add "\"}")
+      evs;
+    add (if evs = [] then "]\n}\n" else "\n  ]\n}\n");
+    Buffer.contents b
+
+  (* Post-mortem dump target: RISKROUTE_FLIGHT=<path> overrides the
+     per-pid temp-dir default. Written on SIGUSR1 and on uncaught
+     exceptions (see module init below), and served live on /flight. *)
+  let dump_path =
+    ref
+      (Filename.concat
+         (Filename.get_temp_dir_name ())
+         (Printf.sprintf "riskroute-flight-%d.json" (Unix.getpid ())))
+
+  let set_dump_path p = dump_path := p
+
+  let write_dump () =
+    let path = !dump_path in
+    let oc = open_out path in
+    output_string oc (to_json ());
+    close_out oc;
+    path
+end
+
 let push_span registry sp =
   let s = Domain.DLS.get registry.r_span_key in
   s.ss_spans <- sp :: s.ss_spans
@@ -365,9 +685,16 @@ let with_span ?(registry = Registry.default) name f =
     let id = Atomic.fetch_and_add registry.r_next_span 1 in
     Domain.DLS.set cur_key id;
     let t0 = Clock.monotonic () in
+    open_push ~id ~name ~start:t0;
+    Flight.record ~time:t0 ~name ~span:id ~kind:"span_begin" ();
     Fun.protect
       ~finally:(fun () ->
-        let dur = Clock.monotonic () -. t0 in
+        let t1 = Clock.monotonic () in
+        let dur = t1 -. t0 in
+        Flight.record ~time:t1 ~name ~span:id
+          ~detail:(Printf.sprintf "dur=%.6fs" dur)
+          ~kind:"span_end" ();
+        open_pop ();
         Domain.DLS.set cur_key parent;
         push_span registry
           {
@@ -407,28 +734,88 @@ let spans ?(registry = Registry.default) () =
   Mutex.unlock registry.r_lock;
   List.sort (fun a b -> compare a.sp_id b.sp_id) all
 
-(* --- domain labels (trace tracks) --- *)
+(* --- structured logging ---
 
-(* Human-readable names for trace tracks: the pool registers its workers,
-   the initial domain is labelled at module load. Unlabelled domains fall
-   back to "domain-<id>" in the trace. Process-global, not per registry:
-   a domain's identity does not depend on which registry recorded it. *)
-let label_lock = Mutex.create ()
+   [Log] replaces the ad-hoc [Printf.eprintf] warnings scattered through
+   the repo. Unconfigured (no RISKROUTE_LOG, no [set_level]), a warn- or
+   error-level record renders to stderr as the plain one-line message it
+   always was — byte-compatible with the eprintf it replaced — and
+   debug/info records are dropped. Configured to a level, records at or
+   above it render as JSON lines stamped with a monotonic timestamp, the
+   level, the recording domain's label and the current span id, so log
+   output correlates with traces and telemetry. Warn/error records
+   always feed the flight ring, configured or not. *)
 
-let domain_labels : (int, string) Hashtbl.t = Hashtbl.create 8
+module Log = struct
+  type level = Debug | Info | Warn | Error
 
-let set_domain_label name =
-  Mutex.lock label_lock;
-  Hashtbl.replace domain_labels (Domain.self () :> int) name;
-  Mutex.unlock label_lock
+  let severity = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
 
-let domain_label id =
-  Mutex.lock label_lock;
-  let l = Hashtbl.find_opt domain_labels id in
-  Mutex.unlock label_lock;
-  match l with Some l -> l | None -> Printf.sprintf "domain-%d" id
+  let level_name = function
+    | Debug -> "debug"
+    | Info -> "info"
+    | Warn -> "warn"
+    | Error -> "error"
 
-let () = set_domain_label "main"
+  let level_of_string s =
+    match String.lowercase_ascii (String.trim s) with
+    | "debug" -> Some Debug
+    | "info" -> Some Info
+    | "warn" | "warning" -> Some Warn
+    | "error" -> Some Error
+    | _ -> None
+
+  let configured : level option ref = ref None
+
+  let set_level l = configured := l
+
+  let current_level () = !configured
+
+  (* Tests capture records through a sink instead of scraping stderr. *)
+  let sink : (string -> unit) option ref = ref None
+
+  let set_sink f = sink := f
+
+  let out text =
+    match !sink with
+    | Some f -> f text
+    | None ->
+      output_string stderr text;
+      flush stderr
+
+  let render_json lvl msg =
+    let b = Buffer.create (String.length msg + 96) in
+    Buffer.add_string b "{\"ts\": ";
+    Buffer.add_string b (fnum (Clock.monotonic () -. process_epoch));
+    Buffer.add_string b ", \"level\": \"";
+    Buffer.add_string b (level_name lvl);
+    Buffer.add_string b "\", \"domain\": \"";
+    json_escape b (domain_label (Domain.self () :> int));
+    Buffer.add_string b "\", \"span\": ";
+    Buffer.add_string b (string_of_int (Domain.DLS.get cur_key));
+    Buffer.add_string b ", \"msg\": \"";
+    json_escape b msg;
+    Buffer.add_string b "\"}\n";
+    Buffer.contents b
+
+  let emit lvl msg =
+    if severity lvl >= severity Warn then
+      Flight.record ~kind:(level_name lvl) ~name:"log" ~detail:msg ();
+    match !configured with
+    | None -> if severity lvl >= severity Warn then out (msg ^ "\n")
+    | Some min_level ->
+      if severity lvl >= severity min_level then out (render_json lvl msg)
+
+  let logf lvl fmt = Printf.ksprintf (emit lvl) fmt
+
+  let debugf fmt = logf Debug fmt
+
+  let infof fmt = logf Info fmt
+
+  let warnf fmt = logf Warn fmt
+
+  let errorf fmt = logf Error fmt
+end
 
 (* --- kernel wrapper: span + GC delta --- *)
 
@@ -491,29 +878,6 @@ let reset ?(registry = Registry.default) () =
 
 let sorted_names tbl =
   List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) tbl [])
-
-let json_escape b s =
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\t' -> Buffer.add_string b "\\t"
-      | '\r' -> Buffer.add_string b "\\r"
-      | c when Char.code c < 32 ->
-        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s
-
-(* JSON has no Infinity/NaN; non-finite values (empty histogram min/max)
-   are clamped to 0. Integral floats keep a trailing ".0" so the field
-   stays a float in typed consumers. *)
-let fnum v =
-  if not (Float.is_finite v) then "0.0"
-  else if Float.is_integer v && Float.abs v < 1e15 then
-    Printf.sprintf "%.1f" v
-  else Printf.sprintf "%.9g" v
 
 let to_json ?(registry = Registry.default) () =
   let b = Buffer.create 2048 in
@@ -765,6 +1129,8 @@ let trace_dest = ref None
 
 let c_path_invalid = Counter.make "obs.dump_path_invalid"
 
+let c_dump_failed = Counter.make "obs.dump_failed"
+
 let stderr_spec = function
   | "-" | "stderr" | "1" | "true" | "on" -> true
   | _ -> false
@@ -791,9 +1157,9 @@ let validate_dump_path ~what spec =
   in
   if not ok then begin
     Counter.incr c_path_invalid;
-    Printf.eprintf
+    Log.warnf
       "riskroute: %s output path %S is not writable (missing or read-only \
-       directory?); the exit dump will likely fail\n%!"
+       directory?); the exit dump will likely fail"
       what spec
   end;
   ok
@@ -807,8 +1173,8 @@ let enable_trace path =
   set_enabled true;
   if stderr_spec path then begin
     Counter.incr c_path_invalid;
-    Printf.eprintf
-      "riskroute: trace output needs a file path, not %S; tracing disabled\n%!"
+    Log.warnf
+      "riskroute: trace output needs a file path, not %S; tracing disabled"
       path
   end
   else begin
@@ -847,6 +1213,21 @@ let disarm_dumps () =
   dump_dest := None;
   trace_dest := None
 
+(* A failed exit dump used to be a stderr line and nothing else —
+   invisible to tooling that only reads the telemetry artifacts. Now it
+   is all three: an [obs.dump_failed] counter bump, a flight-recorder
+   event (so post-mortem dumps name the artifact that went missing), and
+   the stderr line, routed through [Log] so it carries level and span
+   context when structured logging is configured. *)
+let dump_failed ~what ~dest e =
+  Counter.incr c_dump_failed;
+  Flight.record ~kind:"error"
+    ~name:(Printf.sprintf "obs.%s_dump_failed" what)
+    ~detail:(Printf.sprintf "%s: %s" dest (Printexc.to_string e))
+    ();
+  Log.errorf "riskroute: %s dump to %S failed: %s" what dest
+    (Printexc.to_string e)
+
 let () =
   (match Sys.getenv_opt "RISKROUTE_TELEMETRY" with
   | Some v when String.trim v <> "" -> enable_dump (String.trim v)
@@ -854,6 +1235,52 @@ let () =
   (match Sys.getenv_opt "RISKROUTE_TRACE" with
   | Some v when String.trim v <> "" -> enable_trace (String.trim v)
   | Some _ | None -> ());
+  (match Sys.getenv_opt "RISKROUTE_LOG" with
+  | Some v when String.trim v <> "" -> (
+    match Log.level_of_string v with
+    | Some _ as l -> Log.set_level l
+    | None ->
+      (match String.lowercase_ascii (String.trim v) with
+      | "off" | "none" | "0" -> () (* explicit "leave me unconfigured" *)
+      | _ ->
+        Log.warnf
+          "riskroute: ignoring invalid RISKROUTE_LOG=%S (want \
+           debug|info|warn|error)"
+          v))
+  | Some _ | None -> ());
+  (match Sys.getenv_opt "RISKROUTE_FLIGHT" with
+  | Some v when String.trim v <> "" -> Flight.set_dump_path (String.trim v)
+  | Some _ | None -> ());
+  (match Sys.getenv_opt "RISKROUTE_FLIGHT_CAP" with
+  | None -> ()
+  | Some v -> (
+    match int_of_string_opt (String.trim v) with
+    | Some k when k >= 0 -> Flight.set_capacity k
+    | Some _ | None ->
+      Log.warnf
+        "riskroute: ignoring invalid RISKROUTE_FLIGHT_CAP=%S (want a \
+         non-negative integer)"
+        v));
+  (* GC major slices land in the flight ring: a post-mortem dump can
+     distinguish "stalled in our code" from "stalled collecting". *)
+  ignore
+    (Gc.create_alarm (fun () ->
+         Flight.record ~kind:"gc_major" ~name:"gc.major_cycle" ()));
+  (* Post-mortem hooks: SIGUSR1 dumps the flight ring and the process
+     continues; an uncaught exception dumps it on the way down, then
+     defers to the default handler (backtrace printing intact). *)
+  (try
+     Sys.set_signal Sys.sigusr1
+       (Sys.Signal_handle
+          (fun _ ->
+            Flight.record ~kind:"signal" ~name:"sigusr1" ();
+            try ignore (Flight.write_dump ()) with _ -> ()))
+   with Invalid_argument _ | Sys_error _ -> () (* no SIGUSR1 here *));
+  Printexc.set_uncaught_exception_handler (fun exn bt ->
+      Flight.record ~kind:"crash" ~name:"uncaught_exception"
+        ~detail:(Printexc.to_string exn) ();
+      (try ignore (Flight.write_dump ()) with _ -> ());
+      Printexc.default_uncaught_exception_handler exn bt);
   at_exit (fun () ->
       (* Trace first, then metrics: each write is a single buffered file
          or stderr write, so "--trace f.json --telemetry -" never
@@ -861,14 +1288,9 @@ let () =
       (match !trace_dest with
       | None -> ()
       | Some path -> (
-        try write_trace path
-        with e ->
-          Printf.eprintf "riskroute: trace dump to %S failed: %s\n%!" path
-            (Printexc.to_string e)));
+        try write_trace path with e -> dump_failed ~what:"trace" ~dest:path e));
       match !dump_dest with
       | None -> ()
       | Some spec -> (
         try write_dump spec
-        with e ->
-          Printf.eprintf "riskroute: telemetry dump to %S failed: %s\n%!" spec
-            (Printexc.to_string e)))
+        with e -> dump_failed ~what:"telemetry" ~dest:spec e))

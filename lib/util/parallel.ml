@@ -47,8 +47,8 @@ let env_count () =
       Rr_obs.Counter.incr c_env_invalid;
       if not !env_warned then begin
         env_warned := true;
-        Printf.eprintf
-          "riskroute: ignoring invalid %s=%S (want a positive integer); using %d domains\n%!"
+        Rr_obs.Log.warnf
+          "riskroute: ignoring invalid %s=%S (want a positive integer); using %d domains"
           env_var s
           (max 1 (Domain.recommended_domain_count ()))
       end;

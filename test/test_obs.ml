@@ -390,6 +390,212 @@ let test_dump_path_validation () =
   Alcotest.(check int) "invalid trace path counted" (v0 + 3)
     (Rr_obs.Counter.value c)
 
+(* --- flight recorder --- *)
+
+(* Every flight test pins a capacity, empties the rings, and restores
+   the default afterwards so rings refilled by later tests (span events
+   record into them) start from known state. *)
+let with_flight cap f =
+  Rr_obs.Flight.set_capacity cap;
+  Rr_obs.Flight.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Rr_obs.Flight.set_capacity Rr_obs.Flight.default_capacity;
+      Rr_obs.Flight.reset ())
+    f
+
+let test_flight_always_on () =
+  Rr_obs.set_enabled false;
+  with_flight 64 @@ fun () ->
+  (* Recording must not depend on the telemetry flag: warnings and GC
+     events have to survive into post-mortem dumps regardless. *)
+  Rr_obs.Flight.record ~kind:"warn" ~name:"log" ~detail:"boom" ();
+  match Rr_obs.Flight.events () with
+  | [ ev ] ->
+    Alcotest.(check string) "kind" "warn" ev.Rr_obs.Flight.ev_kind;
+    Alcotest.(check string) "detail" "boom" ev.Rr_obs.Flight.ev_detail
+  | evs -> Alcotest.failf "expected 1 event, got %d" (List.length evs)
+
+let test_flight_wraparound () =
+  with_flight 8 @@ fun () ->
+  for i = 1 to 20 do
+    Rr_obs.Flight.record ~kind:"tick" ~name:(string_of_int i) ()
+  done;
+  let evs = Rr_obs.Flight.events () in
+  Alcotest.(check int) "ring retains exactly its capacity" 8
+    (List.length evs);
+  (* The retained events are the *last* 8 recorded, in record order. *)
+  let names = List.map (fun e -> e.Rr_obs.Flight.ev_name) evs in
+  Alcotest.(check (list string)) "oldest events evicted first"
+    (List.map string_of_int [ 13; 14; 15; 16; 17; 18; 19; 20 ])
+    names;
+  let seqs = List.map (fun e -> e.Rr_obs.Flight.ev_seq) evs in
+  Alcotest.(check (list int)) "merge sorted by sequence"
+    (List.sort compare seqs) seqs
+
+let test_flight_merge_deterministic () =
+  with_flight 4096 @@ fun () ->
+  List.iter
+    (fun k ->
+      with_domains k (fun () ->
+          Rr_obs.Flight.reset ();
+          Parallel.parallel_for 100 (fun i ->
+              Rr_obs.Flight.record ~kind:"tick" ~name:(string_of_int i) ());
+          let evs = Rr_obs.Flight.events () in
+          Alcotest.(check int)
+            (Printf.sprintf "100 events retained at pool size %d" k)
+            100 (List.length evs);
+          (* Which domain recorded which event varies with the pool, but
+             the merged order is by global sequence number — strictly
+             increasing however the shards are enumerated. *)
+          let seqs = List.map (fun e -> e.Rr_obs.Flight.ev_seq) evs in
+          Alcotest.(check bool)
+            (Printf.sprintf "strictly increasing seq at pool size %d" k)
+            true
+            (List.for_all2 (fun a b -> a < b)
+               (List.filteri (fun i _ -> i < 99) seqs)
+               (List.tl seqs));
+          let names =
+            List.sort compare
+              (List.map (fun e -> e.Rr_obs.Flight.ev_name) evs)
+          in
+          Alcotest.(check (list string))
+            (Printf.sprintf "every event retained once at pool size %d" k)
+            (List.sort compare (List.init 100 string_of_int))
+            names))
+    pool_sizes
+
+let test_flight_json_parses () =
+  with_flight 16 @@ fun () ->
+  Rr_obs.Flight.record ~kind:"evict" ~name:"engine.tree_lru"
+    ~detail:"evicted=3" ();
+  Rr_obs.Flight.record ~kind:"warn" ~name:"log" ~detail:"say \"hi\"" ();
+  match Rr_perf.Json.parse (Rr_obs.Flight.to_json ()) with
+  | Error e -> Alcotest.failf "flight dump is not valid JSON: %s" e
+  | Ok j ->
+    let get k = Option.bind (Rr_perf.Json.member k j) Rr_perf.Json.to_int in
+    Alcotest.(check (option int)) "schema" (Some 1) (get "schema");
+    Alcotest.(check (option int)) "capacity" (Some 16) (get "capacity");
+    Alcotest.(check (option int)) "retained" (Some 2) (get "retained");
+    let events =
+      match
+        Option.bind (Rr_perf.Json.member "events" j) Rr_perf.Json.to_arr
+      with
+      | Some l -> l
+      | None -> Alcotest.fail "no events array"
+    in
+    Alcotest.(check int) "both events dumped" 2 (List.length events)
+
+let test_span_events_in_flight_ring () =
+  with_telemetry @@ fun () ->
+  with_flight 64 @@ fun () ->
+  Rr_obs.with_span "flight.probe" (fun () -> ());
+  let kinds_for name =
+    List.filter_map
+      (fun e ->
+        if e.Rr_obs.Flight.ev_name = name then Some e.Rr_obs.Flight.ev_kind
+        else None)
+      (Rr_obs.Flight.events ())
+  in
+  Alcotest.(check (list string)) "span begin/end recorded"
+    [ "span_begin"; "span_end" ]
+    (kinds_for "flight.probe")
+
+(* --- structured logging --- *)
+
+(* Capture records through the sink; always restore stderr rendering
+   and the unconfigured level. *)
+let with_log_capture f =
+  let records = ref [] in
+  Rr_obs.Log.set_sink (Some (fun s -> records := s :: !records));
+  Fun.protect
+    ~finally:(fun () ->
+      Rr_obs.Log.set_sink None;
+      Rr_obs.Log.set_level None)
+    (fun () -> f records)
+
+let test_log_unconfigured_byte_compat () =
+  with_log_capture @@ fun records ->
+  Rr_obs.Log.set_level None;
+  (* Warn and error render as the plain one-line message the eprintf
+     they replaced produced; debug and info are dropped. *)
+  Rr_obs.Log.warnf "riskroute: ignoring invalid %s=%S" "RISKROUTE_DOMAINS" "x";
+  Rr_obs.Log.errorf "riskroute: %s" "boom";
+  Rr_obs.Log.infof "not rendered";
+  Rr_obs.Log.debugf "not rendered either";
+  Alcotest.(check (list string)) "stderr bytes unchanged"
+    [
+      "riskroute: ignoring invalid RISKROUTE_DOMAINS=\"x\"\n";
+      "riskroute: boom\n";
+    ]
+    (List.rev !records)
+
+let test_log_configured_json () =
+  with_telemetry @@ fun () ->
+  with_log_capture @@ fun records ->
+  Rr_obs.Log.set_level (Some Rr_obs.Log.Debug);
+  Rr_obs.with_span "log.probe" (fun () ->
+      Rr_obs.Log.infof "inside %s" "span");
+  (match !records with
+  | [ line ] -> (
+    match Rr_perf.Json.parse line with
+    | Error e -> Alcotest.failf "log record is not valid JSON: %s" e
+    | Ok j ->
+      let str k =
+        Option.bind (Rr_perf.Json.member k j) Rr_perf.Json.to_str
+      in
+      Alcotest.(check (option string)) "level" (Some "info") (str "level");
+      Alcotest.(check (option string)) "msg" (Some "inside span")
+        (str "msg");
+      Alcotest.(check (option string)) "domain label" (Some "main")
+        (str "domain");
+      Alcotest.(check bool) "span id stamped" true
+        (match
+           Option.bind (Rr_perf.Json.member "span" j) Rr_perf.Json.to_int
+         with
+        | Some id -> id > 0
+        | None -> false))
+  | rs -> Alcotest.failf "expected 1 record, got %d" (List.length rs));
+  (* Below the configured level: dropped. *)
+  Rr_obs.Log.set_level (Some Rr_obs.Log.Error);
+  Rr_obs.Log.warnf "filtered";
+  Alcotest.(check int) "warn below error level dropped" 1
+    (List.length !records)
+
+let test_log_levels_parse () =
+  List.iter
+    (fun (s, expect) ->
+      Alcotest.(check bool) (Printf.sprintf "parse %S" s) true
+        (Rr_obs.Log.level_of_string s = expect))
+    [
+      ("debug", Some Rr_obs.Log.Debug);
+      ("INFO", Some Rr_obs.Log.Info);
+      ("warn", Some Rr_obs.Log.Warn);
+      ("warning", Some Rr_obs.Log.Warn);
+      (" error ", Some Rr_obs.Log.Error);
+      ("loud", None);
+    ]
+
+let test_log_warn_feeds_flight () =
+  with_log_capture @@ fun _records ->
+  with_flight 64 @@ fun () ->
+  Rr_obs.Log.warnf "the sky is %s" "falling";
+  Rr_obs.Log.infof "calm";
+  let logged =
+    List.filter
+      (fun e -> e.Rr_obs.Flight.ev_name = "log")
+      (Rr_obs.Flight.events ())
+  in
+  match logged with
+  | [ ev ] ->
+    Alcotest.(check string) "kind is the level" "warn"
+      ev.Rr_obs.Flight.ev_kind;
+    Alcotest.(check string) "detail is the message" "the sky is falling"
+      ev.Rr_obs.Flight.ev_detail
+  | evs ->
+    Alcotest.failf "expected only the warning in the ring, got %d"
+      (List.length evs)
+
 (* --- engine integration --- *)
 
 let coord lat lon = Rr_geo.Coord.make ~lat ~lon
@@ -497,6 +703,28 @@ let () =
         [
           Alcotest.test_case "output path validation" `Quick
             test_dump_path_validation;
+        ] );
+      ( "flight",
+        [
+          Alcotest.test_case "records with telemetry off" `Quick
+            test_flight_always_on;
+          Alcotest.test_case "ring wraparound" `Quick test_flight_wraparound;
+          Alcotest.test_case "merge deterministic across pool sizes" `Quick
+            test_flight_merge_deterministic;
+          Alcotest.test_case "dump is valid JSON" `Quick
+            test_flight_json_parses;
+          Alcotest.test_case "span begin/end events" `Quick
+            test_span_events_in_flight_ring;
+        ] );
+      ( "log",
+        [
+          Alcotest.test_case "unconfigured stderr byte-compat" `Quick
+            test_log_unconfigured_byte_compat;
+          Alcotest.test_case "configured JSON lines" `Quick
+            test_log_configured_json;
+          Alcotest.test_case "level parsing" `Quick test_log_levels_parse;
+          Alcotest.test_case "warnings feed the flight ring" `Quick
+            test_log_warn_feeds_flight;
         ] );
       ( "integration",
         [
