@@ -17,9 +17,11 @@
    [--telemetry <file|->] anywhere on the command line enables the
    Rr_obs engine telemetry dump; [--trace <file>] writes a Chrome
    trace-event JSON of the span tree on exit; [--live <port>] serves the
-   live observability plane for the duration of the run (same semantics
-   as the CLI flags and RISKROUTE_TELEMETRY / RISKROUTE_TRACE /
-   RISKROUTE_LIVE). *)
+   live observability plane for the duration of the run; [--series
+   <file|->] starts the background time-series sampler and the
+   Runtime_events GC-pause consumer and dumps the ring at exit (same
+   semantics as the CLI flags and RISKROUTE_TELEMETRY / RISKROUTE_TRACE /
+   RISKROUTE_LIVE / RISKROUTE_SERIES). *)
 
 open Bechamel
 open Toolkit
@@ -254,11 +256,24 @@ let git_rev () =
 let cache_totals (s : Rr_engine.Context.stats) =
   (s.env_hits + s.tree_hits, s.env_misses + s.tree_misses)
 
+(* GC pause quantiles (ns) from the Runtime_events consumer; all-zero
+   when the consumer never ran (no --series) or recorded nothing. *)
+let gc_pause_quantiles name =
+  ignore (Rr_obs.Rte.poll ());
+  let s = Rr_obs.Histogram.snapshot (Rr_obs.Histogram.make name) in
+  let q p =
+    let v = Rr_obs.Histogram.quantile s p *. 1e9 in
+    if Float.is_nan v then 0.0 else v
+  in
+  (q 0.5, q 0.99)
+
 let run_json ~reps ~warmups file =
   let ctx = ctx () in
   let h0, m0 = cache_totals (Rr_engine.Context.stats ctx) in
   let results = Rr_perf.Harness.measure ~warmups ~reps (kernels ()) in
   let h1, m1 = cache_totals (Rr_engine.Context.stats ctx) in
+  let minor_p50, minor_p99 = gc_pause_quantiles Rr_obs.Rte.minor_name in
+  let major_p50, major_p99 = gc_pause_quantiles Rr_obs.Rte.major_name in
   let meta =
     {
       Rr_perf.Benchfile.schema = Rr_perf.Benchfile.schema;
@@ -276,6 +291,10 @@ let run_json ~reps ~warmups file =
       tree_cache_cap = Rr_engine.Context.tree_cache_capacity ctx;
       topology_pops =
         String.concat "," (List.map string_of_int query_pop_sizes);
+      gc_minor_pause_p50_ns = minor_p50;
+      gc_minor_pause_p99_ns = minor_p99;
+      gc_major_pause_p50_ns = major_p50;
+      gc_major_pause_p99_ns = major_p99;
     }
   in
   Rr_perf.Benchfile.write file { Rr_perf.Benchfile.meta; results };
@@ -589,28 +608,37 @@ let extract_obs_flags argv =
     | "--live" :: port :: rest ->
       start_live port;
       go acc rest
+    | "--series" :: spec :: rest ->
+      Rr_obs.Series.enable spec;
+      go acc rest
     | arg :: rest -> (
       match
         ( prefixed "--telemetry=" arg,
           prefixed "--trace=" arg,
-          prefixed "--live=" arg )
+          prefixed "--live=" arg,
+          prefixed "--series=" arg )
       with
-      | Some spec, _, _ ->
+      | Some spec, _, _, _ ->
         Rr_obs.enable_dump spec;
         go acc rest
-      | None, Some path, _ ->
+      | None, Some path, _, _ ->
         Rr_obs.enable_trace path;
         go acc rest
-      | None, None, Some port ->
+      | None, None, Some port, _ ->
         start_live port;
         go acc rest
-      | None, None, None -> go (arg :: acc) rest)
+      | None, None, None, Some spec ->
+        Rr_obs.Series.enable spec;
+        go acc rest
+      | None, None, None, None -> go (arg :: acc) rest)
   in
   go [] argv
 
 let () =
   Rr_live.set_stats_provider (fun () ->
       Rr_engine.Context.stats_json (Rr_engine.Context.shared ()));
+  Rr_obs.Series.set_stats_provider (fun () ->
+      Rr_engine.Context.stats_fields (Rr_engine.Context.shared ()));
   Rr_live.autostart_from_env ();
   match extract_obs_flags (Array.to_list Sys.argv) with
   | [] | _ :: [] ->

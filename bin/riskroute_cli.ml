@@ -14,7 +14,8 @@
      availability           achieved availability (nines) per posture
      export-gml             write a network map as Topology Zoo GML
      export-geojson         write a network map as GeoJSON
-     report                 reproduce a paper table/figure (or all) *)
+     report                 reproduce a paper table/figure (or all)
+     dashboard              render a series/bench JSON as offline HTML *)
 
 open Cmdliner
 
@@ -56,9 +57,22 @@ let live_arg =
   in
   Arg.(value & opt (some int) None & info [ "live" ] ~docv:"PORT" ~doc)
 
-(* Every subcommand takes --telemetry, --trace and --live: observability
-   must not require knowing in advance which entry point will be slow. *)
-let setup verbose telemetry trace live =
+let series_arg =
+  let doc =
+    "Sample the telemetry registries, GC counters and engine cache stats \
+     on a background thread (RISKROUTE_SAMPLE_PERIOD seconds apart, \
+     default 1) into a bounded ring, and dump the ring as JSON to $(docv) \
+     on exit ('-' for stderr). Also starts the Runtime_events consumer \
+     that turns GC pauses into gc.pause.* histograms. Setting \
+     RISKROUTE_SERIES=<spec> in the environment is equivalent; render the \
+     dump with `riskroute dashboard`."
+  in
+  Arg.(value & opt (some string) None & info [ "series" ] ~docv:"FILE" ~doc)
+
+(* Every subcommand takes --telemetry, --trace, --live and --series:
+   observability must not require knowing in advance which entry point
+   will be slow. *)
+let setup verbose telemetry trace live series =
   setup_logs verbose;
   (match trace with None -> () | Some path -> Rr_obs.enable_trace path);
   (match telemetry with
@@ -69,6 +83,9 @@ let setup verbose telemetry trace live =
       (string_of_int (Rr_util.Parallel.domain_count ())));
   Rr_live.set_stats_provider (fun () ->
       Rr_engine.Context.stats_json (Rr_engine.Context.shared ()));
+  Rr_obs.Series.set_stats_provider (fun () ->
+      Rr_engine.Context.stats_fields (Rr_engine.Context.shared ()));
+  (match series with None -> () | Some spec -> Rr_obs.Series.enable spec);
   (match live with
   | None -> ()
   | Some port -> (
@@ -83,7 +100,9 @@ let setup verbose telemetry trace live =
   Rr_live.autostart_from_env ()
 
 let setup_term =
-  Term.(const setup $ verbose_arg $ telemetry_arg $ trace_arg $ live_arg)
+  Term.(
+    const setup $ verbose_arg $ telemetry_arg $ trace_arg $ live_arg
+    $ series_arg)
 
 let net_arg =
   let doc = "Network name (e.g. Level3, AT&T, Telepak)." in
@@ -642,26 +661,10 @@ let bench_compare_cmd =
       | Error msg -> or_die (Error msg)
     in
     let base = load baseline and cur = load current in
-    let warn_meta what get =
-      let b = get base.Rr_perf.Benchfile.meta
-      and c = get cur.Rr_perf.Benchfile.meta in
-      if b <> c && b <> "" && c <> "" then
-        Rr_obs.Log.warnf
-          "riskroute: warning: %s differs (baseline %s, current %s); \
-           timings may not be comparable"
-          what b c
-    in
-    warn_meta "pool size" (fun m -> string_of_int m.Rr_perf.Benchfile.domains);
-    warn_meta "hostname" (fun m -> m.Rr_perf.Benchfile.hostname);
-    warn_meta "OCaml version" (fun m -> m.Rr_perf.Benchfile.ocaml_version);
-    warn_meta "word size" (fun m -> string_of_int m.Rr_perf.Benchfile.word_size);
-    (* Schema-5 fields; older files read back as 0 / "" and the empty
-       guard above keeps them from warning against every new run. *)
-    warn_meta "tree cache capacity" (fun m ->
-        match m.Rr_perf.Benchfile.tree_cache_cap with
-        | 0 -> ""
-        | cap -> string_of_int cap);
-    warn_meta "topology PoP counts" (fun m -> m.Rr_perf.Benchfile.topology_pops);
+    List.iter
+      (fun msg -> Rr_obs.Log.warnf "riskroute: warning: %s" msg)
+      (Rr_perf.Compare.meta_warnings base.Rr_perf.Benchfile.meta
+         cur.Rr_perf.Benchfile.meta);
     let rows = Rr_perf.Compare.run ~tau_base base cur in
     Rr_perf.Compare.pp_table Format.std_formatter rows;
     Format.pp_print_flush Format.std_formatter ();
@@ -674,6 +677,59 @@ let bench_compare_cmd =
           kernel regressed past its noise threshold.")
     Term.(const run $ setup_term $ baseline_arg $ current_arg $ threshold_arg)
 
+(* --- dashboard --- *)
+
+let dashboard_cmd =
+  let input_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"INPUT"
+          ~doc:
+            "A telemetry series dump (--series / RISKROUTE_SERIES) or a \
+             BENCH_*.json benchmark file; the flavour is detected from the \
+             document shape.")
+  in
+  let output_arg =
+    let doc =
+      "Output HTML path; defaults to $(i,INPUT) with its .json suffix \
+       replaced by .html."
+    in
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  let run () input output =
+    let output =
+      match output with
+      | Some o -> o
+      | None ->
+        (if Filename.check_suffix input ".json" then
+           Filename.chop_suffix input ".json"
+         else input)
+        ^ ".html"
+    in
+    let text =
+      let ic = open_in_bin input in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match Rr_perf.Dashboard.render ~source:(Filename.basename input) text with
+    | Error msg -> or_die (Error msg)
+    | Ok html ->
+      let oc = open_out_bin output in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc html);
+      Printf.printf "wrote %s (%d bytes)\n" output (String.length html)
+  in
+  Cmd.v
+    (Cmd.info "dashboard"
+       ~doc:
+         "Render a telemetry series dump or bench JSON file as a \
+          self-contained offline HTML dashboard (inline SVG, no external \
+          assets).")
+    Term.(const run $ setup_term $ input_arg $ output_arg)
+
 let main_cmd =
   let doc = "RiskRoute: mitigate network outage threats (CoNEXT'13 reproduction)." in
   Cmd.group
@@ -682,7 +738,7 @@ let main_cmd =
       networks_cmd; route_cmd; ratios_cmd; provision_cmd; peers_cmd;
       forecast_cmd; export_gml_cmd; report_cmd; simulate_cmd; backup_cmd;
       pareto_cmd; export_geojson_cmd; shared_risk_cmd; availability_cmd;
-      bench_compare_cmd;
+      bench_compare_cmd; dashboard_cmd;
     ]
 
 (* [~catch:false]: let exceptions escape to the runtime's uncaught

@@ -355,7 +355,10 @@ let stats t =
         tree_evictions = t.tree_evictions;
       })
 
-let stats_json t =
+(* One locked read feeds both the JSON body below and the time-series
+   sampler's stats section (Rr_obs.Series.set_stats_provider): flat
+   (name, value) pairs in a fixed order. *)
+let stats_fields t =
   let s, env_len, tree_len =
     with_lock t (fun () ->
         ( {
@@ -368,6 +371,20 @@ let stats_json t =
           Hashtbl.length t.envs,
           Lru.length t.trees ))
   in
+  [
+    ("env.hits", s.env_hits);
+    ("env.misses", s.env_misses);
+    ("env.cache_length", env_len);
+    ("tree.hits", s.tree_hits);
+    ("tree.misses", s.tree_misses);
+    ("tree.evictions", s.tree_evictions);
+    ("tree.cache_length", tree_len);
+    ("tree.cache_capacity", Lru.capacity t.trees);
+  ]
+
+let stats_json t =
+  let f = stats_fields t in
+  let g k = List.assoc k f in
   Printf.sprintf
     "{\n\
     \  \"schema\": 1,\n\
@@ -375,9 +392,9 @@ let stats_json t =
     \  \"tree\": {\"hits\": %d, \"misses\": %d, \"evictions\": %d, \
      \"cache_length\": %d, \"cache_capacity\": %d}\n\
      }\n"
-    s.env_hits s.env_misses env_len s.tree_hits s.tree_misses
-    s.tree_evictions tree_len
-    (Lru.capacity t.trees)
+    (g "env.hits") (g "env.misses") (g "env.cache_length") (g "tree.hits")
+    (g "tree.misses") (g "tree.evictions") (g "tree.cache_length")
+    (g "tree.cache_capacity")
 
 let tree_cache_length t = with_lock t (fun () -> Lru.length t.trees)
 let tree_cache_capacity t = Lru.capacity t.trees

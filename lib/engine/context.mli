@@ -119,10 +119,18 @@ val stats : t -> stats
 (** Plain-integer cache totals, maintained whether or not telemetry is
     enabled (the [engine.cache.*] counters only record when it is). *)
 
+val stats_fields : t -> (string * int) list
+(** {!stats} plus cache occupancy as flat [(name, value)] pairs from
+    one locked read, in a fixed order (["env.hits"], ["env.misses"],
+    ["env.cache_length"], ["tree.hits"], ["tree.misses"],
+    ["tree.evictions"], ["tree.cache_length"],
+    ["tree.cache_capacity"]) — the shape the time-series sampler
+    records per tick via [Rr_obs.Series.set_stats_provider]. *)
+
 val stats_json : t -> string
-(** {!stats} plus cache occupancy as a JSON document — the body the
-    live plane's [/stats] endpoint serves once the CLI or bench harness
-    registers [fun () -> stats_json (shared ())] with
+(** {!stats_fields} as a JSON document — the body the live plane's
+    [/stats] endpoint serves once the CLI or bench harness registers
+    [fun () -> stats_json (shared ())] with
     [Rr_live.set_stats_provider]. *)
 
 val tree_cache_length : t -> int

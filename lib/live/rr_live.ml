@@ -100,7 +100,12 @@ let healthz () =
 
 (* --- routing --- *)
 
-type response = { status : int; content_type : string; body : string }
+type response = {
+  status : int;
+  content_type : string;
+  headers : (string * string) list;
+  body : string;
+}
 
 let json_ct = "application/json"
 
@@ -113,7 +118,8 @@ let index_body =
    /metrics  Prometheus exposition of the live registry\n\
    /healthz  liveness + span-stall watchdog (503 when degraded)\n\
    /stats    engine cache snapshot (hits, misses, evictions, occupancy)\n\
-   /flight   recent-event flight recorder, merged across domains\n"
+   /flight   recent-event flight recorder, merged across domains\n\
+   /series   time-series sampler ring (timestamped metric deltas)\n"
 
 let handle path =
   Rr_obs.Counter.incr c_requests;
@@ -124,31 +130,55 @@ let handle path =
     | None -> path
   in
   match path with
-  | "/" | "" -> { status = 200; content_type = text_ct; body = index_body }
+  | "/" | "" ->
+    { status = 200; content_type = text_ct; headers = []; body = index_body }
   | "/metrics" ->
-    { status = 200; content_type = prom_ct; body = Rr_obs.to_prometheus () }
+    {
+      status = 200;
+      content_type = prom_ct;
+      headers = [];
+      body = Rr_obs.to_prometheus ();
+    }
   | "/healthz" ->
     let healthy, body = healthz () in
     {
       status = (if healthy then 200 else 503);
       content_type = json_ct;
+      headers = [];
       body;
     }
   | "/stats" -> (
     match !stats_provider () with
-    | body -> { status = 200; content_type = json_ct; body }
+    | body -> { status = 200; content_type = json_ct; headers = []; body }
     | exception e ->
       Rr_obs.Counter.incr c_errors;
       let b = Buffer.create 64 in
       Buffer.add_string b "{\"error\": \"stats provider failed: ";
       Rr_obs.json_escape b (Printexc.to_string e);
       Buffer.add_string b "\"}\n";
-      { status = 500; content_type = json_ct; body = Buffer.contents b })
+      {
+        status = 500;
+        content_type = json_ct;
+        headers = [];
+        body = Buffer.contents b;
+      })
   | "/flight" ->
-    { status = 200; content_type = json_ct; body = Rr_obs.Flight.to_json () }
+    {
+      status = 200;
+      content_type = json_ct;
+      headers = [];
+      body = Rr_obs.Flight.to_json ();
+    }
+  | "/series" ->
+    {
+      status = 200;
+      content_type = json_ct;
+      headers = [];
+      body = Rr_obs.Series.to_json ();
+    }
   | _ ->
     Rr_obs.Counter.incr c_errors;
-    { status = 404; content_type = text_ct; body = "not found\n" }
+    { status = 404; content_type = text_ct; headers = []; body = "not found\n" }
 
 let status_text = function
   | 200 -> "OK"
@@ -160,11 +190,15 @@ let status_text = function
   | _ -> "Unknown"
 
 let render r =
+  let extra =
+    String.concat ""
+      (List.map (fun (k, v) -> Printf.sprintf "%s: %s\r\n" k v) r.headers)
+  in
   Printf.sprintf
-    "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: \
-     close\r\n\r\n%s"
-    r.status (status_text r.status) r.content_type (String.length r.body)
-    r.body
+    "HTTP/1.1 %d %s\r\nContent-Type: %s\r\n%sContent-Length: %d\r\n\
+     Connection: close\r\n\r\n%s"
+    r.status (status_text r.status) r.content_type extra
+    (String.length r.body) r.body
 
 (* --- the server --- *)
 
@@ -216,8 +250,21 @@ let parse_request head =
   | [ "GET"; path; _version ] -> Ok path
   | "GET" :: path :: _ -> Ok path
   | meth :: _ when meth <> "GET" && meth <> "" ->
-    Error { status = 405; content_type = text_ct; body = "GET only\n" }
-  | _ -> Error { status = 400; content_type = text_ct; body = "bad request\n" }
+    Error
+      {
+        status = 405;
+        content_type = text_ct;
+        headers = [ ("Allow", "GET") ];
+        body = "GET only\n";
+      }
+  | _ ->
+    Error
+      {
+        status = 400;
+        content_type = text_ct;
+        headers = [];
+        body = "bad request\n";
+      }
 
 let write_all fd s =
   let n = String.length s in
@@ -236,7 +283,12 @@ let serve_client fd =
     match read_request_line fd with
     | None ->
       Rr_obs.Counter.incr c_errors;
-      { status = 400; content_type = text_ct; body = "bad request\n" }
+      {
+        status = 400;
+        content_type = text_ct;
+        headers = [];
+        body = "bad request\n";
+      }
     | Some head -> (
       match parse_request head with
       | Ok path -> handle path

@@ -14,7 +14,10 @@
       hits, misses, evictions, occupancy) as JSON, via the provider
       registered with {!set_stats_provider};
     - [GET /flight] — the {!Rr_obs.Flight} ring: the most recent engine
-      events, merged across domains in deterministic order.
+      events, merged across domains in deterministic order;
+    - [GET /series] — the {!Rr_obs.Series} sampler ring: timestamped
+      metric deltas over the run so far (empty unless [--series] /
+      [RISKROUTE_SERIES] armed the sampler).
 
     Enabled with [--live PORT] on the CLI and bench harness, or
     [RISKROUTE_LIVE=PORT] in the environment (see
@@ -23,7 +26,12 @@
     zeros. All handlers are read-only snapshots; program output and
     results are unchanged by serving. *)
 
-type response = { status : int; content_type : string; body : string }
+type response = {
+  status : int;
+  content_type : string;
+  headers : (string * string) list;  (** extra headers, e.g. [Allow] on 405 *)
+  body : string;
+}
 
 val handle : string -> response
 (** Route a request path to its response — the pure core of the server,

@@ -1228,6 +1228,496 @@ let dump_failed ~what ~dest e =
   Log.errorf "riskroute: %s dump to %S failed: %s" what dest
     (Printexc.to_string e)
 
+(* --- Runtime_events self-monitoring (GC pause profiling) ---
+
+   The flight ring's [Gc.create_alarm] tick says a major cycle finished;
+   it cannot say how long the mutator actually stopped. [Rte] consumes
+   the runtime's own event ring (OCaml 5 [Runtime_events], self
+   cursor): minor/major slice begin/end pairs become pause-duration
+   observations in the ordinary histograms [gc.pause.minor] and
+   [gc.pause.major], so GC stalls reach every existing exposition
+   surface — JSON dump quantiles, Prometheus buckets, the series
+   sampler below — and each pause also lands as a synthetic root span
+   in the default registry, so the Chrome trace shows collector slices
+   interleaved with engine work on the domain lanes.
+
+   Nothing here runs unless [start] is called (by [Series.enable],
+   i.e. --series / RISKROUTE_SERIES, or directly by tests):
+   unconfigured, no Runtime_events ring is ever created. [start] is a
+   process-global switch; the consumer must be drained with [poll] —
+   the series sampler does so every tick, and the exit dump takes a
+   final drain. *)
+
+module Rte = struct
+  let minor_name = "gc.pause.minor"
+
+  let major_name = "gc.pause.major"
+
+  let c_lost = Counter.make "obs.rte_lost_events"
+
+  (* One lock covers cursor lifecycle and polling: [read_poll] on a
+     cursor is not reentrant, and the begin-timestamp table below is
+     only touched from inside a poll. *)
+  let lock = Mutex.create ()
+
+  let cursor : Runtime_events.cursor option ref = ref None
+
+  let callbacks : Runtime_events.Callbacks.t option ref = ref None
+
+  (* Runtime_events timestamps are nanoseconds on the runtime's own
+     monotonic epoch. The offset to [Clock.monotonic] is calibrated
+     once, off the first polled event, so synthetic spans land near
+     their true position on the shared trace timeline (the offset is
+     approximate by up to one poll period; durations are exact). *)
+  let calib = ref Float.nan
+
+  (* In-flight collections per (ring domain, phase). *)
+  let begins : (int * string, float) Hashtbl.t = Hashtbl.create 16
+
+  let seconds ts = Int64.to_float (Runtime_events.Timestamp.to_int64 ts) *. 1e-9
+
+  let phase_name = function
+    | Runtime_events.EV_MINOR -> Some minor_name
+    | Runtime_events.EV_MAJOR -> Some major_name
+    | _ -> None
+
+  (* [push_span] appends to the polling domain's DLS shard, which the
+     domain's other threads share; the field update is a plain pointer
+     store of an immutable cons, so a race with the mutator can at
+     worst drop one span, never corrupt the list. *)
+  let observe_pause ~ring ~name ~t0 ~t1 =
+    let dur = t1 -. t0 in
+    if dur >= 0.0 then begin
+      Histogram.observe (Histogram.make name) dur;
+      if Float.is_nan !calib then calib := Clock.monotonic () -. t1;
+      let registry = Registry.default in
+      push_span registry
+        {
+          sp_id = Atomic.fetch_and_add registry.r_next_span 1;
+          sp_parent = 0;
+          sp_name = name;
+          sp_start = t0 +. !calib -. registry.r_created;
+          sp_dur = dur;
+          sp_domain = ring;
+        }
+    end
+
+  let make_callbacks () =
+    Runtime_events.Callbacks.create
+      ~runtime_begin:(fun ring ts phase ->
+        match phase_name phase with
+        | Some name -> Hashtbl.replace begins (ring, name) (seconds ts)
+        | None -> ())
+      ~runtime_end:(fun ring ts phase ->
+        match phase_name phase with
+        | Some name -> (
+          match Hashtbl.find_opt begins (ring, name) with
+          | Some t0 ->
+            Hashtbl.remove begins (ring, name);
+            observe_pause ~ring ~name ~t0 ~t1:(seconds ts)
+          | None -> () (* begin predates the cursor; skip the torso *))
+        | None -> ())
+      ~lost_events:(fun _ring n -> Counter.add c_lost n)
+      ()
+
+  let started () = Mutex.protect lock (fun () -> !cursor <> None)
+
+  (* Idempotent; [false] when the runtime refuses a ring (some
+     sandboxes reject the backing memory map), in which case the
+     process carries on without pause profiling. *)
+  let start () =
+    Mutex.protect lock (fun () ->
+        match !cursor with
+        | Some _ -> true
+        | None -> (
+          match
+            Runtime_events.start ();
+            Runtime_events.create_cursor None
+          with
+          | c ->
+            cursor := Some c;
+            callbacks := Some (make_callbacks ());
+            true
+          | exception e ->
+            Log.warnf
+              "riskroute: Runtime_events self-monitoring unavailable: %s"
+              (Printexc.to_string e);
+            false))
+
+  (* Drain pending runtime events into the histograms/spans; returns
+     the number of events consumed. A no-op before [start]. *)
+  let poll () =
+    Mutex.protect lock (fun () ->
+        match (!cursor, !callbacks) with
+        | Some c, Some cbs -> Runtime_events.read_poll c cbs None
+        | _ -> 0)
+end
+
+(* --- time-series sampler ---
+
+   [Series] turns the cumulative registries into a trajectory: a
+   fixed-capacity ring of timestamped samples, each the *delta* over
+   the previous sample — counter increments, histogram windows (count,
+   sum and bucket-rank p50/p90/p99 of just that window's observations),
+   [Gc.quick_stat] movement — plus absolute gauge values and the
+   engine-cache stats provider's fields. Enabled via --series /
+   RISKROUTE_SERIES (period from RISKROUTE_SAMPLE_PERIOD, default 1s);
+   unconfigured, no sampler thread is spawned and nothing here costs a
+   cycle. The ring is dumped as schema'd JSON at exit and served live
+   on GET /series. *)
+
+module Series = struct
+  type hwindow = {
+    w_count : int;
+    w_sum : float;
+    w_p50 : float;
+    w_p90 : float;
+    w_p99 : float;
+  }
+
+  type sample = {
+    s_seq : int;
+    s_time : float; (* seconds since process_epoch *)
+    s_counters : (string * int) list; (* window deltas, nonzero only *)
+    s_gauges : (string * int) list; (* absolute values, nonzero only *)
+    s_hists : (string * hwindow) list; (* windows with observations *)
+    s_gc_minor_words : float; (* window delta *)
+    s_gc_major_words : float;
+    s_gc_minor_collections : int;
+    s_gc_major_collections : int;
+    s_gc_heap_words : int; (* absolute *)
+    s_stats : (string * int) list; (* provider fields, absolute *)
+  }
+
+  let default_capacity = 512
+
+  let default_period = 1.0
+
+  (* [lock] owns the ring, the delta baselines and the dump arming;
+     [tlock] owns the sampler-thread lifecycle (so stopping the thread
+     can join it without holding the ring lock its final sample
+     needs). *)
+  let lock = Mutex.create ()
+
+  let cap = ref default_capacity
+
+  let ring : sample option array ref = ref (Array.make default_capacity None)
+
+  let count = ref 0 (* samples ever taken *)
+
+  let period_cell = ref default_period
+
+  let dest : string option ref = ref None
+
+  let prev_counters : (string, int) Hashtbl.t = Hashtbl.create 64
+
+  let prev_hists : (string, int array * int * float) Hashtbl.t =
+    Hashtbl.create 32
+
+  (* (minor_words, major_words, minor_collections, major_collections)
+     at the previous sample; the first window measures from process
+     start. *)
+  let prev_gc = ref (0.0, 0.0, 0, 0)
+
+  let stats_provider : (unit -> (string * int) list) ref = ref (fun () -> [])
+
+  let set_stats_provider f = stats_provider := f
+
+  let set_period p =
+    if not (Float.is_finite p && p > 0.0) then
+      invalid_arg "Series.set_period: need positive seconds";
+    period_cell := p
+
+  let period () = !period_cell
+
+  let capacity () = Mutex.protect lock (fun () -> !cap)
+
+  (* Tests: resize (and empty) the ring. *)
+  let set_capacity k =
+    if k <= 0 then invalid_arg "Series.set_capacity: need k > 0";
+    Mutex.protect lock (fun () ->
+        cap := k;
+        ring := Array.make k None;
+        count := 0)
+
+  let recorded () = Mutex.protect lock (fun () -> !count)
+
+  let reset () =
+    Mutex.protect lock (fun () ->
+        Array.fill !ring 0 (Array.length !ring) None;
+        count := 0;
+        Hashtbl.reset prev_counters;
+        Hashtbl.reset prev_hists;
+        prev_gc := (0.0, 0.0, 0, 0))
+
+  (* Take one sample right now: drain the Runtime_events consumer so
+     this window owns its GC pauses, snapshot every metric, store the
+     deltas. Exposed for deterministic tests; the sampler thread calls
+     it on its period. *)
+  let sample_now () =
+    ignore (Rte.poll ());
+    let reg = Registry.default in
+    Mutex.lock reg.r_lock;
+    let counters =
+      Hashtbl.fold (fun k c acc -> (k, c) :: acc) reg.r_counters []
+    in
+    let gauges = Hashtbl.fold (fun k g acc -> (k, g) :: acc) reg.r_gauges [] in
+    let hists =
+      Hashtbl.fold (fun k h acc -> (k, h) :: acc) reg.r_histograms []
+    in
+    Mutex.unlock reg.r_lock;
+    let stats = try !stats_provider () with _ -> [] in
+    let g = Gc.quick_stat () in
+    let mw = Gc.minor_words () in
+    let by_name (a, _) (b, _) = compare (a : string) b in
+    Mutex.protect lock (fun () ->
+        let t = Clock.monotonic () -. process_epoch in
+        let cdeltas =
+          List.filter_map
+            (fun (name, c) ->
+              let v = Counter.value c in
+              let prev =
+                Option.value (Hashtbl.find_opt prev_counters name) ~default:0
+              in
+              Hashtbl.replace prev_counters name v;
+              if v <> prev then Some (name, v - prev) else None)
+            counters
+        in
+        let gvals =
+          List.filter_map
+            (fun (name, gg) ->
+              let v = Gauge.value gg in
+              if v <> 0 then Some (name, v) else None)
+            gauges
+        in
+        let hwins =
+          List.filter_map
+            (fun (name, h) ->
+              let s = Histogram.snapshot h in
+              let pb, pc, ps =
+                Option.value
+                  (Hashtbl.find_opt prev_hists name)
+                  ~default:(Array.make bucket_count 0, 0, 0.0)
+              in
+              let wb =
+                Array.init bucket_count (fun i ->
+                    s.Histogram.buckets.(i) - pb.(i))
+              in
+              let wcount = s.Histogram.count - pc in
+              let wsum = s.Histogram.sum -. ps in
+              Hashtbl.replace prev_hists name
+                (s.Histogram.buckets, s.Histogram.count, s.Histogram.sum);
+              if wcount <= 0 then None
+              else begin
+                (* Window min/max are unknowable from cumulative
+                   min/max, so window quantiles are pure bucket
+                   bounds (the infinite clamp is a no-op). *)
+                let ws =
+                  {
+                    Histogram.count = wcount;
+                    sum = wsum;
+                    vmin = neg_infinity;
+                    vmax = infinity;
+                    buckets = wb;
+                  }
+                in
+                Some
+                  ( name,
+                    {
+                      w_count = wcount;
+                      w_sum = wsum;
+                      w_p50 = Histogram.quantile ws 0.50;
+                      w_p90 = Histogram.quantile ws 0.90;
+                      w_p99 = Histogram.quantile ws 0.99;
+                    } )
+              end)
+            hists
+        in
+        let p_mw, p_majw, p_minc, p_majc = !prev_gc in
+        prev_gc :=
+          (mw, g.Gc.major_words, g.Gc.minor_collections,
+           g.Gc.major_collections);
+        let s =
+          {
+            s_seq = !count + 1;
+            s_time = t;
+            s_counters = List.sort by_name cdeltas;
+            s_gauges = List.sort by_name gvals;
+            s_hists = List.sort by_name hwins;
+            s_gc_minor_words = mw -. p_mw;
+            s_gc_major_words = g.Gc.major_words -. p_majw;
+            s_gc_minor_collections = g.Gc.minor_collections - p_minc;
+            s_gc_major_collections = g.Gc.major_collections - p_majc;
+            s_gc_heap_words = g.Gc.heap_words;
+            s_stats = List.sort by_name stats;
+          }
+        in
+        let k = Array.length !ring in
+        !ring.(!count mod k) <- Some s;
+        incr count)
+
+  (* Retained samples, oldest first. *)
+  let samples () =
+    Mutex.protect lock (fun () ->
+        let c = !count and k = Array.length !ring in
+        let n = min c k in
+        List.init n (fun i ->
+            match !ring.((c - n + i) mod k) with
+            | Some s -> s
+            | None -> assert false))
+
+  let to_json () =
+    let sams = samples () in
+    let b = Buffer.create 4096 in
+    let add = Buffer.add_string b in
+    let fields out l =
+      if l = [] then add "{}"
+      else begin
+        add "{";
+        List.iteri
+          (fun i (name, v) ->
+            if i > 0 then add ", ";
+            add "\"";
+            json_escape b name;
+            add "\": ";
+            out v)
+          l;
+        add "}"
+      end
+    in
+    add "{\n  \"schema\": 1,\n";
+    add (Printf.sprintf "  \"period_seconds\": %s,\n" (fnum (period ())));
+    add (Printf.sprintf "  \"capacity\": %d,\n" (capacity ()));
+    add (Printf.sprintf "  \"recorded\": %d,\n" (recorded ()));
+    add (Printf.sprintf "  \"retained\": %d,\n" (List.length sams));
+    add "  \"samples\": [";
+    List.iteri
+      (fun i s ->
+        add (if i = 0 then "\n" else ",\n");
+        add
+          (Printf.sprintf "    {\"seq\": %d, \"time\": %s,\n     \"counters\": "
+             s.s_seq (fnum s.s_time));
+        fields (fun v -> add (string_of_int v)) s.s_counters;
+        add ",\n     \"gauges\": ";
+        fields (fun v -> add (string_of_int v)) s.s_gauges;
+        add ",\n     \"histograms\": ";
+        fields
+          (fun w ->
+            add
+              (Printf.sprintf
+                 "{\"count\": %d, \"sum\": %s, \"p50\": %s, \"p90\": %s, \
+                  \"p99\": %s}"
+                 w.w_count (fnum w.w_sum) (fnum w.w_p50) (fnum w.w_p90)
+                 (fnum w.w_p99)))
+          s.s_hists;
+        add ",\n     \"gc\": ";
+        add
+          (Printf.sprintf
+             "{\"minor_words\": %s, \"major_words\": %s, \
+              \"minor_collections\": %d, \"major_collections\": %d, \
+              \"heap_words\": %d}"
+             (fnum s.s_gc_minor_words) (fnum s.s_gc_major_words)
+             s.s_gc_minor_collections s.s_gc_major_collections
+             s.s_gc_heap_words);
+        add ",\n     \"stats\": ";
+        fields (fun v -> add (string_of_int v)) s.s_stats;
+        add "}")
+      sams;
+    add (if sams = [] then "]\n}\n" else "\n  ]\n}\n");
+    Buffer.contents b
+
+  (* --- sampler thread --- *)
+
+  let tlock = Mutex.create ()
+
+  let sampler : (Thread.t * Unix.file_descr * Unix.file_descr) option ref =
+    ref None
+
+  let sampler_running () = Mutex.protect tlock (fun () -> !sampler <> None)
+
+  (* The stop pipe doubles as the timer: [select] blocks for one period
+     or until [stop_sampler] writes a byte, so shutdown is prompt even
+     mid-period. *)
+  let rec sampler_loop rd =
+    match Unix.select [ rd ] [] [] (period ()) with
+    | [], _, _ ->
+      sample_now ();
+      sampler_loop rd
+    | _ -> ()
+    | exception Unix.Unix_error (EINTR, _, _) -> sampler_loop rd
+
+  let start_sampler () =
+    Mutex.protect tlock (fun () ->
+        if !sampler = None then begin
+          let rd, wr = Unix.pipe () in
+          let t = Thread.create sampler_loop rd in
+          sampler := Some (t, rd, wr)
+        end)
+
+  (* Join the thread, then take one final sample: a run shorter than
+     the period still records its whole story as one window. *)
+  let stop_sampler () =
+    let s =
+      Mutex.protect tlock (fun () ->
+          let s = !sampler in
+          sampler := None;
+          s)
+    in
+    match s with
+    | None -> ()
+    | Some (t, rd, wr) ->
+      (try ignore (Unix.write_substring wr "x" 0 1)
+       with Unix.Unix_error _ -> ());
+      Thread.join t;
+      (try Unix.close wr with Unix.Unix_error _ -> ());
+      (try Unix.close rd with Unix.Unix_error _ -> ());
+      sample_now ()
+
+  let write_dump spec =
+    let text = to_json () in
+    if stderr_spec spec then begin
+      output_string stderr text;
+      flush stderr
+    end
+    else begin
+      let oc = open_out spec in
+      output_string oc text;
+      close_out oc
+    end
+
+  (* [--series SPEC] / RISKROUTE_SERIES=SPEC: turn recording on, start
+     the Runtime_events consumer and the sampler thread, and arm the
+     exit dump ("-"/"stderr" or a file path, like --telemetry). *)
+  let enable spec =
+    set_enabled true;
+    ignore (validate_dump_path ~what:"series" spec);
+    Mutex.protect lock (fun () -> dest := Some spec);
+    ignore (Rte.start ());
+    start_sampler ()
+
+  let disarm () =
+    Mutex.protect lock (fun () -> dest := None)
+
+  let exit_dump () =
+    let armed = Mutex.protect lock (fun () -> !dest) in
+    if armed <> None || sampler_running () then stop_sampler ();
+    match armed with
+    | None -> ()
+    | Some spec -> (
+      try write_dump spec with e -> dump_failed ~what:"series" ~dest:spec e)
+end
+
+(* Post-mortem companion to the flight ring: the SIGUSR1 handler also
+   writes a full telemetry snapshot next to the flight dump
+   ("<flight>.json" -> "<flight>-telemetry.json"), so a poke at a live
+   process captures counters and histograms too, not just recent
+   events. *)
+let telemetry_snapshot_path () =
+  let p = !Flight.dump_path in
+  if Filename.check_suffix p ".json" then
+    Filename.chop_suffix p ".json" ^ "-telemetry.json"
+  else p ^ "-telemetry.json"
+
 let () =
   (match Sys.getenv_opt "RISKROUTE_TELEMETRY" with
   | Some v when String.trim v <> "" -> enable_dump (String.trim v)
@@ -1261,6 +1751,21 @@ let () =
         "riskroute: ignoring invalid RISKROUTE_FLIGHT_CAP=%S (want a \
          non-negative integer)"
         v));
+  (* Period first, so RISKROUTE_SERIES starts its sampler on the
+     configured cadence. *)
+  (match Sys.getenv_opt "RISKROUTE_SAMPLE_PERIOD" with
+  | None -> ()
+  | Some v -> (
+    match float_of_string_opt (String.trim v) with
+    | Some p when Float.is_finite p && p > 0.0 -> Series.set_period p
+    | Some _ | None ->
+      Log.warnf
+        "riskroute: ignoring invalid RISKROUTE_SAMPLE_PERIOD=%S (want \
+         positive seconds)"
+        v));
+  (match Sys.getenv_opt "RISKROUTE_SERIES" with
+  | Some v when String.trim v <> "" -> Series.enable (String.trim v)
+  | Some _ | None -> ());
   (* GC major slices land in the flight ring: a post-mortem dump can
      distinguish "stalled in our code" from "stalled collecting". *)
   ignore
@@ -1274,7 +1779,15 @@ let () =
        (Sys.Signal_handle
           (fun _ ->
             Flight.record ~kind:"signal" ~name:"sigusr1" ();
-            try ignore (Flight.write_dump ()) with _ -> ()))
+            (try ignore (Flight.write_dump ()) with _ -> ());
+            (* Full telemetry snapshot alongside the flight ring: a
+               post-mortem poke captures the cumulative counters and
+               histograms too, not just recent events. *)
+            try
+              let oc = open_out (telemetry_snapshot_path ()) in
+              output_string oc (to_json ());
+              close_out oc
+            with _ -> ()))
    with Invalid_argument _ | Sys_error _ -> () (* no SIGUSR1 here *));
   Printexc.set_uncaught_exception_handler (fun exn bt ->
       Flight.record ~kind:"crash" ~name:"uncaught_exception"
@@ -1282,9 +1795,13 @@ let () =
       (try ignore (Flight.write_dump ()) with _ -> ());
       Printexc.default_uncaught_exception_handler exn bt);
   at_exit (fun () ->
-      (* Trace first, then metrics: each write is a single buffered file
-         or stderr write, so "--trace f.json --telemetry -" never
-         interleaves on stderr. *)
+      (* Series first (stopping the sampler takes the final window, and
+         its dump drains the Runtime_events consumer so the last GC
+         pauses reach the trace and telemetry below), then trace, then
+         metrics: each write is a single buffered file or stderr write,
+         so "--trace f.json --telemetry -" never interleaves on
+         stderr. *)
+      Series.exit_dump ();
       (match !trace_dest with
       | None -> ()
       | Some path -> (

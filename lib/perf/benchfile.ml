@@ -12,6 +12,13 @@ type meta = {
   cache_misses : int;
   tree_cache_cap : int;   (* effective RISKROUTE_TREE_CACHE after validation *)
   topology_pops : string; (* PoP counts of the large-topology kernels, comma-joined *)
+  (* GC pause quantiles (ns) over the whole recorded run, from the
+     Runtime_events consumer; 0 when the consumer was off (pre-6 files,
+     or a run without --series). *)
+  gc_minor_pause_p50_ns : float;
+  gc_minor_pause_p99_ns : float;
+  gc_major_pause_p50_ns : float;
+  gc_major_pause_p99_ns : float;
 }
 
 type result = {
@@ -28,7 +35,7 @@ type result = {
 
 type file = { meta : meta; results : result list }
 
-let schema = 5
+let schema = 6
 
 let escape s =
   let b = Buffer.create (String.length s + 2) in
@@ -53,12 +60,15 @@ let to_json_string f =
      \"hostname\": \"%s\", \"ocaml_version\": \"%s\", \"word_size\": %d, \
      \"riskroute_domains\": \"%s\", \"reps\": %d, \"warmups\": %d, \
      \"cache_hits\": %d, \"cache_misses\": %d, \"tree_cache_cap\": %d, \
-     \"topology_pops\": \"%s\"},\n\
+     \"topology_pops\": \"%s\", \"gc_minor_pause_p50_ns\": %.1f, \
+     \"gc_minor_pause_p99_ns\": %.1f, \"gc_major_pause_p50_ns\": %.1f, \
+     \"gc_major_pause_p99_ns\": %.1f},\n\
     \  \"results\": [\n"
     m.schema m.domains (escape m.git_rev) (escape m.hostname)
     (escape m.ocaml_version) m.word_size (escape m.riskroute_domains) m.reps
     m.warmups m.cache_hits m.cache_misses m.tree_cache_cap
-    (escape m.topology_pops);
+    (escape m.topology_pops) m.gc_minor_pause_p50_ns m.gc_minor_pause_p99_ns
+    m.gc_major_pause_p50_ns m.gc_major_pause_p99_ns;
   List.iteri
     (fun i r ->
       Printf.bprintf b
@@ -147,6 +157,10 @@ let of_json_string text =
   let* cache_misses = num ~default:0.0 meta_j "cache_misses" in
   let* tree_cache_cap = num ~default:0.0 meta_j "tree_cache_cap" in
   let* topology_pops = str ~default:"" meta_j "topology_pops" in
+  let* gc_minor_pause_p50_ns = num ~default:0.0 meta_j "gc_minor_pause_p50_ns" in
+  let* gc_minor_pause_p99_ns = num ~default:0.0 meta_j "gc_minor_pause_p99_ns" in
+  let* gc_major_pause_p50_ns = num ~default:0.0 meta_j "gc_major_pause_p50_ns" in
+  let* gc_major_pause_p99_ns = num ~default:0.0 meta_j "gc_major_pause_p99_ns" in
   let* rows =
     match Option.bind (Json.member "results" j) Json.to_arr with
     | Some l -> Ok l
@@ -177,6 +191,10 @@ let of_json_string text =
           cache_misses = int_of_float cache_misses;
           tree_cache_cap = int_of_float tree_cache_cap;
           topology_pops;
+          gc_minor_pause_p50_ns;
+          gc_minor_pause_p99_ns;
+          gc_major_pause_p50_ns;
+          gc_major_pause_p99_ns;
         };
       results = List.rev results;
     }

@@ -1,16 +1,18 @@
 (** BENCH_*.json files: the machine-readable benchmark format written
     by [bench/main.exe json] and read by [riskroute bench-compare].
 
-    Schema 5 is statistics-aware: each kernel row carries mean/p50/p95
+    Schema 6 is statistics-aware: each kernel row carries mean/p50/p95
     over N repetitions plus per-run GC allocation deltas, and the meta
     block is self-describing (OCaml version, word size, resolved pool
-    size, engine cache hit/miss totals, effective tree-LRU capacity and
-    the PoP counts of the large-topology query kernels) so baselines
-    stay comparable across machines. Older files remain readable:
-    schema-4 metas default the tree-cache/topology fields, schema-3
-    metas default the cache totals to 0, and schema-2 files (single
-    Bechamel OLS estimate per kernel) reuse the one estimate for every
-    statistic. *)
+    size, engine cache hit/miss totals, effective tree-LRU capacity,
+    the PoP counts of the large-topology query kernels, and — when the
+    Runtime_events consumer ran — GC pause p50/p99 in ns for minor and
+    major collections) so baselines stay comparable across machines.
+    Older files remain readable: schema-5 metas default the GC-pause
+    quantiles to 0, schema-4 metas default the tree-cache/topology
+    fields, schema-3 metas default the cache totals to 0, and schema-2
+    files (single Bechamel OLS estimate per kernel) reuse the one
+    estimate for every statistic. *)
 
 type meta = {
   schema : int;
@@ -32,6 +34,12 @@ type meta = {
   topology_pops : string;
       (** PoP counts of the large-topology query kernels, comma-joined
           (e.g. ["1000,10000,50000"]); [""] in pre-5 files *)
+  gc_minor_pause_p50_ns : float;
+      (** minor-GC pause p50 (ns) over the recorded run, from the
+          Runtime_events consumer; [0.] when it was off or pre-6 *)
+  gc_minor_pause_p99_ns : float;
+  gc_major_pause_p50_ns : float;
+  gc_major_pause_p99_ns : float;
 }
 
 type result = {
@@ -49,7 +57,7 @@ type result = {
 type file = { meta : meta; results : result list }
 
 val schema : int
-(** The schema this module writes (5). *)
+(** The schema this module writes (6). *)
 
 val to_json_string : file -> string
 

@@ -71,6 +71,41 @@ let run ?(tau_base = 0.25) (baseline : Benchfile.file)
 
 let any_regression rows = List.exists (fun r -> r.verdict = Regressed) rows
 
+(* Meta comparability audit: one message per recorded environment fact
+   that differs between the two files. Empty-valued sides (a field an
+   older schema never recorded) never warn, so old baselines do not
+   complain against every new run. Centralised here (rather than inline
+   in the CLI) so the list of audited facts and the bench file format
+   evolve together — cross-machine or cross-compiler comparisons are
+   noise, and bench-compare should say so, not silently gate on them. *)
+let meta_warnings (base : Benchfile.meta) (cur : Benchfile.meta) =
+  let warnings = ref [] in
+  let check what b c =
+    if b <> c && b <> "" && c <> "" then
+      warnings :=
+        Printf.sprintf
+          "%s differs (baseline %s, current %s); timings may not be comparable"
+          what b c
+        :: !warnings
+  in
+  check "pool size"
+    (string_of_int base.Benchfile.domains)
+    (string_of_int cur.Benchfile.domains);
+  check "hostname" base.Benchfile.hostname cur.Benchfile.hostname;
+  check "OCaml version" base.Benchfile.ocaml_version cur.Benchfile.ocaml_version;
+  check "word size"
+    (string_of_int base.Benchfile.word_size)
+    (string_of_int cur.Benchfile.word_size);
+  (* Schema-5 fields; older files read back as 0 / "" and the empty
+     guard keeps them from warning against every new run. *)
+  let cap m =
+    match m.Benchfile.tree_cache_cap with 0 -> "" | c -> string_of_int c
+  in
+  check "tree cache capacity" (cap base) (cap cur);
+  check "topology PoP counts" base.Benchfile.topology_pops
+    cur.Benchfile.topology_pops;
+  List.rev !warnings
+
 let pp_ns ppf v =
   if Float.is_nan v then Format.fprintf ppf "%10s" "-"
   else if v >= 1e9 then Format.fprintf ppf "%8.2f s" (v /. 1e9)

@@ -29,5 +29,14 @@ val run : ?tau_base:float -> Benchfile.file -> Benchfile.file -> row list
 
 val any_regression : row list -> bool
 
+val meta_warnings : Benchfile.meta -> Benchfile.meta -> string list
+(** [meta_warnings baseline current] audits the recorded environments
+    for comparability: one human-readable message per differing fact
+    (pool size, hostname, OCaml version, word size, tree-cache
+    capacity, topology PoP counts). Fields an older schema never
+    recorded (empty / zero on either side) never warn. The CLI prints
+    each with a ["riskroute: warning: "] prefix; none of them fail the
+    gate. *)
+
 val pp_table : Format.formatter -> row list -> unit
 (** Render the regression table (one row per kernel). *)

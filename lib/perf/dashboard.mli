@@ -1,0 +1,23 @@
+(** The offline HTML dashboard behind [riskroute dashboard].
+
+    Renders a single self-contained page — inline CSS, inline SVG,
+    a few lines of inline script, no external assets — from either of
+    the two JSON artifacts the toolchain produces:
+
+    - a time-series dump written by [Rr_obs.Series] ([--series] /
+      [RISKROUTE_SERIES]): stat tiles plus one sparkline per recorded
+      metric (counter deltas, gauge levels, histogram p50 per window,
+      GC activity, engine cache stats);
+    - a [BENCH_*.json] benchmark file ({!Benchfile}): run metadata
+      tiles plus a horizontal p50 bar chart over the kernels.
+
+    Both flavours carry hover tooltips, a collapsible table view of
+    the underlying numbers, and light/dark themes selected by
+    [prefers-color-scheme] (overridable with [data-theme] on [body]).
+    The input kind is detected from the document shape ([samples] vs
+    [results]); anything else is an [Error]. *)
+
+val render : source:string -> string -> (string, string) result
+(** [render ~source json] is the HTML page for [json], or a parse /
+    shape diagnostic. [source] is a display name (typically the input
+    file's basename) used in the page title. *)

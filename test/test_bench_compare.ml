@@ -110,6 +110,10 @@ let meta =
     cache_misses = 2;
     tree_cache_cap = 4096;
     topology_pops = "1000,10000";
+    gc_minor_pause_p50_ns = 1200.0;
+    gc_minor_pause_p99_ns = 45000.0;
+    gc_major_pause_p50_ns = 250000.0;
+    gc_major_pause_p99_ns = 1900000.0;
   }
 
 let result name p50 p95 =
@@ -164,6 +168,35 @@ let test_benchfile_schema2_compat () =
       Alcotest.(check (float 0.0)) "gc defaults to zero" 0.0
         r.Benchfile.gc_minor_words
     | None -> Alcotest.fail "schema-2 row missing")
+
+let test_benchfile_schema5_compat () =
+  (* A schema-5 meta predates the GC pause quantiles: the reader must
+     default them to zero rather than reject the file. *)
+  let text =
+    "{\"meta\": {\"schema\": 5, \"domains\": 2, \"git_rev\": \"old\", \
+     \"hostname\": \"h\", \"ocaml_version\": \"5.1.1\", \"word_size\": 64, \
+     \"riskroute_domains\": \"\", \"reps\": 10, \"warmups\": 3, \
+     \"cache_hits\": 1, \"cache_misses\": 1, \"tree_cache_cap\": 4096, \
+     \"topology_pops\": \"1000\"},\n\
+     \"results\": [{\"name\": \"k\", \"reps\": 10, \"mean_ns\": 5.0, \
+     \"p50_ns\": 5.0, \"p95_ns\": 6.0, \"min_ns\": 4.0, \"max_ns\": 7.0, \
+     \"gc_minor_words\": 0.0, \"gc_major_words\": 0.0}]}"
+  in
+  match Benchfile.of_json_string text with
+  | Error e -> Alcotest.failf "schema-5 parse failed: %s" e
+  | Ok f ->
+    let m = f.Benchfile.meta in
+    List.iter
+      (fun (what, v) ->
+        Alcotest.(check (float 0.0))
+          (Printf.sprintf "%s defaults to 0" what)
+          0.0 v)
+      [
+        ("minor p50", m.Benchfile.gc_minor_pause_p50_ns);
+        ("minor p99", m.Benchfile.gc_minor_pause_p99_ns);
+        ("major p50", m.Benchfile.gc_major_pause_p50_ns);
+        ("major p99", m.Benchfile.gc_major_pause_p99_ns);
+      ]
 
 let test_benchfile_rejects_missing_results () =
   match Benchfile.of_json_string "{\"meta\": {\"schema\": 3}}" with
@@ -235,6 +268,37 @@ let test_compare_improvement_and_churn () =
   Alcotest.(check bool) "churn alone never trips the gate" false
     (Compare.any_regression rows)
 
+let test_meta_warnings () =
+  Alcotest.(check (list string)) "identical metas are silent" []
+    (Compare.meta_warnings meta meta);
+  let cur =
+    { meta with Benchfile.hostname = "elsewhere"; ocaml_version = "5.2.0" }
+  in
+  Alcotest.(check (list string))
+    "differing facts warn, in audit order, with both values"
+    [
+      "hostname differs (baseline testhost, current elsewhere); timings \
+       may not be comparable";
+      "OCaml version differs (baseline 5.1.1, current 5.2.0); timings may \
+       not be comparable";
+    ]
+    (Compare.meta_warnings meta cur);
+  (* Fields an older schema never recorded (zero / empty on one side)
+     must not warn against every new run. *)
+  let old =
+    { meta with Benchfile.tree_cache_cap = 0; topology_pops = "" }
+  in
+  Alcotest.(check (list string)) "unrecorded old-schema fields stay silent"
+    []
+    (Compare.meta_warnings old meta);
+  let resized = { meta with Benchfile.tree_cache_cap = 64 } in
+  Alcotest.(check (list string)) "recorded capacity change does warn"
+    [
+      "tree cache capacity differs (baseline 4096, current 64); timings \
+       may not be comparable";
+    ]
+    (Compare.meta_warnings meta resized)
+
 let test_compare_table_renders () =
   let baseline = file [ result "a" 1000.0 1000.0 ] in
   let current = file [ result "a" 3000.0 3000.0 ] in
@@ -270,6 +334,8 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_benchfile_roundtrip;
           Alcotest.test_case "schema-2 compat" `Quick
             test_benchfile_schema2_compat;
+          Alcotest.test_case "schema-5 compat" `Quick
+            test_benchfile_schema5_compat;
           Alcotest.test_case "missing results rejected" `Quick
             test_benchfile_rejects_missing_results;
         ] );
@@ -283,6 +349,8 @@ let () =
             test_compare_noise_widens_band;
           Alcotest.test_case "improvement and churn" `Quick
             test_compare_improvement_and_churn;
+          Alcotest.test_case "meta comparability warnings" `Quick
+            test_meta_warnings;
           Alcotest.test_case "table renders" `Quick test_compare_table_renders;
         ] );
     ]

@@ -108,6 +108,7 @@ let test_handle_routing () =
   check_status "/healthz" 200;
   check_status "/stats" 200;
   check_status "/flight" 200;
+  check_status "/series" 200;
   check_status "/nope" 404;
   (* Query strings are ignored, not 404ed. *)
   check_status "/metrics?refresh=1" 200;
@@ -117,12 +118,28 @@ let test_handle_routing () =
 
 let test_render_golden () =
   let r =
-    { Rr_live.status = 200; content_type = "text/plain"; body = "hi\n" }
+    {
+      Rr_live.status = 200;
+      content_type = "text/plain";
+      headers = [];
+      body = "hi\n";
+    }
   in
   Alcotest.(check string) "rendered bytes"
     "HTTP/1.1 200 OK\r\nContent-Type: text/plain\r\nContent-Length: 3\r\n\
      Connection: close\r\n\r\nhi\n"
-    (Rr_live.render r)
+    (Rr_live.render r);
+  (* Extra headers slot in between Content-Type and Content-Length. *)
+  Alcotest.(check string) "extra headers rendered"
+    "HTTP/1.1 405 Method Not Allowed\r\nContent-Type: text/plain\r\n\
+     Allow: GET\r\nContent-Length: 3\r\nConnection: close\r\n\r\nno\n"
+    (Rr_live.render
+       {
+         Rr_live.status = 405;
+         content_type = "text/plain";
+         headers = [ ("Allow", "GET") ];
+         body = "no\n";
+       })
 
 let test_stats_provider () =
   with_telemetry @@ fun () ->
@@ -189,13 +206,34 @@ let test_listener_endpoints () =
   Alcotest.(check bool) "flight has events array" true
     (Option.bind (Rr_perf.Json.member "events" j) Rr_perf.Json.to_arr
     <> None);
+  (* /series: parseable JSON with the sampler-ring shape (the sampler
+     thread is not running here, so the ring is merely empty). *)
+  let status, headers, body = http_get port "/series" in
+  Alcotest.(check int) "series status" 200 status;
+  Alcotest.(check string) "series content type" "application/json"
+    (header "content-type" headers);
+  let j = json_of body in
+  Alcotest.(check int) "series schema" 1 (json_int "schema" j);
+  Alcotest.(check bool) "series has samples array" true
+    (Option.bind (Rr_perf.Json.member "samples" j) Rr_perf.Json.to_arr
+    <> None);
+  (* The index names every endpoint, including /series. *)
+  let _, _, body = http_get port "/" in
+  let contains needle hay =
+    let n = String.length needle and m = String.length hay in
+    let rec go i = i + n <= m && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "index lists /series" true (contains "/series" body);
   (* Unknown path and non-GET method. *)
   let status, _, _ = http_get port "/nope" in
   Alcotest.(check int) "404 for unknown path" 404 status;
-  let status, _, _ =
+  let status, headers, _ =
     http_get ~request:(fun p -> "POST " ^ p ^ " HTTP/1.1\r\n\r\n") port "/"
   in
-  Alcotest.(check int) "405 for POST" 405 status
+  Alcotest.(check int) "405 for POST" 405 status;
+  Alcotest.(check string) "405 advertises the allowed method" "GET"
+    (header "allow" headers)
 
 let test_listener_single_instance () =
   with_server @@ fun _port ->

@@ -638,6 +638,184 @@ let test_engine_counters_flow () =
   Alcotest.(check bool) "parallel.tasks advanced" true
     (Rr_obs.Counter.value tasks > t0)
 
+(* --- quantile property: bucket quantiles vs exact reference ---
+
+   Because [bucket_index] is monotone, the bucket-rank quantile is fully
+   determined by the sorted sample multiset: it is the bound of the
+   bucket holding the nearest-rank sample, clamped into [vmin, vmax].
+   Check that against an exact sorted-sample reference for arbitrary
+   values under arbitrary shard interleavings (pool sizes 1/2/4 —
+   which domain observes which value must not matter). *)
+
+let exact_quantile_reference values q =
+  let sorted = List.sort compare values in
+  let n = List.length sorted in
+  let rank =
+    let r = int_of_float (Float.ceil (q *. float_of_int n)) in
+    if r < 1 then 1 else if r > n then n else r
+  in
+  let v = List.nth sorted (rank - 1) in
+  let vmin = List.hd sorted and vmax = List.nth sorted (n - 1) in
+  Float.max vmin
+    (Float.min vmax (Rr_obs.bucket_bound (Rr_obs.bucket_index v)))
+
+let arb_samples =
+  QCheck.make
+    QCheck.Gen.(list_size (int_range 1 200) (float_range 1e-7 1e6))
+    ~print:(fun l ->
+      Printf.sprintf "[%s]"
+        (String.concat "; " (List.map string_of_float l)))
+
+let histogram_quantiles_match_reference =
+  QCheck.Test.make
+    ~name:"histogram p50/p90/p99 match sorted-sample reference" ~count:100
+    arb_samples
+    (fun values ->
+      with_telemetry @@ fun () ->
+      let arr = Array.of_list values in
+      let h = Rr_obs.Histogram.make "test.obs.q_property" in
+      List.for_all
+        (fun k ->
+          with_domains k (fun () ->
+              Rr_obs.Histogram.reset h;
+              Parallel.parallel_for (Array.length arr) (fun i ->
+                  Rr_obs.Histogram.observe h arr.(i));
+              let s = Rr_obs.Histogram.snapshot h in
+              List.for_all
+                (fun q ->
+                  Rr_obs.Histogram.quantile s q
+                  = exact_quantile_reference values q)
+                [ 0.5; 0.9; 0.99 ]))
+        pool_sizes)
+
+(* --- time-series sampler --- *)
+
+(* Every series test pins a capacity, empties the ring and the delta
+   baselines, and restores the default afterwards. *)
+let with_series cap f =
+  with_telemetry @@ fun () ->
+  Rr_obs.Series.set_capacity cap;
+  Rr_obs.Series.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Rr_obs.Series.set_stats_provider (fun () -> []);
+      Rr_obs.Series.set_capacity Rr_obs.Series.default_capacity;
+      Rr_obs.Series.reset ())
+    f
+
+let test_series_ring_wraparound () =
+  with_series 4 @@ fun () ->
+  for _ = 1 to 10 do
+    Rr_obs.Series.sample_now ()
+  done;
+  Alcotest.(check int) "all samples counted" 10 (Rr_obs.Series.recorded ());
+  let samples = Rr_obs.Series.samples () in
+  Alcotest.(check int) "ring retains exactly its capacity" 4
+    (List.length samples);
+  Alcotest.(check (list int)) "oldest samples evicted first, in order"
+    [ 7; 8; 9; 10 ]
+    (List.map (fun s -> s.Rr_obs.Series.s_seq) samples);
+  let times = List.map (fun s -> s.Rr_obs.Series.s_time) samples in
+  Alcotest.(check bool) "timestamps non-decreasing" true
+    (List.sort compare times = times)
+
+let test_series_counter_deltas () =
+  with_series 16 @@ fun () ->
+  let c = Rr_obs.Counter.make "test.obs.series_delta" in
+  Rr_obs.Counter.reset c;
+  Rr_obs.Counter.add c 5;
+  Rr_obs.Series.sample_now ();
+  Rr_obs.Counter.add c 3;
+  Rr_obs.Series.sample_now ();
+  Rr_obs.Series.sample_now ();
+  let window i =
+    let s = List.nth (Rr_obs.Series.samples ()) i in
+    List.assoc_opt "test.obs.series_delta" s.Rr_obs.Series.s_counters
+  in
+  Alcotest.(check (option int)) "first window is the full value" (Some 5)
+    (window 0);
+  Alcotest.(check (option int)) "second window is the increment" (Some 3)
+    (window 1);
+  Alcotest.(check (option int)) "idle window omits the counter" None
+    (window 2)
+
+let test_series_stats_provider () =
+  with_series 8 @@ fun () ->
+  Rr_obs.Series.set_stats_provider (fun () -> [ ("probe.level", 42) ]);
+  Rr_obs.Series.sample_now ();
+  (match Rr_obs.Series.samples () with
+  | [ s ] ->
+    Alcotest.(check (option int)) "provider fields recorded absolute"
+      (Some 42)
+      (List.assoc_opt "probe.level" s.Rr_obs.Series.s_stats)
+  | l -> Alcotest.failf "expected 1 sample, got %d" (List.length l));
+  (* A throwing provider must not poison sampling. *)
+  Rr_obs.Series.set_stats_provider (fun () -> failwith "boom");
+  Rr_obs.Series.sample_now ();
+  Alcotest.(check int) "sampling survives a throwing provider" 2
+    (Rr_obs.Series.recorded ())
+
+let test_series_json_parses () =
+  with_series 8 @@ fun () ->
+  let c = Rr_obs.Counter.make "test.obs.series_json" in
+  Rr_obs.Counter.reset c;
+  Rr_obs.Counter.incr c;
+  Rr_obs.Series.sample_now ();
+  Rr_obs.Series.sample_now ();
+  match Rr_perf.Json.parse (Rr_obs.Series.to_json ()) with
+  | Error e -> Alcotest.failf "series dump is not valid JSON: %s" e
+  | Ok j ->
+    let get k = Option.bind (Rr_perf.Json.member k j) Rr_perf.Json.to_int in
+    Alcotest.(check (option int)) "schema" (Some 1) (get "schema");
+    Alcotest.(check (option int)) "capacity" (Some 8) (get "capacity");
+    Alcotest.(check (option int)) "recorded" (Some 2) (get "recorded");
+    Alcotest.(check (option int)) "retained" (Some 2) (get "retained");
+    (match
+       Option.bind (Rr_perf.Json.member "samples" j) Rr_perf.Json.to_arr
+     with
+    | Some [ s1; _ ] ->
+      let counters = Rr_perf.Json.member "counters" s1 in
+      Alcotest.(check (option int)) "counter delta in first sample" (Some 1)
+        (Option.bind
+           (Option.bind counters (Rr_perf.Json.member "test.obs.series_json"))
+           Rr_perf.Json.to_int)
+    | Some l -> Alcotest.failf "expected 2 samples, got %d" (List.length l)
+    | None -> Alcotest.fail "no samples array")
+
+(* --- Runtime_events GC pause consumer --- *)
+
+let test_rte_gc_pause_histograms () =
+  with_telemetry @@ fun () ->
+  if not (Rr_obs.Rte.start ()) then
+    Alcotest.skip () (* Runtime_events unavailable on this runtime *)
+  else begin
+    let major = Rr_obs.Histogram.make Rr_obs.Rte.major_name in
+    let minor = Rr_obs.Histogram.make Rr_obs.Rte.minor_name in
+    Rr_obs.Histogram.reset major;
+    Rr_obs.Histogram.reset minor;
+    (* Allocate enough to cycle the minor heap, then force full major
+       collections; the pauses must land in the histograms once the
+       cursor is drained. *)
+    let sink = ref [] in
+    for i = 1 to 50_000 do
+      sink := Array.make 10 i :: !sink;
+      if i mod 10_000 = 0 then sink := []
+    done;
+    Gc.full_major ();
+    Gc.full_major ();
+    ignore (Rr_obs.Rte.poll ());
+    let sm = Rr_obs.Histogram.snapshot major in
+    let sn = Rr_obs.Histogram.snapshot minor in
+    Alcotest.(check bool) "gc.pause.major non-empty after forced major" true
+      (sm.Rr_obs.Histogram.count > 0);
+    Alcotest.(check bool) "gc.pause.minor non-empty after allocation" true
+      (sn.Rr_obs.Histogram.count > 0);
+    Alcotest.(check bool) "major pauses are sane (0 <= p < 10s)" true
+      (sm.Rr_obs.Histogram.vmin >= 0.0 && sm.Rr_obs.Histogram.vmax < 10.0);
+    (* Idempotent: a second start is a no-op that still reports running. *)
+    Alcotest.(check bool) "start is idempotent" true (Rr_obs.Rte.start ())
+  end
+
 let test_results_unchanged_by_telemetry () =
   let env = small_env () in
   let compute () =
@@ -726,6 +904,24 @@ let () =
           Alcotest.test_case "warnings feed the flight ring" `Quick
             test_log_warn_feeds_flight;
         ] );
+      ( "series",
+        [
+          Alcotest.test_case "ring wraparound" `Quick
+            test_series_ring_wraparound;
+          Alcotest.test_case "counter window deltas" `Quick
+            test_series_counter_deltas;
+          Alcotest.test_case "stats provider fields" `Quick
+            test_series_stats_provider;
+          Alcotest.test_case "dump is valid JSON" `Quick
+            test_series_json_parses;
+        ] );
+      ( "runtime-events",
+        [
+          Alcotest.test_case "gc pause histograms" `Quick
+            test_rte_gc_pause_histograms;
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest histogram_quantiles_match_reference ] );
       ( "integration",
         [
           Alcotest.test_case "engine counters flow" `Quick
