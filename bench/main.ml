@@ -208,40 +208,9 @@ let run_bechamel () =
       else Printf.printf "%-48s %10.0f ns/run\n" name est)
     (bechamel_estimates ())
 
-(* The current git revision, read straight off .git so the harness stays
-   dependency- and subprocess-free; "unknown" outside a checkout. *)
-let git_rev () =
-  let read_line path =
-    let ic = open_in path in
-    Fun.protect ~finally:(fun () -> close_in ic) (fun () -> input_line ic)
-  in
-  try
-    let head = String.trim (read_line ".git/HEAD") in
-    let prefix = "ref: " in
-    if String.length head > String.length prefix
-       && String.sub head 0 (String.length prefix) = prefix
-    then begin
-      let r = String.sub head 5 (String.length head - 5) in
-      try String.trim (read_line (Filename.concat ".git" r))
-      with _ ->
-        (* Ref not unpacked: scan .git/packed-refs for it. *)
-        let ic = open_in ".git/packed-refs" in
-        Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
-            let rev = ref "unknown" in
-            (try
-               while true do
-                 let line = input_line ic in
-                 match String.index_opt line ' ' with
-                 | Some i when String.sub line (i + 1) (String.length line - i - 1) = r ->
-                   rev := String.sub line 0 i;
-                   raise Exit
-                 | _ -> ()
-               done
-             with End_of_file | Exit -> ());
-            !rev)
-    end
-    else head
-  with _ -> "unknown"
+(* The current git revision — shared with /healthz via Rr_obs (read
+   straight off .git, dependency- and subprocess-free). *)
+let git_rev () = Rr_obs.git_rev ()
 
 (* --- statistics suite: BENCH_*.json for the regression sentinel ---
 
@@ -637,8 +606,13 @@ let extract_obs_flags argv =
 let () =
   Rr_live.set_stats_provider (fun () ->
       Rr_engine.Context.stats_json (Rr_engine.Context.shared ()));
+  Rr_live.set_explain_provider (fun q ->
+      Rr_explain.of_query (Rr_engine.Context.shared ()) q);
   Rr_obs.Series.set_stats_provider (fun () ->
       Rr_engine.Context.stats_fields (Rr_engine.Context.shared ()));
+  Rr_obs.Schema.register "stats" 1;
+  Rr_obs.Schema.register "explain" Rr_explain.schema_version;
+  Rr_obs.Schema.register "bench" Rr_perf.Benchfile.schema;
   Rr_live.autostart_from_env ();
   match extract_obs_flags (Array.to_list Sys.argv) with
   | [] | _ :: [] ->

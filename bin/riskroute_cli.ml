@@ -83,8 +83,13 @@ let setup verbose telemetry trace live series =
       (string_of_int (Rr_util.Parallel.domain_count ())));
   Rr_live.set_stats_provider (fun () ->
       Rr_engine.Context.stats_json (Rr_engine.Context.shared ()));
+  Rr_live.set_explain_provider (fun q ->
+      Rr_explain.of_query (Rr_engine.Context.shared ()) q);
   Rr_obs.Series.set_stats_provider (fun () ->
       Rr_engine.Context.stats_fields (Rr_engine.Context.shared ()));
+  Rr_obs.Schema.register "stats" 1;
+  Rr_obs.Schema.register "explain" Rr_explain.schema_version;
+  Rr_obs.Schema.register "provenance" 1;
   (match series with None -> () | Some spec -> Rr_obs.Series.enable spec);
   (match live with
   | None -> ()
@@ -306,6 +311,102 @@ let route_cmd =
     Term.(
       const run $ setup_term $ net_arg $ src_arg $ dst_arg $ lambda_h_arg
       $ storm_opt $ tick_arg)
+
+(* --- explain --- *)
+
+let explain_cmd =
+  let net_pos =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"NETWORK"
+          ~doc:"Network name (corpus entry or continental-<pops>).")
+  in
+  let src_pos =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"SRC" ~doc:"Source PoP (city name or numeric id).")
+  in
+  let dst_pos =
+    Arg.(
+      required
+      & pos 2 (some string) None
+      & info [] ~docv:"DST" ~doc:"Destination PoP (city name or numeric id).")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit the schema'd JSON provenance record instead of the \
+             human-readable tables (floats printed exactly, %.17g).")
+  in
+  let storm_opt =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "storm" ]
+          ~doc:"Overlay a storm advisory (irene|katrina|sandy).")
+  in
+  let tick_arg =
+    Arg.(value & opt int 40 & info [ "tick" ] ~doc:"Advisory index for --storm.")
+  in
+  let lambda_opt =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "lambda-h" ]
+          ~doc:"Historical risk-averseness tuning parameter lambda_h.")
+  in
+  let top_k_arg =
+    Arg.(
+      value & opt int 5
+      & info [ "top-k" ] ~doc:"How many top risk PoPs/arcs to rank.")
+  in
+  let run () net src dst lambda_h storm tick top_k json =
+    match
+      Rr_explain.explain_named ?lambda_h ?storm ~tick ~top_k (ctx ()) ~net ~src
+        ~dst
+    with
+    | Error msg -> or_die (Error msg)
+    | Ok t ->
+      if json then print_string (Rr_explain.to_json t)
+      else Format.printf "%a" Rr_explain.pp t
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Explain a route: per-arc Eq. 1 decomposition, the risk-detour \
+          diff against the shortest path, top risk contributors, and \
+          computation provenance.")
+    Term.(
+      const run $ setup_term $ net_pos $ src_pos $ dst_pos $ lambda_opt
+      $ storm_opt $ tick_arg $ top_k_arg $ json_arg)
+
+(* --- env --- *)
+
+let env_cmd =
+  let run () =
+    Format.printf "%-26s %-24s %s@." "variable" "current" "default";
+    List.iter
+      (fun (v : Rr_obs.Envvar.t) ->
+        let current =
+          match Rr_obs.Envvar.raw v with
+          | None -> "(unset)"
+          | Some s -> Printf.sprintf "%S" s
+        in
+        Format.printf "%-26s %-24s %s@." v.Rr_obs.Envvar.name current
+          v.Rr_obs.Envvar.default;
+        Format.printf "%-26s   %s@." "" v.Rr_obs.Envvar.doc)
+      Rr_obs.Envvar.all
+  in
+  Cmd.v
+    (Cmd.info "env"
+       ~doc:
+         "List every recognized RISKROUTE_* environment variable with its \
+          current value and default.")
+    Term.(const run $ setup_term)
 
 (* --- ratios --- *)
 
@@ -609,12 +710,76 @@ let availability_cmd =
 
 (* --- report --- *)
 
+(* Provenance records for the route-producing case studies, attached
+   after the report so stdout stays byte-identical: fig7's two lambda
+   settings on the canonical Level3 Houston-Boston pair, and the same
+   pair under each hurricane's advisory overlay for the fig12/fig13
+   case studies. Every record re-derives from the shared context's
+   caches, so attaching them costs no extra env builds beyond the
+   advisory overlays. *)
+let provenance_records exp =
+  let c = ctx () in
+  let wants id = String.equal exp "all" || String.equal exp id in
+  let records = ref [] in
+  let add experiment label result =
+    match result with
+    | Ok t -> records := (experiment, label, Rr_explain.to_json t) :: !records
+    | Error msg ->
+      Rr_obs.Log.warnf "riskroute: provenance %s/%s: %s" experiment label msg
+  in
+  if wants "fig7" then
+    List.iter
+      (fun lambda_h ->
+        add "fig7"
+          (Printf.sprintf "lambda_h=%.0e" lambda_h)
+          (Rr_explain.explain_named ~lambda_h c ~net:"Level3" ~src:"Houston"
+             ~dst:"Boston"))
+      [ 1e4; 1e5 ];
+  if wants "fig12" || wants "fig13" then
+    List.iter
+      (fun (s : Rr_forecast.Track.storm) ->
+        add "fig12"
+          (String.lowercase_ascii s.Rr_forecast.Track.name)
+          (Rr_explain.explain_named ~storm:s.Rr_forecast.Track.name c
+             ~net:"Level3" ~src:"Houston" ~dst:"Boston"))
+      Rr_forecast.Track.all;
+  List.rev !records
+
+let write_provenance exp path =
+  let records = provenance_records exp in
+  let b = Buffer.create 8192 in
+  Buffer.add_string b "{\"schema\": 1, \"experiments\": [";
+  List.iteri
+    (fun i (experiment, label, json) ->
+      Buffer.add_string b (if i = 0 then "\n" else ",\n");
+      Buffer.add_string b
+        (Printf.sprintf "{\"experiment\": %S, \"label\": %S, \"record\": "
+           experiment label);
+      Buffer.add_string b (String.trim json);
+      Buffer.add_string b "}")
+    records;
+  Buffer.add_string b (if records = [] then "]}\n" else "\n]}\n");
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Buffer.contents b))
+
 let report_cmd =
   let exp_arg =
     Arg.(value & pos 0 string "all" & info [] ~docv:"EXPERIMENT"
            ~doc:"Experiment id (table1..fig13) or 'all'.")
   in
-  let run () exp =
+  let provenance_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "provenance" ] ~docv:"FILE"
+          ~doc:
+            "After the report, write route-provenance records (schema'd \
+             JSON, see `riskroute explain`) for the case-study experiments \
+             to $(docv). Report output is unchanged by this flag.")
+  in
+  let run () exp provenance =
     let ppf = Format.std_formatter in
     (if String.equal exp "all" then Rr_experiments.Report.run_all (ctx ()) ppf
      else
@@ -625,11 +790,12 @@ let report_cmd =
            (Error
               (Printf.sprintf "unknown experiment %S (try: %s)" exp
                  (String.concat " " (Rr_experiments.Report.ids ())))));
-    Format.pp_print_flush ppf ()
+    Format.pp_print_flush ppf ();
+    match provenance with None -> () | Some path -> write_provenance exp path
   in
   Cmd.v
     (Cmd.info "report" ~doc:"Reproduce a paper table or figure.")
-    Term.(const run $ setup_term $ exp_arg)
+    Term.(const run $ setup_term $ exp_arg $ provenance_arg)
 
 (* --- bench-compare --- *)
 
@@ -735,10 +901,10 @@ let main_cmd =
   Cmd.group
     (Cmd.info "riskroute" ~version:"1.0.0" ~doc)
     [
-      networks_cmd; route_cmd; ratios_cmd; provision_cmd; peers_cmd;
-      forecast_cmd; export_gml_cmd; report_cmd; simulate_cmd; backup_cmd;
-      pareto_cmd; export_geojson_cmd; shared_risk_cmd; availability_cmd;
-      bench_compare_cmd; dashboard_cmd;
+      networks_cmd; route_cmd; explain_cmd; env_cmd; ratios_cmd;
+      provision_cmd; peers_cmd; forecast_cmd; export_gml_cmd; report_cmd;
+      simulate_cmd; backup_cmd; pareto_cmd; export_geojson_cmd;
+      shared_risk_cmd; availability_cmd; bench_compare_cmd; dashboard_cmd;
     ]
 
 (* [~catch:false]: let exceptions escape to the runtime's uncaught

@@ -16,6 +16,36 @@ let bit_risk_miles_kappa env ~kappa path =
   fold_hops env path ~init:0.0 ~f:(fun acc a b ->
       acc +. Env.edge_weight env ~kappa a b)
 
+type term = {
+  tail : int;
+  head : int;
+  miles : float;
+  hist : float;
+  fcst : float;
+}
+
+(* The two products replay Env.compute_node_risk's expression exactly
+   ([lambda_h *. risk_scale *. o_h] is left-associated there too), so
+   [hist +. fcst] is bitwise equal to the cached node risk and
+   [term_weight] to [Env.edge_weight]. *)
+let term env a b =
+  let p = Env.params env in
+  {
+    tail = a;
+    head = b;
+    miles = Env.link_miles env a b;
+    hist = p.Params.lambda_h *. p.Params.risk_scale *. (Env.historical env).(b);
+    fcst = p.Params.lambda_f *. (Env.forecast env).(b);
+  }
+
+let terms env path =
+  List.rev (fold_hops env path ~init:[] ~f:(fun acc a b -> term env a b :: acc))
+
+let term_weight ~kappa t = t.miles +. (kappa *. (t.hist +. t.fcst))
+
+let terms_total ~kappa ts =
+  List.fold_left (fun acc t -> acc +. term_weight ~kappa t) 0.0 ts
+
 let bit_risk_miles env path =
   match path with
   | [] | [ _ ] -> 0.0

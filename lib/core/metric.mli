@@ -17,3 +17,32 @@ val bit_risk_miles_kappa : Env.t -> kappa:float -> int list -> float
 val path_risk : Env.t -> int list -> float
 (** The pure risk term [sum_{x=2..K} node_risk(p_x)] (unscaled by
     kappa). *)
+
+(** {1 Term-level evaluation}
+
+    Eq. 1 broken into its per-arc ingredients for attribution. The
+    decomposition is exact: [term_weight ~kappa t] is bitwise equal to
+    {!Env.edge_weight} on the same arc, and [terms_total ~kappa (terms
+    env p)] is bitwise equal to {!bit_risk_miles_kappa} (both are the
+    same left fold over the same per-arc values). *)
+
+type term = {
+  tail : int;  (** arc tail [p_{x-1}] *)
+  head : int;  (** arc head [p_x] — the node whose risk is charged *)
+  miles : float;  (** [d(p_x, p_{x-1})] *)
+  hist : float;  (** [lambda_h * risk_scale * o_h(p_x)] *)
+  fcst : float;  (** [lambda_f * o_f(p_x)] *)
+}
+
+val term : Env.t -> int -> int -> term
+(** The decomposed weight of one directed arc. *)
+
+val terms : Env.t -> int list -> term list
+(** One term per hop of a node path, in path order. *)
+
+val term_weight : kappa:float -> term -> float
+(** [miles + kappa * (hist + fcst)] — bitwise {!Env.edge_weight}. *)
+
+val terms_total : kappa:float -> term list -> float
+(** Left fold of {!term_weight} from 0 — bitwise
+    {!bit_risk_miles_kappa} when applied to [terms env path]. *)

@@ -40,7 +40,7 @@ let c_tree_evict = Rr_obs.Counter.make "engine.cache.tree_evictions"
 let default_tree_cache_cap = 4096
 
 let tree_cache_cap_from_env () =
-  match Sys.getenv_opt "RISKROUTE_TREE_CACHE" with
+  match Rr_obs.Envvar.(raw tree_cache) with
   | None -> None
   | Some s -> (
     match int_of_string_opt (String.trim s) with

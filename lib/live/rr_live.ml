@@ -33,7 +33,22 @@ let stats_provider = ref default_stats
 
 let set_stats_provider f = stats_provider := f
 
-(* --- span-stall watchdog --- *)
+(* --- /explain provider ---
+
+   Same inversion as /stats: route explanation needs the engine and the
+   explain layer, both above Rr_live in the dependency order, so the
+   CLI/bench register a closure over their shared context. The provider
+   gets the decoded query parameters and returns the JSON body, or a
+   client-error message (400). *)
+
+let default_explain _params =
+  Error
+    "no explain provider registered; run via the riskroute CLI or bench \
+     harness"
+
+let explain_provider = ref default_explain
+
+let set_explain_provider f = explain_provider := f
 
 let default_stall_deadline = 60.0
 
@@ -47,7 +62,7 @@ let set_stall_deadline d =
 let stall_deadline () = !stall_deadline_cell
 
 let () =
-  match Sys.getenv_opt "RISKROUTE_STALL_DEADLINE" with
+  match Rr_obs.Envvar.(raw stall_deadline) with
   | None -> ()
   | Some v -> (
     match float_of_string_opt (String.trim v) with
@@ -75,6 +90,18 @@ let healthz () =
     (Printf.sprintf "  \"status\": \"%s\",\n"
        (if healthy then "ok" else "degraded"));
   add (Printf.sprintf "  \"pid\": %d,\n" (Unix.getpid ()));
+  add "  \"git_rev\": \"";
+  Rr_obs.json_escape b (Rr_obs.git_rev ());
+  add "\",\n";
+  add "  \"schemas\": {";
+  List.iteri
+    (fun i (name, version) ->
+      if i > 0 then add ", ";
+      add "\"";
+      Rr_obs.json_escape b name;
+      add (Printf.sprintf "\": %d" version))
+    (Rr_obs.Schema.all ());
+  add "},\n";
   add
     (Printf.sprintf "  \"uptime_seconds\": %s,\n"
        (Rr_obs.fnum (now -. Rr_obs.process_epoch)));
@@ -119,15 +146,66 @@ let index_body =
    /healthz  liveness + span-stall watchdog (503 when degraded)\n\
    /stats    engine cache snapshot (hits, misses, evictions, occupancy)\n\
    /flight   recent-event flight recorder, merged across domains\n\
-   /series   time-series sampler ring (timestamped metric deltas)\n"
+   /series   time-series sampler ring (timestamped metric deltas)\n\
+   /explain  route provenance: /explain?net=..&src=..&dst=..\n"
+
+(* --- query-string decoding (application/x-www-form-urlencoded) ---
+
+   PoP names carry spaces ("New York"), so /explain values arrive
+   percent-encoded or '+'-separated. A malformed escape is kept
+   verbatim: the provider's name resolution reports it more usefully
+   than a blanket 400 here could. *)
+
+let percent_decode s =
+  let hex = function
+    | '0' .. '9' as c -> Char.code c - Char.code '0'
+    | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+    | _ -> -1
+  in
+  let n = String.length s in
+  let b = Buffer.create n in
+  let rec go i =
+    if i < n then begin
+      (match s.[i] with
+      | '+' ->
+        Buffer.add_char b ' ';
+        go (i + 1)
+      | '%' when i + 2 < n && hex s.[i + 1] >= 0 && hex s.[i + 2] >= 0 ->
+        Buffer.add_char b (Char.chr ((hex s.[i + 1] * 16) + hex s.[i + 2]));
+        go (i + 3)
+      | c ->
+        Buffer.add_char b c;
+        go (i + 1))
+    end
+  in
+  go 0;
+  Buffer.contents b
+
+let parse_query q =
+  List.filter_map
+    (fun kv ->
+      if kv = "" then None
+      else
+        match String.index_opt kv '=' with
+        | Some i ->
+          Some
+            ( percent_decode (String.sub kv 0 i),
+              percent_decode (String.sub kv (i + 1) (String.length kv - i - 1))
+            )
+        | None -> Some (percent_decode kv, ""))
+    (String.split_on_char '&' q)
 
 let handle path =
   Rr_obs.Counter.incr c_requests;
-  (* Ignore any query string: the endpoints take no parameters. *)
-  let path =
+  (* Split off the query string; only /explain consumes it, the other
+     endpoints take no parameters. *)
+  let path, query =
     match String.index_opt path '?' with
-    | Some i -> String.sub path 0 i
-    | None -> path
+    | Some i ->
+      ( String.sub path 0 i,
+        String.sub path (i + 1) (String.length path - i - 1) )
+    | None -> (path, "")
   in
   match path with
   | "/" | "" ->
@@ -176,6 +254,33 @@ let handle path =
       headers = [];
       body = Rr_obs.Series.to_json ();
     }
+  | "/explain" -> (
+    match !explain_provider (parse_query query) with
+    | Ok body -> { status = 200; content_type = json_ct; headers = []; body }
+    | Error msg ->
+      Rr_obs.Counter.incr c_errors;
+      let b = Buffer.create 64 in
+      Buffer.add_string b "{\"error\": \"";
+      Rr_obs.json_escape b msg;
+      Buffer.add_string b "\"}\n";
+      {
+        status = 400;
+        content_type = json_ct;
+        headers = [];
+        body = Buffer.contents b;
+      }
+    | exception e ->
+      Rr_obs.Counter.incr c_errors;
+      let b = Buffer.create 64 in
+      Buffer.add_string b "{\"error\": \"explain provider failed: ";
+      Rr_obs.json_escape b (Printexc.to_string e);
+      Buffer.add_string b "\"}\n";
+      {
+        status = 500;
+        content_type = json_ct;
+        headers = [];
+        body = Buffer.contents b;
+      })
   | _ ->
     Rr_obs.Counter.incr c_errors;
     { status = 404; content_type = text_ct; headers = []; body = "not found\n" }
@@ -373,7 +478,7 @@ let stop () =
 let () = at_exit stop
 
 let autostart_from_env () =
-  match Sys.getenv_opt "RISKROUTE_LIVE" with
+  match Rr_obs.Envvar.(raw live) with
   | None -> ()
   | Some v when String.trim v = "" -> ()
   | Some v -> (

@@ -17,7 +17,10 @@
       events, merged across domains in deterministic order;
     - [GET /series] — the {!Rr_obs.Series} sampler ring: timestamped
       metric deltas over the run so far (empty unless [--series] /
-      [RISKROUTE_SERIES] armed the sampler).
+      [RISKROUTE_SERIES] armed the sampler);
+    - [GET /explain?net=..&src=..&dst=..] — a route-provenance record
+      (per-arc Eq. 1 decomposition, baseline diff, cache provenance) via
+      the provider registered with {!set_explain_provider}.
 
     Enabled with [--live PORT] on the CLI and bench harness, or
     [RISKROUTE_LIVE=PORT] in the environment (see
@@ -45,6 +48,19 @@ val set_stats_provider : (unit -> string) -> unit
 (** Register the JSON body served on [/stats]. The CLI and bench wire
     this to [Rr_engine.Context.stats_json] of the shared context; the
     default body is a JSON error note. *)
+
+val set_explain_provider :
+  ((string * string) list -> (string, string) result) -> unit
+(** Register the [/explain] handler. The provider receives the decoded
+    query parameters (percent- and ['+']-decoding already applied, in
+    request order) and returns the JSON body, or a client-error message
+    rendered as a 400 JSON object. Exceptions become 500s. The CLI and
+    bench wire this to [Rr_explain] over their shared context; the
+    default provider returns an error note. *)
+
+val parse_query : string -> (string * string) list
+(** Decode an [application/x-www-form-urlencoded] query string (the part
+    after ['?']). Exposed for tests. *)
 
 val set_stall_deadline : float -> unit
 (** Seconds an open span may run before [/healthz] reports the process

@@ -1,0 +1,91 @@
+(* Envvar — the canonical table of RISKROUTE_* environment variables.
+
+   Every knob the process reads from the environment is declared here,
+   once, with its default and a one-line description; call sites fetch
+   values through {!raw} / {!trimmed} instead of [Sys.getenv_opt] so the
+   `riskroute env` subcommand (and the README table) can never drift
+   from what the code actually consumes. Parsing and invalid-value
+   warnings stay at the call sites — each variable has its own
+   semantics — this module only owns the namespace.
+
+   Deliberately dependency-free (not even the rest of Rr_obs): the
+   telemetry init block itself reads variables through this table. *)
+
+type t = {
+  name : string;  (** the environment variable, e.g. "RISKROUTE_DOMAINS" *)
+  default : string;  (** human-readable effective default when unset *)
+  doc : string;  (** one-line effect description *)
+}
+
+let v name default doc = { name; default; doc }
+
+let domains =
+  v "RISKROUTE_DOMAINS" "Domain.recommended_domain_count ()"
+    "pool size for parallel sweeps (positive integer)"
+
+let tree_cache =
+  v "RISKROUTE_TREE_CACHE" "4096"
+    "shortest-path-tree cache capacity per engine context (0 disables)"
+
+let telemetry =
+  v "RISKROUTE_TELEMETRY" "unset (off)"
+    "enable telemetry; dump on exit (- / stderr / *.prom / file path)"
+
+let trace =
+  v "RISKROUTE_TRACE" "unset (off)"
+    "enable telemetry; write a Chrome trace-event JSON on exit"
+
+let series =
+  v "RISKROUTE_SERIES" "unset (off)"
+    "enable the time-series sampler; dump the sample ring on exit"
+
+let sample_period =
+  v "RISKROUTE_SAMPLE_PERIOD" "1.0"
+    "sampling period in seconds for the series ring (positive float)"
+
+let live =
+  v "RISKROUTE_LIVE" "unset (off)"
+    "start the live HTTP endpoint on the given port (0 = ephemeral)"
+
+let log =
+  v "RISKROUTE_LOG" "unset (warnings as plain text)"
+    "log level (debug/info/warn/error); switches stderr to JSON lines"
+
+let flight =
+  v "RISKROUTE_FLIGHT" "per-pid file under the temp dir"
+    "path for flight-recorder dumps on SIGUSR1 / crash"
+
+let flight_cap =
+  v "RISKROUTE_FLIGHT_CAP" "512"
+    "flight ring capacity per domain (0 disables recording)"
+
+let stall_deadline =
+  v "RISKROUTE_STALL_DEADLINE" "60"
+    "seconds before an open span marks /healthz degraded"
+
+(* README-table order: execution knobs first, then observability. *)
+let all =
+  [
+    domains;
+    tree_cache;
+    telemetry;
+    trace;
+    series;
+    sample_period;
+    live;
+    log;
+    flight;
+    flight_cap;
+    stall_deadline;
+  ]
+
+let raw var = Sys.getenv_opt var.name
+
+(* Unset and set-but-blank are the same "leave the default" gesture
+   everywhere in this codebase; [trimmed] encodes that. *)
+let trimmed var =
+  match raw var with
+  | None -> None
+  | Some s ->
+    let s = String.trim s in
+    if s = "" then None else Some s

@@ -61,6 +61,70 @@ end
    stamped relative to module load, like registry spans. *)
 let process_epoch = Clock.now ()
 
+(* The canonical RISKROUTE_* environment-variable table; the init block
+   below and every other library read knobs through it. *)
+module Envvar = Envvar
+
+(* The running binary's git revision, read straight off .git so the
+   library stays dependency- and subprocess-free; "unknown" outside a
+   checkout. Memoised: the revision cannot change under a running
+   process, and /healthz polls it. *)
+let git_rev_memo =
+  lazy
+    (let read_line path =
+       let ic = open_in path in
+       Fun.protect ~finally:(fun () -> close_in ic) (fun () -> input_line ic)
+     in
+     try
+       let head = String.trim (read_line ".git/HEAD") in
+       let prefix = "ref: " in
+       if
+         String.length head > String.length prefix
+         && String.sub head 0 (String.length prefix) = prefix
+       then begin
+         let r = String.sub head 5 (String.length head - 5) in
+         try String.trim (read_line (Filename.concat ".git" r))
+         with _ ->
+           (* Ref not unpacked: scan .git/packed-refs for it. *)
+           let ic = open_in ".git/packed-refs" in
+           Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+               let rev = ref "unknown" in
+               (try
+                  while true do
+                    let line = input_line ic in
+                    match String.index_opt line ' ' with
+                    | Some i
+                      when String.sub line (i + 1) (String.length line - i - 1)
+                           = r ->
+                      rev := String.sub line 0 i;
+                      raise Exit
+                    | _ -> ()
+                  done
+                with End_of_file | Exit -> ());
+               !rev)
+       end
+       else head
+     with _ -> "unknown")
+
+let git_rev () = Lazy.force git_rev_memo
+
+(* Schema versions of the JSON artifacts this build can emit, so a live
+   instance is identifiable from /healthz alone. Pre-seeded with the
+   dumps this library owns (the versions mirror the literals in the
+   respective writers); binaries register the artifacts they own
+   (bench statistics, explain records, ...) at startup. *)
+module Schema = struct
+  let lock = Mutex.create ()
+
+  let table = ref [ ("flight", 1); ("series", 1); ("telemetry", 1) ]
+
+  let register name version =
+    Mutex.protect lock (fun () ->
+        table := (name, version) :: List.remove_assoc name !table)
+
+  let all () = Mutex.protect lock (fun () -> List.sort compare !table)
+end
+
 (* --- histogram buckets ---
 
    Fixed powers-of-two boundaries: bucket [i] covers (2^(i-21), 2^(i-20)]
@@ -1719,14 +1783,14 @@ let telemetry_snapshot_path () =
   else p ^ "-telemetry.json"
 
 let () =
-  (match Sys.getenv_opt "RISKROUTE_TELEMETRY" with
-  | Some v when String.trim v <> "" -> enable_dump (String.trim v)
-  | Some _ | None -> ());
-  (match Sys.getenv_opt "RISKROUTE_TRACE" with
-  | Some v when String.trim v <> "" -> enable_trace (String.trim v)
-  | Some _ | None -> ());
-  (match Sys.getenv_opt "RISKROUTE_LOG" with
-  | Some v when String.trim v <> "" -> (
+  (match Envvar.trimmed Envvar.telemetry with
+  | Some v -> enable_dump v
+  | None -> ());
+  (match Envvar.trimmed Envvar.trace with
+  | Some v -> enable_trace v
+  | None -> ());
+  (match Envvar.trimmed Envvar.log with
+  | Some v -> (
     match Log.level_of_string v with
     | Some _ as l -> Log.set_level l
     | None ->
@@ -1737,11 +1801,11 @@ let () =
           "riskroute: ignoring invalid RISKROUTE_LOG=%S (want \
            debug|info|warn|error)"
           v))
-  | Some _ | None -> ());
-  (match Sys.getenv_opt "RISKROUTE_FLIGHT" with
-  | Some v when String.trim v <> "" -> Flight.set_dump_path (String.trim v)
-  | Some _ | None -> ());
-  (match Sys.getenv_opt "RISKROUTE_FLIGHT_CAP" with
+  | None -> ());
+  (match Envvar.trimmed Envvar.flight with
+  | Some v -> Flight.set_dump_path v
+  | None -> ());
+  (match Envvar.raw Envvar.flight_cap with
   | None -> ()
   | Some v -> (
     match int_of_string_opt (String.trim v) with
@@ -1753,7 +1817,7 @@ let () =
         v));
   (* Period first, so RISKROUTE_SERIES starts its sampler on the
      configured cadence. *)
-  (match Sys.getenv_opt "RISKROUTE_SAMPLE_PERIOD" with
+  (match Envvar.raw Envvar.sample_period with
   | None -> ()
   | Some v -> (
     match float_of_string_opt (String.trim v) with
@@ -1763,9 +1827,9 @@ let () =
         "riskroute: ignoring invalid RISKROUTE_SAMPLE_PERIOD=%S (want \
          positive seconds)"
         v));
-  (match Sys.getenv_opt "RISKROUTE_SERIES" with
-  | Some v when String.trim v <> "" -> Series.enable (String.trim v)
-  | Some _ | None -> ());
+  (match Envvar.trimmed Envvar.series with
+  | Some v -> Series.enable v
+  | None -> ());
   (* GC major slices land in the flight ring: a post-mortem dump can
      distinguish "stalled in our code" from "stalled collecting". *)
   ignore

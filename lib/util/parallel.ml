@@ -29,7 +29,7 @@ let g_pool_size = Rr_obs.Gauge.make "parallel.pool_size"
 
 let h_batch = Rr_obs.Histogram.make "parallel.batch_seconds"
 
-let env_var = "RISKROUTE_DOMAINS"
+let env_var = Rr_obs.Envvar.(domains.name)
 
 let env_warned = ref false
 
@@ -37,7 +37,7 @@ let env_warned = ref false
    does not parse as a positive integer bumps the warning counter and
    states (once) which pool size is actually used. *)
 let env_count () =
-  match Sys.getenv_opt env_var with
+  match Rr_obs.Envvar.(raw domains) with
   | None -> None
   | Some s when String.trim s = "" -> None
   | Some s -> (

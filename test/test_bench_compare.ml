@@ -314,6 +314,87 @@ let test_compare_table_renders () =
   Alcotest.(check bool) "table summarises the count" true
     (contains "1 kernel(s) regressed")
 
+(* --- dashboard sparklines --- *)
+
+module Dashboard = Rr_perf.Dashboard
+
+let page_contains needle hay =
+  let n = String.length needle and m = String.length hay in
+  let rec go i = i + n <= m && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+(* A series dump hand-built around the degenerate shapes: the sparkline
+   scaler divides by [n - 1] (x) and by [vmax - vmin] (y), so a
+   single-sample ring and a constant metric are the regression cases —
+   either must render finite coordinates, never "nan"/"inf" attribute
+   soup. *)
+let series_doc samples =
+  Printf.sprintf
+    "{\"schema\": 1, \"period_seconds\": 1, \"capacity\": 8, \"recorded\": \
+     %d, \"retained\": %d, \"samples\": [%s]}"
+    (List.length samples) (List.length samples)
+    (String.concat ", " samples)
+
+let render_series_exn samples =
+  match Dashboard.render ~source:"test.json" (series_doc samples) with
+  | Ok html -> html
+  | Error e -> Alcotest.failf "dashboard render failed: %s" e
+
+let check_finite_svg label html =
+  let lowered = String.lowercase_ascii html in
+  List.iter
+    (fun tok ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: no %S in the page" label tok)
+        false (page_contains tok lowered))
+    [ "nan"; "infinity" ]
+
+let test_dashboard_single_sample () =
+  let html =
+    render_series_exn
+      [
+        "{\"seq\": 0, \"time\": 10.0, \"counters\": {\"demo.requests\": 5}, \
+         \"gauges\": {\"demo.level\": 3}, \"gc\": {\"minor_words\": 10, \
+         \"major_words\": 0, \"minor_collections\": 1, \
+         \"major_collections\": 0, \"heap_words\": 1000}}";
+      ]
+  in
+  check_finite_svg "single sample" html;
+  (* One tick cannot draw a line; the point marker stands in. *)
+  Alcotest.(check bool) "renders the single-point marker" true
+    (page_contains "circle class=\"pt\"" html);
+  Alcotest.(check bool) "names the metric" true
+    (page_contains "demo.requests" html)
+
+let test_dashboard_constant_and_gappy_series () =
+  (* Three ticks: a constant counter (zero vertical span), and a stat
+     present only in the middle tick (single-point run inside gaps). *)
+  let tick seq time stats =
+    Printf.sprintf
+      "{\"seq\": %d, \"time\": %.1f, \"counters\": {\"demo.requests\": 5}, \
+       \"gc\": {\"minor_words\": 10, \"major_words\": 0, \
+       \"minor_collections\": 1, \"major_collections\": 0, \"heap_words\": \
+       1000}%s}"
+      seq time stats
+  in
+  let html =
+    render_series_exn
+      [
+        tick 0 10.0 "";
+        tick 1 11.0 ", \"stats\": {\"probe.level\": 42}";
+        tick 2 12.0 "";
+      ]
+  in
+  check_finite_svg "constant series" html;
+  (* The constant counter still draws its (flat, centred) line... *)
+  Alcotest.(check bool) "constant series draws a line" true
+    (page_contains "path class=\"line\"" html);
+  (* ...and the lone mid-gap observation degrades to a point marker. *)
+  Alcotest.(check bool) "gappy stat draws a point" true
+    (page_contains "circle class=\"pt\"" html);
+  Alcotest.(check bool) "names the gappy stat" true
+    (page_contains "probe.level" html)
+
 let () =
   Alcotest.run "bench_compare"
     [
@@ -352,5 +433,12 @@ let () =
           Alcotest.test_case "meta comparability warnings" `Quick
             test_meta_warnings;
           Alcotest.test_case "table renders" `Quick test_compare_table_renders;
+        ] );
+      ( "dashboard",
+        [
+          Alcotest.test_case "single-sample ring renders finite" `Quick
+            test_dashboard_single_sample;
+          Alcotest.test_case "constant and gappy series render finite" `Quick
+            test_dashboard_constant_and_gappy_series;
         ] );
     ]

@@ -110,6 +110,9 @@ let test_handle_routing () =
   check_status "/flight" 200;
   check_status "/series" 200;
   check_status "/nope" 404;
+  (* /explain with no provider registered is a client error, not a
+     crash: the default provider explains how to get one. *)
+  check_status "/explain?net=Level3&src=Houston&dst=Boston" 400;
   (* Query strings are ignored, not 404ed. *)
   check_status "/metrics?refresh=1" 200;
   Alcotest.(check string) "metrics content type"
@@ -154,6 +157,59 @@ let test_stats_provider () =
     (json_str "error" (json_of r.Rr_live.body) <> "");
   Rr_live.set_stats_provider (fun () -> golden)
 
+(* --- query decoding and the /explain provider --- *)
+
+let test_parse_query () =
+  let pairs = Alcotest.(list (pair string string)) in
+  Alcotest.(check pairs) "empty query" [] (Rr_live.parse_query "");
+  Alcotest.(check pairs) "plain pairs"
+    [ ("net", "Level3"); ("src", "Houston"); ("dst", "Boston") ]
+    (Rr_live.parse_query "net=Level3&src=Houston&dst=Boston");
+  Alcotest.(check pairs) "plus and percent escapes decode"
+    [ ("src", "New York"); ("q", "a&b=c") ]
+    (Rr_live.parse_query "src=New+York&q=a%26b%3Dc");
+  Alcotest.(check pairs) "bare key becomes empty value" [ ("json", "") ]
+    (Rr_live.parse_query "json");
+  Alcotest.(check pairs) "malformed escape kept verbatim"
+    [ ("x", "%zz"); ("y", "%4") ]
+    (Rr_live.parse_query "x=%zz&y=%4");
+  Alcotest.(check pairs) "empty segments dropped" [ ("a", "1") ]
+    (Rr_live.parse_query "&a=1&")
+
+let test_explain_provider () =
+  with_telemetry @@ fun () ->
+  Fun.protect ~finally:(fun () ->
+      Rr_live.set_explain_provider (fun _ -> Error "no explain provider"))
+  @@ fun () ->
+  (* The handler decodes the query string and hands the provider the
+     parsed pairs; an Ok body is served verbatim as JSON. *)
+  let seen = ref [] in
+  Rr_live.set_explain_provider (fun params ->
+      seen := params;
+      Ok "{\"schema\": 1}\n");
+  let r = Rr_live.handle "/explain?net=Level3&src=New+York&dst=Boston" in
+  Alcotest.(check int) "ok status" 200 r.Rr_live.status;
+  Alcotest.(check string) "json content type" "application/json"
+    r.Rr_live.content_type;
+  Alcotest.(check string) "provider body verbatim" "{\"schema\": 1}\n"
+    r.Rr_live.body;
+  Alcotest.(check (list (pair string string))) "decoded params delivered"
+    [ ("net", "Level3"); ("src", "New York"); ("dst", "Boston") ]
+    !seen;
+  (* A provider Error is the client's fault: 400 with the message. *)
+  Rr_live.set_explain_provider (fun _ -> Error "unknown network \"nope\"");
+  let r = Rr_live.handle "/explain?net=nope" in
+  Alcotest.(check int) "error status" 400 r.Rr_live.status;
+  Alcotest.(check string) "error body names the cause"
+    "unknown network \"nope\""
+    (json_str "error" (json_of r.Rr_live.body));
+  (* A raising provider is a server error, mirroring /stats. *)
+  Rr_live.set_explain_provider (fun _ -> failwith "cache exploded");
+  let r = Rr_live.handle "/explain?net=Level3" in
+  Alcotest.(check int) "crash status" 500 r.Rr_live.status;
+  Alcotest.(check bool) "crash body names the exception" true
+    (json_str "error" (json_of r.Rr_live.body) <> "")
+
 (* --- the listener --- *)
 
 let test_listener_endpoints () =
@@ -190,6 +246,26 @@ let test_listener_endpoints () =
   let j = json_of body in
   Alcotest.(check string) "healthz verdict" "ok" (json_str "status" j);
   Alcotest.(check int) "healthz pid" (Unix.getpid ()) (json_int "pid" j);
+  (* Build identity: the git revision (or "unknown" outside a repo)
+     and the schema-version table ride on every health probe. *)
+  Alcotest.(check bool) "healthz git_rev present" true
+    (json_str "git_rev" j <> "");
+  let schemas =
+    match Rr_perf.Json.member "schemas" j with
+    | Some s -> s
+    | None -> Alcotest.fail "healthz has no schemas object"
+  in
+  List.iter
+    (fun name ->
+      Alcotest.(check bool)
+        (Printf.sprintf "schemas.%s is a positive version" name)
+        true
+        (match
+           Option.bind (Rr_perf.Json.member name schemas) Rr_perf.Json.to_int
+         with
+        | Some v -> v >= 1
+        | None -> false))
+    [ "flight"; "series"; "telemetry" ];
   (* /stats: golden body through the provider. *)
   let golden = "{\"env\": {\"hits\": 0, \"misses\": 0}}\n" in
   Rr_live.set_stats_provider (fun () -> golden);
@@ -225,6 +301,8 @@ let test_listener_endpoints () =
     go 0
   in
   Alcotest.(check bool) "index lists /series" true (contains "/series" body);
+  Alcotest.(check bool) "index lists /explain" true
+    (contains "/explain" body);
   (* Unknown path and non-GET method. *)
   let status, _, _ = http_get port "/nope" in
   Alcotest.(check int) "404 for unknown path" 404 status;
@@ -321,6 +399,9 @@ let () =
           Alcotest.test_case "path dispatch" `Quick test_handle_routing;
           Alcotest.test_case "render golden bytes" `Quick test_render_golden;
           Alcotest.test_case "stats provider hook" `Quick test_stats_provider;
+          Alcotest.test_case "query decoding" `Quick test_parse_query;
+          Alcotest.test_case "explain provider hook" `Quick
+            test_explain_provider;
         ] );
       ( "listener",
         [

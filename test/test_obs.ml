@@ -216,6 +216,35 @@ let test_quantile_empty () =
         (Float.is_nan (Rr_obs.Histogram.quantile s q)))
     [ 0.0; 0.5; 0.99 ]
 
+(* A registered-but-never-observed histogram must still expose cleanly:
+   the NaN quantiles (and infinite min/max) are clamped to 0, never
+   leaking "nan"/"inf" tokens that would break JSON consumers. *)
+let test_empty_histogram_exposition () =
+  with_telemetry @@ fun () ->
+  let r = Rr_obs.Registry.create () in
+  ignore (Rr_obs.Histogram.make ~registry:r "test.obs.h_unobserved");
+  let json = Rr_obs.to_json ~registry:r () in
+  let contains needle hay =
+    let n = String.length needle and m = String.length hay in
+    let rec go i = i + n <= m && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  (match Rr_perf.Json.parse json with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "empty-histogram dump is not JSON: %s\n%s" e json);
+  List.iter
+    (fun tok ->
+      Alcotest.(check bool)
+        (Printf.sprintf "no %S token in the JSON dump" tok)
+        false
+        (contains tok (String.lowercase_ascii json)))
+    [ "nan"; "inf" ];
+  Alcotest.(check bool) "quantiles clamp to zero" true
+    (contains "\"p50\": 0.0, \"p90\": 0.0, \"p99\": 0.0" json);
+  let prom = Rr_obs.to_prometheus ~registry:r () in
+  Alcotest.(check bool) "no nan in the Prometheus exposition" false
+    (contains "nan" (String.lowercase_ascii prom))
+
 let test_quantile_single_sample () =
   with_telemetry @@ fun () ->
   let h = Rr_obs.Histogram.make "test.obs.q_single" in
@@ -755,6 +784,28 @@ let test_series_stats_provider () =
   Alcotest.(check int) "sampling survives a throwing provider" 2
     (Rr_obs.Series.recorded ())
 
+(* A dump taken before the sampler ever ticks (the live endpoint can be
+   curled the instant the process is up) must be a complete, valid
+   document: zero recorded, an empty samples array — not a crash or a
+   truncated object. *)
+let test_series_json_before_first_tick () =
+  with_series 8 @@ fun () ->
+  Alcotest.(check int) "nothing recorded yet" 0 (Rr_obs.Series.recorded ());
+  Alcotest.(check int) "no samples retained" 0
+    (List.length (Rr_obs.Series.samples ()));
+  match Rr_perf.Json.parse (Rr_obs.Series.to_json ()) with
+  | Error e -> Alcotest.failf "pre-tick series dump is not valid JSON: %s" e
+  | Ok j ->
+    let get k = Option.bind (Rr_perf.Json.member k j) Rr_perf.Json.to_int in
+    Alcotest.(check (option int)) "schema" (Some 1) (get "schema");
+    Alcotest.(check (option int)) "recorded" (Some 0) (get "recorded");
+    Alcotest.(check (option int)) "retained" (Some 0) (get "retained");
+    Alcotest.(check (option (list string))) "samples array empty"
+      (Some [])
+      (Option.map
+         (List.map (fun _ -> "sample"))
+         (Option.bind (Rr_perf.Json.member "samples" j) Rr_perf.Json.to_arr))
+
 let test_series_json_parses () =
   with_series 8 @@ fun () ->
   let c = Rr_obs.Counter.make "test.obs.series_json" in
@@ -859,6 +910,8 @@ let () =
         [
           Alcotest.test_case "empty histogram is NaN" `Quick
             test_quantile_empty;
+          Alcotest.test_case "empty histogram exposes clamped" `Quick
+            test_empty_histogram_exposition;
           Alcotest.test_case "single sample" `Quick
             test_quantile_single_sample;
           Alcotest.test_case "deterministic across pool sizes" `Quick
@@ -912,6 +965,8 @@ let () =
             test_series_counter_deltas;
           Alcotest.test_case "stats provider fields" `Quick
             test_series_stats_provider;
+          Alcotest.test_case "dump before first tick" `Quick
+            test_series_json_before_first_tick;
           Alcotest.test_case "dump is valid JSON" `Quick
             test_series_json_parses;
         ] );
