@@ -170,10 +170,27 @@ let query_kernels () =
       ])
     query_pop_sizes
 
+(* Full-season-prefix storm replay, full rebuild vs incremental
+   delta/patch/repair — the macro benchmark the delta engine exists
+   for. Each invocation gets a fresh context (the replay's work
+   accounting and caching behaviour must not leak across runs); the
+   shared corpus singletons are reused underneath. *)
+let replay_kernels () =
+  let net = Rr_engine.Context.require_net (ctx ()) "Level3" in
+  let storm = Rr_forecast.Track.sandy in
+  let kernel mode () =
+    let c = Rr_engine.Context.create () in
+    ignore (Rr_experiments.Replay.run ~mode ~pairs:4 ~ticks:40 c ~net ~storm)
+  in
+  [
+    ("replay-full/sandy-level3", kernel Rr_experiments.Replay.Full);
+    ("replay-incremental/sandy-level3", kernel Rr_experiments.Replay.Incremental);
+  ]
+
 let kernels () =
   dijkstra_kernels () @ kde_kernels () @ forecast_kernels () @ census_kernels ()
   @ augment_kernels () @ ratio_kernels () @ gml_kernels ()
-  @ extension_kernels () @ query_kernels ()
+  @ extension_kernels () @ query_kernels () @ replay_kernels ()
 
 (* --- Bechamel microbenchmark suite --- *)
 

@@ -896,6 +896,65 @@ let dashboard_cmd =
           assets).")
     Term.(const run $ setup_term $ input_arg $ output_arg)
 
+(* --- replay --- *)
+
+let replay_cmd =
+  let mode_arg =
+    let doc = "Advisory stepping mode: full (rebuild the environment \
+               every tick) or incremental (risk-field delta + env patch \
+               + tree repair). The per-tick output is byte-identical \
+               either way; only the work differs." in
+    Arg.(value & opt string "incremental" & info [ "mode" ] ~doc)
+  in
+  let pairs_arg =
+    let doc = "Flow pairs to track (default: RISKROUTE_REPLAY_PAIRS or 8)." in
+    Arg.(value & opt (some int) None & info [ "pairs" ] ~doc)
+  in
+  let ticks_arg =
+    let doc = "Cap on advisory ticks (default: RISKROUTE_REPLAY_TICKS or \
+               the whole season)." in
+    Arg.(value & opt (some int) None & info [ "ticks" ] ~doc)
+  in
+  let summary_arg =
+    let doc = "Write the work-accounting summary JSON to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "summary" ] ~docv:"FILE" ~doc)
+  in
+  let run () name storm_name mode pairs ticks summary =
+    let mode =
+      or_die
+        (match Rr_experiments.Replay.mode_of_string mode with
+        | Some m -> Ok m
+        | None ->
+          Error (Printf.sprintf "unknown mode %S (full|incremental)" mode))
+    in
+    let storm = or_die (find_storm storm_name) in
+    let net =
+      match continental_pops name with
+      | Some pops -> Rr_engine.Context.continental (ctx ()) ~pops
+      | None -> or_die (find_net name)
+    in
+    let t =
+      Rr_experiments.Replay.run ~mode ?pairs ?ticks (ctx ()) ~net ~storm
+    in
+    print_string (Rr_experiments.Replay.render t);
+    match summary with
+    | None -> ()
+    | Some file ->
+      let oc = open_out file in
+      output_string oc (Rr_experiments.Replay.summary_json t);
+      close_out oc
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Stream a storm's advisory season through the engine tick-by-tick, \
+          reporting per-tick route churn and risk detours. --mode compares \
+          the full-rebuild path against the incremental \
+          delta/patch/repair path; their outputs must match bytewise.")
+    Term.(
+      const run $ setup_term $ net_arg $ storm_arg $ mode_arg $ pairs_arg
+      $ ticks_arg $ summary_arg)
+
 let main_cmd =
   let doc = "RiskRoute: mitigate network outage threats (CoNEXT'13 reproduction)." in
   Cmd.group
@@ -905,6 +964,7 @@ let main_cmd =
       provision_cmd; peers_cmd; forecast_cmd; export_gml_cmd; report_cmd;
       simulate_cmd; backup_cmd; pareto_cmd; export_geojson_cmd;
       shared_risk_cmd; availability_cmd; bench_compare_cmd; dashboard_cmd;
+      replay_cmd;
     ]
 
 (* [~catch:false]: let exceptions escape to the runtime's uncaught

@@ -4,11 +4,19 @@
 
    - [miles] is the dense n x n great-circle matrix (row-major, 0 on the
      diagonal), making [link_miles] a single array read for any pair.
+     Above [dense_threshold] nodes the matrix is skipped entirely
+     ([miles] is empty): per-arc miles are computed per undirected edge
+     and mirrored through the reverse-CSR mate, bit-identical to the
+     dense fill, and [link_miles] falls back to on-the-fly great-circle
+     trigonometry — that is what makes 10k-50k-PoP continental
+     environments buildable (the matrix alone would be gigabytes).
    - [arc_off]/[arc_tgt] is the graph in CSR form ([Graph.to_csr]);
      [arc_miles]/[arc_risk] carry the per-arc distance and target-node
      risk, so the Dijkstra relaxation weighs arc [k] as
      [arc_miles.(k) +. kappa *. arc_risk.(k)] — no hashing, no closure
-     over coordinates, no trigonometry. *)
+     over coordinates, no trigonometry. [arc_mate] pairs each arc with
+     its reverse, which is what lets [patch] enumerate the in-arcs of a
+     changed PoP in O(degree). *)
 type t = {
   graph : Rr_graph.Graph.t;
   coords : Rr_geo.Coord.t array;
@@ -20,6 +28,7 @@ type t = {
   miles : float array;
   arc_off : int array;
   arc_tgt : int array;
+  arc_mate : int array;
   arc_miles : float array;
   arc_risk : float array;
   query : Rr_graph.Query.t;
@@ -52,8 +61,11 @@ let compute_miles coords =
       done);
   miles
 
+let dense_threshold = 1024
+
 let compute_arcs graph miles n =
   let arc_off, arc_tgt = Rr_graph.Graph.to_csr graph in
+  let arc_mate = Rr_graph.Graph.csr_mates ~off:arc_off ~tgt:arc_tgt in
   let arc_miles = Array.make (Array.length arc_tgt) 0.0 in
   for u = 0 to n - 1 do
     let base = u * n in
@@ -61,18 +73,40 @@ let compute_arcs graph miles n =
       arc_miles.(k) <- miles.(base + arc_tgt.(k))
     done
   done;
-  (arc_off, arc_tgt, arc_miles)
+  (arc_off, arc_tgt, arc_mate, arc_miles)
+
+(* Sparse twin of [compute_arcs]: per-arc miles straight from the
+   coordinates, computed once per undirected edge at its [u < v] side
+   and mirrored through the mate — the same single trigonometric
+   evaluation the dense fill performs, so the resulting arrays are
+   bit-identical to the dense path. *)
+let compute_arcs_sparse graph coords n =
+  let arc_off, arc_tgt = Rr_graph.Graph.to_csr graph in
+  let arc_mate = Rr_graph.Graph.csr_mates ~off:arc_off ~tgt:arc_tgt in
+  let arc_miles = Array.make (Array.length arc_tgt) 0.0 in
+  for u = 0 to n - 1 do
+    for k = arc_off.(u) to arc_off.(u + 1) - 1 do
+      let v = arc_tgt.(k) in
+      if u < v then begin
+        let d = Rr_geo.Distance.miles coords.(u) coords.(v) in
+        arc_miles.(k) <- d;
+        arc_miles.(arc_mate.(k)) <- d
+      end
+    done
+  done;
+  (arc_off, arc_tgt, arc_mate, arc_miles)
 
 let compute_arc_risk node_risk arc_tgt =
   Array.map (fun v -> node_risk.(v)) arc_tgt
 
-let make ?(params = Params.default) ~graph ~coords ~impact ~historical
+let make ?(params = Params.default) ?dense ~graph ~coords ~impact ~historical
     ?forecast () =
   Rr_obs.with_kernel "env.make" (fun () ->
       let tel = Rr_obs.enabled () in
       let t0 = if tel then Rr_obs.Clock.monotonic () else 0.0 in
       Params.validate params;
       let n = Rr_graph.Graph.node_count graph in
+      let dense = match dense with Some d -> d | None -> n <= dense_threshold in
       let forecast =
         match forecast with Some f -> f | None -> Array.make n 0.0
       in
@@ -82,10 +116,15 @@ let make ?(params = Params.default) ~graph ~coords ~impact ~historical
         || Array.length forecast <> n
       then invalid_arg "Env.make: array lengths must match the node count";
       let node_risk = compute_node_risk params historical forecast in
-      let miles =
-        Rr_obs.with_span "env.miles_matrix" (fun () -> compute_miles coords)
+      let miles, (arc_off, arc_tgt, arc_mate, arc_miles) =
+        if dense then begin
+          let miles =
+            Rr_obs.with_span "env.miles_matrix" (fun () -> compute_miles coords)
+          in
+          (miles, compute_arcs graph miles n)
+        end
+        else ([||], compute_arcs_sparse graph coords n)
       in
-      let arc_off, arc_tgt, arc_miles = compute_arcs graph miles n in
       let query =
         Rr_graph.Query.create ~n ~off:arc_off ~tgt:arc_tgt ~miles:arc_miles ()
       in
@@ -106,6 +145,7 @@ let make ?(params = Params.default) ~graph ~coords ~impact ~historical
         miles;
         arc_off;
         arc_tgt;
+        arc_mate;
         arc_miles;
         arc_risk = compute_arc_risk node_risk arc_tgt;
         query;
@@ -119,7 +159,8 @@ let forecast_of_advisory params coords advisory =
         ~rho_hurricane:params.Params.rho_hurricane advisory coord)
     coords
 
-let of_net ?(params = Params.default) ?riskmap ?advisory (net : Rr_topology.Net.t) =
+let of_net ?(params = Params.default) ?riskmap ?impact ?advisory
+    (net : Rr_topology.Net.t) =
   Rr_obs.with_kernel "env.of_net" (fun () ->
       let riskmap =
         match riskmap with Some r -> r | None -> Rr_disaster.Riskmap.shared ()
@@ -128,7 +169,11 @@ let of_net ?(params = Params.default) ?riskmap ?advisory (net : Rr_topology.Net.
         Array.map (fun (p : Rr_topology.Pop.t) -> p.Rr_topology.Pop.coord)
           net.Rr_topology.Net.pops
       in
-      let impact = Rr_census.Service.shared_fractions net in
+      let impact =
+        match impact with
+        | Some i -> i
+        | None -> Rr_census.Service.shared_fractions net
+      in
       let historical = Rr_disaster.Riskmap.pop_risks riskmap net in
       let forecast =
         Option.map (forecast_of_advisory params coords) advisory
@@ -162,16 +207,94 @@ let with_graph t graph =
   let n = Array.length t.coords in
   if Rr_graph.Graph.node_count graph <> n then
     invalid_arg "Env.with_graph: node-count mismatch";
-  let arc_off, arc_tgt, arc_miles = compute_arcs graph t.miles n in
+  let arc_off, arc_tgt, arc_mate, arc_miles =
+    if Array.length t.miles > 0 then compute_arcs graph t.miles n
+    else compute_arcs_sparse graph t.coords n
+  in
   {
     t with
     graph;
     arc_off;
     arc_tgt;
+    arc_mate;
     arc_miles;
     arc_risk = compute_arc_risk t.node_risk arc_tgt;
     query = Rr_graph.Query.create ~n ~off:arc_off ~tgt:arc_tgt ~miles:arc_miles ();
   }
+
+(* --- Sparse advisory-tick patching ----------------------------------
+
+   [patch] re-derives the risk vectors for a sparse forecast delta
+   without touching geometry: the O(n) forecast/node-risk copies plus
+   O(degree) arc-risk writes per changed PoP replace a full [of_net]
+   rebuild. The result is bit-identical to [with_forecast] on the
+   patched field (CI-gated) because the changed entries are computed
+   with exactly the [compute_node_risk] expression and [arc_risk]
+   mirrors [node_risk] of the arc target either way. *)
+
+type patched = {
+  env : t;
+  changed_pops : int array;
+  patched_arcs : (int * int) array;
+      (* (arc index, arc source): every arc whose target's risk changed *)
+}
+
+let patch t ~indices ~values =
+  let n = Array.length t.coords in
+  let m = Array.length indices in
+  if Array.length values <> m then
+    invalid_arg "Env.patch: indices/values length mismatch";
+  Array.iteri
+    (fun j i ->
+      if i < 0 || i >= n then invalid_arg "Env.patch: index out of range";
+      if j > 0 && indices.(j - 1) >= i then
+        invalid_arg "Env.patch: indices must be strictly increasing")
+    indices;
+  let materially_changed =
+    let changed = ref false in
+    Array.iteri
+      (fun j i ->
+        if
+          Int64.bits_of_float values.(j)
+          <> Int64.bits_of_float t.forecast.(i)
+        then changed := true)
+      indices;
+    !changed
+  in
+  if not materially_changed then
+    (* The delta is a no-op bitwise: the parent env IS the patched env. *)
+    { env = t; changed_pops = [||]; patched_arcs = [||] }
+  else begin
+    let forecast = Array.copy t.forecast in
+    let node_risk = Array.copy t.node_risk in
+    let arc_risk = Array.copy t.arc_risk in
+    let changed = ref [] and arcs = ref [] in
+    Array.iteri
+      (fun j i ->
+        let v = values.(j) in
+        forecast.(i) <- v;
+        let nr =
+          (t.params.Params.lambda_h *. t.params.Params.risk_scale
+         *. t.historical.(i))
+          +. (t.params.Params.lambda_f *. v)
+        in
+        if Int64.bits_of_float nr <> Int64.bits_of_float node_risk.(i) then begin
+          node_risk.(i) <- nr;
+          changed := i :: !changed;
+          (* Arcs into [i] are the mates of [i]'s out-arcs. *)
+          for k = t.arc_off.(i) to t.arc_off.(i + 1) - 1 do
+            let into = t.arc_mate.(k) in
+            arc_risk.(into) <- nr;
+            arcs := (into, t.arc_tgt.(k)) :: !arcs
+          done
+        end)
+      indices;
+    {
+      env = { t with forecast; node_risk; arc_risk };
+      changed_pops = Array.of_list (List.rev !changed);
+      patched_arcs = Array.of_list (List.rev !arcs);
+    }
+  end
 
 let graph t = t.graph
 
@@ -189,11 +312,22 @@ let node_risk t v = t.node_risk.(v)
 
 let node_count t = Array.length t.coords
 
-let link_miles t u v = t.miles.((u * Array.length t.coords) + v)
+let dense t = Array.length t.miles > 0
+
+(* The sparse fallback evaluates the great-circle distance with the
+   lower-numbered endpoint first — the exact call the dense fill makes
+   for cell (u, v), so both representations agree bitwise. *)
+let link_miles t u v =
+  if dense t then t.miles.((u * Array.length t.coords) + v)
+  else if u = v then 0.0
+  else if u < v then Rr_geo.Distance.miles t.coords.(u) t.coords.(v)
+  else Rr_geo.Distance.miles t.coords.(v) t.coords.(u)
 
 let arc_off t = t.arc_off
 
 let arc_tgt t = t.arc_tgt
+
+let arc_mate t = t.arc_mate
 
 let arc_miles t = t.arc_miles
 

@@ -13,8 +13,16 @@
 
 type t
 
+val dense_threshold : int
+(** Node count above which construction skips the dense n x n distance
+    matrix (1024): per-arc miles are then computed per edge and
+    {!link_miles} falls back to on-the-fly trigonometry, both
+    bit-identical to the dense path. Continental-scale graphs only fit
+    in memory this way. *)
+
 val make :
   ?params:Params.t ->
+  ?dense:bool ->
   graph:Rr_graph.Graph.t ->
   coords:Rr_geo.Coord.t array ->
   impact:float array ->
@@ -23,17 +31,22 @@ val make :
   unit ->
   t
 (** Fully explicit constructor (tests, custom data). Array lengths must
-    match the graph's node count; [forecast] defaults to all zeros. *)
+    match the graph's node count; [forecast] defaults to all zeros.
+    [dense] overrides the {!dense_threshold} choice of representation
+    (the derived arrays are bit-identical either way). *)
 
 val of_net :
   ?params:Params.t ->
   ?riskmap:Rr_disaster.Riskmap.t ->
+  ?impact:float array ->
   ?advisory:Rr_forecast.Advisory.t ->
   Rr_topology.Net.t ->
   t
 (** Environment for one ISP: impact from the shared census
     (nearest-neighbour, restricted to the network's states for
-    regionals), historical risk from [riskmap] (default
+    regionals) unless overridden by [impact] (synthetic continental
+    nets pass {!Rr_topology.Net.population_fractions} to skip the
+    census join), historical risk from [riskmap] (default
     {!Rr_disaster.Riskmap.shared}), forecast risk from the advisory when
     given. *)
 
@@ -50,6 +63,31 @@ val with_graph : t -> Rr_graph.Graph.t -> t
 (** Same annotations on a modified topology (provisioning what-ifs). The
     new graph must have the same node count. *)
 
+(** {1 Sparse advisory-tick patching} *)
+
+type patched = {
+  env : t;
+      (** bit-identical to a from-scratch build under the patched
+          forecast; shares geometry (and the query facade, hence
+          landmarks) with the parent *)
+  changed_pops : int array;
+      (** PoPs whose [node_risk] changed, increasing order *)
+  patched_arcs : (int * int) array;
+      (** [(arc index, arc source)] for every arc whose weight term
+          changed — exactly the arcs incident {e into} a changed PoP,
+          in changed-PoP order *)
+}
+
+val patch : t -> indices:int array -> values:float array -> patched
+(** Apply a sparse forecast delta (new [o_f] at [indices], strictly
+    increasing — the shape produced by
+    [Rr_forecast.Riskfield.diff_field]) by recomputing only the risk
+    vectors' changed entries: O(n) array copies plus O(degree) per
+    changed PoP, no census join, no distance work, no full-risk
+    recompute. When no value differs bitwise from the current field the
+    parent environment itself is returned ([patched_arcs] empty).
+    Raises [Invalid_argument] on malformed deltas. *)
+
 (** {1 Accessors} *)
 
 val graph : t -> Rr_graph.Graph.t
@@ -64,9 +102,15 @@ val node_risk : t -> int -> float
 
 val node_count : t -> int
 
+val dense : t -> bool
+(** Whether this environment carries the dense distance matrix (see
+    {!dense_threshold}). *)
+
 val link_miles : t -> int -> int -> float
 (** Great-circle miles between two nodes — a single read out of the
-    dense distance matrix precomputed at construction. *)
+    dense distance matrix precomputed at construction, or (sparse
+    environments) the same great-circle evaluation performed on the
+    fly, bit-identical to the matrix entry. *)
 
 (** {1 Flattened hot-path arrays}
 
@@ -84,6 +128,11 @@ val arc_off : t -> int array
 
 val arc_tgt : t -> int array
 (** Target node per arc. *)
+
+val arc_mate : t -> int array
+(** Reverse-arc pairing ({!Rr_graph.Graph.csr_mates}): [mate.(k)] is the
+    opposite direction of arc [k]. Incremental tree repair traverses
+    in-arcs through it. *)
 
 val arc_miles : t -> float array
 (** Great-circle miles per arc. *)

@@ -1,9 +1,15 @@
 type stats = {
   env_hits : int;
   env_misses : int;
+  env_patched : int;
   tree_hits : int;
   tree_misses : int;
   tree_evictions : int;
+  settled_nodes : int;
+  delta_patched_arcs : int;
+  delta_trees_kept : int;
+  delta_trees_repaired : int;
+  delta_trees_evicted : int;
 }
 
 type t = {
@@ -26,9 +32,15 @@ type t = {
   mutable interdomain : (Riskroute.Interdomain.t * Riskroute.Env.t) option;
   mutable env_hits : int;
   mutable env_misses : int;
+  mutable env_patched : int;
   mutable tree_hits : int;
   mutable tree_misses : int;
   mutable tree_evictions : int;
+  mutable settled_nodes : int;
+  mutable delta_patched_arcs : int;
+  mutable delta_trees_kept : int;
+  mutable delta_trees_repaired : int;
+  mutable delta_trees_evicted : int;
 }
 
 let c_env_hit = Rr_obs.Counter.make "engine.cache.env_hit"
@@ -36,6 +48,12 @@ let c_env_miss = Rr_obs.Counter.make "engine.cache.env_miss"
 let c_tree_hit = Rr_obs.Counter.make "engine.cache.tree_hit"
 let c_tree_miss = Rr_obs.Counter.make "engine.cache.tree_miss"
 let c_tree_evict = Rr_obs.Counter.make "engine.cache.tree_evictions"
+let c_settled = Rr_obs.Counter.make "engine.tree_settled_nodes"
+let c_delta_envs = Rr_obs.Counter.make "engine.delta.patched_envs"
+let c_delta_arcs = Rr_obs.Counter.make "engine.delta.patched_arcs"
+let c_delta_kept = Rr_obs.Counter.make "engine.delta.trees_kept"
+let c_delta_repaired = Rr_obs.Counter.make "engine.delta.trees_repaired"
+let c_delta_evicted = Rr_obs.Counter.make "engine.delta.trees_evicted"
 
 let default_tree_cache_cap = 4096
 
@@ -46,6 +64,20 @@ let tree_cache_cap_from_env () =
     match int_of_string_opt (String.trim s) with
     | Some n when n >= 0 -> Some n
     | _ -> None)
+
+let default_repair_frontier = 0.25
+
+(* Fraction of the node count above which an incremental tree repair is
+   not worth attempting (the fresh run would settle about as much);
+   silently keeps the default on malformed values, like the cache knob. *)
+let repair_frontier_fraction =
+  lazy
+    (match Rr_obs.Envvar.(trimmed repair_frontier) with
+    | None -> default_repair_frontier
+    | Some s -> (
+      match float_of_string_opt s with
+      | Some f when f > 0.0 && f <= 1.0 -> f
+      | _ -> default_repair_frontier))
 
 let create ?zoo ?tree_cache_cap () =
   let uses_shared_zoo = Option.is_none zoo in
@@ -74,9 +106,15 @@ let create ?zoo ?tree_cache_cap () =
     interdomain = None;
     env_hits = 0;
     env_misses = 0;
+    env_patched = 0;
     tree_hits = 0;
     tree_misses = 0;
     tree_evictions = 0;
+    settled_nodes = 0;
+    delta_patched_arcs = 0;
+    delta_trees_kept = 0;
+    delta_trees_repaired = 0;
+    delta_trees_evicted = 0;
   }
 
 let shared_ctx = lazy (create ())
@@ -169,7 +207,16 @@ let env ?(params = Riskroute.Params.default) ?advisory t n =
     e
   | None ->
     let built =
-      Riskroute.Env.of_net ~params ~riskmap:(riskmap t) ?advisory n
+      (* Continental-scale nets are synthetic: population fractions are
+         the impact model (the census join is both slow and meaningless
+         there), and Env.of_net picks its sparse representation by the
+         same node-count threshold. *)
+      let impact =
+        if Rr_topology.Net.pop_count n > Riskroute.Env.dense_threshold then
+          Some (Rr_topology.Net.population_fractions n)
+        else None
+      in
+      Riskroute.Env.of_net ~params ~riskmap:(riskmap t) ?impact ?advisory n
     in
     Rr_obs.Counter.incr c_env_miss;
     with_lock t (fun () ->
@@ -197,6 +244,9 @@ let interdomain t =
           t.interdomain <- Some v;
           v)
 
+let count_settled (tr : Rr_graph.Dijkstra.tree) =
+  Array.fold_left (fun acc d -> if d < infinity then acc + 1 else acc) 0 tr.dist
+
 let cached_tree t ~key ~compute =
   match
     with_lock t (fun () ->
@@ -211,11 +261,14 @@ let cached_tree t ~key ~compute =
     tr
   | None ->
     let tr = compute () in
+    let settled = count_settled tr in
     Rr_obs.Counter.incr c_tree_miss;
+    Rr_obs.Counter.add c_settled settled;
     let evicted = ref 0 in
     let result =
       with_lock t (fun () ->
           t.tree_misses <- t.tree_misses + 1;
+          t.settled_nodes <- t.settled_nodes + settled;
           match Lru.find t.trees key with
           | Some existing -> existing
           | None ->
@@ -261,6 +314,166 @@ let risk_trees t env_ =
           ~weight:(fun k ->
             Array.unsafe_get miles k +. (kappa *. Array.unsafe_get risk k))
           ~src)
+
+(* --- Delta-aware advisory stepping ----------------------------------
+
+   [patched_env] is the incremental twin of [env]: instead of building
+   the (net, params, advisory) environment from scratch it diffs the new
+   advisory's risk field against the parent environment's, patches the
+   parent ([Env.patch]), and migrates the parent's cached risk trees to
+   the child's namespace — kept verbatim when no changed arc can reach
+   into them, repaired in place ([Dijkstra.repair]) otherwise. The child
+   is registered under the same content-addressed key a from-scratch
+   build would use, so both paths unify in the env cache; its risk
+   fingerprint chains (parent fingerprint + delta fingerprint,
+   [Fingerprint.risk_delta]) at O(changed) cost. *)
+
+let risk_prefix fp = fp ^ ":r:"
+
+let trees_with_prefix t prefix =
+  let plen = String.length prefix in
+  Lru.fold t.trees ~init:[] ~f:(fun acc k tr ->
+      if String.length k > plen && String.sub k 0 plen = prefix then
+        (int_of_string (String.sub k plen (String.length k - plen)), k, tr)
+        :: acc
+      else acc)
+
+let patched_env ?advisory t n ~parent =
+  let params = Riskroute.Env.params parent in
+  if Riskroute.Env.node_count parent <> Rr_topology.Net.pop_count n then
+    invalid_arg "Context.patched_env: parent/network node-count mismatch";
+  let key =
+    Fingerprint.combine
+      [ net_fp t n; Fingerprint.params params; Fingerprint.advisory advisory ]
+  in
+  match
+    with_lock t (fun () ->
+        match Hashtbl.find_opt t.envs key with
+        | Some e ->
+          t.env_hits <- t.env_hits + 1;
+          Some e
+        | None -> None)
+  with
+  | Some e ->
+    Rr_obs.Counter.incr c_env_hit;
+    e
+  | None ->
+    let d =
+      Rr_forecast.Riskfield.diff_field
+        ~rho_tropical:params.Riskroute.Params.rho_tropical
+        ~rho_hurricane:params.Riskroute.Params.rho_hurricane
+        ~old_field:(Riskroute.Env.forecast parent)
+        ~next:advisory
+        (Riskroute.Env.coords parent)
+    in
+    let p = Riskroute.Env.patch parent ~indices:d.indices ~values:d.values in
+    let child = p.Riskroute.Env.env in
+    let arcs = p.Riskroute.Env.patched_arcs in
+    let parent_rfp = risk_fp t parent in
+    let kept = ref 0 and repaired = ref 0 and evicted = ref 0 in
+    let settled = ref 0 and lru_evicted = ref 0 in
+    if Array.length arcs = 0 then begin
+      (* The risk vectors are bit-for-bit unchanged (offshore tick, or a
+         forecast move that cancels in node_risk): every cached tree for
+         the parent stays valid under its existing key — including when
+         the child IS the parent physically. *)
+      with_lock t (fun () ->
+          kept := List.length (trees_with_prefix t (risk_prefix parent_rfp));
+          if not (child == parent) then
+            t.risk_memo <- bounded_memo_add t.risk_memo (child, parent_rfp))
+    end
+    else begin
+      let child_rfp =
+        Fingerprint.risk_delta ~parent:parent_rfp ~indices:d.indices
+          ~values:d.values
+      in
+      with_lock t (fun () ->
+          t.risk_memo <- bounded_memo_add t.risk_memo (child, child_rfp));
+      let n_nodes = Riskroute.Env.node_count parent in
+      let off = Riskroute.Env.arc_off parent
+      and tgt = Riskroute.Env.arc_tgt parent
+      and mate = Riskroute.Env.arc_mate parent
+      and miles = Riskroute.Env.arc_miles parent
+      and old_risk = Riskroute.Env.arc_risk parent
+      and new_risk = Riskroute.Env.arc_risk child in
+      let kappa = Riskroute.Env.mean_kappa parent in
+      let w_old k =
+        Array.unsafe_get miles k +. (kappa *. Array.unsafe_get old_risk k)
+      in
+      let w_new k =
+        Array.unsafe_get miles k +. (kappa *. Array.unsafe_get new_risk k)
+      in
+      (* Keep test: a changed arc (u -> v) can only matter to a tree if
+         following it from the tree's distance at [u] could still beat
+         the tree's distance at [v] under either weighting — if even
+         min(w_old, w_new) overshoots strictly, the arc is slack in both
+         worlds and the tree cannot see the change. *)
+      let untouched_by (tr : Rr_graph.Dijkstra.tree) =
+        Array.for_all
+          (fun (k, u) ->
+            let du = tr.dist.(u) in
+            du = infinity
+            || du +. Float.min (w_old k) (w_new k) > tr.dist.(tgt.(k)))
+          arcs
+      in
+      let frontier_limit =
+        max 1
+          (int_of_float
+             (Lazy.force repair_frontier_fraction *. float_of_int n_nodes))
+      in
+      let candidates =
+        with_lock t (fun () -> trees_with_prefix t (risk_prefix parent_rfp))
+      in
+      let migrate src old_key tr =
+        let new_key = risk_prefix child_rfp ^ string_of_int src in
+        if untouched_by tr then begin
+          incr kept;
+          with_lock t (fun () ->
+              ignore (Lru.remove t.trees old_key);
+              let ev = Lru.add t.trees new_key tr in
+              t.tree_evictions <- t.tree_evictions + ev;
+              lru_evicted := !lru_evicted + ev)
+        end
+        else begin
+          let tr', rs =
+            Rr_graph.Dijkstra.repair ~n:n_nodes ~off ~tgt ~mate ~weight:w_new
+              ~old_weight:w_old ~changed:arcs ~frontier_limit tr ~src
+          in
+          settled := !settled + rs.Rr_graph.Dijkstra.settled;
+          if rs.Rr_graph.Dijkstra.full then incr evicted else incr repaired;
+          with_lock t (fun () ->
+              ignore (Lru.remove t.trees old_key);
+              let ev = Lru.add t.trees new_key tr' in
+              t.tree_evictions <- t.tree_evictions + ev;
+              lru_evicted := !lru_evicted + ev)
+        end
+      in
+      List.iter (fun (src, old_key, tr) -> migrate src old_key tr) candidates
+    end;
+    Rr_obs.Counter.incr c_delta_envs;
+    Rr_obs.Counter.add c_delta_arcs (Array.length arcs);
+    Rr_obs.Counter.add c_delta_kept !kept;
+    Rr_obs.Counter.add c_delta_repaired !repaired;
+    Rr_obs.Counter.add c_delta_evicted !evicted;
+    if !settled > 0 then Rr_obs.Counter.add c_settled !settled;
+    if !lru_evicted > 0 then Rr_obs.Counter.add c_tree_evict !lru_evicted;
+    Rr_obs.Flight.record ~kind:"delta" ~name:"engine.patched_env"
+      ~detail:
+        (Printf.sprintf "arcs=%d kept=%d repaired=%d evicted=%d"
+           (Array.length arcs) !kept !repaired !evicted)
+      ();
+    with_lock t (fun () ->
+        t.env_patched <- t.env_patched + 1;
+        t.delta_patched_arcs <- t.delta_patched_arcs + Array.length arcs;
+        t.delta_trees_kept <- t.delta_trees_kept + !kept;
+        t.delta_trees_repaired <- t.delta_trees_repaired + !repaired;
+        t.delta_trees_evicted <- t.delta_trees_evicted + !evicted;
+        t.settled_nodes <- t.settled_nodes + !settled;
+        match Hashtbl.find_opt t.envs key with
+        | Some e -> e (* concurrent build of the same key; results identical *)
+        | None ->
+          Hashtbl.replace t.envs key child;
+          child)
 
 (* Wire an environment's query facade to the tree LRU: landmark
    distance trees then live alongside every other cached tree for the
@@ -345,41 +558,45 @@ let continental ?spec t ~pops =
           t.continentals <- (pops, net) :: t.continentals;
           net)
 
-let stats t =
-  with_lock t (fun () ->
-      {
-        env_hits = t.env_hits;
-        env_misses = t.env_misses;
-        tree_hits = t.tree_hits;
-        tree_misses = t.tree_misses;
-        tree_evictions = t.tree_evictions;
-      })
+let snapshot t =
+  {
+    env_hits = t.env_hits;
+    env_misses = t.env_misses;
+    env_patched = t.env_patched;
+    tree_hits = t.tree_hits;
+    tree_misses = t.tree_misses;
+    tree_evictions = t.tree_evictions;
+    settled_nodes = t.settled_nodes;
+    delta_patched_arcs = t.delta_patched_arcs;
+    delta_trees_kept = t.delta_trees_kept;
+    delta_trees_repaired = t.delta_trees_repaired;
+    delta_trees_evicted = t.delta_trees_evicted;
+  }
+
+let stats t = with_lock t (fun () -> snapshot t)
 
 (* One locked read feeds both the JSON body below and the time-series
    sampler's stats section (Rr_obs.Series.set_stats_provider): flat
    (name, value) pairs in a fixed order. *)
 let stats_fields t =
   let s, env_len, tree_len =
-    with_lock t (fun () ->
-        ( {
-            env_hits = t.env_hits;
-            env_misses = t.env_misses;
-            tree_hits = t.tree_hits;
-            tree_misses = t.tree_misses;
-            tree_evictions = t.tree_evictions;
-          },
-          Hashtbl.length t.envs,
-          Lru.length t.trees ))
+    with_lock t (fun () -> (snapshot t, Hashtbl.length t.envs, Lru.length t.trees))
   in
   [
     ("env.hits", s.env_hits);
     ("env.misses", s.env_misses);
+    ("env.patched", s.env_patched);
     ("env.cache_length", env_len);
     ("tree.hits", s.tree_hits);
     ("tree.misses", s.tree_misses);
     ("tree.evictions", s.tree_evictions);
     ("tree.cache_length", tree_len);
     ("tree.cache_capacity", Lru.capacity t.trees);
+    ("tree.settled_nodes", s.settled_nodes);
+    ("delta.patched_arcs", s.delta_patched_arcs);
+    ("delta.trees_kept", s.delta_trees_kept);
+    ("delta.trees_repaired", s.delta_trees_repaired);
+    ("delta.trees_evicted", s.delta_trees_evicted);
   ]
 
 let stats_json t =
@@ -387,14 +604,19 @@ let stats_json t =
   let g k = List.assoc k f in
   Printf.sprintf
     "{\n\
-    \  \"schema\": 1,\n\
-    \  \"env\": {\"hits\": %d, \"misses\": %d, \"cache_length\": %d},\n\
+    \  \"schema\": 2,\n\
+    \  \"env\": {\"hits\": %d, \"misses\": %d, \"patched\": %d, \
+     \"cache_length\": %d},\n\
     \  \"tree\": {\"hits\": %d, \"misses\": %d, \"evictions\": %d, \
-     \"cache_length\": %d, \"cache_capacity\": %d}\n\
+     \"cache_length\": %d, \"cache_capacity\": %d, \"settled_nodes\": %d},\n\
+    \  \"delta\": {\"patched_arcs\": %d, \"trees_kept\": %d, \
+     \"trees_repaired\": %d, \"trees_evicted\": %d}\n\
      }\n"
-    (g "env.hits") (g "env.misses") (g "env.cache_length") (g "tree.hits")
-    (g "tree.misses") (g "tree.evictions") (g "tree.cache_length")
-    (g "tree.cache_capacity")
+    (g "env.hits") (g "env.misses") (g "env.patched") (g "env.cache_length")
+    (g "tree.hits") (g "tree.misses") (g "tree.evictions")
+    (g "tree.cache_length") (g "tree.cache_capacity") (g "tree.settled_nodes")
+    (g "delta.patched_arcs") (g "delta.trees_kept") (g "delta.trees_repaired")
+    (g "delta.trees_evicted")
 
 let tree_cache_length t = with_lock t (fun () -> Lru.length t.trees)
 let tree_cache_capacity t = Lru.capacity t.trees

@@ -24,9 +24,20 @@ type t
 type stats = {
   env_hits : int;
   env_misses : int;
+  env_patched : int;  (** environments derived via {!patched_env} *)
   tree_hits : int;
   tree_misses : int;
-  tree_evictions : int;
+  tree_evictions : int;  (** LRU capacity evictions *)
+  settled_nodes : int;
+      (** total nodes settled computing or repairing cached trees — the
+          work metric the incremental path is meant to shrink *)
+  delta_patched_arcs : int;  (** arcs re-weighted across all patches *)
+  delta_trees_kept : int;
+      (** cached trees migrated across an advisory tick untouched *)
+  delta_trees_repaired : int;
+      (** cached trees incrementally repaired ({!Rr_graph.Dijkstra.repair}) *)
+  delta_trees_evicted : int;
+      (** cached trees whose repair fell back to a full recompute *)
 }
 
 val default_tree_cache_cap : int
@@ -77,6 +88,31 @@ val env :
 (** The environment for (net, params, advisory), built on first use and
     content-addressed thereafter. *)
 
+val patched_env :
+  ?advisory:Rr_forecast.Advisory.t ->
+  t ->
+  Rr_topology.Net.t ->
+  parent:Riskroute.Env.t ->
+  Riskroute.Env.t
+(** Incremental twin of {!env} for advisory streams: the environment for
+    (net, [parent]'s params, [advisory]), derived by diffing the new
+    advisory's risk field against [parent]'s
+    ({!Rr_forecast.Riskfield.diff_field}) and patching
+    ({!Riskroute.Env.patch}) instead of rebuilding — bit-identical to
+    what {!env} would return, registered under the same
+    content-addressed cache key, at O(n + changed) cost.
+
+    The parent's cached risk trees migrate to the child's namespace in
+    the same step: trees no changed arc can reach into are kept
+    verbatim, the rest are repaired in place via
+    {!Rr_graph.Dijkstra.repair} (falling back to a full recompute when
+    the dirty frontier exceeds the [RISKROUTE_REPAIR_FRONTIER] fraction
+    of the node count). The child's risk fingerprint chains from the
+    parent's ({!Fingerprint.risk_delta}), so provenance stays exact
+    without rehashing the arc arrays. Totals land in {!stats} and the
+    [engine.delta.*] counters. [parent] must be an environment over the
+    same network (typically the previous tick's). *)
+
 val dist_trees : t -> Riskroute.Env.t -> int -> Rr_graph.Dijkstra.tree
 (** [dist_trees ctx env src] is the pure bit-miles shortest-path tree
     from [src], bitwise-identical to {!Riskroute.Router.shortest_tree}.
@@ -122,10 +158,13 @@ val stats : t -> stats
 val stats_fields : t -> (string * int) list
 (** {!stats} plus cache occupancy as flat [(name, value)] pairs from
     one locked read, in a fixed order (["env.hits"], ["env.misses"],
-    ["env.cache_length"], ["tree.hits"], ["tree.misses"],
-    ["tree.evictions"], ["tree.cache_length"],
-    ["tree.cache_capacity"]) — the shape the time-series sampler
-    records per tick via [Rr_obs.Series.set_stats_provider]. *)
+    ["env.patched"], ["env.cache_length"], ["tree.hits"],
+    ["tree.misses"], ["tree.evictions"], ["tree.cache_length"],
+    ["tree.cache_capacity"], ["tree.settled_nodes"],
+    ["delta.patched_arcs"], ["delta.trees_kept"],
+    ["delta.trees_repaired"], ["delta.trees_evicted"]) — the shape the
+    time-series sampler records per tick via
+    [Rr_obs.Series.set_stats_provider]. *)
 
 val stats_json : t -> string
 (** {!stats_fields} as a JSON document — the body the live plane's

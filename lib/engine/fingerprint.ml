@@ -95,6 +95,18 @@ let env_risk env =
   add_float buf (Riskroute.Env.mean_kappa env);
   digest buf
 
+(* A patched environment's risk identity chains instead of rehashing:
+   parent fingerprint plus the exact sparse delta determines the child
+   risk vectors, so hashing (parent, delta) is injective on content
+   while costing O(changed) rather than O(arcs) per advisory tick. *)
+let risk_delta ~parent ~indices ~values =
+  let buf = Buffer.create 256 in
+  add_string buf "risk-delta";
+  add_string buf parent;
+  add_int_array buf indices;
+  add_float_array buf values;
+  digest buf
+
 let combine parts =
   let buf = Buffer.create 256 in
   add_string buf "combine";

@@ -36,5 +36,13 @@ val env_risk : Riskroute.Env.t -> t
 (** {!env_geometry} plus per-arc risk terms and the mean-impact kappa —
     everything a risk-weighted shortest-path tree depends on. *)
 
+val risk_delta : parent:t -> indices:int array -> values:float array -> t
+(** Chained risk fingerprint for a patched environment
+    ([Riskroute.Env.patch]): the parent's risk fingerprint plus the
+    sparse forecast delta that produced the child. Injective on content
+    (the parent fingerprint pins the base vectors, the delta pins every
+    change) at O(changed) hashing cost instead of {!env_risk}'s
+    O(arcs). *)
+
 val combine : t list -> t
 (** Digest of the (length-prefixed) concatenation — a composite key. *)

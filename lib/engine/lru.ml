@@ -48,6 +48,24 @@ let find t key =
 
 let mem t key = Hashtbl.mem t.table key
 
+(* Recency-ordered (most-recent first) and read-only with respect to
+   recency: migration sweeps ([Context.patched_env]) must be able to
+   enumerate entries without reshuffling the eviction order. *)
+let fold t ~init ~f =
+  let rec loop acc = function
+    | None -> acc
+    | Some node -> loop (f acc node.key node.value) node.next
+  in
+  loop init t.head
+
+let remove t key =
+  match Hashtbl.find_opt t.table key with
+  | None -> false
+  | Some node ->
+    unlink t node;
+    Hashtbl.remove t.table key;
+    true
+
 let evict_tail t =
   match t.tail with
   | None -> ()

@@ -21,3 +21,10 @@ val add : 'a t -> string -> 'a -> int
 
 val mem : 'a t -> string -> bool
 (** Membership without touching recency. *)
+
+val fold : 'a t -> init:'b -> f:('b -> string -> 'a -> 'b) -> 'b
+(** Fold over all entries, most-recently used first, without touching
+    recency. [f] must not add or remove entries. *)
+
+val remove : 'a t -> string -> bool
+(** Drop a binding; [false] when absent. *)

@@ -1,0 +1,76 @@
+(** Storm replay: stream a hurricane season's advisories through the
+    engine tick-by-tick, tracking how a fixed set of flows re-routes as
+    the forecast moves.
+
+    The driver runs in one of two stepping modes. [Full] rebuilds the
+    (net, params, advisory) environment from scratch each tick; [
+    Incremental] steps via {!Rr_engine.Context.patched_env} — sparse
+    risk-field diff, environment patch, cached-tree keep/repair
+    migration. The rendered per-tick report is byte-identical between
+    the modes (CI diffs the two outputs), while the work accounting in
+    the summary — environments built, nodes settled — shows the
+    incremental path doing strictly less. *)
+
+type mode = Full | Incremental
+
+val mode_name : mode -> string
+val mode_of_string : string -> mode option
+
+type row = {
+  index : int;  (** 0-based advisory tick *)
+  issued : string;  (** advisory issuance timestamp *)
+  in_scope : int;  (** PoPs inside the tropical-storm radius *)
+  changed : int;  (** PoPs whose forecast risk changed since last tick *)
+  churned : int;  (** flows whose advised route differs from last tick *)
+  risk_cost : float;  (** total bit-risk-miles tree distance over flows *)
+  mean_detour : float;
+      (** mean ratio of advised-route miles to shortest-path miles *)
+}
+
+type t = {
+  net_name : string;
+  storm_name : string;
+  mode : mode;
+  flows : (int * int) array;  (** deterministic (src, dst) sample *)
+  rows : row list;  (** one per advisory tick, in order *)
+  churn_total : int;
+  changed_ticks : int;  (** ticks whose field delta was non-empty *)
+  envs_built : int;  (** full environment builds during the replay *)
+  envs_patched : int;  (** environments derived by patching *)
+  settled_nodes : int;  (** Dijkstra-settled nodes (fresh + repair) *)
+  trees_kept : int;
+  trees_repaired : int;
+  trees_evicted : int;
+  patched_arcs : int;
+}
+
+val default_pairs : int
+(** 8 — overridable via [RISKROUTE_REPLAY_PAIRS]. *)
+
+val run :
+  ?mode:mode ->
+  ?pairs:int ->
+  ?ticks:int ->
+  Rr_engine.Context.t ->
+  net:Rr_topology.Net.t ->
+  storm:Rr_forecast.Track.storm ->
+  t
+(** Replay [storm]'s advisory sequence over [net]. [mode] defaults to
+    [Incremental]; [pairs] (flow count) defaults to
+    [RISKROUTE_REPLAY_PAIRS] or {!default_pairs}; [ticks] caps the
+    advisory count (default [RISKROUTE_REPLAY_TICKS] or the whole
+    season). Flow endpoints are drawn from a fixed-seed PRNG within one
+    connected component, so every run over the same net samples the
+    same flows. Work totals are measured as {!Rr_engine.Context.stats}
+    deltas — use a context that is not concurrently serving other
+    work when the accounting matters. *)
+
+val render : t -> string
+(** The per-tick report. Deliberately mode-independent — running [Full]
+    and [Incremental] over the same net and storm must render
+    byte-identically (floats print via [%.17g], so even a 1-ulp
+    divergence fails the comparison). *)
+
+val summary_json : t -> string
+(** Mode, per-season aggregates and the work accounting — the part that
+    is {e meant} to differ between modes — as a small JSON document. *)

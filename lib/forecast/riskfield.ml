@@ -54,6 +54,53 @@ let scope_fraction advisories (net : Rr_topology.Net.t) =
     float_of_int hits /. float_of_int n
   end
 
+type delta = {
+  indices : int array;
+  values : float array;
+  bbox : Rr_geo.Bbox.t option;
+}
+
+let empty_delta = { indices = [||]; values = [||]; bbox = None }
+
+(* A changed entry is a bitwise difference: the engine's caches key on
+   IEEE-754 bit patterns, so "changed" must mean exactly what would
+   invalidate them — numeric comparison would miss -0.0 vs 0.0 and any
+   future non-step field model could produce ulp-level moves. *)
+let diff_field ?rho_tropical ?rho_hurricane ~old_field ~next coords =
+  let n = Array.length coords in
+  if Array.length old_field <> n then
+    invalid_arg "Riskfield.diff_field: field/coords length mismatch";
+  let idx = ref [] and vals = ref [] and pts = ref [] and count = ref 0 in
+  for i = n - 1 downto 0 do
+    let v =
+      match next with
+      | None -> 0.0
+      | Some a -> risk_at ?rho_tropical ?rho_hurricane a coords.(i)
+    in
+    if Int64.bits_of_float v <> Int64.bits_of_float old_field.(i) then begin
+      idx := i :: !idx;
+      vals := v :: !vals;
+      pts := coords.(i) :: !pts;
+      incr count
+    end
+  done;
+  if !count = 0 then empty_delta
+  else
+    {
+      indices = Array.of_list !idx;
+      values = Array.of_list !vals;
+      bbox = Some (Rr_geo.Bbox.of_coords !pts);
+    }
+
+let diff ?rho_tropical ?rho_hurricane ~prev ~next coords =
+  let old_field =
+    match prev with
+    | None -> Array.make (Array.length coords) 0.0
+    | Some a ->
+      Array.map (fun c -> risk_at ?rho_tropical ?rho_hurricane a c) coords
+  in
+  diff_field ?rho_tropical ?rho_hurricane ~old_field ~next coords
+
 let union_scope advisories point =
   List.fold_left
     (fun acc advisory -> Float.max acc (risk_at advisory point))

@@ -34,3 +34,44 @@ val scope_fraction : Advisory.t list -> Rr_topology.Net.t -> float
 val union_scope : Advisory.t list -> Rr_geo.Coord.t -> float
 (** Final geographic scope of an event (Fig. 6): the maximum per-advisory
     risk at the point across the advisory sequence (default rho values). *)
+
+(** {1 Advisory-tick deltas}
+
+    Consecutive advisories perturb [o_f] only near the storm; the rest
+    of the field is bit-for-bit unchanged. A {!delta} captures exactly
+    the changed entries, which is what lets the engine patch an existing
+    environment ([Riskroute.Env.patch]) instead of rebuilding it. *)
+
+type delta = {
+  indices : int array;  (** changed point indices, strictly increasing *)
+  values : float array;  (** the new [o_f] value per changed index *)
+  bbox : Rr_geo.Bbox.t option;
+      (** tight bounding box around the changed points — the
+          "where did the field move" summary; [None] when nothing
+          changed *)
+}
+
+val empty_delta : delta
+
+val diff :
+  ?rho_tropical:float ->
+  ?rho_hurricane:float ->
+  prev:Advisory.t option ->
+  next:Advisory.t option ->
+  Rr_geo.Coord.t array ->
+  delta
+(** Sparse field delta between two consecutive ticks over a fixed point
+    set ([None] means "no advisory", i.e. the all-zero field). An entry
+    is reported when the new value differs {e bitwise} from the old —
+    the same notion of change the engine's fingerprint caches key on. *)
+
+val diff_field :
+  ?rho_tropical:float ->
+  ?rho_hurricane:float ->
+  old_field:float array ->
+  next:Advisory.t option ->
+  Rr_geo.Coord.t array ->
+  delta
+(** Like {!diff} but against a materialised previous field (e.g.
+    [Riskroute.Env.forecast] of the environment being patched), so the
+    comparison is exactly against what the consumer currently holds. *)

@@ -171,6 +171,162 @@ let single_source g ~weight ~src = run g ~weight ~src ~stop:(-1)
 let single_source_flat ~n ~off ~tgt ~weight ~src =
   run_flat ~n ~off ~tgt ~weight ~src ~stop:(-1)
 
+(* --- Incremental repair (Ramalingam–Reps-style) ---------------------
+
+   [repair] patches an existing tree after a sparse set of arc-weight
+   changes instead of re-running Dijkstra from scratch. The contract is
+   strict: the result must be bit-identical (dist AND parent) to a fresh
+   [run_flat] under the new weights, because the engine's caches treat
+   trees as content-addressed artifacts.
+
+   Invalidation: the subtree hanging under every tree arc whose weight
+   increased is "dirty" — those are exactly the nodes whose old dist can
+   be stale-optimistic. Dirty nodes are reset to infinity and re-seeded
+   from their intact in-neighbours; decreased arcs (tree or non-tree)
+   seed improvements directly. The main loop is then ordinary Dijkstra
+   over the dirty frontier.
+
+   Bit-identity of [parent] needs one more guard: a fresh run breaks
+   equal-cost ties by heap order, which the repair does not replay. So
+   whenever a relaxation produces a candidate exactly equal to the
+   resident dist through a different parent, the repair declares the
+   tie ambiguous and falls back to a full recompute — by construction
+   the repaired result is only returned when the new optimum is unique
+   along every touched arc. Ties strictly inside the untouched region
+   were already resolved by the fresh run that produced the input tree
+   and are inherited verbatim. *)
+
+type repair_stats = { settled : int; full : bool }
+
+let c_repairs = Rr_obs.Counter.make "dijkstra.repairs"
+
+let c_repair_full = Rr_obs.Counter.make "dijkstra.repair_full_fallbacks"
+
+let c_repair_settled = Rr_obs.Counter.make "dijkstra.repair_settled"
+
+exception Fallback
+
+let count_reachable dist =
+  Array.fold_left (fun acc d -> if d < infinity then acc + 1 else acc) 0 dist
+
+let repair ~n ~off ~tgt ~mate ~weight ~old_weight ~changed
+    ?(frontier_limit = max_int) tree ~src =
+  let tel = Rr_obs.enabled () in
+  if tel then Rr_obs.Counter.incr c_repairs;
+  let full () =
+    if tel then Rr_obs.Counter.incr c_repair_full;
+    let t = run_flat ~n ~off ~tgt ~weight ~src ~stop:(-1) in
+    let settled = count_reachable t.dist in
+    if tel then Rr_obs.Counter.add c_repair_settled settled;
+    (t, { settled; full = true })
+  in
+  try
+    (* Child lists from the parent array (reverse iteration keeps each
+       list in increasing node order; the order is irrelevant to the
+       result, dirty marking visits whole subtrees either way). *)
+    let child_head = Array.make n (-1) and child_next = Array.make n (-1) in
+    for v = n - 1 downto 0 do
+      let p = tree.parent.(v) in
+      if p >= 0 then begin
+        child_next.(v) <- child_head.(p);
+        child_head.(p) <- v
+      end
+    done;
+    let dirty = Array.make n false in
+    let dirty_count = ref 0 in
+    let rec mark v =
+      if not dirty.(v) then begin
+        dirty.(v) <- true;
+        incr dirty_count;
+        if !dirty_count > frontier_limit then raise Fallback;
+        let c = ref child_head.(v) in
+        while !c >= 0 do
+          mark !c;
+          c := child_next.(!c)
+        done
+      end
+    in
+    Array.iter
+      (fun (k, u) ->
+        let v = tgt.(k) in
+        if tree.parent.(v) = u && weight k > old_weight k then mark v)
+      changed;
+    let dist = Array.copy tree.dist and parent = Array.copy tree.parent in
+    let settled = Array.make n false in
+    let heap = Heap.create ~capacity:(max 16 n) () in
+    for v = 0 to n - 1 do
+      if dirty.(v) then begin
+        dist.(v) <- infinity;
+        parent.(v) <- -1
+      end
+    done;
+    (* Seed every dirty node from its intact in-neighbours, weighing the
+       in-arc through the CSR mate (weights are per-arc and asymmetric). *)
+    for v = 0 to n - 1 do
+      if dirty.(v) then
+        for k = off.(v) to off.(v + 1) - 1 do
+          let u = tgt.(k) in
+          if (not dirty.(u)) && dist.(u) < infinity then begin
+            let w = weight mate.(k) in
+            if w < 0.0 then invalid_arg "Dijkstra: negative edge weight";
+            let nd = dist.(u) +. w in
+            if nd < dist.(v) then begin
+              dist.(v) <- nd;
+              parent.(v) <- u;
+              Heap.push heap nd v
+            end
+            else if nd = dist.(v) && parent.(v) <> u then raise Fallback
+          end
+        done
+    done;
+    (* Decreased arcs between intact nodes seed improvements directly
+       (covers decreased tree arcs too: there the candidate is strictly
+       below the resident dist). *)
+    Array.iter
+      (fun (k, u) ->
+        let v = tgt.(k) in
+        if (not dirty.(v)) && (not dirty.(u)) && dist.(u) < infinity then begin
+          let w = weight k in
+          if w < 0.0 then invalid_arg "Dijkstra: negative edge weight";
+          let nd = dist.(u) +. w in
+          if nd < dist.(v) then begin
+            dist.(v) <- nd;
+            parent.(v) <- u;
+            Heap.push heap nd v
+          end
+          else if nd = dist.(v) && parent.(v) <> u then raise Fallback
+        end)
+      changed;
+    let settled_count = ref 0 in
+    while not (Heap.is_empty heap) do
+      let d = Heap.min_key heap in
+      let u = Heap.min_elt heap in
+      Heap.drop_min heap;
+      if not settled.(u) then begin
+        settled.(u) <- true;
+        incr settled_count;
+        for k = off.(u) to off.(u + 1) - 1 do
+          let v = tgt.(k) in
+          let w = weight k in
+          if w < 0.0 then invalid_arg "Dijkstra: negative edge weight";
+          let nd = d +. w in
+          if nd < dist.(v) then begin
+            (* A strict improvement into an already-settled node would
+               mean the repair settled it too early — cannot happen in a
+               consistent run, but fall back rather than trust it. *)
+            if settled.(v) then raise Fallback;
+            dist.(v) <- nd;
+            parent.(v) <- u;
+            Heap.push heap nd v
+          end
+          else if nd = dist.(v) && parent.(v) <> u then raise Fallback
+        done
+      end
+    done;
+    if tel then Rr_obs.Counter.add c_repair_settled !settled_count;
+    ({ dist; parent }, { settled = !settled_count; full = false })
+  with Fallback -> full ()
+
 let path_of_tree tree ~src ~dst =
   if tree.dist.(dst) = infinity then None
   else begin

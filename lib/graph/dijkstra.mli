@@ -48,6 +48,38 @@ val single_pair_flat :
   (float * int list) option
 (** {!single_pair} over a flattened CSR adjacency. *)
 
+type repair_stats = {
+  settled : int;  (** nodes settled while repairing (or by the fallback run) *)
+  full : bool;  (** [true] when the repair fell back to a fresh run *)
+}
+
+val repair :
+  n:int ->
+  off:int array ->
+  tgt:int array ->
+  mate:int array ->
+  weight:(int -> float) ->
+  old_weight:(int -> float) ->
+  changed:(int * int) array ->
+  ?frontier_limit:int ->
+  tree ->
+  src:int ->
+  tree * repair_stats
+(** Ramalingam–Reps-style incremental SSSP repair: given a tree that was
+    computed from [src] under [old_weight] and a sparse set of changed
+    arcs [(arc index, arc source)], produce the tree for [weight] —
+    bit-identical ([dist] and [parent]) to a fresh
+    {!single_source_flat} run under [weight]. [mate] is the reverse-CSR
+    pairing from {!Graph.csr_mates} (repairs traverse in-arcs).
+
+    Only the subtrees hanging under increased tree arcs are invalidated
+    and re-settled, so a storm-local weight change settles a storm-local
+    node count. The repair falls back to a full recompute (reported via
+    [full = true]) when the invalidated region exceeds [frontier_limit]
+    nodes (default: never) or when an equal-cost tie is encountered
+    whose winner would depend on heap order — the bit-identity guarantee
+    is unconditional either way. The input tree is not mutated. *)
+
 val path_of_tree : tree -> src:int -> dst:int -> int list option
 (** Recover the node path from a tree; [None] when [dst] unreachable. *)
 

@@ -27,6 +27,18 @@ let tree_cache =
   v "RISKROUTE_TREE_CACHE" "4096"
     "shortest-path-tree cache capacity per engine context (0 disables)"
 
+let repair_frontier =
+  v "RISKROUTE_REPAIR_FRONTIER" "0.25"
+    "incremental-SSSP dirty-frontier fallback threshold, fraction of nodes (0-1]"
+
+let replay_pairs =
+  v "RISKROUTE_REPLAY_PAIRS" "8"
+    "flow pairs tracked per storm replay (positive integer)"
+
+let replay_ticks =
+  v "RISKROUTE_REPLAY_TICKS" "all advisories"
+    "cap on advisory ticks per storm replay (positive integer)"
+
 let telemetry =
   v "RISKROUTE_TELEMETRY" "unset (off)"
     "enable telemetry; dump on exit (- / stderr / *.prom / file path)"
@@ -68,6 +80,9 @@ let all =
   [
     domains;
     tree_cache;
+    repair_frontier;
+    replay_pairs;
+    replay_ticks;
     telemetry;
     trace;
     series;

@@ -229,6 +229,232 @@ let test_query_fingerprint_unified () =
     (Rr_graph.Query.landmark_sources (Riskroute.Env.query env))
     (Rr_graph.Query.landmark_sources q)
 
+(* --- advisory-tick patching: Env.patch / Context.patched_env --- *)
+
+let bits = Int64.bits_of_float
+
+let sandy_adv i =
+  List.nth (Rr_forecast.Track.advisories Rr_forecast.Track.sandy) i
+
+let check_float_array label a b =
+  Alcotest.(check int) (label ^ " length") (Array.length a) (Array.length b);
+  Array.iteri
+    (fun i x ->
+      if bits x <> bits b.(i) then
+        Alcotest.failf "%s: bitwise mismatch at %d (%h vs %h)" label i x b.(i))
+    a
+
+(* Hex-render a tree so string equality is bitwise equality. *)
+let render_tree (tr : Rr_graph.Dijkstra.tree) =
+  String.concat ","
+    (Array.to_list
+       (Array.mapi
+          (fun v d ->
+            Printf.sprintf "%d:%h:%d" v d tr.Rr_graph.Dijkstra.parent.(v))
+          tr.Rr_graph.Dijkstra.dist))
+
+let check_envs_bitwise label fresh derived =
+  check_float_array (label ^ " forecast") (Env.forecast fresh)
+    (Env.forecast derived);
+  check_float_array (label ^ " arc risk") (Env.arc_risk fresh)
+    (Env.arc_risk derived);
+  check_float_array (label ^ " arc miles") (Env.arc_miles fresh)
+    (Env.arc_miles derived);
+  for i = 0 to Env.node_count fresh - 1 do
+    if bits (Env.node_risk fresh i) <> bits (Env.node_risk derived i) then
+      Alcotest.failf "%s node_risk mismatch at %d" label i
+  done
+
+let test_env_patch_matches_rebuild () =
+  List.iter
+    (fun domains ->
+      with_domains domains (fun () ->
+          let ctx = Context.create () in
+          let net = Context.require_net ctx "Level3" in
+          let e0 = Context.env ~advisory:(sandy_adv 40) ctx net in
+          let d =
+            Rr_forecast.Riskfield.diff_field ~old_field:(Env.forecast e0)
+              ~next:(Some (sandy_adv 41))
+              (Env.coords e0)
+          in
+          Alcotest.(check bool) "tick moved the field" true
+            (Array.length d.Rr_forecast.Riskfield.indices > 0);
+          let p =
+            Env.patch e0 ~indices:d.Rr_forecast.Riskfield.indices
+              ~values:d.Rr_forecast.Riskfield.values
+          in
+          Alcotest.(check bool) "changed pops recorded" true
+            (Array.length p.Env.changed_pops > 0);
+          Alcotest.(check bool) "patched arcs recorded" true
+            (Array.length p.Env.patched_arcs > 0);
+          (* Geometry is shared with the parent, not copied. *)
+          Alcotest.(check bool) "arc miles shared" true
+            (Env.arc_miles p.Env.env == Env.arc_miles e0);
+          let fresh =
+            Context.env ~advisory:(sandy_adv 41) (Context.create ()) net
+          in
+          check_envs_bitwise
+            (Printf.sprintf "patched env at %d domains" domains)
+            fresh p.Env.env;
+          (* An empty delta hands the parent back physically. *)
+          let unchanged = Env.patch e0 ~indices:[||] ~values:[||] in
+          Alcotest.(check bool) "empty delta reuses parent" true
+            (unchanged.Env.env == e0)))
+    [ 1; 2; 4 ]
+
+let test_patched_env_matches_fresh () =
+  List.iter
+    (fun domains ->
+      with_domains domains (fun () ->
+          let ctx = Context.create () in
+          let net = Context.require_net ctx "Level3" in
+          let e0 = Context.env ~advisory:(sandy_adv 40) ctx net in
+          let risk0 = Context.risk_trees ctx e0 in
+          List.iter (fun s -> ignore (risk0 s)) [ 0; 1; 2 ];
+          let e1 = Context.patched_env ~advisory:(sandy_adv 41) ctx net ~parent:e0 in
+          let fresh_ctx = Context.create () in
+          let f1 = Context.env ~advisory:(sandy_adv 41) fresh_ctx net in
+          check_envs_bitwise
+            (Printf.sprintf "patched_env at %d domains" domains)
+            f1 e1;
+          (* Migrated cached trees and freshly-computed ones both match a
+             cold context bitwise (sources 0-2 were cached and migrated;
+             source 5 is computed from the patched env). *)
+          List.iter
+            (fun s ->
+              Alcotest.(check string)
+                (Printf.sprintf "risk tree %d at %d domains" s domains)
+                (render_tree (Context.risk_trees fresh_ctx f1 s))
+                (render_tree (Context.risk_trees ctx e1 s)))
+            [ 0; 1; 2; 5 ];
+          (* The patched env landed under the content-addressed key a
+             from-scratch build would use. *)
+          Alcotest.(check bool) "env cache unified" true
+            (Context.env ~advisory:(sandy_adv 41) ctx net == e1);
+          let st = Context.stats ctx in
+          Alcotest.(check int) "one env patched" 1 st.Context.env_patched;
+          Alcotest.(check bool) "arcs re-weighted" true
+            (st.Context.delta_patched_arcs > 0);
+          Alcotest.(check int) "all three cached trees migrated" 3
+            (st.Context.delta_trees_kept + st.Context.delta_trees_repaired
+           + st.Context.delta_trees_evicted)))
+    [ 1; 2; 4 ]
+
+let test_patched_env_offshore_keeps_trees () =
+  let ctx = Context.create () in
+  let net = Context.require_net ctx "Level3" in
+  (* Sandy's first two advisories are far offshore: the risk field over
+     a CONUS net is all-zero on both ticks. *)
+  let e0 = Context.env ~advisory:(sandy_adv 0) ctx net in
+  let risk0 = Context.risk_trees ctx e0 in
+  let t0 = risk0 0 and t1 = risk0 1 in
+  let e1 = Context.patched_env ~advisory:(sandy_adv 1) ctx net ~parent:e0 in
+  Alcotest.(check bool) "parent env reused physically" true (e0 == e1);
+  Alcotest.(check bool) "future lookups hit the new key" true
+    (Context.env ~advisory:(sandy_adv 1) ctx net == e1);
+  let st = Context.stats ctx in
+  Alcotest.(check int) "no arcs patched" 0 st.Context.delta_patched_arcs;
+  Alcotest.(check int) "both cached trees kept" 2 st.Context.delta_trees_kept;
+  Alcotest.(check int) "no repairs or evictions" 0
+    (st.Context.delta_trees_repaired + st.Context.delta_trees_evicted);
+  (* Kept means kept: the same physical trees serve the new tick. *)
+  let risk1 = Context.risk_trees ctx e1 in
+  Alcotest.(check bool) "tree 0 physically shared" true (risk1 0 == t0);
+  Alcotest.(check bool) "tree 1 physically shared" true (risk1 1 == t1)
+
+let test_env_sparse_dense_equivalence () =
+  let zoo = Rr_topology.Zoo.shared () in
+  let net = Option.get (Rr_topology.Zoo.find zoo "Level3") in
+  let coords =
+    Array.map
+      (fun (p : Rr_topology.Pop.t) -> p.Rr_topology.Pop.coord)
+      net.Rr_topology.Net.pops
+  in
+  let dense_env = Env.of_net ~advisory:(sandy_adv 40) net in
+  Alcotest.(check bool) "corpus net is dense" true (Env.dense dense_env);
+  let sparse_env =
+    Env.make ~dense:false ~graph:net.Rr_topology.Net.graph ~coords
+      ~impact:(Env.impact dense_env)
+      ~historical:(Env.historical dense_env)
+      ~forecast:(Env.forecast dense_env) ()
+  in
+  Alcotest.(check bool) "forced sparse" false (Env.dense sparse_env);
+  check_envs_bitwise "sparse vs dense" dense_env sparse_env;
+  (* link_miles answers from trig instead of the matrix — bit-identical
+     in both argument orders. *)
+  let n = Env.node_count dense_env in
+  for u = 0 to min 24 (n - 1) do
+    for v = 0 to min 24 (n - 1) do
+      if u <> v then begin
+        if
+          bits (Env.link_miles dense_env u v)
+          <> bits (Env.link_miles sparse_env u v)
+        then Alcotest.failf "link_miles mismatch at (%d, %d)" u v
+      end
+    done
+  done
+
+let continental_net =
+  lazy
+    (let ctx = Context.create () in
+     Context.continental ctx ~pops:2000)
+
+let test_patched_env_continental () =
+  let net = Lazy.force continental_net in
+  List.iter
+    (fun domains ->
+      with_domains domains (fun () ->
+          let ctx = Context.create () in
+          let e0 = Context.env ~advisory:(sandy_adv 40) ctx net in
+          Alcotest.(check bool) "continental env is sparse" false
+            (Env.dense e0);
+          let risk0 = Context.risk_trees ctx e0 in
+          List.iter (fun s -> ignore (risk0 s)) [ 0; 7 ];
+          let e1 =
+            Context.patched_env ~advisory:(sandy_adv 41) ctx net ~parent:e0
+          in
+          let fresh_ctx = Context.create () in
+          let f1 = Context.env ~advisory:(sandy_adv 41) fresh_ctx net in
+          check_envs_bitwise
+            (Printf.sprintf "continental patch at %d domains" domains)
+            f1 e1;
+          List.iter
+            (fun s ->
+              Alcotest.(check string)
+                (Printf.sprintf "continental risk tree %d at %d domains" s
+                   domains)
+                (render_tree (Context.risk_trees fresh_ctx f1 s))
+                (render_tree (Context.risk_trees ctx e1 s)))
+            [ 0; 7 ]))
+    [ 1; 2; 4 ]
+
+let test_lru_fold_and_remove () =
+  let l = Lru.create ~capacity:4 in
+  ignore (Lru.add l "a" 1);
+  ignore (Lru.add l "b" 2);
+  ignore (Lru.add l "c" 3);
+  let keys = Lru.fold l ~init:[] ~f:(fun acc k _ -> k :: acc) in
+  (* fold walks most-recent first and must not disturb recency. *)
+  Alcotest.(check (list string)) "MRU-first walk" [ "a"; "b"; "c" ] keys;
+  Alcotest.(check bool) "remove present" true (Lru.remove l "b");
+  Alcotest.(check bool) "remove absent" false (Lru.remove l "b");
+  Alcotest.(check int) "length after remove" 2 (Lru.length l);
+  Alcotest.(check bool) "removed key gone" true (Lru.find l "b" = None);
+  Alcotest.(check bool) "others survive" true
+    (Lru.find l "a" = Some 1 && Lru.find l "c" = Some 3)
+
+let test_stats_fields_shape () =
+  let ctx = Context.create () in
+  Alcotest.(check (list string))
+    "fixed field order"
+    [
+      "env.hits"; "env.misses"; "env.patched"; "env.cache_length";
+      "tree.hits"; "tree.misses"; "tree.evictions"; "tree.cache_length";
+      "tree.cache_capacity"; "tree.settled_nodes"; "delta.patched_arcs";
+      "delta.trees_kept"; "delta.trees_repaired"; "delta.trees_evicted";
+    ]
+    (List.map fst (Context.stats_fields ctx))
+
 let test_spec_accessors () =
   let s = Spec.make ~pair_cap:7 () in
   Alcotest.(check int) "explicit" 7 (Spec.pair_cap ~default:99 s);
@@ -243,6 +469,7 @@ let () =
           Alcotest.test_case "bound and eviction" `Quick test_lru_bound_and_eviction;
           Alcotest.test_case "find promotes" `Quick test_lru_find_promotes;
           Alcotest.test_case "bad capacity" `Quick test_lru_bad_capacity;
+          Alcotest.test_case "fold and remove" `Quick test_lru_fold_and_remove;
         ] );
       ( "fingerprints",
         [
@@ -261,6 +488,21 @@ let () =
             test_landmark_trees_land_in_lru;
           Alcotest.test_case "query fingerprint unified" `Quick
             test_query_fingerprint_unified;
+        ] );
+      ( "delta",
+        [
+          Alcotest.test_case "stats fields shape" `Quick
+            test_stats_fields_shape;
+          Alcotest.test_case "env patch = rebuild, domains 1/2/4" `Slow
+            test_env_patch_matches_rebuild;
+          Alcotest.test_case "patched_env = fresh, domains 1/2/4" `Slow
+            test_patched_env_matches_fresh;
+          Alcotest.test_case "offshore tick keeps trees" `Quick
+            test_patched_env_offshore_keeps_trees;
+          Alcotest.test_case "sparse = dense env" `Quick
+            test_env_sparse_dense_equivalence;
+          Alcotest.test_case "continental patch, domains 1/2/4" `Slow
+            test_patched_env_continental;
         ] );
       ( "correctness",
         [

@@ -251,6 +251,95 @@ let test_union_scope_max () =
   Alcotest.(check (float 1e-9)) "max across advisories" 100.0
     (Rr_forecast.Riskfield.union_scope [ a2; a1 ] p)
 
+(* --- Riskfield.diff: sparse advisory-tick deltas --- *)
+
+let level3_coords () =
+  let net =
+    Option.get (Rr_topology.Zoo.find (Rr_topology.Zoo.shared ()) "Level3")
+  in
+  Array.map
+    (fun (p : Rr_topology.Pop.t) -> p.Rr_topology.Pop.coord)
+    net.Rr_topology.Net.pops
+
+let sandy_advisory i =
+  List.nth (Rr_forecast.Track.advisories Rr_forecast.Track.sandy) i
+
+let bits = Int64.bits_of_float
+
+let test_diff_empty_cases () =
+  let coords = level3_coords () in
+  let module R = Rr_forecast.Riskfield in
+  let check_empty label (d : R.delta) =
+    Alcotest.(check int) (label ^ ": no indices") 0 (Array.length d.R.indices);
+    Alcotest.(check int) (label ^ ": no values") 0 (Array.length d.R.values);
+    Alcotest.(check bool) (label ^ ": no bbox") true (d.R.bbox = None)
+  in
+  check_empty "none -> none" (R.diff ~prev:None ~next:None coords);
+  let a = sandy_advisory 40 in
+  check_empty "same advisory" (R.diff ~prev:(Some a) ~next:(Some a) coords);
+  (* Sandy's first advisories sit far offshore: the field over a CONUS
+     net is all-zero on both sides, so the delta is empty even though
+     the advisories differ. This is what lets the engine keep every
+     cached tree across offshore ticks. *)
+  check_empty "offshore tick"
+    (R.diff ~prev:(Some (sandy_advisory 0)) ~next:(Some (sandy_advisory 1))
+       coords)
+
+let test_diff_roundtrip_bitwise () =
+  let coords = level3_coords () in
+  let module R = Rr_forecast.Riskfield in
+  let prev = sandy_advisory 40 and next = sandy_advisory 41 in
+  let old_field = Array.map (fun c -> R.risk_at prev c) coords in
+  let new_field = Array.map (fun c -> R.risk_at next c) coords in
+  let d = R.diff ~prev:(Some prev) ~next:(Some next) coords in
+  Alcotest.(check bool) "landfall tick: delta non-empty" true
+    (Array.length d.R.indices > 0);
+  Alcotest.(check int) "one value per index" (Array.length d.R.indices)
+    (Array.length d.R.values);
+  (* Indices strictly increasing, each a genuine bitwise change. *)
+  Array.iteri
+    (fun j i ->
+      if j > 0 && d.R.indices.(j - 1) >= i then
+        Alcotest.failf "indices not strictly increasing at %d" j;
+      if bits old_field.(i) = bits new_field.(i) then
+        Alcotest.failf "index %d reported but unchanged" i;
+      if bits d.R.values.(j) <> bits new_field.(i) then
+        Alcotest.failf "value at %d is not the new field value" i)
+    d.R.indices;
+  (* Applying the delta to the old field reproduces the new one
+     bit-for-bit — the property Env.patch relies on. *)
+  let patched = Array.copy old_field in
+  Array.iteri (fun j i -> patched.(i) <- d.R.values.(j)) d.R.indices;
+  Array.iteri
+    (fun i v ->
+      if bits v <> bits new_field.(i) then
+        Alcotest.failf "patched field diverges at %d" i)
+    patched;
+  (* The bbox is a tight cover of the changed points. *)
+  match d.R.bbox with
+  | None -> Alcotest.fail "non-empty delta must carry a bbox"
+  | Some b ->
+    Array.iter
+      (fun i ->
+        if not (Rr_geo.Bbox.contains b coords.(i)) then
+          Alcotest.failf "changed point %d outside bbox" i)
+      d.R.indices
+
+let test_diff_field_matches_diff () =
+  let coords = level3_coords () in
+  let module R = Rr_forecast.Riskfield in
+  let prev = sandy_advisory 41 and next = sandy_advisory 42 in
+  let old_field = Array.map (fun c -> R.risk_at prev c) coords in
+  let via_advisories = R.diff ~prev:(Some prev) ~next:(Some next) coords in
+  let via_field = R.diff_field ~old_field ~next:(Some next) coords in
+  Alcotest.(check (array int)) "same indices" via_advisories.R.indices
+    via_field.R.indices;
+  Array.iteri
+    (fun j v ->
+      if bits v <> bits via_field.R.values.(j) then
+        Alcotest.failf "diff/diff_field values disagree at %d" j)
+    via_advisories.R.values
+
 let () =
   Alcotest.run "rr_forecast"
     [
@@ -285,5 +374,13 @@ let () =
           Alcotest.test_case "scope counting" `Quick test_scope_counting;
           Alcotest.test_case "scope fraction" `Quick test_scope_fraction_bounds;
           Alcotest.test_case "union scope" `Quick test_union_scope_max;
+        ] );
+      ( "diff",
+        [
+          Alcotest.test_case "empty cases" `Quick test_diff_empty_cases;
+          Alcotest.test_case "roundtrip bitwise" `Quick
+            test_diff_roundtrip_bitwise;
+          Alcotest.test_case "diff_field consistency" `Quick
+            test_diff_field_matches_diff;
         ] );
     ]

@@ -267,6 +267,185 @@ let mst_always_spanning =
       let g = Spanner.mst ~n ~dist:(euclid points) in
       Component.is_connected g && Graph.edge_count g = n - 1)
 
+(* --- Dijkstra.repair: incremental SSSP vs fresh recompute, bitwise --- *)
+
+let bits = Int64.bits_of_float
+
+(* Random connected graph as CSR, plus the arc-source table repair's
+   [changed] entries need. *)
+let build_random_csr rng ~n ~extra =
+  let g = Graph.create n in
+  for v = 1 to n - 1 do
+    Graph.add_edge g (Rr_util.Prng.int rng v) v
+  done;
+  for _ = 1 to extra do
+    let u = Rr_util.Prng.int rng n and v = Rr_util.Prng.int rng n in
+    if u <> v && not (Graph.has_edge g u v) then Graph.add_edge g u v
+  done;
+  let off, tgt = Graph.to_csr g in
+  let mate = Graph.csr_mates ~off ~tgt in
+  let src_of = Array.make (Array.length tgt) 0 in
+  for u = 0 to n - 1 do
+    for k = off.(u) to off.(u + 1) - 1 do
+      src_of.(k) <- u
+    done
+  done;
+  (off, tgt, mate, src_of)
+
+(* Repair [base] (computed under [w_old]) into the tree for [w_new] and
+   check it is bit-identical — dist AND parent — to a fresh run. *)
+let check_repair ~label ?frontier_limit ~n ~off ~tgt ~mate ~w_old ~w_new
+    ~changed ~src () =
+  let weight k = w_new.(k) and old_weight k = w_old.(k) in
+  let base = Dijkstra.single_source_flat ~n ~off ~tgt ~weight:old_weight ~src in
+  let fresh = Dijkstra.single_source_flat ~n ~off ~tgt ~weight ~src in
+  let repaired, stats =
+    Dijkstra.repair ~n ~off ~tgt ~mate ~weight ~old_weight ~changed
+      ?frontier_limit base ~src
+  in
+  for v = 0 to n - 1 do
+    if bits repaired.Dijkstra.dist.(v) <> bits fresh.Dijkstra.dist.(v) then
+      Alcotest.failf "%s: dist mismatch at node %d (%h vs %h)" label v
+        repaired.Dijkstra.dist.(v) fresh.Dijkstra.dist.(v);
+    if repaired.Dijkstra.parent.(v) <> fresh.Dijkstra.parent.(v) then
+      Alcotest.failf "%s: parent mismatch at node %d" label v
+  done;
+  (* The input tree must not be mutated. *)
+  let base' = Dijkstra.single_source_flat ~n ~off ~tgt ~weight:old_weight ~src in
+  for v = 0 to n - 1 do
+    if bits base.Dijkstra.dist.(v) <> bits base'.Dijkstra.dist.(v) then
+      Alcotest.failf "%s: repair mutated its input tree at %d" label v
+  done;
+  stats
+
+(* Per-arc weights from an undirected (u, v) -> w table. *)
+let arc_weights ~tgt ~src_of table =
+  Array.init (Array.length tgt) (fun k ->
+      let u = src_of.(k) and v = tgt.(k) in
+      List.assoc (min u v, max u v) table)
+
+let diamond () =
+  let g = Graph.of_edges 4 [ (0, 1); (1, 2); (2, 3); (0, 3) ] in
+  let off, tgt = Graph.to_csr g in
+  let mate = Graph.csr_mates ~off ~tgt in
+  let src_of = Array.make (Array.length tgt) 0 in
+  for u = 0 to 3 do
+    for k = off.(u) to off.(u + 1) - 1 do
+      src_of.(k) <- u
+    done
+  done;
+  (off, tgt, mate, src_of)
+
+let changed_arcs ~src_of ~w_old ~w_new =
+  let acc = ref [] in
+  for k = Array.length w_old - 1 downto 0 do
+    if bits w_old.(k) <> bits w_new.(k) then acc := (k, src_of.(k)) :: !acc
+  done;
+  Array.of_list !acc
+
+let test_repair_localised_increase () =
+  let off, tgt, mate, src_of = diamond () in
+  let w_old =
+    arc_weights ~tgt ~src_of
+      [ ((0, 1), 1.0); ((1, 2), 1.0); ((2, 3), 1.0); ((0, 3), 9.5) ]
+  in
+  (* Raising 1-2 re-routes the {2, 3} subtree through the 0-3 arc. *)
+  let w_new =
+    arc_weights ~tgt ~src_of
+      [ ((0, 1), 1.0); ((1, 2), 10.0); ((2, 3), 1.0); ((0, 3), 9.5) ]
+  in
+  let changed = changed_arcs ~src_of ~w_old ~w_new in
+  Alcotest.(check int) "both directions changed" 2 (Array.length changed);
+  let stats =
+    check_repair ~label:"localised increase" ~n:4 ~off ~tgt ~mate ~w_old ~w_new
+      ~changed ~src:0 ()
+  in
+  Alcotest.(check bool) "repair stayed local" false stats.Dijkstra.full;
+  Alcotest.(check bool) "settled only the dirty region" true
+    (stats.Dijkstra.settled > 0 && stats.Dijkstra.settled <= 4)
+
+let test_repair_decrease () =
+  let off, tgt, mate, src_of = diamond () in
+  let w_old =
+    arc_weights ~tgt ~src_of
+      [ ((0, 1), 1.0); ((1, 2), 1.0); ((2, 3), 1.0); ((0, 3), 9.5) ]
+  in
+  (* Dropping 0-3 pulls node 3 (and then 2) onto the direct arc. *)
+  let w_new =
+    arc_weights ~tgt ~src_of
+      [ ((0, 1), 1.0); ((1, 2), 1.0); ((2, 3), 1.0); ((0, 3), 0.25) ]
+  in
+  let changed = changed_arcs ~src_of ~w_old ~w_new in
+  let stats =
+    check_repair ~label:"decrease" ~n:4 ~off ~tgt ~mate ~w_old ~w_new ~changed
+      ~src:0 ()
+  in
+  Alcotest.(check bool) "repair stayed local" false stats.Dijkstra.full
+
+let test_repair_empty_change_is_noop () =
+  let off, tgt, mate, src_of = diamond () in
+  let w =
+    arc_weights ~tgt ~src_of
+      [ ((0, 1), 1.0); ((1, 2), 1.0); ((2, 3), 1.0); ((0, 3), 9.5) ]
+  in
+  let stats =
+    check_repair ~label:"empty change" ~n:4 ~off ~tgt ~mate ~w_old:w ~w_new:w
+      ~changed:[||] ~src:0 ()
+  in
+  Alcotest.(check bool) "no fallback" false stats.Dijkstra.full;
+  Alcotest.(check int) "nothing settled" 0 stats.Dijkstra.settled
+
+let test_repair_frontier_fallback () =
+  let off, tgt, mate, src_of = diamond () in
+  let w_old =
+    arc_weights ~tgt ~src_of
+      [ ((0, 1), 1.0); ((1, 2), 1.0); ((2, 3), 1.0); ((0, 3), 9.5) ]
+  in
+  let w_new =
+    arc_weights ~tgt ~src_of
+      [ ((0, 1), 1.0); ((1, 2), 10.0); ((2, 3), 1.0); ((0, 3), 9.5) ]
+  in
+  let changed = changed_arcs ~src_of ~w_old ~w_new in
+  let stats =
+    check_repair ~label:"frontier fallback" ~frontier_limit:0 ~n:4 ~off ~tgt
+      ~mate ~w_old ~w_new ~changed ~src:0 ()
+  in
+  Alcotest.(check bool) "fell back to a full run" true stats.Dijkstra.full
+
+let test_repair_random_changes () =
+  (* Randomized increases, decreases and mixes over random connected
+     graphs; every case must be bit-identical to a fresh run. *)
+  List.iter
+    (fun seed ->
+      let rng = Rr_util.Prng.create (Int64.of_int (0x5eed + seed)) in
+      let n = 40 + Rr_util.Prng.int rng 80 in
+      let off, tgt, mate, src_of = build_random_csr rng ~n ~extra:(2 * n) in
+      let m = Array.length tgt in
+      let w_old =
+        Array.init m (fun _ -> 1.0 +. Rr_util.Prng.float rng 100.0)
+      in
+      let w_new = Array.copy w_old in
+      let kind = seed mod 3 in
+      for _ = 1 to 1 + Rr_util.Prng.int rng 12 do
+        let k = Rr_util.Prng.int rng m in
+        if bits w_new.(k) = bits w_old.(k) then
+          w_new.(k) <-
+            (match kind with
+            | 0 -> w_old.(k) +. 0.5 +. Rr_util.Prng.float rng 80.0
+            | 1 -> w_old.(k) *. (0.05 +. Rr_util.Prng.float rng 0.9)
+            | _ ->
+              if Rr_util.Prng.bool rng then
+                w_old.(k) +. 0.5 +. Rr_util.Prng.float rng 80.0
+              else w_old.(k) *. (0.05 +. Rr_util.Prng.float rng 0.9))
+      done;
+      let changed = changed_arcs ~src_of ~w_old ~w_new in
+      let src = Rr_util.Prng.int rng n in
+      ignore
+        (check_repair
+           ~label:(Printf.sprintf "seed %d (kind %d)" seed kind)
+           ~n ~off ~tgt ~mate ~w_old ~w_new ~changed ~src ()))
+    [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9; 10; 11 ]
+
 let () =
   Alcotest.run "rr_graph"
     [
@@ -293,6 +472,18 @@ let () =
           Alcotest.test_case "path cost" `Quick test_path_cost;
           QCheck_alcotest.to_alcotest dijkstra_matches_brute_force;
           QCheck_alcotest.to_alcotest single_pair_consistent;
+        ] );
+      ( "repair",
+        [
+          Alcotest.test_case "localised increase" `Quick
+            test_repair_localised_increase;
+          Alcotest.test_case "decrease" `Quick test_repair_decrease;
+          Alcotest.test_case "empty change" `Quick
+            test_repair_empty_change_is_noop;
+          Alcotest.test_case "frontier fallback" `Quick
+            test_repair_frontier_fallback;
+          Alcotest.test_case "random changes bitwise" `Quick
+            test_repair_random_changes;
         ] );
       ( "component",
         [
